@@ -1,0 +1,295 @@
+//! The acquisition loop: stimulus → sampling instants → converter codes.
+//!
+//! This is the simulated equivalent of the tester capture (or of the
+//! on-chip capture path in a full BIST): the converter samples the
+//! stimulus at `f_sample`, optionally perturbed by the noise sources of
+//! [`crate::noise`], and produces a code record for the downstream test
+//! processing.
+
+use crate::noise::NoiseConfig;
+use crate::signal::Stimulus;
+use crate::transfer::Adc;
+use crate::types::{Code, Volts};
+use rand::Rng;
+use std::fmt;
+
+/// Sampling parameters for one acquisition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplingConfig {
+    /// Sample rate in hertz.
+    pub sample_rate: f64,
+    /// Number of samples to capture.
+    pub samples: usize,
+    /// Time of the first sample (seconds).
+    pub start_time: f64,
+}
+
+impl SamplingConfig {
+    /// Creates a config sampling `samples` points at `sample_rate` Hz
+    /// starting at `t = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate <= 0` or `samples == 0`.
+    pub fn new(sample_rate: f64, samples: usize) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        assert!(samples > 0, "sample count must be non-zero");
+        SamplingConfig {
+            sample_rate,
+            samples,
+            start_time: 0.0,
+        }
+    }
+
+    /// Sets the time of the first sample.
+    pub fn with_start_time(mut self, t: f64) -> Self {
+        self.start_time = t;
+        self
+    }
+
+    /// The sampling interval `1/f_sample` in seconds.
+    pub fn sample_period(&self) -> f64 {
+        1.0 / self.sample_rate
+    }
+
+    /// The instant of sample `i`.
+    pub fn sample_time(&self, i: usize) -> f64 {
+        self.start_time + i as f64 * self.sample_period()
+    }
+}
+
+/// A captured record of output codes plus capture metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capture {
+    codes: Vec<Code>,
+    sampling: SamplingConfig,
+}
+
+impl Capture {
+    /// The captured codes.
+    pub fn codes(&self) -> &[Code] {
+        &self.codes
+    }
+
+    /// The sampling configuration used.
+    pub fn sampling(&self) -> &SamplingConfig {
+        &self.sampling
+    }
+
+    /// The codes as raw `u32` values.
+    pub fn raw(&self) -> Vec<u32> {
+        self.codes.iter().map(|c| c.0).collect()
+    }
+
+    /// The codes centred to `±0.5`-normalised values for spectral
+    /// analysis: `(code + 0.5)/2ⁿ − 0.5`, given the resolution implied by
+    /// `bits`.
+    pub fn normalized(&self, bits: u32) -> Vec<f64> {
+        let n = (1u64 << bits) as f64;
+        self.codes
+            .iter()
+            .map(|c| (c.0 as f64 + 0.5) / n - 0.5)
+            .collect()
+    }
+
+    /// Extracts bit `b` (0 = LSB) of every code as a boolean stream —
+    /// the signal the paper's on-chip LSB monitor watches.
+    pub fn bit_stream(&self, b: u32) -> Vec<bool> {
+        self.codes.iter().map(|c| (c.0 >> b) & 1 == 1).collect()
+    }
+
+    /// Consumes the capture, returning the code vector.
+    pub fn into_codes(self) -> Vec<Code> {
+        self.codes
+    }
+}
+
+impl fmt::Display for Capture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} samples @ {} Hz",
+            self.codes.len(),
+            self.sampling.sample_rate
+        )
+    }
+}
+
+/// Samples `stimulus` through `adc` without noise (the deterministic
+/// sampling process assumed by the §3 theory).
+pub fn acquire<A: Adc, S: Stimulus>(
+    adc: &A,
+    stimulus: &S,
+    sampling: SamplingConfig,
+) -> Capture {
+    let codes = (0..sampling.samples)
+        .map(|i| adc.convert(stimulus.value(sampling.sample_time(i))))
+        .collect();
+    Capture { codes, sampling }
+}
+
+/// Samples `stimulus` through `adc` with the given noise sources.
+///
+/// Jitter perturbs each sample instant; input and transition noise
+/// perturb the sampled voltage. With [`NoiseConfig::noiseless`] this is
+/// identical to [`acquire`].
+pub fn acquire_noisy<A: Adc, S: Stimulus, R: Rng + ?Sized>(
+    adc: &A,
+    stimulus: &S,
+    sampling: SamplingConfig,
+    noise: &NoiseConfig,
+    rng: &mut R,
+) -> Capture {
+    let codes = (0..sampling.samples)
+        .map(|i| {
+            let t = noise.perturb_time(sampling.sample_time(i), rng);
+            let v = noise.perturb_voltage(stimulus.value(t).0, rng);
+            adc.convert(Volts(v))
+        })
+        .collect();
+    Capture { codes, sampling }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::{Dc, Ramp};
+    use crate::transfer::TransferFunction;
+    use crate::types::Resolution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn six_bit() -> TransferFunction {
+        TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    #[test]
+    fn sampling_config_times() {
+        let s = SamplingConfig::new(1000.0, 5).with_start_time(1.0);
+        assert_eq!(s.sample_period(), 0.001);
+        assert_eq!(s.sample_time(0), 1.0);
+        assert!((s.sample_time(3) - 1.003).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn zero_rate_panics() {
+        SamplingConfig::new(0.0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample count must be non-zero")]
+    fn zero_samples_panics() {
+        SamplingConfig::new(1.0, 0);
+    }
+
+    #[test]
+    fn dc_acquisition_is_constant() {
+        let adc = six_bit();
+        let cap = acquire(&adc, &Dc(Volts(3.25)), SamplingConfig::new(1e3, 16));
+        assert!(cap.codes().iter().all(|&c| c == Code(32)));
+    }
+
+    #[test]
+    fn ramp_acquisition_walks_all_codes() {
+        let adc = six_bit();
+        // 1 V/s ramp, 1 kHz sampling: 6.4 s sweep = 6400 samples, 100/code.
+        let ramp = Ramp::new(Volts(-0.05), 1.0);
+        let cap = acquire(&adc, &ramp, SamplingConfig::new(1e3, 6600));
+        let raw = cap.raw();
+        assert_eq!(raw[0], 0);
+        assert_eq!(*raw.last().unwrap(), 63);
+        // Monotone non-decreasing.
+        assert!(raw.windows(2).all(|w| w[0] <= w[1]));
+        // Every code visited ~100 times.
+        let mut counts = [0u32; 64];
+        for c in &raw {
+            counts[*c as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().take(63).skip(1) {
+            assert!((95..=105).contains(&c), "code {k}: {c} samples");
+        }
+    }
+
+    #[test]
+    fn lsb_stream_alternates_on_ramp() {
+        let adc = six_bit();
+        let ramp = Ramp::new(Volts(0.05), 1.0);
+        let cap = acquire(&adc, &ramp, SamplingConfig::new(1e3, 6300));
+        let lsb = cap.bit_stream(0);
+        // The LSB toggles once per code: count transitions ≈ codes crossed.
+        let transitions = lsb.windows(2).filter(|w| w[0] != w[1]).count();
+        let codes_crossed = cap.raw().last().unwrap() - cap.raw()[0];
+        assert_eq!(transitions as u32, codes_crossed);
+    }
+
+    #[test]
+    fn msb_stream_is_bit_five() {
+        let adc = six_bit();
+        let cap = acquire(&adc, &Dc(Volts(5.0)), SamplingConfig::new(1e3, 4));
+        // 5.0 V → code 50 = 0b110010: bit 5 is 1.
+        assert!(cap.bit_stream(5).iter().all(|&b| b));
+        assert!(cap.bit_stream(0).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn normalized_is_centered() {
+        let adc = six_bit();
+        let cap = acquire(&adc, &Dc(Volts(3.25)), SamplingConfig::new(1e3, 2));
+        // code 32 → (32.5)/64 - 0.5 = 0.0078125
+        assert!((cap.normalized(6)[0] - 0.0078125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noiseless_noisy_acquisition_matches_pure() {
+        let adc = six_bit();
+        let ramp = Ramp::new(Volts(0.0), 1.0);
+        let sampling = SamplingConfig::new(1e3, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = acquire(&adc, &ramp, sampling);
+        let b = acquire_noisy(&adc, &ramp, sampling, &NoiseConfig::noiseless(), &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transition_noise_makes_lsb_toggle() {
+        let adc = six_bit();
+        // Park the input exactly on a transition: noiseless output is
+        // constant, transition noise makes it flip between codes.
+        let dc = Dc(Volts(0.2));
+        let sampling = SamplingConfig::new(1e3, 1000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let clean = acquire(&adc, &dc, sampling);
+        let toggles = |cap: &Capture| {
+            cap.bit_stream(0)
+                .windows(2)
+                .filter(|w| w[0] != w[1])
+                .count()
+        };
+        assert_eq!(toggles(&clean), 0);
+        let noise = NoiseConfig::noiseless().with_transition_noise(0.02);
+        let noisy = acquire_noisy(&adc, &dc, sampling, &noise, &mut rng);
+        assert!(toggles(&noisy) > 100, "expected heavy LSB toggling");
+    }
+
+    #[test]
+    fn jitter_blurs_code_boundaries() {
+        let adc = six_bit();
+        let ramp = Ramp::new(Volts(0.0), 100.0); // fast ramp: jitter matters
+        let sampling = SamplingConfig::new(1e5, 1000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let clean = acquire(&adc, &ramp, sampling);
+        let noise = NoiseConfig::noiseless().with_jitter(2e-6);
+        let jittered = acquire_noisy(&adc, &ramp, sampling, &noise, &mut rng);
+        assert_ne!(clean, jittered);
+        // But the overall trajectory is still a ramp of the same span.
+        assert_eq!(clean.raw().last(), jittered.raw().last());
+    }
+
+    #[test]
+    fn capture_display() {
+        let adc = six_bit();
+        let cap = acquire(&adc, &Dc(Volts(1.0)), SamplingConfig::new(250.0, 8));
+        assert_eq!(cap.to_string(), "8 samples @ 250 Hz");
+    }
+}

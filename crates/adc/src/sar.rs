@@ -1,0 +1,312 @@
+//! Behavioural successive-approximation (SAR) A/D converter.
+//!
+//! The paper's method is architecture-agnostic — it only watches output
+//! bits — so the reproduction includes a second converter architecture to
+//! demonstrate that. A SAR converter resolves one bit per step against a
+//! binary-weighted capacitor DAC; capacitor mismatch produces the
+//! characteristic DNL signature at major code boundaries (largest at the
+//! MSB transition), a very different error profile from the flash
+//! ladder's iid widths.
+
+use crate::dist::Normal;
+use crate::transfer::{Adc, TransferFunction};
+use crate::types::{Code, Resolution, Volts};
+use rand::Rng;
+use std::fmt;
+
+/// Mismatch parameters for a SAR converter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SarConfig {
+    resolution: Resolution,
+    low: Volts,
+    high: Volts,
+    /// Relative standard deviation of the *unit* capacitor. Bit `i`'s
+    /// weight is the sum of `2^i` unit capacitors, so its relative σ is
+    /// `sigma_unit/√(2^i)` — the standard matching model.
+    sigma_unit_cap: f64,
+    /// Comparator offset σ in LSB (shifts the whole transfer).
+    sigma_offset_lsb: f64,
+}
+
+impl SarConfig {
+    /// Creates a mismatch-free SAR configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    pub fn new(resolution: Resolution, low: Volts, high: Volts) -> Self {
+        assert!(low.0 < high.0, "low must be below high");
+        SarConfig {
+            resolution,
+            low,
+            high,
+            sigma_unit_cap: 0.0,
+            sigma_offset_lsb: 0.0,
+        }
+    }
+
+    /// Sets the unit-capacitor relative mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn with_unit_cap_sigma(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        self.sigma_unit_cap = sigma;
+        self
+    }
+
+    /// Sets the comparator offset σ in LSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative.
+    pub fn with_offset_sigma_lsb(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        self.sigma_offset_lsb = sigma;
+        self
+    }
+
+    /// The converter resolution.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
+    /// Draws one converter instance.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SarAdc {
+        let bits = self.resolution.bits();
+        let q = (self.high.0 - self.low.0) / self.resolution.code_count() as f64;
+        // Bit weight i nominally 2^i LSB; mismatch σ = σ_unit·√(2^i)
+        // (absolute, in unit-capacitor counts).
+        let weights: Vec<f64> = (0..bits)
+            .map(|i| {
+                let units = (1u64 << i) as f64;
+                let sigma_abs = self.sigma_unit_cap * units.sqrt();
+                (units + Normal::new(0.0, sigma_abs).sample(rng)).max(0.0) * q
+            })
+            .collect();
+        let offset = Normal::new(0.0, self.sigma_offset_lsb * q).sample(rng);
+        SarAdc {
+            config: *self,
+            weights,
+            offset,
+        }
+    }
+}
+
+/// One SAR converter instance.
+///
+/// # Examples
+///
+/// ```
+/// use bist_adc::sar::SarConfig;
+/// use bist_adc::transfer::Adc;
+/// use bist_adc::types::{Resolution, Volts};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let adc = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+///     .with_unit_cap_sigma(0.02)
+///     .sample(&mut rng);
+/// let mid = adc.convert(Volts(3.2));
+/// assert!((30..=34).contains(&mid.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SarAdc {
+    config: SarConfig,
+    /// DAC weight of each bit in volts (index 0 = LSB).
+    weights: Vec<f64>,
+    /// Comparator offset in volts.
+    offset: f64,
+}
+
+impl SarAdc {
+    /// The configuration this instance was drawn from.
+    pub fn config(&self) -> &SarConfig {
+        &self.config
+    }
+
+    /// The realised DAC bit weights in volts (LSB first).
+    pub fn bit_weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The DAC output voltage for a code.
+    pub fn dac(&self, code: Code) -> Volts {
+        let mut v = self.config.low.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            if (code.0 >> i) & 1 == 1 {
+                v += w;
+            }
+        }
+        Volts(v)
+    }
+}
+
+impl Adc for SarAdc {
+    fn resolution(&self) -> Resolution {
+        self.config.resolution
+    }
+
+    fn convert(&self, v: Volts) -> Code {
+        // Successive approximation: trial each bit from MSB down. The
+        // comparator decides v (−offset) against DAC(trial); with ideal
+        // weights the transition into code k sits at `low + k·q`, matching
+        // TransferFunction::ideal.
+        let bits = self.config.resolution.bits();
+        let vin = v.0 + self.offset;
+        let mut code = 0u32;
+        for i in (0..bits).rev() {
+            let trial = code | (1 << i);
+            if vin >= self.dac(Code(trial)).0 {
+                code = trial;
+            }
+        }
+        Code(code)
+    }
+
+    fn input_range(&self) -> (Volts, Volts) {
+        (self.config.low, self.config.high)
+    }
+
+    fn transfer(&self) -> Option<TransferFunction> {
+        // The SAR decision tree yields transitions at the DAC levels of
+        // each code (plus the mid-rise q), but DAC non-monotonicity can
+        // reorder them; recover by characterisation at fine resolution.
+        let q = (self.config.high.0 - self.config.low.0)
+            / self.config.resolution.code_count() as f64;
+        Some(crate::transfer::characterize(self, Volts(q / 256.0)))
+    }
+}
+
+impl fmt::Display for SarAdc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} SAR ADC (σ_unit {:.4})",
+            self.config.resolution, self.config.sigma_unit_cap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::dnl;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn ideal_sar() -> SarAdc {
+        SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).sample(&mut rng(1))
+    }
+
+    #[test]
+    fn ideal_sar_matches_ideal_transfer() {
+        let sar = ideal_sar();
+        let ideal = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
+        for k in 0..640 {
+            let v = Volts(k as f64 * 0.01 + 0.003);
+            assert_eq!(sar.convert(v), ideal.convert(v), "at {v}");
+        }
+    }
+
+    #[test]
+    fn ideal_sar_dnl_is_zero() {
+        let tf = ideal_sar().transfer().unwrap();
+        for d in dnl(&tf) {
+            assert!(d.0.abs() < 0.02, "dnl {d}"); // characterisation step limit
+        }
+    }
+
+    #[test]
+    fn dac_superposes_weights() {
+        let sar = ideal_sar();
+        let v = sar.dac(Code(0b101));
+        assert!((v.0 - 0.5).abs() < 1e-12); // 5 LSB · 0.1 V
+    }
+
+    #[test]
+    fn mismatch_creates_msb_dnl_signature() {
+        // With unit-cap mismatch, the DNL variance at the MSB major
+        // transition (code 31→32, where all weights swap) is far larger
+        // than at a typical code: compare the population-average |DNL|.
+        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_unit_cap_sigma(0.05);
+        let mut r = rng(3);
+        let trials = 40;
+        let mut msb_abs = 0.0;
+        let mut typical_abs = 0.0;
+        for _ in 0..trials {
+            let sar = cfg.sample(&mut r);
+            let tf = sar.transfer().unwrap();
+            let d = dnl(&tf);
+            // Code 31's upper edge is the 31→32 major transition where
+            // every DAC weight swaps (DNL index 30 == code 31).
+            msb_abs += d[30].0.abs();
+            // Code 20's width is a single-unit step (20→21 toggles only
+            // the LSB weight) — the quiet baseline.
+            typical_abs += d[19].0.abs();
+        }
+        assert!(
+            msb_abs > 2.0 * typical_abs,
+            "MSB mean |DNL| {:.4} not dominant over typical {:.4}",
+            msb_abs / trials as f64,
+            typical_abs / trials as f64
+        );
+    }
+
+    #[test]
+    fn conversion_is_monotone() {
+        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_unit_cap_sigma(0.03)
+            .with_offset_sigma_lsb(0.3);
+        let sar = cfg.sample(&mut rng(9));
+        let mut last = 0;
+        let mut v = -0.1;
+        while v < 6.6 {
+            let c = sar.convert(Volts(v)).0;
+            assert!(c >= last, "non-monotone at {v}: {c} < {last}");
+            last = c;
+            v += 0.002;
+        }
+    }
+
+    #[test]
+    fn offset_shifts_transfer() {
+        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_offset_sigma_lsb(2.0);
+        let mut r = rng(4);
+        let a = cfg.sample(&mut r);
+        // Positive comparator offset makes codes trip earlier (higher
+        // code at the same voltage) and vice versa.
+        let ideal = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
+        let v = Volts(3.2);
+        let diff = a.convert(v).0 as i64 - ideal.convert(v).0 as i64;
+        assert!(diff.abs() <= 4, "offset moved code by {diff}");
+        assert!(a.bit_weights().len() == 6);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_unit_cap_sigma(0.02);
+        let a = cfg.sample(&mut rng(7));
+        let b = cfg.sample(&mut rng(7));
+        assert_eq!(a.bit_weights(), b.bit_weights());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(1.0)).with_unit_cap_sigma(-0.1);
+    }
+
+    #[test]
+    fn display_mentions_sar() {
+        assert!(ideal_sar().to_string().contains("SAR"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Criterion performance benchmarks for the simulation substrate and
+//! the BIST processing path.
+//!
+//! These quantify the cost of regenerating the paper's experiments:
+//! device synthesis, conversion, the LSB monitor (behavioural and RTL),
+//! the §3 quadrature, and a full screening experiment.
+
+use bist_adc::flash::FlashConfig;
+use bist_adc::histogram::{ramp_linearity, CodeHistogram};
+use bist_adc::noise::NoiseConfig;
+use bist_adc::sampler::{acquire, SamplingConfig};
+use bist_adc::signal::Ramp;
+use bist_adc::spec::LinearitySpec;
+use bist_adc::transfer::Adc;
+use bist_adc::types::{Resolution, Volts};
+use bist_core::analytic::{code_probabilities, WidthDistribution};
+use bist_core::config::BistConfig;
+use bist_core::harness::run_static_bist;
+use bist_core::limits::CountLimits;
+use bist_core::lsb_monitor::monitor_bit_stream;
+use bist_dsp::fft::fft_in_place;
+use bist_dsp::sinefit::fit_sine_4param;
+use bist_dsp::Complex64;
+use bist_mc::batch::Batch;
+use bist_mc::experiment::Experiment;
+use bist_rtl::datapath::LsbProcessor;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_config(bits: u32) -> BistConfig {
+    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(bits)
+        .build()
+        .expect("paper operating point")
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[1024usize, 4096] {
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.01).sin(), 0.0))
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(format!("radix2_{n}"), |b| {
+            b.iter_batched(
+                || signal.clone(),
+                |mut data| {
+                    fft_in_place(&mut data).expect("power-of-two length");
+                    black_box(data)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_flash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flash");
+    let cfg = FlashConfig::paper_device();
+    group.bench_function("sample_device", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(cfg.sample(&mut rng)))
+    });
+    let adc = cfg.sample(&mut StdRng::seed_from_u64(2));
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("convert", |b| {
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 0.37) % 6.4;
+            black_box(adc.convert(Volts(v)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    let config = paper_config(4);
+    let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(3));
+    let slope = config.delta_s().0 * 0.1 * 1.0e6;
+    let capture = acquire(
+        &adc,
+        &Ramp::new(Volts(-0.2), slope),
+        SamplingConfig::new(1.0e6, ((6.4 + 1.4) / slope * 1.0e6) as usize),
+    );
+    let stream = capture.bit_stream(0);
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("behavioural_sweep", |b| {
+        b.iter(|| black_box(monitor_bit_stream(&config, &stream)))
+    });
+    group.bench_function("rtl_sweep", |b| {
+        b.iter(|| {
+            let mut rtl = LsbProcessor::new(config.to_rtl());
+            let mut fails = 0u64;
+            for &bit in &stream {
+                if let Some(m) = rtl.tick(bit) {
+                    if !m.dnl_verdict.is_pass() {
+                        fails += 1;
+                    }
+                }
+            }
+            black_box(fails)
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_bist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    group.sample_size(30);
+    let config = paper_config(4);
+    let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(4));
+    group.bench_function("run_static_bist_4bit", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            black_box(run_static_bist(
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    let spec = LinearitySpec::paper_stringent();
+    let dist = WidthDistribution::paper_worst_case();
+    let limits = CountLimits::from_spec(&spec, 0.091).expect("paper operating point");
+    group.bench_function("code_probabilities", |b| {
+        b.iter(|| black_box(code_probabilities(&dist, &spec, 0.091, &limits)))
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("histogram");
+    let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(6));
+    let capture = acquire(
+        &adc,
+        &Ramp::new(Volts(-0.2), 100.0),
+        SamplingConfig::new(1.0e6, 68_000),
+    );
+    group.bench_function("ramp_linearity_64k_samples", |b| {
+        b.iter_batched(
+            || CodeHistogram::from_capture(Resolution::SIX_BIT, &capture),
+            |h| black_box(ramp_linearity(&h)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_sinefit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsp");
+    group.sample_size(40);
+    let omega = 0.2347;
+    let data: Vec<f64> = (0..4096).map(|t| (omega * t as f64).sin()).collect();
+    group.bench_function("sine_fit_4param_4096", |b| {
+        b.iter(|| black_box(fit_sine_4param(&data, omega * 1.0002)))
+    });
+    group.finish();
+}
+
+fn bench_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mc");
+    group.sample_size(10);
+    let config = paper_config(4);
+    group.bench_function("experiment_100_devices", |b| {
+        b.iter(|| {
+            let batch = Batch::paper_simulation(9, 100);
+            black_box(Experiment::new(batch, config).run())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_secs(1))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets =
+        bench_fft,
+        bench_flash,
+        bench_monitor,
+        bench_full_bist,
+        bench_analytic,
+        bench_histogram,
+        bench_sinefit,
+        bench_experiment
+);
+criterion_main!(benches);

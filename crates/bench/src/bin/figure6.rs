@@ -1,0 +1,73 @@
+//! Experiment E4: regenerates **Figure 6** — the Gaussian code-width
+//! distribution `f(ΔV)` (6a) and the trapezoidal acceptance probability
+//! `h(ΔV, Δs)` (6b) whose product drives the type I/II integrals
+//! (Eqs. 6–7).
+//!
+//! Plotted at the paper's 4-bit operating point (Δs ≈ 0.091 LSB,
+//! window [6, 16]) with σ = 0.21 LSB.
+
+use bist_adc::spec::LinearitySpec;
+use bist_bench::{write_csv, AsciiPlot};
+use bist_core::analytic::{figure6_series, WidthDistribution};
+use bist_core::limits::{plan_delta_s, CountLimits};
+
+fn main() {
+    let spec = LinearitySpec::paper_stringent();
+    let ds = plan_delta_s(&spec, 4).0;
+    let limits = CountLimits::from_spec(&spec, ds).expect("paper operating point");
+    let dist = WidthDistribution::paper_worst_case();
+    let pts = figure6_series(&dist, ds, &limits, 0.2, 1.9, 171);
+
+    println!(
+        "Figure 6 — f(ΔV) [σ=0.21 LSB] and h(ΔV, Δs) at Δs={ds:.4} LSB, window {limits}\n"
+    );
+    let density: Vec<(f64, f64)> = pts.iter().map(|p| (p.dv, p.density)).collect();
+    let accept: Vec<(f64, f64)> = pts
+        .iter()
+        .map(|p| (p.dv, p.acceptance * dist.pdf(1.0))) // scaled onto the same axis
+        .collect();
+    let product: Vec<(f64, f64)> = pts.iter().map(|p| (p.dv, p.product)).collect();
+    let plot = AsciiPlot::new(
+        "f = density (·), h = acceptance scaled (#), h·f = integrand (o); x = ΔV [LSB]",
+        96,
+        24,
+    )
+    .series('.', &density)
+    .series('#', &accept)
+    .series('o', &product);
+    println!("{}", plot.render());
+
+    // The hatched areas of Figure 6: type I mass (good ∧ rejected) and
+    // type II mass (faulty ∧ accepted).
+    let (lo, hi) = spec.width_window_lsb();
+    let type_i_mass: f64 = pts
+        .windows(2)
+        .filter(|w| w[0].dv >= lo.0 && w[1].dv <= hi.0)
+        .map(|w| {
+            let f_minus_hf = |p: &bist_core::analytic::Figure6Point| p.density - p.product;
+            0.5 * (f_minus_hf(&w[0]) + f_minus_hf(&w[1])) * (w[1].dv - w[0].dv)
+        })
+        .sum();
+    let type_ii_mass: f64 = pts
+        .windows(2)
+        .filter(|w| w[1].dv <= lo.0 || w[0].dv >= hi.0)
+        .map(|w| 0.5 * (w[0].product + w[1].product) * (w[1].dv - w[0].dv))
+        .sum();
+    println!("hatched areas (per-code joint masses):");
+    println!("  type I  ∫(1-h)·f over good widths  ≈ {type_i_mass:.5}");
+    println!("  type II ∫h·f over faulty widths    ≈ {type_ii_mass:.5}");
+
+    let rows: Vec<Vec<String>> = pts
+        .iter()
+        .map(|p| {
+            vec![
+                p.dv.to_string(),
+                p.density.to_string(),
+                p.acceptance.to_string(),
+                p.product.to_string(),
+            ]
+        })
+        .collect();
+    let path = write_csv("figure6.csv", &["dv_lsb", "density", "acceptance", "product"], &rows);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,59 @@
+//! Experiment E8: the partial-BIST planning behaviour of Eqs. 1–2 —
+//! how many bits `q_min` must stay off-chip as the stimulus speeds up.
+//!
+//! The paper's qualitative claims: at low stimulus frequency only the
+//! LSB is needed (full BIST feasible); the faster the stimulus, the more
+//! bits must be processed off-chip.
+
+use bist_adc::types::Resolution;
+use bist_bench::write_csv;
+use bist_core::qmin::QminPlan;
+use bist_core::report::Table;
+
+fn main() {
+    let f_sample = 1.0e6;
+    let ratios: Vec<f64> = (0..=24).map(|i| 10f64.powf(-6.0 + i as f64 * 0.25)).collect();
+
+    let mut t = Table::new(&[
+        "f_stim/f_sample",
+        "n=6",
+        "n=8",
+        "n=10",
+        "n=12",
+    ])
+    .with_title("q_min (off-chip bits) vs stimulus speed — DNL 0.5, INL 1.0 LSB");
+    let mut csv = Vec::new();
+    let plans: Vec<(u32, QminPlan)> = [6u32, 8, 10, 12]
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                QminPlan::new(Resolution::new(n).expect("valid resolution"), 0.5, 1.0),
+            )
+        })
+        .collect();
+    for &ratio in &ratios {
+        let cells: Vec<String> = plans
+            .iter()
+            .map(|(_, plan)| {
+                plan.q_min(ratio * f_sample, f_sample)
+                    .map_or_else(|| "-".to_owned(), |q| q.to_string())
+            })
+            .collect();
+        let mut row = vec![format!("{ratio:.2e}")];
+        row.extend(cells.clone());
+        t.row_owned(row);
+        let mut crow = vec![ratio.to_string()];
+        crow.extend(cells);
+        csv.push(crow);
+    }
+    println!("{t}");
+
+    println!("max testable stimulus ratio per q (n = 6):");
+    let plan = QminPlan::new(Resolution::SIX_BIT, 0.5, 1.0);
+    for q in 1..=6 {
+        println!("  q = {q}: f_stim/f_sample ≤ {:.3e}", plan.max_stimulus_ratio(q));
+    }
+    let path = write_csv("qmin_table.csv", &["ratio", "n6", "n8", "n10", "n12"], &csv);
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Runs every reproduction binary in sequence (E1–E11) with reduced
+//! batch sizes suitable for a quick end-to-end regeneration, capturing
+//! each binary's stdout into `bench/out/repro_all.txt`.
+//!
+//! For publication-quality intervals, run the individual binaries with
+//! larger `BIST_*` batch knobs instead.
+
+use std::fs;
+use std::io::Write as _;
+use std::process::Command;
+
+const BINS: [&str; 14] = [
+    "table1",
+    "table2",
+    "figure6",
+    "figure7",
+    "yield30",
+    "qmin_table",
+    "counter_tradeoff",
+    "sigma_sweep",
+    "noise_ablation",
+    "figure3",
+    "test_economics",
+    "architectures",
+    "resolution_scaling",
+    "dynamic_screening",
+];
+const SLOW_EXTRA: &str = "conventional_equiv";
+
+fn main() {
+    let out_path = bist_bench::out_dir().join("repro_all.txt");
+    let mut log = fs::File::create(&out_path).expect("create log");
+    let quick_env = [
+        ("BIST_SIM_BATCH", "1500"),
+        ("BIST_MEAS_BATCH", "1500"),
+        ("BIST_FAULTY_DEVICES", "1500"),
+        ("BIST_MC_BATCH", "1500"),
+        ("BIST_BATCH", "6000"),
+    ];
+    let mut failures = Vec::new();
+    for bin in BINS.iter().chain(std::iter::once(&SLOW_EXTRA)) {
+        // The equivalence experiment runs 4096-sample histograms per
+        // device; trim its batch further.
+        let mut cmd = Command::new(std::env::current_exe().expect("self path").with_file_name(bin));
+        for (k, v) in quick_env {
+            cmd.env(k, v);
+        }
+        if *bin == SLOW_EXTRA {
+            cmd.env("BIST_BATCH", "400");
+        }
+        println!("=== {bin} ===");
+        match cmd.output() {
+            Ok(output) => {
+                let stdout = String::from_utf8_lossy(&output.stdout);
+                println!("{stdout}");
+                writeln!(log, "=== {bin} ===\n{stdout}").expect("write log");
+                if !output.status.success() {
+                    failures.push(bin.to_string());
+                    let stderr = String::from_utf8_lossy(&output.stderr);
+                    eprintln!("{bin} FAILED:\n{stderr}");
+                }
+            }
+            Err(e) => {
+                failures.push(bin.to_string());
+                eprintln!("could not launch {bin}: {e} (build with `cargo build -p bist-bench --bins` first)");
+            }
+        }
+    }
+    println!("log written to {}", out_path.display());
+    if !failures.is_empty() {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

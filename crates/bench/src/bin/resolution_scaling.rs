@@ -1,0 +1,73 @@
+//! Experiment E16: resolution scaling — how the method behaves beyond
+//! the paper's 6-bit vehicle.
+//!
+//! Eq. 9 raises the per-code acceptance to the number of codes
+//! `N = 2ⁿ − 2`, so at fixed per-code quality the device-level type-I
+//! error grows roughly linearly in `N` while yield collapses — the
+//! quantitative reason high-resolution converters need tighter process
+//! σ or looser specs. The sweep holds the spec (±0.5 LSB) and counter
+//! (7 bits) fixed and varies the resolution.
+
+use bist_adc::spec::LinearitySpec;
+use bist_bench::write_csv;
+use bist_core::analytic::{code_probabilities, device_probabilities, WidthDistribution};
+use bist_core::limits::{plan_delta_s, CountLimits};
+use bist_core::report::{fmt_prob, Table};
+use bist_core::yield_model::YieldModel;
+
+fn main() {
+    let spec = LinearitySpec::paper_stringent();
+    let dist = WidthDistribution::paper_worst_case();
+    let counter_bits = 7;
+    let ds = plan_delta_s(&spec, counter_bits).0;
+    let limits = CountLimits::from_spec(&spec, ds).expect("planned point");
+    let per_code = code_probabilities(&dist, &spec, ds, &limits);
+
+    let mut t = Table::new(&[
+        "bits",
+        "judged codes",
+        "P(device good)",
+        "type I",
+        "type II",
+        "type I / N·p_I",
+    ])
+    .with_title(format!(
+        "Resolution scaling at σ = 0.21 LSB, ±0.5 LSB spec, {counter_bits}-bit counter"
+    ).as_str());
+    let mut csv = Vec::new();
+    let p_i_code = per_code.type_i_conditional();
+    for bits in 4..=12u32 {
+        let codes = (1u64 << bits) - 2;
+        let d = device_probabilities(&per_code, codes);
+        let model = YieldModel::new(dist, 1 << bits);
+        let linear_approx = codes as f64 * p_i_code;
+        t.row_owned(vec![
+            bits.to_string(),
+            codes.to_string(),
+            fmt_prob(Some(model.p_device_good(&spec))),
+            fmt_prob(Some(d.type_i)),
+            fmt_prob(Some(d.type_ii)),
+            format!("{:.3}", d.type_i / linear_approx),
+        ]);
+        csv.push(vec![
+            bits.to_string(),
+            codes.to_string(),
+            model.p_device_good(&spec).to_string(),
+            d.type_i.to_string(),
+            d.type_ii.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("reading: the last column shows the binomial linearisation 1−(1−p)^N ≈ N·p");
+    println!("holding until N·p approaches 1 — the regime where Eqs. 11–12's binomial");
+    println!("treatment matters. At σ = 0.21 a ±0.5 LSB spec is already hopeless above");
+    println!("8 bits (yield < 1 %): high-resolution devices need tighter σ, which is why");
+    println!("the paper's 6-bit flash with its relaxed ±1 LSB production spec is the");
+    println!("sweet spot for the method's accuracy budget.");
+    let path = write_csv(
+        "resolution_scaling.csv",
+        &["bits", "judged_codes", "p_good", "type_i", "type_ii"],
+        &csv,
+    );
+    eprintln!("wrote {}", path.display());
+}

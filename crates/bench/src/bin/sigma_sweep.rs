@@ -1,0 +1,67 @@
+//! Ablation: sensitivity of the whole evaluation to the process spread
+//! σ, which the paper only brackets ("0.16–0.21 LSB from circuit
+//! simulation", worst case 0.21 used throughout).
+//!
+//! For each σ the binary reports the stringent-spec yield, the actual-
+//! spec fault probability, and the 4-bit/7-bit analytic type-I rates —
+//! showing how strongly each published number depends on the one
+//! parameter the authors could not pin down.
+
+use bist_adc::spec::LinearitySpec;
+use bist_bench::write_csv;
+use bist_core::analytic::WidthDistribution;
+use bist_core::limits::plan_delta_s;
+use bist_core::report::{fmt_prob, Table};
+use bist_core::yield_model::YieldModel;
+use bist_mc::tables::{analytic_point, JUDGED_CODES};
+
+fn main() {
+    let stringent = LinearitySpec::paper_stringent();
+    let actual = LinearitySpec::paper_actual();
+    let ds4 = plan_delta_s(&stringent, 4).0;
+    let ds7 = plan_delta_s(&stringent, 7).0;
+
+    let mut t = Table::new(&[
+        "σ [LSB]",
+        "yield ±0.5",
+        "P(faulty) ±1",
+        "type I (4b)",
+        "type I (7b)",
+        "type II (4b)",
+    ])
+    .with_title("Process-spread sensitivity (the paper fixes σ = 0.21 worst case)");
+    let mut csv = Vec::new();
+    for sigma in [0.14, 0.16, 0.18, 0.20, 0.21, 0.23, 0.26] {
+        let model = YieldModel::new(WidthDistribution::new(1.0, sigma), 64);
+        let p4 = analytic_point(&stringent, sigma, ds4, JUDGED_CODES);
+        let p7 = analytic_point(&stringent, sigma, ds7, JUDGED_CODES);
+        let yield_stringent = model.p_device_good(&stringent);
+        let faulty_actual = model.p_device_faulty(&actual);
+        t.row_owned(vec![
+            format!("{sigma:.2}"),
+            format!("{yield_stringent:.3}"),
+            fmt_prob(Some(faulty_actual)),
+            format!("{:.4}", p4.type_i),
+            format!("{:.4}", p7.type_i),
+            format!("{:.4}", p4.type_ii),
+        ]);
+        csv.push(vec![
+            sigma.to_string(),
+            yield_stringent.to_string(),
+            faulty_actual.to_string(),
+            p4.type_i.to_string(),
+            p7.type_i.to_string(),
+            p4.type_ii.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("reading: the paper's '30 % yield' anchor moves from 69 % (σ=0.16) to 33 %");
+    println!("(σ=0.21); its Table 1 sim values are consistent with an effective σ nearer");
+    println!("0.18 than the stated 0.21 worst case — see EXPERIMENTS.md E1 discussion.");
+    let path = write_csv(
+        "sigma_sweep.csv",
+        &["sigma_lsb", "yield_stringent", "p_faulty_actual", "type_i_4b", "type_i_7b", "type_ii_4b"],
+        &csv,
+    );
+    eprintln!("wrote {}", path.display());
+}

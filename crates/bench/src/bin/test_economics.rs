@@ -1,0 +1,76 @@
+//! Experiment E14: the §1/§5 economics — test pins, parallelism, data
+//! volume and per-device test time for the conventional, partial-BIST
+//! and full-BIST styles.
+//!
+//! "For chips containing more than one A/D converter the proposed
+//! methodology has a major advantage, since several A/D converters can
+//! easily be tested in parallel which reduces the test time and test
+//! costs significantly."
+
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::Resolution;
+use bist_bench::write_csv;
+use bist_core::config::BistConfig;
+use bist_core::economics::{plan_cost, TestStyle};
+use bist_core::report::Table;
+
+fn main() {
+    let tester_pins = 64;
+    let sample_rate = 1.0e6;
+    let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(4)
+        .build()
+        .expect("paper operating point");
+
+    let styles = [
+        TestStyle::Conventional,
+        TestStyle::PartialBist { q: 3 },
+        TestStyle::PartialBist { q: 2 },
+        TestStyle::PartialBist { q: 1 },
+        TestStyle::FullBist,
+    ];
+    let mut t = Table::new(&[
+        "style",
+        "pins/conv",
+        "parallel (64-pin tester)",
+        "s/converter",
+        "tester bits/conv",
+    ])
+    .with_title("Test economics — 6-bit converter, 4-bit counter, 1 MHz sampling");
+    let mut csv = Vec::new();
+    for style in styles {
+        let cost = plan_cost(&config, style, sample_rate, tester_pins);
+        t.row_owned(vec![
+            style.to_string(),
+            style.pins_per_converter(6).to_string(),
+            cost.parallel_converters.to_string(),
+            format!("{:.2e}", cost.seconds_per_converter),
+            cost.tester_bits_per_converter.to_string(),
+        ]);
+        csv.push(vec![
+            style.to_string(),
+            style.pins_per_converter(6).to_string(),
+            cost.parallel_converters.to_string(),
+            cost.seconds_per_converter.to_string(),
+            cost.tester_bits_per_converter.to_string(),
+        ]);
+    }
+    println!("{t}");
+    let conv = plan_cost(&config, TestStyle::Conventional, sample_rate, tester_pins);
+    let full = plan_cost(&config, TestStyle::FullBist, sample_rate, tester_pins);
+    println!(
+        "speedup full BIST vs conventional on a {}-pin tester: {:.1}× less tester time,",
+        tester_pins,
+        conv.seconds_per_converter / full.seconds_per_converter
+    );
+    println!(
+        "{}× less tester data — and the capture channels need no deep memory at all.",
+        conv.tester_bits_per_converter / full.tester_bits_per_converter
+    );
+    let path = write_csv(
+        "test_economics.csv",
+        &["style", "pins", "parallel", "s_per_converter", "tester_bits"],
+        &csv,
+    );
+    eprintln!("wrote {}", path.display());
+}

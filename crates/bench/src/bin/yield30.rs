@@ -1,0 +1,83 @@
+//! Experiments E6/E7: the two yield anchors of §4.
+//!
+//! * E6 — "only 30 % of the flash A/D converters are good under the
+//!   increased DNL specifications of ±0.5 LSB".
+//! * E7 — "the probability that an A/D converter is faulty on the actual
+//!   DNL specifications of ±1 LSB is very small (1.4×10⁻⁴)".
+//!
+//! Both are checked three ways: the closed-form yield model, a batch of
+//! iid-width devices, and a batch of physically-modelled flash devices.
+//!
+//! Knobs: `BIST_BATCH` (default 20000), `BIST_SEED`.
+
+use bist_adc::spec::LinearitySpec;
+use bist_bench::{env_usize, write_csv};
+use bist_core::report::{fmt_prob, Table};
+use bist_core::yield_model::YieldModel;
+use bist_mc::batch::Batch;
+use bist_mc::estimate::Proportion;
+
+fn empirical_yield(batch: &Batch, spec: &LinearitySpec) -> Proportion {
+    let good = batch
+        .devices()
+        .filter(|tf| spec.classify(tf).good)
+        .count() as u64;
+    Proportion::new(good, batch.size as u64)
+}
+
+fn main() {
+    let n = env_usize("BIST_BATCH", 20_000);
+    let seed = env_usize("BIST_SEED", 1997) as u64;
+    let model = YieldModel::paper_device();
+    let stringent = LinearitySpec::paper_stringent();
+    let actual = LinearitySpec::paper_actual();
+
+    let iid = Batch::paper_simulation(seed, n);
+    let mut flash = Batch::paper_measurement(seed ^ 0xF1A5);
+    flash.size = n;
+
+    let iid_stringent = empirical_yield(&iid, &stringent);
+    let flash_stringent = empirical_yield(&flash, &stringent);
+    let iid_actual_faulty = Proportion::new(
+        iid.size as u64 - empirical_yield(&iid, &actual).successes(),
+        iid.size as u64,
+    );
+    let flash_actual_faulty = Proportion::new(
+        flash.size as u64 - empirical_yield(&flash, &actual).successes(),
+        flash.size as u64,
+    );
+
+    let mut t = Table::new(&["quantity", "paper", "theory", "iid MC", "flash MC"])
+        .with_title(format!("Yield anchors (σ = 0.21 LSB, {n} devices/batch)").as_str());
+    t.row_owned(vec![
+        "P(good) @ ±0.5 LSB".into(),
+        "~0.30".into(),
+        format!("{:.4}", model.p_device_good(&stringent)),
+        fmt_prob(iid_stringent.point()),
+        fmt_prob(flash_stringent.point()),
+    ]);
+    t.row_owned(vec![
+        "P(faulty) @ ±1 LSB".into(),
+        "1.4e-4".into(),
+        fmt_prob(Some(model.p_device_faulty(&actual))),
+        fmt_prob(iid_actual_faulty.point()),
+        fmt_prob(flash_actual_faulty.point()),
+    ]);
+    println!("{t}");
+    println!("flash MC stringent yield interval: {flash_stringent}");
+    println!("iid MC  stringent yield interval: {iid_stringent}");
+
+    // Yield curve across spec limits (context for the two anchors).
+    let limits: Vec<f64> = (3..=15).map(|i| i as f64 * 0.1).collect();
+    let curve = model.yield_curve(&limits);
+    println!("\nyield vs DNL limit (theory):");
+    for (l, y) in &curve {
+        println!("  ±{l:.1} LSB: {y:.6}");
+    }
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(l, y)| vec![l.to_string(), y.to_string()])
+        .collect();
+    let path = write_csv("yield_curve.csv", &["dnl_limit_lsb", "p_device_good"], &rows);
+    eprintln!("wrote {}", path.display());
+}

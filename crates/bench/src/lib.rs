@@ -1,0 +1,212 @@
+//! Shared helpers for the reproduction binaries: ASCII plotting, CSV
+//! emission and output-directory management.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! ED&TC 1997 paper (see DESIGN.md §4 for the experiment index), prints
+//! it next to the published values, and drops a CSV under `bench/out/`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Returns the output directory for experiment artifacts (`bench/out/`
+/// next to the workspace root), creating it if needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("out");
+    fs::create_dir_all(&dir).expect("create bench/out");
+    dir
+}
+
+/// Writes rows of `(header, rows)` as a CSV file under [`out_dir`].
+///
+/// # Panics
+///
+/// Panics on I/O errors (acceptable in experiment binaries).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = out_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Reads an environment variable as usize with a default — the knob used
+/// by the binaries for batch sizes (e.g. `BIST_BATCH=500 cargo run ...`).
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A minimal ASCII scatter/line plot for the figure binaries.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    log_y: bool,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+    title: String,
+}
+
+impl AsciiPlot {
+    /// Creates a plot canvas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is below 8.
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "canvas too small");
+        AsciiPlot {
+            width,
+            height,
+            log_y: false,
+            series: Vec::new(),
+            title: title.to_owned(),
+        }
+    }
+
+    /// Switches the y axis to log scale (non-positive values dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Adds a series drawn with `marker`.
+    pub fn series(mut self, marker: char, points: &[(f64, f64)]) -> Self {
+        self.series.push((marker, points.to_vec()));
+        self
+    }
+
+    /// Renders the plot.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .filter(|&(_, y)| !self.log_y || y > 0.0)
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let tx = |y: f64| if self.log_y { y.log10() } else { y };
+        let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x_lo = x_lo.min(x);
+            x_hi = x_hi.max(x);
+            y_lo = y_lo.min(tx(y));
+            y_hi = y_hi.max(tx(y));
+        }
+        if (x_hi - x_lo).abs() < 1e-300 {
+            x_hi = x_lo + 1.0;
+        }
+        if (y_hi - y_lo).abs() < 1e-300 {
+            y_hi = y_lo + 1.0;
+        }
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (marker, series) in &self.series {
+            for &(x, y) in series {
+                if self.log_y && y <= 0.0 {
+                    continue;
+                }
+                let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
+                let cy = ((tx(y) - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round()
+                    as usize;
+                grid[self.height - 1 - cy][cx] = *marker;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let y_label = |v: f64| {
+            if self.log_y {
+                format!("{:>9.2e}", 10f64.powf(v))
+            } else {
+                format!("{v:>9.4}")
+            }
+        };
+        for (i, row) in grid.iter().enumerate() {
+            let frac = 1.0 - i as f64 / (self.height - 1) as f64;
+            let yv = y_lo + frac * (y_hi - y_lo);
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                y_label(yv)
+            } else {
+                " ".repeat(9)
+            };
+            out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
+        }
+        out.push_str(&format!(
+            "{} +{}\n{} {:<12.4}{:>width$.4}\n",
+            " ".repeat(9),
+            "-".repeat(self.width),
+            " ".repeat(9),
+            x_lo,
+            x_hi,
+            width = self.width.saturating_sub(12),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_exists() {
+        assert!(out_dir().is_dir());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let p = write_csv(
+            "test_tmp.csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = fs::read_to_string(&p).unwrap();
+        assert_eq!(content, "a,b\n1,2\n");
+        fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn env_usize_default() {
+        assert_eq!(env_usize("BIST_SURELY_UNSET_VAR", 42), 42);
+    }
+
+    #[test]
+    fn plot_renders_markers() {
+        let p = AsciiPlot::new("demo", 40, 10)
+            .series('x', &[(0.0, 0.0), (1.0, 1.0)])
+            .series('o', &[(0.5, 0.5)]);
+        let r = p.render();
+        assert!(r.contains('x'));
+        assert!(r.contains('o'));
+        assert!(r.starts_with("demo\n"));
+    }
+
+    #[test]
+    fn log_plot_drops_nonpositive() {
+        let p = AsciiPlot::new("log", 40, 10)
+            .log_y()
+            .series('x', &[(0.0, 0.0), (1.0, 0.1), (2.0, 0.01)]);
+        let r = p.render();
+        assert!(r.contains('x'));
+    }
+
+    #[test]
+    fn empty_plot_safe() {
+        let p = AsciiPlot::new("empty", 40, 10);
+        assert!(p.render().contains("no data"));
+    }
+}

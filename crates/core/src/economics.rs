@@ -1,0 +1,211 @@
+//! Test-cost model: the §1/§5 economics that motivate the method.
+//!
+//! The paper's argument chain: mixed-signal tester time is expensive →
+//! moving tester functions on-chip reduces the *pins* and *data volume*
+//! per converter → more converters test in parallel on the same tester →
+//! test time (and cost) per device drops. This module quantifies each
+//! link so the claim "the proposed methodology has a major advantage
+//! \[for\] chips containing more than one A/D converter" can be evaluated
+//! numerically.
+
+use crate::config::BistConfig;
+use std::fmt;
+
+/// Degree of on-chip test integration, ordered by decreasing tester
+/// involvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TestStyle {
+    /// Conventional: all `n` output bits captured by the tester, DNL/INL
+    /// computed off-chip from the full code record.
+    Conventional,
+    /// Partial BIST (Figure 2): bits `1..=q` captured by the tester,
+    /// bits `q+1..n` checked on-chip.
+    PartialBist {
+        /// Number of off-chip bits.
+        q: u32,
+    },
+    /// Full BIST: everything on-chip; the tester reads one pass/fail pin
+    /// (or scans one signature register) at the end.
+    FullBist,
+}
+
+impl TestStyle {
+    /// Digital test pins the tester must capture per converter during
+    /// the sweep (§5: full static BIST needs a single results pin).
+    pub fn pins_per_converter(&self, adc_bits: u32) -> u32 {
+        match *self {
+            TestStyle::Conventional => adc_bits,
+            TestStyle::PartialBist { q } => q.min(adc_bits),
+            TestStyle::FullBist => 1,
+        }
+    }
+
+    /// Data volume (bits) the tester must acquire and process for one
+    /// converter over a sweep of `samples` samples.
+    pub fn tester_bits(&self, adc_bits: u32, samples: u64) -> u64 {
+        match *self {
+            TestStyle::Conventional => u64::from(adc_bits) * samples,
+            TestStyle::PartialBist { q } => u64::from(q.min(adc_bits)) * samples,
+            // One pass/fail read (plus an optional 16-bit signature).
+            TestStyle::FullBist => 17,
+        }
+    }
+}
+
+impl fmt::Display for TestStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TestStyle::Conventional => f.write_str("conventional"),
+            TestStyle::PartialBist { q } => write!(f, "partial BIST (q={q})"),
+            TestStyle::FullBist => f.write_str("full BIST"),
+        }
+    }
+}
+
+/// Tester resources and timing for one sweep configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestPlanCost {
+    /// Sweep duration in seconds (one ramp).
+    pub sweep_seconds: f64,
+    /// Converters testable in parallel with the available pins.
+    pub parallel_converters: u32,
+    /// Effective test time per converter in seconds.
+    pub seconds_per_converter: f64,
+    /// Tester data volume per converter in bits.
+    pub tester_bits_per_converter: u64,
+}
+
+impl fmt::Display for TestPlanCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep {:.3} s, {}x parallel → {:.4} s/converter, {} tester bits",
+            self.sweep_seconds,
+            self.parallel_converters,
+            self.seconds_per_converter,
+            self.tester_bits_per_converter
+        )
+    }
+}
+
+/// Computes the cost of screening converters with the given style.
+///
+/// `sample_rate` is the converter sample rate; the sweep length follows
+/// from the config's Δs and resolution (`2ⁿ/Δs` samples plus margins).
+/// `tester_pins` is the number of digital capture pins the tester
+/// offers.
+///
+/// # Panics
+///
+/// Panics if `sample_rate` or `tester_pins` is zero.
+pub fn plan_cost(
+    config: &BistConfig,
+    style: TestStyle,
+    sample_rate: f64,
+    tester_pins: u32,
+) -> TestPlanCost {
+    assert!(sample_rate > 0.0, "sample rate must be positive");
+    assert!(tester_pins > 0, "tester must have at least one pin");
+    let n = config.resolution().bits();
+    let codes = f64::from(config.resolution().code_count());
+    // Samples per sweep: (codes + margin) / Δs.
+    let samples = ((codes + 12.0) / config.delta_s().0).ceil() as u64;
+    let sweep_seconds = samples as f64 / sample_rate;
+    let pins_per = style.pins_per_converter(n);
+    let parallel = (tester_pins / pins_per).max(1);
+    TestPlanCost {
+        sweep_seconds,
+        parallel_converters: parallel,
+        seconds_per_converter: sweep_seconds / f64::from(parallel),
+        tester_bits_per_converter: style.tester_bits(n, samples),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::types::Resolution;
+
+    fn config() -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(4)
+            .build()
+            .expect("paper operating point")
+    }
+
+    #[test]
+    fn pins_by_style() {
+        assert_eq!(TestStyle::Conventional.pins_per_converter(6), 6);
+        assert_eq!(TestStyle::PartialBist { q: 2 }.pins_per_converter(6), 2);
+        assert_eq!(TestStyle::FullBist.pins_per_converter(6), 1);
+    }
+
+    #[test]
+    fn full_bist_parallelism_is_n_times_conventional() {
+        // §5: "several A/D converters can easily be tested in parallel".
+        let cfg = config();
+        let conventional = plan_cost(&cfg, TestStyle::Conventional, 1e6, 48);
+        let full = plan_cost(&cfg, TestStyle::FullBist, 1e6, 48);
+        assert_eq!(conventional.parallel_converters, 8); // 48/6
+        assert_eq!(full.parallel_converters, 48); // 48/1
+        assert!(full.seconds_per_converter < conventional.seconds_per_converter / 5.9);
+        // Same sweep duration either way — the ramp is unchanged.
+        assert_eq!(conventional.sweep_seconds, full.sweep_seconds);
+    }
+
+    #[test]
+    fn partial_bist_interpolates() {
+        let cfg = config();
+        let partial = plan_cost(&cfg, TestStyle::PartialBist { q: 2 }, 1e6, 48);
+        assert_eq!(partial.parallel_converters, 24);
+        let conv = plan_cost(&cfg, TestStyle::Conventional, 1e6, 48);
+        let full = plan_cost(&cfg, TestStyle::FullBist, 1e6, 48);
+        assert!(partial.seconds_per_converter < conv.seconds_per_converter);
+        assert!(partial.seconds_per_converter > full.seconds_per_converter);
+    }
+
+    #[test]
+    fn data_volume_collapses_with_bist() {
+        let cfg = config();
+        let conv = plan_cost(&cfg, TestStyle::Conventional, 1e6, 8);
+        let full = plan_cost(&cfg, TestStyle::FullBist, 1e6, 8);
+        // Conventional: 6 bits × ~830 samples ≈ 5000 bits; BIST: 17.
+        assert!(conv.tester_bits_per_converter > 4000);
+        assert_eq!(full.tester_bits_per_converter, 17);
+    }
+
+    #[test]
+    fn sweep_time_grows_with_counter_size() {
+        // Finer Δs (bigger counter) needs a slower ramp: accuracy costs
+        // test time — the other axis of the Figure-1 trade-off.
+        let fast = plan_cost(&config(), TestStyle::FullBist, 1e6, 8);
+        let precise_cfg =
+            BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+                .counter_bits(7)
+                .build()
+                .expect("paper operating point");
+        let precise = plan_cost(&precise_cfg, TestStyle::FullBist, 1e6, 8);
+        let ratio = precise.sweep_seconds / fast.sweep_seconds;
+        assert!((7.0..9.0).contains(&ratio), "ratio {ratio}"); // Δs ratio ≈ 8
+    }
+
+    #[test]
+    fn single_pin_tester_still_works() {
+        let cost = plan_cost(&config(), TestStyle::Conventional, 1e6, 1);
+        assert_eq!(cost.parallel_converters, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pin")]
+    fn zero_pins_panics() {
+        plan_cost(&config(), TestStyle::FullBist, 1e6, 0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(TestStyle::FullBist.to_string(), "full BIST");
+        let cost = plan_cost(&config(), TestStyle::FullBist, 1e6, 16);
+        assert!(cost.to_string().contains("parallel"));
+    }
+}

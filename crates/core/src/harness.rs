@@ -1,0 +1,497 @@
+//! Test harnesses: wire a stimulus through a converter into the BIST,
+//! the reference measurement, or the conventional production test.
+//!
+//! Three flavours, mirroring §4 of the paper:
+//!
+//! * [`run_static_bist`] — the proposed method: slow ramp, LSB monitor
+//!   plus upper-bit functional check.
+//! * [`reference_measurement`] — the "very accurate measurement, taking
+//!   approximately 1000 samples per code width … as a reference".
+//! * [`conventional_test`] — the production histogram test "where 4096
+//!   samples are taken for the test of all the codes".
+
+use crate::config::BistConfig;
+use crate::functional::{check_code_stream, FunctionalResult};
+use crate::limits::slope_for_delta_s;
+use crate::lsb_monitor::{monitor_bit_stream, MonitorResult};
+use bist_adc::histogram::{ramp_linearity, CodeHistogram, HistogramLinearity, HistogramTestError};
+use bist_adc::noise::NoiseConfig;
+use bist_adc::sampler::{acquire_noisy, Capture, SamplingConfig};
+use bist_adc::signal::Ramp;
+use bist_adc::spec::LinearitySpec;
+use bist_adc::transfer::Adc;
+use bist_adc::types::Volts;
+use rand::Rng;
+use std::error::Error;
+use std::fmt;
+
+/// Sample rate used by the simulated harness (the absolute value is
+/// immaterial — only the slope/f_sample ratio Δs matters, Eq. 5).
+const SAMPLE_RATE: f64 = 1.0e6;
+
+/// Result of one complete BIST run on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BistOutcome {
+    /// The LSB-monitor result (DNL/INL verdicts per code).
+    pub monitor: MonitorResult,
+    /// The upper-bit functional result.
+    pub functional: FunctionalResult,
+    /// The number of complete measurements a healthy sweep must produce
+    /// (a cheap on-chip transition counter enforces this; without it a
+    /// dead LSB would pass both checks vacuously).
+    pub expected_codes: u64,
+}
+
+impl BistOutcome {
+    /// The device-level decision: accepted only if the sweep produced
+    /// the expected number of measurements, every code passed the
+    /// DNL/INL windows, and the functional check saw no mismatch.
+    pub fn accepted(&self) -> bool {
+        self.complete() && self.monitor.all_pass() && self.functional.all_pass()
+    }
+
+    /// Whether the sweep produced at least the expected number of code
+    /// measurements (missing transitions indicate stuck bits, dead
+    /// comparators or a stuck output bus).
+    pub fn complete(&self) -> bool {
+        self.monitor.codes.len() as u64 >= self.expected_codes
+    }
+}
+
+impl fmt::Display for BistOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | device {}",
+            self.monitor,
+            self.functional,
+            if self.complete() {
+                "complete".to_owned()
+            } else {
+                format!(
+                    "INCOMPLETE ({}/{} codes)",
+                    self.monitor.codes.len(),
+                    self.expected_codes
+                )
+            },
+            if self.accepted() { "ACCEPTED" } else { "REJECTED" }
+        )
+    }
+}
+
+/// Builds the ramp and sampling plan realising the config's Δs on the
+/// given converter: starts two LSB below the range, ends two LSB above.
+fn plan_ramp<A: Adc>(adc: &A, config: &BistConfig) -> (Ramp, SamplingConfig) {
+    let (low, high) = adc.input_range();
+    let lsb = adc.resolution().lsb_size(Volts(high.0 - low.0)).0;
+    let slope = slope_for_delta_s(config.delta_s(), SAMPLE_RATE, lsb);
+    // Start 2 LSB below the range; overshoot the top by 10 LSB so that
+    // devices whose accumulated width drift (gain error) pushes the last
+    // transitions past nominal full scale still have every code closed.
+    let start = Volts(low.0 - 2.0 * lsb);
+    let span = (high.0 - low.0) + 12.0 * lsb;
+    let samples = (span / slope * SAMPLE_RATE).ceil() as usize + 2;
+    (
+        Ramp::new(start, slope),
+        SamplingConfig::new(SAMPLE_RATE, samples),
+    )
+}
+
+/// Runs the static-linearity BIST of Figures 2–4 on a converter.
+///
+/// The ramp slope is derived from the config's Δs (Eq. 5); `noise`
+/// injects the §3 non-idealities (use [`NoiseConfig::noiseless`] for the
+/// theoretical setting); `slope_error` perturbs the ramp slope relative
+/// to the plan (the paper's measured ramp was "slightly too steep").
+///
+/// # Examples
+///
+/// ```
+/// use bist_adc::noise::NoiseConfig;
+/// use bist_adc::spec::LinearitySpec;
+/// use bist_adc::transfer::TransferFunction;
+/// use bist_adc::types::{Resolution, Volts};
+/// use bist_core::config::BistConfig;
+/// use bist_core::harness::run_static_bist;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
+/// let adc = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
+/// let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+///     .counter_bits(6)
+///     .build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let outcome = run_static_bist(&adc, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+/// assert!(outcome.accepted());
+/// assert_eq!(outcome.monitor.codes.len(), 62); // all inner codes judged
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_static_bist<A: Adc, R: Rng + ?Sized>(
+    adc: &A,
+    config: &BistConfig,
+    noise: &NoiseConfig,
+    slope_error: f64,
+    rng: &mut R,
+) -> BistOutcome {
+    let (ramp, sampling) = plan_ramp(adc, config);
+    let ramp = ramp.with_slope_error(slope_error);
+    let capture = acquire_noisy(adc, &ramp, sampling, noise, rng);
+    bist_from_capture(config, &capture)
+}
+
+/// Runs the BIST processing on an already-captured code record (e.g.
+/// from a shared acquisition or an external source).
+pub fn bist_from_capture(config: &BistConfig, capture: &Capture) -> BistOutcome {
+    let monitor = monitor_bit_stream(config, &capture.bit_stream(config.monitored_bit()));
+    // When the deglitcher is enabled, the functional path sees a
+    // median-of-3 filtered code word — the behavioural equivalent of
+    // clocking the upper-bit checker from the deglitched monitored bit
+    // (two word registers plus a small comparator in hardware).
+    let functional = if config.deglitch() {
+        check_code_stream(&median3_codes(capture.codes()), config.monitored_bit())
+    } else {
+        check_code_stream(capture.codes(), config.monitored_bit())
+    };
+    BistOutcome {
+        monitor,
+        functional,
+        expected_codes: config.expected_measurements(),
+    }
+}
+
+/// Median-of-3 filter over a code stream (end samples passed through):
+/// suppresses the isolated transition-noise bounces of §3 coherently
+/// across the whole output word.
+fn median3_codes(codes: &[bist_adc::types::Code]) -> Vec<bist_adc::types::Code> {
+    if codes.len() < 3 {
+        return codes.to_vec();
+    }
+    let mut out = Vec::with_capacity(codes.len());
+    out.push(codes[0]);
+    for w in codes.windows(3) {
+        let (a, b, c) = (w[0].0, w[1].0, w[2].0);
+        let median = a.max(b).min(a.max(c)).min(b.max(c));
+        out.push(bist_adc::types::Code(median));
+    }
+    out.push(codes[codes.len() - 1]);
+    out
+}
+
+/// Error from a histogram-based harness.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// The underlying histogram test failed.
+    Histogram(HistogramTestError),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Histogram(e) => write!(f, "histogram test failed: {e}"),
+        }
+    }
+}
+
+impl Error for HarnessError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HarnessError::Histogram(e) => Some(e),
+        }
+    }
+}
+
+impl From<HistogramTestError> for HarnessError {
+    fn from(e: HistogramTestError) -> Self {
+        HarnessError::Histogram(e)
+    }
+}
+
+/// A histogram-test verdict: the linearity estimate plus the spec
+/// decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramVerdict {
+    /// The DNL/INL estimate.
+    pub linearity: HistogramLinearity,
+    /// Whether the estimate meets the spec.
+    pub accepted: bool,
+}
+
+/// Runs a ramp histogram test with `samples_per_code` average hits per
+/// code and judges it against `spec` — §4's reference measurement uses
+/// ~1000 samples per code.
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] if the capture yields an unusable histogram.
+///
+/// # Panics
+///
+/// Panics if `samples_per_code` is zero.
+pub fn reference_measurement<A: Adc, R: Rng + ?Sized>(
+    adc: &A,
+    spec: &LinearitySpec,
+    samples_per_code: u32,
+    noise: &NoiseConfig,
+    rng: &mut R,
+) -> Result<HistogramVerdict, HarnessError> {
+    assert!(samples_per_code > 0, "samples per code must be non-zero");
+    let (low, high) = adc.input_range();
+    let lsb = adc.resolution().lsb_size(Volts(high.0 - low.0)).0;
+    let slope = lsb / samples_per_code as f64 * SAMPLE_RATE;
+    let start = Volts(low.0 - 2.0 * lsb);
+    let span = (high.0 - low.0) + 12.0 * lsb;
+    let samples = (span / slope * SAMPLE_RATE).ceil() as usize + 2;
+    let capture = acquire_noisy(
+        adc,
+        &Ramp::new(start, slope),
+        SamplingConfig::new(SAMPLE_RATE, samples),
+        noise,
+        rng,
+    );
+    let hist = CodeHistogram::from_capture(adc.resolution(), &capture);
+    let linearity = ramp_linearity(&hist)?;
+    let accepted = judge_linearity(&linearity, spec);
+    Ok(HistogramVerdict {
+        linearity,
+        accepted,
+    })
+}
+
+/// The conventional production test of §4: a ramp histogram with a fixed
+/// *total* sample budget (4096 for the paper's 6-bit device, i.e. 64 per
+/// code).
+///
+/// # Errors
+///
+/// Returns [`HarnessError`] if the capture yields an unusable histogram.
+///
+/// # Panics
+///
+/// Panics if `total_samples` is smaller than the number of codes.
+pub fn conventional_test<A: Adc, R: Rng + ?Sized>(
+    adc: &A,
+    spec: &LinearitySpec,
+    total_samples: u32,
+    noise: &NoiseConfig,
+    rng: &mut R,
+) -> Result<HistogramVerdict, HarnessError> {
+    let codes = adc.resolution().code_count();
+    assert!(
+        total_samples >= codes,
+        "need at least one sample per code ({codes})"
+    );
+    reference_measurement(adc, spec, total_samples / codes, noise, rng)
+}
+
+/// Judges a histogram linearity estimate against a spec (DNL always,
+/// INL when the spec has an INL limit).
+pub fn judge_linearity(linearity: &HistogramLinearity, spec: &LinearitySpec) -> bool {
+    let dnl_ok = linearity.peak_dnl().0 <= spec.dnl_limit().0;
+    let inl_ok = match spec.inl_limit() {
+        Some(limit) => linearity.peak_inl().0 <= limit.0,
+        None => true,
+    };
+    dnl_ok && inl_ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_adc::faults::{FaultyAdc, OutputFault};
+    use bist_adc::flash::FlashConfig;
+    use bist_adc::transfer::TransferFunction;
+    use bist_adc::types::Resolution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ideal() -> TransferFunction {
+        TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    fn cfg(bits: u32) -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(bits)
+            .build()
+            .unwrap()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ideal_device_accepted_all_counters() {
+        for bits in 4..=7 {
+            let outcome = run_static_bist(
+                &ideal(),
+                &cfg(bits),
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut rng(1),
+            );
+            assert!(outcome.accepted(), "counter {bits}: {outcome}");
+            assert_eq!(outcome.monitor.codes.len(), 62);
+        }
+    }
+
+    #[test]
+    fn measured_counts_near_ideal() {
+        let config = cfg(4);
+        let outcome = run_static_bist(
+            &ideal(),
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+        );
+        let ideal_count = config.limits().i_ideal();
+        for c in &outcome.monitor.codes {
+            assert!(
+                c.count.abs_diff(ideal_count) <= 1,
+                "count {} vs ideal {ideal_count}",
+                c.count
+            );
+        }
+    }
+
+    #[test]
+    fn grossly_nonlinear_device_rejected() {
+        // Make code 20 two LSB wide (DNL +1, way past ±0.5).
+        let mut t: Vec<f64> = (1..=63).map(|k| k as f64 * 0.1).collect();
+        t[20] += 0.1;
+        let adc =
+            TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t);
+        let outcome = run_static_bist(
+            &adc,
+            &cfg(4),
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+        );
+        assert!(!outcome.accepted());
+        assert!(outcome.monitor.dnl_failures > 0);
+    }
+
+    #[test]
+    fn stuck_output_bit_caught_by_functional_test() {
+        let adc = FaultyAdc::new(
+            ideal(),
+            OutputFault::StuckBit {
+                bit: 3,
+                value: false,
+            },
+        );
+        let outcome = run_static_bist(
+            &adc,
+            &cfg(4),
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+        );
+        assert!(!outcome.functional.all_pass());
+        assert!(!outcome.accepted());
+    }
+
+    #[test]
+    fn slope_error_shifts_counts() {
+        let config = cfg(6);
+        let nominal = run_static_bist(
+            &ideal(),
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+        );
+        // A 5 % steeper ramp yields ~5 % fewer counts per code.
+        let steep = run_static_bist(
+            &ideal(),
+            &config,
+            &NoiseConfig::noiseless(),
+            0.05,
+            &mut rng(1),
+        );
+        let mean = |o: &BistOutcome| {
+            o.monitor.codes.iter().map(|c| c.count).sum::<u64>() as f64
+                / o.monitor.codes.len() as f64
+        };
+        let ratio = mean(&steep) / mean(&nominal);
+        assert!((ratio - 1.0 / 1.05).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn reference_measurement_classifies_ideal_good() {
+        let v = reference_measurement(
+            &ideal(),
+            &LinearitySpec::paper_stringent(),
+            1000,
+            &NoiseConfig::noiseless(),
+            &mut rng(2),
+        )
+        .unwrap();
+        assert!(v.accepted);
+        assert!(v.linearity.peak_dnl().0 < 0.01);
+        assert!((v.linearity.samples_per_code - 1000.0).abs() < 40.0);
+    }
+
+    #[test]
+    fn conventional_test_uses_budget() {
+        let v = conventional_test(
+            &ideal(),
+            &LinearitySpec::paper_stringent(),
+            4096,
+            &NoiseConfig::noiseless(),
+            &mut rng(3),
+        )
+        .unwrap();
+        assert!(v.accepted);
+        assert!((v.linearity.samples_per_code - 64.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn bist_agrees_with_reference_on_flash_batch() {
+        // On real mismatched devices, the 7-bit BIST and the accurate
+        // reference must agree on the vast majority of devices.
+        let config = cfg(7);
+        let spec = LinearitySpec::paper_stringent();
+        let mut r = rng(11);
+        let mut agree = 0;
+        let total = 40;
+        for _ in 0..total {
+            let adc = FlashConfig::paper_device().sample(&mut r);
+            let bist = run_static_bist(&adc, &config, &NoiseConfig::noiseless(), 0.0, &mut r);
+            let reference =
+                reference_measurement(&adc, &spec, 1000, &NoiseConfig::noiseless(), &mut r)
+                    .unwrap();
+            if bist.accepted() == reference.accepted {
+                agree += 1;
+            }
+        }
+        assert!(agree >= total - 3, "only {agree}/{total} agree");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample per code")]
+    fn conventional_too_few_samples_panics() {
+        let _ = conventional_test(
+            &ideal(),
+            &LinearitySpec::paper_stringent(),
+            10,
+            &NoiseConfig::noiseless(),
+            &mut rng(1),
+        );
+    }
+
+    #[test]
+    fn outcome_display() {
+        let outcome = run_static_bist(
+            &ideal(),
+            &cfg(4),
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+        );
+        assert!(outcome.to_string().contains("ACCEPTED"));
+    }
+}

@@ -1,0 +1,84 @@
+//! # bist-core
+//!
+//! The built-in self-test methodology of R. de Vries, T. Zwemstra,
+//! E.M.J.G. Bruls and P.P.L. Regtien, *Built-In Self-Test Methodology
+//! for A/D Converters*, ED&TC 1997 — the primary contribution of this
+//! reproduction.
+//!
+//! The method tests an A/D converter's **static linearity on-chip** by
+//! monitoring only its least-significant bit while a slow ramp sweeps the
+//! input: the sample count between LSB transitions *is* the code width in
+//! units of `Δs = U/f_sample` (Eq. 5), so a counter plus a window
+//! comparator performs the DNL test (Eqs. 3–4) and an accumulator the INL
+//! test, while the remaining bits are verified by a counter clocked on
+//! the LSB's falling edge (Figure 2). Faster stimuli need `q_min > 1`
+//! off-chip bits (Eqs. 1–2).
+//!
+//! Modules:
+//!
+//! * [`config`] — [`config::BistConfig`]: spec + counter size + Δs.
+//! * [`limits`] — Eqs. 3–5 (count window, step size, slope planning).
+//! * [`qmin`] — Eqs. 1–2 (partial-BIST planning).
+//! * [`lsb_monitor`] / [`functional`] — behavioural reference models of
+//!   the Figure-4 and Figure-2 blocks (bit-exact vs `bist-rtl`).
+//! * [`analytic`] — the §3 error theory (Eqs. 6–12): trapezoid
+//!   acceptance, Gaussian widths, per-code and device-level type I/II.
+//! * [`yield_model`] — parametric yield (the 30 % / 1.4×10⁻⁴ anchors).
+//! * [`harness`] — BIST vs reference vs conventional test execution.
+//! * [`decision`] — confusion-matrix accounting of type I/II errors.
+//! * [`report`] — text tables for the experiment binaries.
+//!
+//! ## Example: screen a mismatched flash converter
+//!
+//! ```
+//! use bist_adc::flash::FlashConfig;
+//! use bist_adc::noise::NoiseConfig;
+//! use bist_adc::spec::LinearitySpec;
+//! use bist_adc::transfer::Adc;
+//! use bist_adc::types::Resolution;
+//! use bist_core::config::BistConfig;
+//! use bist_core::harness::run_static_bist;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let device = FlashConfig::paper_device().sample(&mut rng);
+//!
+//! let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+//!     .counter_bits(4) // the paper's smallest counter
+//!     .build()?;
+//! let outcome = run_static_bist(&device, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+//!
+//! // Compare the BIST verdict with the true classification.
+//! let truth = LinearitySpec::paper_stringent()
+//!     .classify(&device.transfer().expect("flash states its transfer"));
+//! println!("BIST {} vs truth {}", outcome.accepted(), truth.good);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analytic;
+pub mod config;
+pub mod decision;
+pub mod economics;
+pub mod functional;
+pub mod harness;
+pub mod limits;
+pub mod lsb_monitor;
+pub mod qmin;
+pub mod report;
+pub mod static_params;
+pub mod yield_model;
+
+pub use analytic::{
+    acceptance_probability, code_probabilities, device_probabilities, WidthDistribution,
+};
+pub use config::BistConfig;
+pub use decision::ConfusionMatrix;
+pub use harness::{run_static_bist, BistOutcome};
+pub use limits::CountLimits;
+pub use qmin::QminPlan;
+pub use yield_model::YieldModel;

@@ -1,0 +1,339 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the maths/netlists
+//! Behavioural reference model of the Figure-4 LSB-processing block.
+//!
+//! Operates on a captured bit stream of the monitored bit: extracts the
+//! run length of every complete code (the gap between consecutive
+//! transitions), judges it against the count window, and accumulates INL.
+//! Bit-exact with the RTL [`bist_rtl::datapath::LsbProcessor`] —
+//! a cross-validation test in this crate enforces it.
+
+use crate::config::BistConfig;
+use bist_adc::types::Lsb;
+use bist_dsp::filter::MajorityVote;
+use bist_rtl::window_compare::{WindowComparator, WindowVerdict};
+use std::fmt;
+
+/// One judged code from the monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeResult {
+    /// Measurement sequence number (0 = first complete code).
+    pub index: u64,
+    /// Measured width in samples.
+    pub count: u64,
+    /// Whether a real counter of the configured width would have
+    /// saturated (count > 2^bits).
+    pub overflow: bool,
+    /// DNL window verdict.
+    pub dnl_verdict: WindowVerdict,
+    /// Estimated code width in LSB (`count · Δs`) — the off-chip
+    /// engineering view; the on-chip block only keeps the verdict.
+    pub width_lsb: Lsb,
+    /// Estimated DNL in LSB (`width − 1`).
+    pub dnl_lsb: Lsb,
+    /// INL after this code in counter units.
+    pub inl_counts: i64,
+    /// INL window verdict (true = pass; always true when INL checking is
+    /// off).
+    pub inl_pass: bool,
+}
+
+/// Aggregate result of monitoring one sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorResult {
+    /// Per-code results in sweep order.
+    pub codes: Vec<CodeResult>,
+    /// Number of DNL failures.
+    pub dnl_failures: u64,
+    /// Number of INL failures.
+    pub inl_failures: u64,
+}
+
+impl MonitorResult {
+    /// Whether every judged code passed both windows.
+    pub fn all_pass(&self) -> bool {
+        self.dnl_failures == 0 && self.inl_failures == 0
+    }
+
+    /// The measured counts in sweep order.
+    pub fn counts(&self) -> Vec<u64> {
+        self.codes.iter().map(|c| c.count).collect()
+    }
+
+    /// The estimated DNL profile in LSB.
+    pub fn dnl_profile(&self) -> Vec<Lsb> {
+        self.codes.iter().map(|c| c.dnl_lsb).collect()
+    }
+}
+
+impl fmt::Display for MonitorResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} codes judged: {} DNL fails, {} INL fails → {}",
+            self.codes.len(),
+            self.dnl_failures,
+            self.inl_failures,
+            if self.all_pass() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+/// Runs the behavioural LSB monitor over a monitored-bit stream.
+///
+/// The stream is the sampled level of the monitored bit (one entry per
+/// ADC sample). The segment before the first transition and the segment
+/// after the last transition are partial codes and are not judged,
+/// mirroring the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use bist_adc::spec::LinearitySpec;
+/// use bist_adc::types::Resolution;
+/// use bist_core::config::BistConfig;
+/// use bist_core::lsb_monitor::monitor_bit_stream;
+///
+/// # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
+/// let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+///     .counter_bits(4)
+///     .build()?;
+/// // Three complete codes of 11 samples each (in-window for i∈[6,16]).
+/// let mut stream = Vec::new();
+/// for run in 0..5 {
+///     stream.extend(std::iter::repeat(run % 2 == 1).take(11));
+/// }
+/// let result = monitor_bit_stream(&cfg, &stream);
+/// assert_eq!(result.codes.len(), 3);
+/// assert!(result.all_pass());
+/// # Ok(())
+/// # }
+/// ```
+pub fn monitor_bit_stream(config: &BistConfig, stream: &[bool]) -> MonitorResult {
+    let filtered: Vec<bool> = if config.deglitch() {
+        let mut f = MajorityVote::new(3);
+        // Match the RTL deglitcher's zero-initialised taps: prime with
+        // two zero samples before the stream proper.
+        f.push(false);
+        f.push(false);
+        stream.iter().map(|&b| f.push(b)).collect()
+    } else {
+        stream.to_vec()
+    };
+
+    let comparator = WindowComparator::new(config.limits().i_min(), config.limits().i_max());
+    let capacity = 1u64 << config.counter_bits();
+    let i_ideal = config.limits().i_ideal() as i64;
+    let delta_s = config.delta_s().0;
+
+    let mut codes = Vec::new();
+    let mut dnl_failures = 0;
+    let mut inl_failures = 0;
+    let mut inl_acc: i64 = 0;
+    let mut run_start: Option<usize> = None;
+    let mut index = 0u64;
+    let mut level = filtered.first().copied().unwrap_or(false);
+
+    for (i, &bit) in filtered.iter().enumerate() {
+        if bit == level {
+            continue;
+        }
+        // Transition at sample i: the previous run is complete.
+        if let Some(start) = run_start {
+            let raw_count = (i - start) as u64;
+            // A k-bit counter stores count − 1 and saturates at 2^k − 1,
+            // so counts above 2^k are unmeasurable.
+            let overflow = raw_count > capacity;
+            let count = raw_count.min(capacity);
+            let dnl_verdict = if overflow {
+                WindowVerdict::TooWide
+            } else {
+                comparator.compare(count)
+            };
+            if !dnl_verdict.is_pass() {
+                dnl_failures += 1;
+            }
+            inl_acc += count as i64 - i_ideal;
+            let inl_pass = match config.inl_limit_counts() {
+                Some(limit) => inl_acc.unsigned_abs() <= limit,
+                None => true,
+            };
+            if !inl_pass {
+                inl_failures += 1;
+            }
+            let width_lsb = Lsb(raw_count as f64 * delta_s);
+            codes.push(CodeResult {
+                index,
+                count,
+                overflow,
+                dnl_verdict,
+                width_lsb,
+                dnl_lsb: Lsb(width_lsb.0 - 1.0),
+                inl_counts: inl_acc,
+                inl_pass,
+            });
+            index += 1;
+        }
+        run_start = Some(i);
+        level = bit;
+    }
+
+    MonitorResult {
+        codes,
+        dnl_failures,
+        inl_failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::types::Resolution;
+
+    fn cfg(counter_bits: u32) -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(counter_bits)
+            .build()
+            .unwrap()
+    }
+
+    fn stream(runs: &[u64]) -> Vec<bool> {
+        let mut out = Vec::new();
+        let mut level = false;
+        for &r in runs {
+            out.extend(std::iter::repeat_n(level, r as usize));
+            level = !level;
+        }
+        out
+    }
+
+    #[test]
+    fn drops_partial_first_and_last_runs() {
+        let result = monitor_bit_stream(&cfg(4), &stream(&[7, 10, 12, 9, 100]));
+        assert_eq!(result.counts(), vec![10, 12, 9]);
+    }
+
+    #[test]
+    fn verdicts_follow_window() {
+        // Window [6, 16] for the 4-bit planned config.
+        let result = monitor_bit_stream(&cfg(4), &stream(&[3, 5, 10, 16, 3]));
+        let verdicts: Vec<WindowVerdict> =
+            result.codes.iter().map(|c| c.dnl_verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                WindowVerdict::TooNarrow,
+                WindowVerdict::Pass,
+                WindowVerdict::Pass,
+            ]
+        );
+        assert_eq!(result.dnl_failures, 1);
+        assert!(!result.all_pass());
+    }
+
+    #[test]
+    fn counter_saturation_flags_overflow() {
+        // 4-bit counter capacity is 16 counts; a 30-sample run overflows.
+        let result = monitor_bit_stream(&cfg(4), &stream(&[3, 30, 10, 3]));
+        assert!(result.codes[0].overflow);
+        assert_eq!(result.codes[0].count, 16);
+        assert_eq!(result.codes[0].dnl_verdict, WindowVerdict::TooWide);
+        assert!(!result.codes[1].overflow);
+    }
+
+    #[test]
+    fn width_estimates_use_delta_s() {
+        let config = cfg(4);
+        let ds = config.delta_s().0;
+        let result = monitor_bit_stream(&config, &stream(&[3, 11, 3]));
+        assert!((result.codes[0].width_lsb.0 - 11.0 * ds).abs() < 1e-12);
+        assert!((result.codes[0].dnl_lsb.0 - (11.0 * ds - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inl_accumulates() {
+        // Planned 4-bit config: i_ideal = round(1/0.09375) = 11.
+        let config = cfg(4);
+        assert_eq!(config.limits().i_ideal(), 11);
+        let result = monitor_bit_stream(&config, &stream(&[3, 13, 9, 11, 3]));
+        let inls: Vec<i64> = result.codes.iter().map(|c| c.inl_counts).collect();
+        assert_eq!(inls, vec![2, 0, 0]);
+    }
+
+    #[test]
+    fn empty_and_constant_streams() {
+        let result = monitor_bit_stream(&cfg(4), &[]);
+        assert!(result.codes.is_empty());
+        let result = monitor_bit_stream(&cfg(4), &[true; 100]);
+        assert!(result.codes.is_empty());
+        assert!(result.all_pass());
+    }
+
+    #[test]
+    fn single_transition_judges_nothing() {
+        let result = monitor_bit_stream(&cfg(4), &stream(&[50, 50]));
+        assert!(result.codes.is_empty());
+    }
+
+    #[test]
+    fn deglitch_removes_toggle() {
+        let mut s = stream(&[10, 12, 10]);
+        // Inject an isolated toggle mid-run: without deglitching it
+        // splits a code into two short (failing) runs.
+        s[16] = !s[16];
+        let raw_cfg = cfg(4);
+        let raw = monitor_bit_stream(&raw_cfg, &s);
+        assert!(raw.dnl_failures > 0);
+        let deglitched_cfg =
+            BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+                .counter_bits(4)
+                .deglitch(true)
+                .build()
+                .unwrap();
+        let filtered = monitor_bit_stream(&deglitched_cfg, &s);
+        assert_eq!(filtered.dnl_failures, 0, "{filtered}");
+    }
+
+    #[test]
+    fn dnl_profile_and_display() {
+        let result = monitor_bit_stream(&cfg(4), &stream(&[3, 11, 11, 3]));
+        assert_eq!(result.dnl_profile().len(), 2);
+        assert!(result.to_string().contains("PASS"));
+    }
+
+    #[test]
+    fn matches_rtl_datapath_exactly() {
+        // The RTL processor and the behavioural monitor must agree on
+        // every count and verdict for a representative stream.
+        use bist_rtl::datapath::LsbProcessor;
+        let config = cfg(4);
+        let runs: Vec<u64> = (0..40).map(|i| 6 + (i * 7) % 12).collect();
+        let s = stream(&runs);
+        let behavioural = monitor_bit_stream(&config, &s);
+
+        let mut rtl = LsbProcessor::new(config.to_rtl());
+        let mut rtl_counts = Vec::new();
+        let mut rtl_verdicts = Vec::new();
+        for &b in &s {
+            if let Some(m) = rtl.tick(b) {
+                rtl_counts.push(m.count.min(1 << config.counter_bits()));
+                rtl_verdicts.push(m.dnl_verdict);
+            }
+        }
+        // The RTL's 2-cycle synchroniser may miss the very last edge;
+        // compare the common prefix.
+        let n = rtl_counts.len().min(behavioural.codes.len());
+        assert!(n > 30, "too few common measurements: {n}");
+        assert_eq!(
+            behavioural.counts()[..n],
+            rtl_counts[..n],
+            "count mismatch"
+        );
+        for i in 0..n {
+            assert_eq!(
+                behavioural.codes[i].dnl_verdict, rtl_verdicts[i],
+                "verdict mismatch at {i}"
+            );
+        }
+    }
+}

@@ -1,0 +1,346 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the DFT definition
+//! Iterative radix-2 fast Fourier transform.
+//!
+//! Implements the decimation-in-time Cooley–Tukey algorithm for
+//! power-of-two lengths, plus helpers for real-valued inputs. The forward
+//! transform computes `X[k] = Σ x[n]·e^{-2πi·kn/N}` (no normalisation);
+//! the inverse divides by `N`, so `ifft(fft(x)) == x`.
+
+use crate::complex::Complex64;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when an FFT is requested for an unsupported length.
+///
+/// The radix-2 algorithm requires a power-of-two number of points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftLengthError {
+    len: usize,
+}
+
+impl FftLengthError {
+    /// The offending length.
+    #[allow(clippy::len_without_is_empty)] // an error has no emptiness notion
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl fmt::Display for FftLengthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fft length {} is not a power of two greater than zero",
+            self.len
+        )
+    }
+}
+
+impl Error for FftLengthError {}
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+///
+/// # Examples
+///
+/// ```
+/// assert!(bist_dsp::fft::is_power_of_two(1024));
+/// assert!(!bist_dsp::fft::is_power_of_two(1000));
+/// ```
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Permutes `data` into bit-reversed order in place.
+fn bit_reverse_permute(data: &mut [Complex64]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut m = n >> 1;
+        while m >= 1 && j & m != 0 {
+            j ^= m;
+            m >>= 1;
+        }
+        j |= m;
+    }
+}
+
+/// Core butterfly pass; `sign` is −1 for the forward and +1 for the
+/// inverse transform.
+fn transform_in_place(data: &mut [Complex64], sign: f64) {
+    let n = data.len();
+    bit_reverse_permute(data);
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        let wlen = Complex64::cis(ang);
+        let half = len / 2;
+        let mut start = 0;
+        while start < n {
+            let mut w = Complex64::ONE;
+            for k in 0..half {
+                let even = data[start + k];
+                let odd = data[start + k + half] * w;
+                data[start + k] = even + odd;
+                data[start + k + half] = even - odd;
+                w *= wlen;
+            }
+            start += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the forward FFT of `data` in place.
+///
+/// # Errors
+///
+/// Returns [`FftLengthError`] if `data.len()` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use bist_dsp::complex::Complex64;
+/// use bist_dsp::fft::fft_in_place;
+///
+/// # fn main() -> Result<(), bist_dsp::fft::FftLengthError> {
+/// let mut x = vec![Complex64::ONE; 4];
+/// fft_in_place(&mut x)?;
+/// // A constant signal concentrates in bin 0.
+/// assert!((x[0].re - 4.0).abs() < 1e-12);
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_in_place(data: &mut [Complex64]) -> Result<(), FftLengthError> {
+    if !is_power_of_two(data.len()) {
+        return Err(FftLengthError { len: data.len() });
+    }
+    transform_in_place(data, -1.0);
+    Ok(())
+}
+
+/// Computes the inverse FFT of `data` in place (including the `1/N`
+/// normalisation).
+///
+/// # Errors
+///
+/// Returns [`FftLengthError`] if `data.len()` is not a power of two.
+pub fn ifft_in_place(data: &mut [Complex64]) -> Result<(), FftLengthError> {
+    if !is_power_of_two(data.len()) {
+        return Err(FftLengthError { len: data.len() });
+    }
+    transform_in_place(data, 1.0);
+    let n = data.len() as f64;
+    for z in data.iter_mut() {
+        *z = *z / n;
+    }
+    Ok(())
+}
+
+/// Computes the FFT of a real-valued signal, returning the full complex
+/// spectrum.
+///
+/// # Errors
+///
+/// Returns [`FftLengthError`] if `signal.len()` is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), bist_dsp::fft::FftLengthError> {
+/// let n = 64;
+/// let tone: Vec<f64> = (0..n)
+///     .map(|i| (std::f64::consts::TAU * 4.0 * i as f64 / n as f64).sin())
+///     .collect();
+/// let spec = bist_dsp::fft::fft_real(&tone)?;
+/// // Energy concentrates in bins 4 and N-4.
+/// assert!(spec[4].abs() > 30.0);
+/// assert!(spec[5].abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fft_real(signal: &[f64]) -> Result<Vec<Complex64>, FftLengthError> {
+    let mut data: Vec<Complex64> = signal.iter().map(|&x| Complex64::from_re(x)).collect();
+    fft_in_place(&mut data)?;
+    Ok(data)
+}
+
+/// Returns the one-sided magnitude spectrum of a real signal, scaled so a
+/// full-scale coherent sine shows its amplitude in its bin.
+///
+/// Bin 0 (DC) and, for even `N`, the Nyquist bin are not doubled.
+///
+/// # Errors
+///
+/// Returns [`FftLengthError`] if `signal.len()` is not a power of two.
+pub fn magnitude_spectrum(signal: &[f64]) -> Result<Vec<f64>, FftLengthError> {
+    let n = signal.len();
+    let spec = fft_real(signal)?;
+    let half = n / 2 + 1;
+    let mut mags = Vec::with_capacity(half);
+    for (k, bin) in spec.iter().take(half).enumerate() {
+        let mut m = bin.abs() / n as f64;
+        if k != 0 && !(n.is_multiple_of(2) && k == n / 2) {
+            m *= 2.0;
+        }
+        mags.push(m);
+    }
+    Ok(mags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Complex64, b: Complex64, tol: f64) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex64::ZERO; 12];
+        let err = fft_in_place(&mut data).unwrap_err();
+        assert_eq!(err.len(), 12);
+        assert!(err.to_string().contains("12"));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let mut data: Vec<Complex64> = vec![];
+        assert!(fft_in_place(&mut data).is_err());
+    }
+
+    #[test]
+    fn single_point_is_identity() {
+        let mut data = vec![Complex64::new(2.0, -1.0)];
+        fft_in_place(&mut data).unwrap();
+        assert_eq!(data[0], Complex64::new(2.0, -1.0));
+    }
+
+    #[test]
+    fn impulse_becomes_flat_spectrum() {
+        let mut data = vec![Complex64::ZERO; 8];
+        data[0] = Complex64::ONE;
+        fft_in_place(&mut data).unwrap();
+        for bin in &data {
+            assert_close(*bin, Complex64::ONE, 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_concentrates_in_bin_zero() {
+        let mut data = vec![Complex64::from_re(3.0); 16];
+        fft_in_place(&mut data).unwrap();
+        assert_close(data[0], Complex64::from_re(48.0), 1e-9);
+        for bin in &data[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut fast = signal.clone();
+        fft_in_place(&mut fast).unwrap();
+        for k in 0..n {
+            let slow: Complex64 = (0..n)
+                .map(|t| {
+                    signal[t]
+                        * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64)
+                })
+                .sum();
+            assert_close(fast[k], slow, 1e-9);
+        }
+    }
+
+    #[test]
+    fn round_trip_inverse() {
+        let n = 128;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut data = signal.clone();
+        fft_in_place(&mut data).unwrap();
+        ifft_in_place(&mut data).unwrap();
+        for (a, b) in data.iter().zip(&signal) {
+            assert_close(*a, *b, 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_conserved() {
+        let n = 256;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.1).sin(), 0.0))
+            .collect();
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let mut data = signal;
+        fft_in_place(&mut data).unwrap();
+        let freq_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-8);
+    }
+
+    #[test]
+    fn coherent_tone_lands_in_one_bin() {
+        let n = 512;
+        let cycles = 17.0;
+        let amp = 0.8;
+        let tone: Vec<f64> = (0..n)
+            .map(|i| amp * (std::f64::consts::TAU * cycles * i as f64 / n as f64).sin())
+            .collect();
+        let mags = magnitude_spectrum(&tone).unwrap();
+        assert!((mags[17] - amp).abs() < 1e-9);
+        let leakage: f64 = mags
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != 17)
+            .map(|(_, &m)| m)
+            .sum();
+        assert!(leakage < 1e-6, "leakage {leakage}");
+    }
+
+    #[test]
+    fn linearity_of_transform() {
+        let n = 64;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::from_re((i as f64).cos())).collect();
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::from_re((i as f64).sin())).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft_in_place(&mut fa).unwrap();
+        fft_in_place(&mut fb).unwrap();
+        fft_in_place(&mut fs).unwrap();
+        for k in 0..n {
+            assert_close(fs[k], fa[k] + fb[k], 1e-9);
+        }
+    }
+
+    #[test]
+    fn real_signal_spectrum_is_conjugate_symmetric() {
+        let n = 64;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin() + 0.2).collect();
+        let spec = fft_real(&signal).unwrap();
+        for k in 1..n / 2 {
+            assert_close(spec[k], spec[n - k].conj(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn magnitude_spectrum_dc_not_doubled() {
+        let signal = vec![1.0; 16];
+        let mags = magnitude_spectrum(&signal).unwrap();
+        assert!((mags[0] - 1.0).abs() < 1e-12);
+    }
+}

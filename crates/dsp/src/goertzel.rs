@@ -1,0 +1,189 @@
+//! The Goertzel algorithm: single-bin DFT evaluation.
+//!
+//! For on-chip test processing a full FFT is expensive; Goertzel evaluates
+//! the spectral power at one frequency with two multipliers and an adder —
+//! exactly the kind of "simple digital function" the paper advocates
+//! moving on-chip. Used by the dynamic-test example to estimate carrier
+//! and harmonic powers cheaply.
+
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Streaming Goertzel evaluator for one DFT bin.
+///
+/// Feed samples with [`push`](Self::push) and read the complex DFT value
+/// with [`dft`](Self::dft) (equivalent to bin `k` of an `n`-point DFT once
+/// exactly `n` samples have been pushed).
+///
+/// # Examples
+///
+/// ```
+/// use bist_dsp::goertzel::Goertzel;
+///
+/// let n = 128;
+/// let k = 5;
+/// let mut g = Goertzel::for_bin(k, n);
+/// for i in 0..n {
+///     g.push((std::f64::consts::TAU * k as f64 * i as f64 / n as f64).cos());
+/// }
+/// // A unit cosine at bin k has DFT magnitude n/2.
+/// assert!((g.dft().abs() - n as f64 / 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Goertzel {
+    omega: f64,
+    coeff: f64,
+    s1: f64,
+    s2: f64,
+    count: usize,
+}
+
+impl Goertzel {
+    /// Creates an evaluator for normalised angular frequency
+    /// `omega = 2πf/fs` (radians per sample).
+    pub fn new(omega: f64) -> Self {
+        Goertzel {
+            omega,
+            coeff: 2.0 * omega.cos(),
+            s1: 0.0,
+            s2: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Creates an evaluator for bin `k` of an `n`-point DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn for_bin(k: usize, n: usize) -> Self {
+        assert!(n > 0, "dft length must be non-zero");
+        Goertzel::new(TAU * k as f64 / n as f64)
+    }
+
+    /// Processes one sample.
+    pub fn push(&mut self, x: f64) {
+        let s0 = x + self.coeff * self.s1 - self.s2;
+        self.s2 = self.s1;
+        self.s1 = s0;
+        self.count += 1;
+    }
+
+    /// Number of samples processed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The complex DFT value at the configured frequency for the samples
+    /// pushed so far.
+    pub fn dft(&self) -> Complex64 {
+        // X = e^{iω(N-1)}·(s1 - s2·e^{-iω}) — but the common phase factor
+        // does not affect magnitude; we return the standard phase-correct
+        // form X = s1·e^{-iω(N-1)} ... Using the well-known finalisation:
+        let w = Complex64::cis(self.omega);
+        let x = Complex64::from_re(self.s1) - Complex64::from_re(self.s2) * w.conj();
+        // Phase reference to sample 0:
+        x * Complex64::cis(-self.omega * (self.count.saturating_sub(1)) as f64)
+    }
+
+    /// Power `|X|²` at the configured frequency.
+    pub fn power(&self) -> f64 {
+        // Magnitude can be computed without the phase factor:
+        self.s1 * self.s1 + self.s2 * self.s2 - self.coeff * self.s1 * self.s2
+    }
+
+    /// Resets the internal state, keeping the frequency.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.count = 0;
+    }
+}
+
+/// Convenience: evaluates DFT bin `k` of `signal` (length `n = signal.len()`).
+///
+/// # Panics
+///
+/// Panics if `signal` is empty.
+pub fn goertzel_bin(signal: &[f64], k: usize) -> Complex64 {
+    let mut g = Goertzel::for_bin(k, signal.len());
+    for &x in signal {
+        g.push(x);
+    }
+    g.dft()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft_real;
+
+    #[test]
+    fn matches_fft_bins() {
+        let n = 256;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.21).sin() + 0.5 * (i as f64 * 0.77).cos())
+            .collect();
+        let spec = fft_real(&signal).unwrap();
+        for k in [0, 1, 7, 63, 128] {
+            let g = goertzel_bin(&signal, k);
+            assert!(
+                (g - spec[k]).abs() < 1e-6 * (1.0 + spec[k].abs()),
+                "bin {k}: goertzel {g} vs fft {}",
+                spec[k]
+            );
+        }
+    }
+
+    #[test]
+    fn power_matches_dft_magnitude() {
+        let n = 128;
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).sin()).collect();
+        for k in [3, 10, 40] {
+            let mut g = Goertzel::for_bin(k, n);
+            for &x in &signal {
+                g.push(x);
+            }
+            assert!(
+                (g.power() - g.dft().norm_sqr()).abs() < 1e-6 * (1.0 + g.power()),
+                "bin {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn dc_bin_sums_signal() {
+        let signal = [1.0, 2.0, 3.0, 4.0];
+        let g = goertzel_bin(&signal, 0);
+        assert!((g.re - 10.0).abs() < 1e-12);
+        assert!(g.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut g = Goertzel::for_bin(1, 8);
+        g.push(1.0);
+        g.push(-1.0);
+        g.reset();
+        assert_eq!(g.count(), 0);
+        assert_eq!(g.power(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be non-zero")]
+    fn zero_length_panics() {
+        Goertzel::for_bin(0, 0);
+    }
+
+    #[test]
+    fn tone_detection_selectivity() {
+        // A bin-17 tone must show far more power in bin 17 than bin 18.
+        let n = 512;
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (TAU * 17.0 * i as f64 / n as f64).sin())
+            .collect();
+        let p17 = goertzel_bin(&tone, 17).norm_sqr();
+        let p18 = goertzel_bin(&tone, 18).norm_sqr();
+        assert!(p17 > 1e9 * p18.max(1e-30), "p17={p17} p18={p18}");
+    }
+}

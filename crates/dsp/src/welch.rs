@@ -1,0 +1,285 @@
+//! Welch's method: averaged periodogram power-spectral-density
+//! estimation.
+//!
+//! §2 of the paper names the two dynamic test parameters as THD and the
+//! *introduced noise power*. A single periodogram estimates noise power
+//! with 100 % variance; Welch averaging over overlapping windowed
+//! segments brings the variance down by the segment count, which is what
+//! a production noise-power test needs.
+
+use crate::complex::Complex64;
+use crate::fft::{fft_in_place, is_power_of_two, FftLengthError};
+use crate::window::Window;
+use std::error::Error;
+use std::fmt;
+
+/// Error from a Welch PSD estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WelchError {
+    /// Segment length is not a power of two.
+    BadSegmentLength(usize),
+    /// The record is shorter than one segment.
+    RecordTooShort {
+        /// Samples available.
+        have: usize,
+        /// Samples needed for one segment.
+        need: usize,
+    },
+}
+
+impl fmt::Display for WelchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WelchError::BadSegmentLength(n) => {
+                write!(f, "segment length {n} is not a power of two")
+            }
+            WelchError::RecordTooShort { have, need } => {
+                write!(f, "record has {have} samples, need at least {need}")
+            }
+        }
+    }
+}
+
+impl Error for WelchError {}
+
+impl From<FftLengthError> for WelchError {
+    fn from(e: FftLengthError) -> Self {
+        WelchError::BadSegmentLength(e.len())
+    }
+}
+
+/// A one-sided power spectral density estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsdEstimate {
+    /// PSD values per bin (power per bin, window-corrected), bins
+    /// `0..=segment/2`.
+    psd: Vec<f64>,
+    /// Number of averaged segments.
+    segments: usize,
+    /// Segment length used.
+    segment_len: usize,
+}
+
+impl PsdEstimate {
+    /// The one-sided PSD values (power per bin).
+    pub fn values(&self) -> &[f64] {
+        &self.psd
+    }
+
+    /// Number of segments averaged.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Segment length.
+    pub fn segment_len(&self) -> usize {
+        self.segment_len
+    }
+
+    /// Total power: the sum over all bins (≈ signal variance for a
+    /// zero-mean signal).
+    pub fn total_power(&self) -> f64 {
+        self.psd.iter().sum()
+    }
+
+    /// Power in the bin range `[lo, hi]` (inclusive, clamped).
+    pub fn band_power(&self, lo: usize, hi: usize) -> f64 {
+        let hi = hi.min(self.psd.len() - 1);
+        if lo > hi {
+            return 0.0;
+        }
+        self.psd[lo..=hi].iter().sum()
+    }
+}
+
+/// Estimates the one-sided PSD of `record` by Welch's method with
+/// 50 %-overlapped segments of `segment_len` samples and the given
+/// window.
+///
+/// # Errors
+///
+/// Returns [`WelchError`] if `segment_len` is not a power of two or the
+/// record is shorter than one segment.
+///
+/// # Examples
+///
+/// ```
+/// use bist_dsp::welch::welch_psd;
+/// use bist_dsp::window::Window;
+///
+/// # fn main() -> Result<(), bist_dsp::welch::WelchError> {
+/// // White-ish deterministic noise: total PSD power ≈ variance.
+/// let noise: Vec<f64> = (0..4096)
+///     .map(|i| ((i as f64 * 12.9898).sin() * 43758.5453).fract() - 0.5)
+///     .collect();
+/// let psd = welch_psd(&noise, 256, Window::Hann)?;
+/// let variance = noise.iter().map(|x| x * x).sum::<f64>() / noise.len() as f64;
+/// assert!((psd.total_power() - variance).abs() / variance < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn welch_psd(
+    record: &[f64],
+    segment_len: usize,
+    window: Window,
+) -> Result<PsdEstimate, WelchError> {
+    if !is_power_of_two(segment_len) {
+        return Err(WelchError::BadSegmentLength(segment_len));
+    }
+    if record.len() < segment_len {
+        return Err(WelchError::RecordTooShort {
+            have: record.len(),
+            need: segment_len,
+        });
+    }
+    let hop = segment_len / 2;
+    let coeffs = window.coefficients(segment_len);
+    let window_power: f64 = coeffs.iter().map(|w| w * w).sum::<f64>() / segment_len as f64;
+    let half = segment_len / 2;
+    let mut acc = vec![0.0; half + 1];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + segment_len <= record.len() {
+        let mut data: Vec<Complex64> = record[start..start + segment_len]
+            .iter()
+            .zip(&coeffs)
+            .map(|(&x, &w)| Complex64::from_re(x * w))
+            .collect();
+        fft_in_place(&mut data)?;
+        for (k, slot) in acc.iter_mut().enumerate() {
+            let p = data[k].norm_sqr() / (segment_len as f64 * segment_len as f64);
+            let one_sided = if k == 0 || k == half { p } else { 2.0 * p };
+            // Correct for the window's power loss so Parseval holds.
+            *slot += one_sided / window_power;
+        }
+        segments += 1;
+        start += hop;
+    }
+    for slot in &mut acc {
+        *slot /= segments as f64;
+    }
+    Ok(PsdEstimate {
+        psd: acc,
+        segments,
+        segment_len,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_segment_length() {
+        let x = vec![0.0; 100];
+        assert_eq!(
+            welch_psd(&x, 100, Window::Hann).unwrap_err(),
+            WelchError::BadSegmentLength(100)
+        );
+    }
+
+    #[test]
+    fn rejects_short_record() {
+        let x = vec![0.0; 100];
+        let err = welch_psd(&x, 256, Window::Hann).unwrap_err();
+        assert!(matches!(err, WelchError::RecordTooShort { have: 100, need: 256 }));
+    }
+
+    #[test]
+    fn white_noise_power_matches_variance() {
+        let noise = lcg_noise(16384, 42);
+        let variance = noise.iter().map(|x| x * x).sum::<f64>() / noise.len() as f64;
+        for window in [Window::Rectangular, Window::Hann, Window::BlackmanHarris] {
+            let psd = welch_psd(&noise, 512, window).unwrap();
+            let rel = (psd.total_power() - variance).abs() / variance;
+            assert!(rel < 0.1, "{window}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn white_noise_psd_is_flat() {
+        let noise = lcg_noise(65536, 7);
+        let psd = welch_psd(&noise, 256, Window::Hann).unwrap();
+        let values = &psd.values()[1..psd.values().len() - 1];
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        for (k, &v) in values.iter().enumerate() {
+            assert!(
+                (v - mean).abs() / mean < 0.5,
+                "bin {}: {} vs mean {}",
+                k + 1,
+                v,
+                mean
+            );
+        }
+    }
+
+    #[test]
+    fn tone_concentrates_in_band() {
+        let n = 8192;
+        let seg = 512;
+        // Tone at bin 64 of the segment (= cycles 64/512 of fs).
+        let tone: Vec<f64> = (0..n)
+            .map(|i| (std::f64::consts::TAU * 64.0 * i as f64 / seg as f64).sin())
+            .collect();
+        let psd = welch_psd(&tone, seg, Window::Hann).unwrap();
+        let band = psd.band_power(62, 66);
+        let total = psd.total_power();
+        assert!(band / total > 0.99, "band fraction {}", band / total);
+        // Sine power = A²/2 = 0.5.
+        assert!((total - 0.5).abs() < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn averaging_reduces_variance() {
+        // Estimate the PSD of the same process with few vs many
+        // segments; the bin-to-bin scatter must shrink.
+        let noise = lcg_noise(65536, 99);
+        let scatter = |psd: &PsdEstimate| {
+            let v = &psd.values()[1..psd.values().len() - 1];
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x / mean - 1.0).powi(2)).sum::<f64>() / v.len() as f64
+        };
+        let few = welch_psd(&noise[..2048], 1024, Window::Hann).unwrap();
+        let many = welch_psd(&noise, 1024, Window::Hann).unwrap();
+        assert!(many.segments() > 10 * few.segments());
+        assert!(
+            scatter(&many) < scatter(&few) / 4.0,
+            "few {} many {}",
+            scatter(&few),
+            scatter(&many)
+        );
+    }
+
+    #[test]
+    fn segment_count_matches_overlap() {
+        let x = vec![0.0; 1024];
+        let psd = welch_psd(&x, 256, Window::Hann).unwrap();
+        // Starts at 0,128,...,768: (1024-256)/128 + 1 = 7.
+        assert_eq!(psd.segments(), 7);
+        assert_eq!(psd.segment_len(), 256);
+    }
+
+    #[test]
+    fn band_power_edges() {
+        let noise = lcg_noise(4096, 3);
+        let psd = welch_psd(&noise, 256, Window::Hann).unwrap();
+        assert_eq!(psd.band_power(10, 5), 0.0);
+        assert!((psd.band_power(0, 10_000) - psd.total_power()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(WelchError::BadSegmentLength(3).to_string().contains("3"));
+    }
+}

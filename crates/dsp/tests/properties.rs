@@ -1,0 +1,120 @@
+//! Property-based tests of the DSP substrate's mathematical invariants.
+
+use bist_dsp::complex::Complex64;
+use bist_dsp::fft::{fft_in_place, ifft_in_place};
+use bist_dsp::goertzel::goertzel_bin;
+use bist_dsp::integrate::{adaptive_simpson, integrate_with_knots};
+use bist_dsp::special::{erf, erfc, normal_cdf, normal_quantile};
+use bist_dsp::stats::Running;
+use bist_dsp::window::Window;
+use proptest::prelude::*;
+
+fn arb_signal(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2.0f64..2.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ifft(fft(x)) == x for arbitrary signals.
+    #[test]
+    fn fft_round_trip(xs in arb_signal(256)) {
+        let original: Vec<Complex64> =
+            xs.iter().map(|&x| Complex64::from_re(x)).collect();
+        let mut data = original.clone();
+        fft_in_place(&mut data).expect("256 is a power of two");
+        ifft_in_place(&mut data).expect("256 is a power of two");
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn fft_parseval(xs in arb_signal(128)) {
+        let time: f64 = xs.iter().map(|x| x * x).sum();
+        let mut data: Vec<Complex64> =
+            xs.iter().map(|&x| Complex64::from_re(x)).collect();
+        fft_in_place(&mut data).expect("128 is a power of two");
+        let freq: f64 = data.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() < 1e-7 * (1.0 + time));
+    }
+
+    /// Goertzel equals the FFT bin for arbitrary signals and bins.
+    #[test]
+    fn goertzel_equals_fft(xs in arb_signal(64), k in 0usize..64) {
+        let mut data: Vec<Complex64> =
+            xs.iter().map(|&x| Complex64::from_re(x)).collect();
+        fft_in_place(&mut data).expect("64 is a power of two");
+        let g = goertzel_bin(&xs, k);
+        prop_assert!((g - data[k]).abs() < 1e-7 * (1.0 + data[k].abs()));
+    }
+
+    /// Windows are bounded and their coherent gain matches their mean.
+    #[test]
+    fn window_gain_is_mean(n in 64usize..512) {
+        for w in Window::ALL {
+            let coeffs = w.coefficients(n);
+            let mean = coeffs.iter().sum::<f64>() / n as f64;
+            prop_assert!((mean - w.coherent_gain()).abs() < 0.05,
+                "{w} at n={n}: mean {mean}");
+        }
+    }
+
+    /// erf is odd, bounded, and complements erfc.
+    #[test]
+    fn erf_laws(x in -5.0f64..5.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-11);
+    }
+
+    /// The normal quantile inverts the CDF across the full range.
+    #[test]
+    fn quantile_inverts_cdf(p in 1e-10f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-10);
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-9 * (1.0 + 1.0 / p.min(1.0 - p)));
+    }
+
+    /// Integration is additive over subintervals.
+    #[test]
+    fn integration_additive(a in -2.0f64..0.0, m in 0.0f64..1.0, b in 1.0f64..3.0) {
+        let f = |x: f64| (x * 1.7).sin() + 0.3 * x * x;
+        let whole = adaptive_simpson(f, a, b, 1e-12);
+        let parts = adaptive_simpson(f, a, m, 1e-12) + adaptive_simpson(f, m, b, 1e-12);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// Knots never change the value of a smooth integral.
+    #[test]
+    fn knots_are_transparent(knots in prop::collection::vec(0.0f64..1.0, 0..6)) {
+        let f = |x: f64| (3.0 * x).cos();
+        let plain = adaptive_simpson(f, 0.0, 1.0, 1e-12);
+        let knotted = integrate_with_knots(f, 0.0, 1.0, &knots, 1e-12);
+        prop_assert!((plain - knotted).abs() < 1e-9);
+    }
+
+    /// Welford statistics match naive two-pass computation.
+    #[test]
+    fn running_matches_naive(xs in arb_signal(200)) {
+        let r: Running = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        prop_assert!((r.mean() - mean).abs() < 1e-10);
+        prop_assert!((r.sample_variance() - var).abs() < 1e-9);
+    }
+
+    /// Merging Welford accumulators equals one pass, at any split point.
+    #[test]
+    fn running_merge_associative(xs in arb_signal(120), split in 1usize..119) {
+        let mut a: Running = xs[..split].iter().copied().collect();
+        let b: Running = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        let whole: Running = xs.iter().copied().collect();
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        prop_assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,335 @@
+//! Seeded device-batch generation.
+//!
+//! Two device models, mirroring the paper's sim/measurement split:
+//!
+//! * [`DeviceModel::IidWidths`] — code widths drawn iid from the §3
+//!   Gaussian (the *simulation* model behind Tables 1–2).
+//! * [`DeviceModel::PhysicalFlash`] — the resistor-ladder + comparator
+//!   flash of `bist-adc` (the stand-in for the paper's 364 measured
+//!   devices; its widths acquire the Eq. 10 correlation naturally).
+//!
+//! Devices are generated from `(seed, index)` so batches are
+//! reproducible and independent of threading.
+
+use bist_adc::flash::FlashConfig;
+use bist_adc::transfer::{Adc, TransferFunction};
+use bist_adc::types::{Resolution, Volts};
+use bist_core::analytic::WidthDistribution;
+use bist_dsp::special::normal_quantile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// How batch devices are modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceModel {
+    /// Transfer functions with iid Gaussian code widths (theory model).
+    IidWidths(WidthDistribution),
+    /// Behavioural flash converters with ladder/comparator mismatch.
+    PhysicalFlash(FlashConfig),
+}
+
+impl fmt::Display for DeviceModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceModel::IidWidths(d) => {
+                write!(f, "iid widths (σ {} LSB)", d.sigma())
+            }
+            DeviceModel::PhysicalFlash(c) => {
+                write!(f, "physical flash (σ_w {:.3} LSB)", c.code_width_sigma_lsb())
+            }
+        }
+    }
+}
+
+/// A reproducible batch descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Batch {
+    /// Device model.
+    pub model: DeviceModel,
+    /// Converter resolution.
+    pub resolution: Resolution,
+    /// Master seed; device `i` derives its RNG from `(seed, i)`.
+    pub seed: u64,
+    /// Number of devices.
+    pub size: usize,
+}
+
+impl Batch {
+    /// The paper's measured batch: 364 physical flash devices at the
+    /// worst-case mismatch.
+    pub fn paper_measurement(seed: u64) -> Self {
+        Batch {
+            model: DeviceModel::PhysicalFlash(FlashConfig::paper_device()),
+            resolution: Resolution::SIX_BIT,
+            seed,
+            size: 364,
+        }
+    }
+
+    /// A theory batch of iid-width devices at σ = 0.21 LSB.
+    pub fn paper_simulation(seed: u64, size: usize) -> Self {
+        Batch {
+            model: DeviceModel::IidWidths(WidthDistribution::paper_worst_case()),
+            resolution: Resolution::SIX_BIT,
+            seed,
+            size,
+        }
+    }
+
+    /// The RNG for device `index` (stable mixing of seed and index).
+    pub fn device_rng(&self, index: usize) -> StdRng {
+        // SplitMix64 finaliser decorrelates consecutive indices.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        StdRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Generates device `index`'s transfer function.
+    pub fn device(&self, index: usize) -> TransferFunction {
+        let mut rng = self.device_rng(index);
+        match self.model {
+            DeviceModel::PhysicalFlash(cfg) => cfg
+                .sample(&mut rng)
+                .transfer()
+                .expect("flash states its transfer"),
+            DeviceModel::IidWidths(dist) => {
+                iid_width_transfer(self.resolution, &dist, &mut rng)
+            }
+        }
+    }
+
+    /// Iterates over all devices in the batch.
+    pub fn devices(&self) -> impl Iterator<Item = TransferFunction> + '_ {
+        (0..self.size).map(move |i| self.device(i))
+    }
+}
+
+/// Builds a transfer function whose inner-code widths are iid draws from
+/// `dist` (clamped at zero — a negative draw becomes a missing code).
+/// The first transition sits at its ideal position; the input range is
+/// the ideal 6.4·(2ⁿ/64)-style span with 0.1 V/LSB.
+pub fn iid_width_transfer<R: Rng + ?Sized>(
+    resolution: Resolution,
+    dist: &WidthDistribution,
+    rng: &mut R,
+) -> TransferFunction {
+    let q = 0.1; // volts per LSB (arbitrary but fixed)
+    let n_transitions = resolution.transition_count() as usize;
+    let mut t = Vec::with_capacity(n_transitions);
+    t.push(q); // T[1] ideal
+    for _ in 1..n_transitions {
+        let w_lsb = (dist.mean() + dist.sigma() * standard_normal(rng)).max(0.0);
+        let prev = *t.last().expect("non-empty");
+        t.push(prev + w_lsb * q);
+    }
+    // Keep the *nominal* range: accumulated width drift is a gain error,
+    // and the LSB size (hence Δs) must stay referenced to the ideal LSB.
+    // The harness ramp sweeps past the range far enough to close the
+    // last code. Transitions above `high` are legal.
+    let high = q * resolution.code_count() as f64;
+    TransferFunction::from_transitions(resolution, Volts(0.0), Volts(high), t)
+}
+
+/// One standard-normal draw (Marsaglia polar method over `rand`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0f64..1.0);
+        let v: f64 = rng.gen_range(-1.0f64..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// Draws from a Gaussian truncated to `[lo, hi]` by inverse-CDF.
+///
+/// # Panics
+///
+/// Panics if the interval has negligible probability mass or `lo >= hi`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(lo < hi, "lo must be below hi");
+    let a = bist_dsp::special::gaussian_cdf(lo, mean, sigma);
+    let b = bist_dsp::special::gaussian_cdf(hi, mean, sigma);
+    assert!(b - a > 1e-300, "truncation interval has no mass");
+    let u = rng.gen_range(a..b);
+    mean + sigma * normal_quantile(u)
+}
+
+/// A conditioned "faulty" width vector: exactly one randomly-placed
+/// width drawn from the out-of-spec region, the rest truncated in-spec.
+///
+/// Supports the rare-event check of Table 2: at the actual ±1 LSB spec,
+/// `P(faulty) ≈ 1.4×10⁻⁴` and a faulty device almost surely has exactly
+/// one bad code, so sampling that conditional law directly estimates
+/// `P(accept | faulty)` without 10⁷ rejection draws.
+pub fn conditional_faulty_widths<R: Rng + ?Sized>(
+    dist: &WidthDistribution,
+    spec: &bist_adc::spec::LinearitySpec,
+    codes: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let (lo, hi) = spec.width_window_lsb();
+    let mean = dist.mean();
+    let sigma = dist.sigma();
+    let p_below = bist_dsp::special::gaussian_cdf(lo.0, mean, sigma);
+    let p_above = 1.0 - bist_dsp::special::gaussian_cdf(hi.0, mean, sigma);
+    let bad_index = rng.gen_range(0..codes);
+    (0..codes)
+        .map(|i| {
+            if i == bad_index {
+                // Pick the tail side proportionally to its mass.
+                let side_below = rng.gen_range(0.0..(p_below + p_above)) < p_below;
+                let w = if side_below {
+                    truncated_normal(mean, sigma, mean - 12.0 * sigma, lo.0, rng)
+                } else {
+                    truncated_normal(mean, sigma, hi.0, mean + 12.0 * sigma, rng)
+                };
+                w.max(0.0)
+            } else {
+                truncated_normal(mean, sigma, lo.0.max(0.0), hi.0, rng)
+            }
+        })
+        .collect()
+}
+
+/// Builds a transfer function from explicit inner-code widths in LSB
+/// (first transition ideal).
+pub fn transfer_from_widths(resolution: Resolution, widths_lsb: &[f64]) -> TransferFunction {
+    assert_eq!(
+        widths_lsb.len() as u32,
+        resolution.inner_code_count(),
+        "need one width per inner code"
+    );
+    let q = 0.1;
+    let mut t = Vec::with_capacity(resolution.transition_count() as usize);
+    t.push(q);
+    for &w in widths_lsb {
+        let prev = *t.last().expect("non-empty");
+        t.push(prev + w.max(0.0) * q);
+    }
+    let high = q * resolution.code_count() as f64;
+    TransferFunction::from_transitions(resolution, Volts(0.0), Volts(high), t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_adc::metrics::dnl;
+    use bist_adc::spec::LinearitySpec;
+    use bist_dsp::stats::Running;
+
+    #[test]
+    fn batches_are_reproducible() {
+        let b = Batch::paper_simulation(42, 10);
+        let a1 = b.device(3);
+        let a2 = b.device(3);
+        assert_eq!(a1.transitions(), a2.transitions());
+        // Different indices differ.
+        assert_ne!(b.device(3).transitions(), b.device(4).transitions());
+        // Different seeds differ.
+        let c = Batch::paper_simulation(43, 10);
+        assert_ne!(b.device(3).transitions(), c.device(3).transitions());
+    }
+
+    #[test]
+    fn iid_width_statistics_match() {
+        let b = Batch::paper_simulation(7, 300);
+        let mut acc = Running::new();
+        for tf in b.devices() {
+            for w in tf.code_widths_lsb() {
+                acc.push(w.0);
+            }
+        }
+        assert!((acc.mean() - 1.0).abs() < 0.01, "mean {}", acc.mean());
+        assert!((acc.std_dev() - 0.21).abs() < 0.01, "sd {}", acc.std_dev());
+    }
+
+    #[test]
+    fn paper_measurement_batch_size() {
+        let b = Batch::paper_measurement(1);
+        assert_eq!(b.size, 364);
+        assert!(matches!(b.model, DeviceModel::PhysicalFlash(_)));
+        // Yield under the stringent spec lands near the paper's 30 %.
+        let spec = LinearitySpec::paper_stringent();
+        let good = b
+            .devices()
+            .filter(|tf| spec.classify(tf).good)
+            .count();
+        let yield_frac = good as f64 / b.size as f64;
+        assert!(
+            (0.2..0.45).contains(&yield_frac),
+            "yield {yield_frac} ({good}/364)"
+        );
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..2000 {
+            let w = truncated_normal(1.0, 0.21, 0.5, 1.5, &mut rng);
+            assert!((0.5..=1.5).contains(&w), "w {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no mass")]
+    fn truncated_normal_empty_region_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        truncated_normal(0.0, 0.01, 50.0, 51.0, &mut rng);
+    }
+
+    #[test]
+    fn conditional_faulty_has_exactly_one_bad_width() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = LinearitySpec::paper_actual();
+        let dist = WidthDistribution::paper_worst_case();
+        for _ in 0..100 {
+            let w = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
+            assert_eq!(w.len(), 62);
+            let bad = w.iter().filter(|&&x| !(0.0..=2.0).contains(&x)).count()
+                + w.iter().filter(|&&x| x == 0.0).count();
+            // Exactly one width outside (0, 2): the planted one (clamped
+            // zero widths count as bad too).
+            assert_eq!(bad, 1, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn conditional_faulty_device_classifies_faulty() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spec = LinearitySpec::paper_actual();
+        let dist = WidthDistribution::paper_worst_case();
+        let w = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
+        let tf = transfer_from_widths(Resolution::SIX_BIT, &w);
+        assert!(!spec.classify(&tf).good);
+    }
+
+    #[test]
+    fn transfer_from_widths_round_trips() {
+        let widths = vec![1.0; 62];
+        let tf = transfer_from_widths(Resolution::SIX_BIT, &widths);
+        for d in dnl(&tf) {
+            assert!(d.0.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn model_display() {
+        let b = Batch::paper_simulation(1, 2);
+        assert!(b.model.to_string().contains("iid"));
+        let m = Batch::paper_measurement(1);
+        assert!(m.model.to_string().contains("flash"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Batch experiments: run the BIST (and optionally the reference or
+//! conventional test) over a device batch and account type I/II errors.
+
+use crate::batch::Batch;
+use crate::estimate::Proportion;
+use bist_adc::noise::NoiseConfig;
+use bist_core::config::BistConfig;
+use bist_core::decision::ConfusionMatrix;
+use bist_core::harness::{conventional_test, reference_measurement, run_static_bist};
+use std::fmt;
+
+/// How ground truth is established for each device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GroundTruthMode {
+    /// Classify the true transfer function directly (exact — available
+    /// because we simulate the silicon).
+    Exact,
+    /// The paper's procedure: a high-accuracy histogram reference
+    /// measurement with this many samples per code (~1000 in §4).
+    Reference {
+        /// Average samples per code for the reference ramp.
+        samples_per_code: u32,
+    },
+}
+
+/// Descriptor of one screening experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Experiment {
+    /// The device batch.
+    pub batch: Batch,
+    /// The BIST configuration under evaluation.
+    pub config: BistConfig,
+    /// Ground-truth procedure.
+    pub ground_truth: GroundTruthMode,
+    /// Acquisition noise (applies to the BIST capture).
+    pub noise: NoiseConfig,
+    /// Relative ramp slope error for the BIST capture (the paper's
+    /// "slightly too steep" measurement ramp).
+    pub slope_error: f64,
+}
+
+impl Experiment {
+    /// A noiseless experiment with exact ground truth.
+    pub fn new(batch: Batch, config: BistConfig) -> Self {
+        Experiment {
+            batch,
+            config,
+            ground_truth: GroundTruthMode::Exact,
+            noise: NoiseConfig::noiseless(),
+            slope_error: 0.0,
+        }
+    }
+
+    /// Sets the ground-truth mode.
+    pub fn with_ground_truth(mut self, mode: GroundTruthMode) -> Self {
+        self.ground_truth = mode;
+        self
+    }
+
+    /// Sets the acquisition noise.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the ramp slope error.
+    pub fn with_slope_error(mut self, err: f64) -> Self {
+        self.slope_error = err;
+        self
+    }
+
+    /// Runs the experiment over device indices `[from, to)` —
+    /// the unit of work for parallel execution.
+    pub fn run_range(&self, from: usize, to: usize) -> ExperimentResult {
+        let mut matrix = ConfusionMatrix::new();
+        let spec = *self.config.spec();
+        for i in from..to.min(self.batch.size) {
+            let tf = self.batch.device(i);
+            let mut rng = self.batch.device_rng(i ^ 0x5eed_0000_0000_0000);
+            let truth_good = match self.ground_truth {
+                GroundTruthMode::Exact => spec.classify(&tf).good,
+                GroundTruthMode::Reference { samples_per_code } => {
+                    reference_measurement(
+                        &tf,
+                        &spec,
+                        samples_per_code,
+                        &NoiseConfig::noiseless(),
+                        &mut rng,
+                    )
+                    .map(|v| v.accepted)
+                    .unwrap_or(false)
+                }
+            };
+            let outcome =
+                run_static_bist(&tf, &self.config, &self.noise, self.slope_error, &mut rng);
+            matrix.record(truth_good, outcome.accepted());
+        }
+        ExperimentResult { matrix }
+    }
+
+    /// Runs the whole batch on the current thread.
+    pub fn run(&self) -> ExperimentResult {
+        self.run_range(0, self.batch.size)
+    }
+}
+
+/// Accumulated outcome of an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExperimentResult {
+    /// The confusion matrix over all devices run so far.
+    pub matrix: ConfusionMatrix,
+}
+
+impl ExperimentResult {
+    /// Merges a partial result (e.g. from another worker).
+    pub fn merge(&mut self, other: &ExperimentResult) {
+        self.matrix.merge(&other.matrix);
+    }
+
+    /// Type I rate estimate `P(reject | good)` with trial counts.
+    pub fn type_i(&self) -> Proportion {
+        Proportion::new(self.matrix.type_i_count(), self.matrix.good())
+    }
+
+    /// Type II rate estimate `P(accept | faulty)` with trial counts.
+    pub fn type_ii(&self) -> Proportion {
+        Proportion::new(self.matrix.type_ii_count(), self.matrix.faulty())
+    }
+
+    /// Observed yield.
+    pub fn observed_yield(&self) -> Proportion {
+        Proportion::new(self.matrix.good(), self.matrix.total())
+    }
+}
+
+impl fmt::Display for ExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.matrix)
+    }
+}
+
+/// Compares the BIST against the conventional 4096-sample histogram test
+/// on the same batch (experiment E10): returns the two confusion
+/// matrices and the device-level agreement count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EquivalenceResult {
+    /// Confusion matrix of the BIST decisions vs exact truth.
+    pub bist: ConfusionMatrix,
+    /// Confusion matrix of the conventional test vs exact truth.
+    pub conventional: ConfusionMatrix,
+    /// Devices where both tests reached the same decision.
+    pub agreements: u64,
+    /// Total devices compared.
+    pub total: u64,
+}
+
+impl EquivalenceResult {
+    /// Fraction of devices where the two tests agree.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.total as f64
+        }
+    }
+}
+
+/// Runs the E10 equivalence experiment: BIST with `config` vs the
+/// conventional histogram test with `conventional_samples` total samples.
+pub fn run_equivalence(
+    batch: &Batch,
+    config: &BistConfig,
+    conventional_samples: u32,
+) -> EquivalenceResult {
+    // Salt decorrelating this experiment's RNG stream from the device
+    // generation stream.
+    const EQ_SALT: usize = 0x0e0a_1b2c;
+    let spec = *config.spec();
+    let mut bist_m = ConfusionMatrix::new();
+    let mut conv_m = ConfusionMatrix::new();
+    let mut agreements = 0;
+    for i in 0..batch.size {
+        let tf = batch.device(i);
+        let mut rng = batch.device_rng(i ^ EQ_SALT);
+        let truth = spec.classify(&tf).good;
+        let bist = run_static_bist(&tf, config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        let conv = conventional_test(
+            &tf,
+            &spec,
+            conventional_samples,
+            &NoiseConfig::noiseless(),
+            &mut rng,
+        )
+        .map(|v| v.accepted)
+        .unwrap_or(false);
+        bist_m.record(truth, bist.accepted());
+        conv_m.record(truth, conv);
+        if bist.accepted() == conv {
+            agreements += 1;
+        }
+    }
+    EquivalenceResult {
+        bist: bist_m,
+        conventional: conv_m,
+        agreements,
+        total: batch.size as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::types::Resolution;
+
+    fn config(bits: u32) -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(bits)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn experiment_runs_batch() {
+        let batch = Batch::paper_simulation(3, 200);
+        let result = Experiment::new(batch, config(7)).run();
+        assert_eq!(result.matrix.total(), 200);
+        // Yield near 30 %.
+        let y = result.observed_yield().point().unwrap();
+        assert!((0.2..0.45).contains(&y), "yield {y}");
+        // 7-bit counter: very few errors.
+        assert!(result.type_i().point().unwrap() < 0.15);
+    }
+
+    #[test]
+    fn run_range_partitions_consistently() {
+        let batch = Batch::paper_simulation(5, 100);
+        let exp = Experiment::new(batch, config(5));
+        let whole = exp.run();
+        let mut parts = exp.run_range(0, 40);
+        parts.merge(&exp.run_range(40, 100));
+        assert_eq!(whole.matrix, parts.matrix);
+    }
+
+    #[test]
+    fn range_clamps_to_batch() {
+        let batch = Batch::paper_simulation(5, 10);
+        let exp = Experiment::new(batch, config(5));
+        let r = exp.run_range(0, 1000);
+        assert_eq!(r.matrix.total(), 10);
+    }
+
+    #[test]
+    fn smaller_counter_more_type_i() {
+        let batch = Batch::paper_simulation(11, 600);
+        let small = Experiment::new(batch, config(4)).run();
+        let large = Experiment::new(batch, config(7)).run();
+        let p_small = small.type_i().point().unwrap();
+        let p_large = large.type_i().point().unwrap();
+        assert!(
+            p_small > p_large,
+            "4-bit {p_small} should exceed 7-bit {p_large}"
+        );
+    }
+
+    #[test]
+    fn slope_error_changes_decisions() {
+        let batch = Batch::paper_simulation(13, 400);
+        let nominal = Experiment::new(batch, config(4)).run();
+        let skewed = Experiment::new(batch, config(4))
+            .with_slope_error(-0.022)
+            .run();
+        // The paper saw type I roughly double with the slope error.
+        let p0 = nominal.type_i().point().unwrap();
+        let p1 = skewed.type_i().point().unwrap();
+        assert!(p1 > p0, "slope error should raise type I: {p0} -> {p1}");
+    }
+
+    #[test]
+    fn reference_ground_truth_close_to_exact() {
+        let batch = Batch::paper_simulation(17, 60);
+        let exact = Experiment::new(batch, config(6)).run();
+        let referenced = Experiment::new(batch, config(6))
+            .with_ground_truth(GroundTruthMode::Reference {
+                samples_per_code: 1000,
+            })
+            .run();
+        // The reference measurement misclassifies at most a couple of
+        // marginal devices out of 60.
+        let diff = (exact.matrix.good() as i64 - referenced.matrix.good() as i64).abs();
+        assert!(diff <= 3, "good-count diff {diff}");
+    }
+
+    #[test]
+    fn equivalence_bist7_vs_conventional() {
+        let batch = Batch::paper_simulation(19, 150);
+        let res = run_equivalence(&batch, &config(7), 4096);
+        assert_eq!(res.total, 150);
+        assert!(
+            res.agreement_rate() > 0.9,
+            "agreement {}",
+            res.agreement_rate()
+        );
+    }
+
+    #[test]
+    fn display_result() {
+        let batch = Batch::paper_simulation(3, 10);
+        let r = Experiment::new(batch, config(6)).run();
+        assert!(r.to_string().contains("n=10"));
+    }
+}

@@ -1,0 +1,48 @@
+//! # bist-mc
+//!
+//! Monte-Carlo experiment engine for the `adc-bist` reproduction of
+//! R. de Vries et al., *Built-In Self-Test Methodology for A/D
+//! Converters* (ED&TC 1997).
+//!
+//! * [`batch`] — seeded device batches: iid-width devices (the paper's
+//!   simulation model) and physical flash devices (the stand-in for its
+//!   364 measured parts), plus rare-event conditional sampling.
+//! * [`experiment`] — run the BIST/reference/conventional tests over a
+//!   batch and account type I/II errors.
+//! * [`parallel`] — deterministic thread fan-out.
+//! * [`estimate`] — Wilson confidence intervals for the error rates.
+//! * [`tables`] — the drivers that regenerate Table 1, Table 2 and
+//!   Figure 7.
+//!
+//! ## Example: a miniature Table-1 cell
+//!
+//! ```
+//! use bist_adc::spec::LinearitySpec;
+//! use bist_adc::types::Resolution;
+//! use bist_core::config::BistConfig;
+//! use bist_mc::batch::Batch;
+//! use bist_mc::experiment::Experiment;
+//!
+//! # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
+//! let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+//!     .counter_bits(4)
+//!     .build()?;
+//! let result = Experiment::new(Batch::paper_simulation(1, 200), cfg).run();
+//! println!("type I = {}", result.type_i());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod batch;
+pub mod estimate;
+pub mod experiment;
+pub mod parallel;
+pub mod tables;
+
+pub use batch::{Batch, DeviceModel};
+pub use estimate::Proportion;
+pub use experiment::{Experiment, ExperimentResult, GroundTruthMode};
+pub use parallel::run_parallel;

@@ -1,0 +1,94 @@
+//! Thread fan-out for batch experiments.
+//!
+//! Devices are generated from `(seed, index)`, so splitting a batch into
+//! index ranges and merging the confusion matrices is exactly equivalent
+//! to a sequential run — the tests assert that equivalence.
+
+use crate::experiment::{Experiment, ExperimentResult};
+use crossbeam::channel;
+use std::thread;
+
+/// Runs an experiment across `workers` threads, returning the merged
+/// result. `workers = 1` degenerates to [`Experiment::run`]; 0 selects
+/// the available parallelism.
+pub fn run_parallel(experiment: &Experiment, workers: usize) -> ExperimentResult {
+    let workers = if workers == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let size = experiment.batch.size;
+    if workers <= 1 || size < 2 * workers {
+        return experiment.run();
+    }
+    let chunk = size.div_ceil(workers);
+    let (tx, rx) = channel::bounded(workers);
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let exp = *experiment;
+            scope.spawn(move || {
+                let from = w * chunk;
+                let to = (from + chunk).min(size);
+                let partial = if from < to {
+                    exp.run_range(from, to)
+                } else {
+                    ExperimentResult::default()
+                };
+                tx.send(partial).expect("receiver outlives workers");
+            });
+        }
+        drop(tx);
+        let mut total = ExperimentResult::default();
+        for partial in rx {
+            total.merge(&partial);
+        }
+        total
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::types::Resolution;
+    use bist_core::config::BistConfig;
+
+    fn experiment(size: usize) -> Experiment {
+        let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(5)
+            .build()
+            .unwrap();
+        Experiment::new(Batch::paper_simulation(29, size), cfg)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let exp = experiment(240);
+        let seq = exp.run();
+        for workers in [2, 3, 8] {
+            let par = run_parallel(&exp, workers);
+            assert_eq!(par.matrix, seq.matrix, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_run() {
+        let exp = experiment(50);
+        assert_eq!(run_parallel(&exp, 1).matrix, exp.run().matrix);
+    }
+
+    #[test]
+    fn tiny_batch_falls_back_to_sequential() {
+        let exp = experiment(3);
+        assert_eq!(run_parallel(&exp, 16).matrix.total(), 3);
+    }
+
+    #[test]
+    fn zero_workers_uses_available_parallelism() {
+        let exp = experiment(64);
+        let r = run_parallel(&exp, 0);
+        assert_eq!(r.matrix.total(), 64);
+    }
+}

@@ -1,0 +1,221 @@
+//! Gate-equivalent area model for the on-chip test circuitry.
+//!
+//! Figure 1 of the paper frames the whole design space: the size of the
+//! test circuitry trades against accuracy (type I/II errors), cost and
+//! the fault sensitivity of the test logic itself. This model assigns
+//! NAND2-equivalent gate counts to each datapath block so the
+//! `counter_tradeoff` experiment (E11) can plot area against measured
+//! accuracy for counter sizes 3–10.
+//!
+//! The per-cell weights are the usual standard-cell equivalences
+//! (DFF ≈ 6 GE, full adder ≈ 5 GE, 2-input gate = 1 GE); absolute values
+//! are indicative, relative growth with counter width is what matters.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// NAND2-equivalent gate count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash)]
+pub struct GateCount(pub u64);
+
+impl Add for GateCount {
+    type Output = GateCount;
+    fn add(self, rhs: GateCount) -> GateCount {
+        GateCount(self.0 + rhs.0)
+    }
+}
+
+impl Sum for GateCount {
+    fn sum<I: Iterator<Item = GateCount>>(iter: I) -> GateCount {
+        GateCount(iter.map(|g| g.0).sum())
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} GE", self.0)
+    }
+}
+
+/// Gate equivalents per standard cell.
+const GE_DFF: u64 = 6;
+const GE_FULL_ADDER: u64 = 5;
+const GE_HALF_ADDER: u64 = 3;
+const GE_GATE2: u64 = 1;
+const GE_MUX2: u64 = 3;
+
+/// Area of an `n`-bit up-counter with clear and saturation.
+pub fn counter(bits: u32) -> GateCount {
+    // Per bit: DFF + half adder + clear/saturate gating.
+    GateCount(bits as u64 * (GE_DFF + GE_HALF_ADDER + 2 * GE_GATE2) + 4 * GE_GATE2)
+}
+
+/// Area of an `n`-bit magnitude comparator against a programmed constant.
+pub fn comparator(bits: u32) -> GateCount {
+    // ~2 GE per bit for a ripple magnitude compare.
+    GateCount(bits as u64 * 2 * GE_GATE2)
+}
+
+/// Area of the window comparator (two magnitude comparisons + verdict
+/// logic).
+pub fn window_comparator(bits: u32) -> GateCount {
+    comparator(bits) + comparator(bits) + GateCount(3 * GE_GATE2)
+}
+
+/// Area of the edge detector (2-FF synchroniser + history FF + XOR).
+pub fn edge_detector() -> GateCount {
+    GateCount(3 * GE_DFF + 2 * GE_GATE2)
+}
+
+/// Area of the 3-tap majority deglitcher.
+pub fn deglitcher() -> GateCount {
+    GateCount(3 * GE_DFF + 4 * GE_GATE2)
+}
+
+/// Area of a `bits`-wide signed saturating accumulator.
+pub fn accumulator(bits: u32) -> GateCount {
+    GateCount(bits as u64 * (GE_DFF + GE_FULL_ADDER + GE_MUX2) + 6 * GE_GATE2)
+}
+
+/// Area of an `n`-bit expected-value counter plus equality comparator
+/// (the Figure-2 upper-bit checker, excluding the shared edge detector).
+pub fn upper_bit_checker(bits: u32) -> GateCount {
+    counter(bits) + GateCount(bits as u64 * GE_GATE2 + 2 * GE_DFF * bits as u64)
+}
+
+/// Itemised area of the full Figure-4 LSB-processing block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsbProcessorArea {
+    /// Sample counter.
+    pub counter: GateCount,
+    /// DNL window comparator.
+    pub dnl_window: GateCount,
+    /// INL accumulator.
+    pub inl_accumulator: GateCount,
+    /// INL window comparator.
+    pub inl_window: GateCount,
+    /// Edge detector.
+    pub edge: GateCount,
+    /// Deglitch filter.
+    pub deglitch: GateCount,
+    /// Control/verdict latches.
+    pub control: GateCount,
+}
+
+impl LsbProcessorArea {
+    /// Computes the area for a given counter width (the INL accumulator
+    /// is sized `counter_bits + 4` to absorb accumulation swing).
+    pub fn for_counter_bits(counter_bits: u32) -> Self {
+        let inl_bits = counter_bits + 4;
+        LsbProcessorArea {
+            counter: counter(counter_bits),
+            dnl_window: window_comparator(counter_bits),
+            inl_accumulator: accumulator(inl_bits),
+            inl_window: window_comparator(inl_bits),
+            edge: edge_detector(),
+            deglitch: deglitcher(),
+            control: GateCount(2 * GE_DFF + 6 * GE_GATE2),
+        }
+    }
+
+    /// Total gate count.
+    pub fn total(&self) -> GateCount {
+        self.counter
+            + self.dnl_window
+            + self.inl_accumulator
+            + self.inl_window
+            + self.edge
+            + self.deglitch
+            + self.control
+    }
+}
+
+impl fmt::Display for LsbProcessorArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LSB processor: {} (counter {}, DNL cmp {}, INL acc {}, INL cmp {}, edge {}, deglitch {}, ctl {})",
+            self.total(),
+            self.counter,
+            self.dnl_window,
+            self.inl_accumulator,
+            self.inl_window,
+            self.edge,
+            self.deglitch,
+            self.control
+        )
+    }
+}
+
+/// Total on-chip BIST area for an `n`-bit converter monitored at bit 0
+/// with the given counter width: LSB processor + upper-bit checker for
+/// the remaining `n−1` bits.
+pub fn full_bist(adc_bits: u32, counter_bits: u32) -> GateCount {
+    LsbProcessorArea::for_counter_bits(counter_bits).total()
+        + upper_bit_checker(adc_bits.saturating_sub(1))
+        + edge_detector()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_area_scales_linearly() {
+        let a4 = counter(4).0;
+        let a8 = counter(8).0;
+        // Fixed overhead + linear term.
+        assert!(a8 > a4);
+        assert_eq!(a8 - a4, 4 * (GE_DFF + GE_HALF_ADDER + 2 * GE_GATE2));
+    }
+
+    #[test]
+    fn one_more_counter_bit_is_cheap() {
+        // The paper's headline trade-off: each extra counter bit halves
+        // the type-I error at a small area cost — the counter bit plus
+        // its share of the comparators and the INL accumulator comes to
+        // roughly 12 % of the block, well worth a 2× accuracy gain.
+        let base = LsbProcessorArea::for_counter_bits(4).total().0;
+        let plus = LsbProcessorArea::for_counter_bits(5).total().0;
+        let increment = plus - base;
+        assert!(increment * 5 < base, "increment {increment} vs base {base}");
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let a = LsbProcessorArea::for_counter_bits(6);
+        let manual = a.counter
+            + a.dnl_window
+            + a.inl_accumulator
+            + a.inl_window
+            + a.edge
+            + a.deglitch
+            + a.control;
+        assert_eq!(a.total(), manual);
+    }
+
+    #[test]
+    fn full_bist_is_small() {
+        // Sanity: the whole 6-bit BIST with a 7-bit counter is a few
+        // hundred gate equivalents — "does not require too much chip
+        // area" (§2).
+        let total = full_bist(6, 7).0;
+        assert!(total < 600, "total {total}");
+        assert!(total > 100, "total {total}");
+    }
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let s: GateCount = [GateCount(1), GateCount(2), GateCount(3)].into_iter().sum();
+        assert_eq!(s, GateCount(6));
+        assert_eq!((GateCount(4) + GateCount(5)).to_string(), "9 GE");
+    }
+
+    #[test]
+    fn display_itemises() {
+        let a = LsbProcessorArea::for_counter_bits(4);
+        let s = a.to_string();
+        assert!(s.contains("counter") && s.contains("INL"));
+    }
+}

@@ -1,0 +1,527 @@
+//! The complete on-chip BIST datapath, cycle-accurate.
+//!
+//! Two blocks from the paper:
+//!
+//! * [`LsbProcessor`] — Figure 4: deglitch → edge detect → sample counter
+//!   → DNL window comparator → INL accumulator. At every LSB transition
+//!   the counter value (the measured code width in samples) is judged
+//!   against `i_min..=i_max` and folded into the INL running sum.
+//! * [`UpperBitChecker`] — Figure 2: the remaining bits (`q+1..MSB`) are
+//!   compared against an internal counter clocked by the falling edge of
+//!   the monitored bit, verifying converter functionality with no
+//!   external data.
+//!
+//! Both blocks tick once per ADC sample clock. Their behaviour is
+//! cross-validated against the behavioural monitor in `bist-core`.
+
+use crate::accumulator::Accumulator;
+use crate::counter::Counter;
+use crate::deglitch::Deglitcher;
+use crate::edge::EdgeDetector;
+use crate::logic::Bus;
+use crate::window_compare::{WindowComparator, WindowVerdict};
+use std::fmt;
+
+/// One completed code-width measurement emitted at an LSB transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeMeasurement {
+    /// Sequence number of the measurement (0 = first *complete* code).
+    pub index: u64,
+    /// Measured width in samples (`i` of the paper).
+    pub count: u64,
+    /// Whether the counter saturated during this code (width
+    /// unmeasurable but certainly beyond the window).
+    pub overflow: bool,
+    /// DNL window verdict for this code.
+    pub dnl_verdict: WindowVerdict,
+    /// INL accumulator value after this code, in counter units.
+    pub inl_counts: i64,
+    /// Whether the INL value is within the configured INL window.
+    pub inl_pass: bool,
+}
+
+/// Static configuration of the LSB-processing block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsbProcessorConfig {
+    /// Counter width in bits (the paper sweeps 4–7).
+    pub counter_bits: u32,
+    /// DNL window lower limit `i_min` (Eq. 3).
+    pub i_min: u64,
+    /// DNL window upper limit `i_max` (Eq. 4).
+    pub i_max: u64,
+    /// Nominal (ideal) counts per code, used as the DNL reference for
+    /// INL accumulation.
+    pub i_ideal: u64,
+    /// INL window half-width in counter units; `None` disables the INL
+    /// check.
+    pub inl_limit_counts: Option<u64>,
+    /// Whether the 3-tap majority deglitcher is in the LSB path.
+    pub deglitch: bool,
+}
+
+impl LsbProcessorConfig {
+    /// Validates and freezes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_min > i_max` or `counter_bits` is outside `1..=32`.
+    pub fn validate(self) -> Self {
+        assert!(
+            (1..=32).contains(&self.counter_bits),
+            "counter width must be 1..=32"
+        );
+        assert!(self.i_min <= self.i_max, "i_min must not exceed i_max");
+        self
+    }
+}
+
+/// The Figure-4 LSB-processing block.
+///
+/// Tick once per sample with the raw LSB level; a [`CodeMeasurement`] is
+/// produced at each LSB transition after the first. The first transition
+/// only aligns the counter (the preceding partial code is not judged —
+/// the harness also drops end codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LsbProcessor {
+    config: LsbProcessorConfig,
+    deglitcher: Deglitcher,
+    edges: EdgeDetector,
+    counter: Counter,
+    comparator: WindowComparator,
+    inl: Accumulator,
+    seen_first_edge: bool,
+    measurements_emitted: u64,
+    dnl_failures: u64,
+    inl_failures: u64,
+}
+
+impl LsbProcessor {
+    /// Builds the block from a validated configuration.
+    pub fn new(config: LsbProcessorConfig) -> Self {
+        let config = config.validate();
+        LsbProcessor {
+            config,
+            deglitcher: Deglitcher::new(),
+            edges: EdgeDetector::new(),
+            counter: Counter::new(config.counter_bits),
+            comparator: WindowComparator::new(config.i_min, config.i_max),
+            // INL accumulator sized to cover the worst swing with margin:
+            // 16-bit signed is beyond any counter the paper considers.
+            inl: Accumulator::new(16),
+            seen_first_edge: false,
+            measurements_emitted: 0,
+            dnl_failures: 0,
+            inl_failures: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LsbProcessorConfig {
+        &self.config
+    }
+
+    /// Clocks the block with this sample's LSB level. Returns a
+    /// measurement when a code completed this cycle.
+    pub fn tick(&mut self, lsb: bool) -> Option<CodeMeasurement> {
+        let filtered = if self.config.deglitch {
+            self.deglitcher.tick(lsb)
+        } else {
+            lsb
+        };
+        let e = self.edges.tick(filtered);
+        if !e.any() {
+            // Mid-code sample: count it (the edge-cycle sample itself is
+            // accounted for by reporting counter+1 at the next edge).
+            if self.seen_first_edge {
+                self.counter.tick(true, false);
+            }
+            return None;
+        }
+        // An LSB transition: the previous code is complete.
+        if !self.seen_first_edge {
+            self.seen_first_edge = true;
+            self.counter.tick(false, true);
+            return None;
+        }
+        let raw = self.counter.value().value();
+        let overflow = self.counter.overflowed();
+        // The sample *at* the transition cycle belongs to the new code;
+        // the previous code spanned the edge-to-edge gap = counter + 1.
+        let count = raw + 1;
+        let dnl_verdict = self
+            .comparator
+            .compare_bus(Bus::truncate(64, count), overflow);
+        if !dnl_verdict.is_pass() {
+            self.dnl_failures += 1;
+        }
+        let inl_counts = self.inl.add(count as i64 - self.config.i_ideal as i64);
+        let inl_pass = match self.config.inl_limit_counts {
+            Some(limit) => !self.inl.saturated() && inl_counts.unsigned_abs() <= limit,
+            None => true,
+        };
+        if !inl_pass {
+            self.inl_failures += 1;
+        }
+        let m = CodeMeasurement {
+            index: self.measurements_emitted,
+            count,
+            overflow,
+            dnl_verdict,
+            inl_counts,
+            inl_pass,
+        };
+        self.measurements_emitted += 1;
+        self.counter.tick(false, true);
+        Some(m)
+    }
+
+    /// Number of completed code measurements so far.
+    pub fn measurements(&self) -> u64 {
+        self.measurements_emitted
+    }
+
+    /// Number of DNL window failures so far.
+    pub fn dnl_failures(&self) -> u64 {
+        self.dnl_failures
+    }
+
+    /// Number of INL window failures so far.
+    pub fn inl_failures(&self) -> u64 {
+        self.inl_failures
+    }
+
+    /// Whether every judged code passed both windows.
+    pub fn all_pass(&self) -> bool {
+        self.dnl_failures == 0 && self.inl_failures == 0
+    }
+
+    /// Resets all sequential state for a new run.
+    pub fn reset(&mut self) {
+        *self = LsbProcessor::new(self.config);
+    }
+}
+
+impl fmt::Display for LsbProcessor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LSB processor: {} codes, {} DNL fails, {} INL fails",
+            self.measurements_emitted, self.dnl_failures, self.inl_failures
+        )
+    }
+}
+
+/// The Figure-2 upper-bit functional checker.
+///
+/// The bits above the monitored bit are registered through the same
+/// two-stage synchroniser latency as the LSB path, then compared against
+/// an expected value that increments at each falling LSB edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpperBitChecker {
+    edges: EdgeDetector,
+    /// Two alignment registers matching the LSB synchroniser latency.
+    align0: Bus,
+    align1: Bus,
+    expected: Option<Bus>,
+    mismatches: u64,
+    checks: u64,
+}
+
+impl UpperBitChecker {
+    /// Creates a checker for `width`-bit upper words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 63.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=63).contains(&width), "width must be 1..=63");
+        UpperBitChecker {
+            edges: EdgeDetector::new(),
+            align0: Bus::zero(width),
+            align1: Bus::zero(width),
+            expected: None,
+            mismatches: 0,
+            checks: 0,
+        }
+    }
+
+    /// Clocks the checker with this sample's monitored-bit level and
+    /// upper word. Returns `Some(ok)` when a check fired this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper` has a different width than configured.
+    pub fn tick(&mut self, monitored_bit: bool, upper: Bus) -> Option<bool> {
+        assert_eq!(upper.width(), self.align0.width(), "upper word width changed");
+        let e = self.edges.tick(monitored_bit);
+        // Align the upper word with the synchronised LSB (2 cycles).
+        let aligned = self.align1;
+        self.align1 = self.align0;
+        self.align0 = upper;
+        if !e.falling {
+            return None;
+        }
+        match self.expected {
+            None => {
+                // First falling edge: adopt the current upper word.
+                self.expected = Some(aligned);
+                None
+            }
+            Some(prev) => {
+                let want = prev.wrapping_add(1);
+                self.checks += 1;
+                let ok = aligned == want;
+                if !ok {
+                    self.mismatches += 1;
+                }
+                // Resynchronise so one error does not cascade.
+                self.expected = Some(aligned);
+                Some(ok)
+            }
+        }
+    }
+
+    /// Number of comparisons performed.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Number of mismatches observed.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Whether all comparisons matched.
+    pub fn all_pass(&self) -> bool {
+        self.mismatches == 0
+    }
+}
+
+impl fmt::Display for UpperBitChecker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "upper-bit checker: {}/{} mismatches",
+            self.mismatches, self.checks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(bits: u32, i_min: u64, i_max: u64, i_ideal: u64) -> LsbProcessorConfig {
+        LsbProcessorConfig {
+            counter_bits: bits,
+            i_min,
+            i_max,
+            i_ideal,
+            inl_limit_counts: None,
+            deglitch: false,
+        }
+    }
+
+    /// An LSB stream with the given run lengths (alternating levels,
+    /// starting low).
+    fn lsb_stream(runs: &[u64]) -> Vec<bool> {
+        let mut out = Vec::new();
+        let mut level = false;
+        for &r in runs {
+            for _ in 0..r {
+                out.push(level);
+            }
+            level = !level;
+        }
+        out
+    }
+
+    fn run_processor(cfg: LsbProcessorConfig, bits: &[bool]) -> (LsbProcessor, Vec<CodeMeasurement>) {
+        let mut p = LsbProcessor::new(cfg);
+        let mut out = Vec::new();
+        for &b in bits {
+            if let Some(m) = p.tick(b) {
+                out.push(m);
+            }
+        }
+        (p, out)
+    }
+
+    #[test]
+    fn measures_run_lengths_exactly() {
+        // Runs: 5 (partial, dropped), then 10, 11, 9 complete codes, then
+        // 8 (unterminated, not emitted).
+        let bits = lsb_stream(&[5, 10, 11, 9, 8]);
+        let (p, ms) = run_processor(config(6, 1, 63, 10), &bits);
+        let counts: Vec<u64> = ms.iter().map(|m| m.count).collect();
+        assert_eq!(counts, vec![10, 11, 9]);
+        assert_eq!(p.measurements(), 3);
+    }
+
+    #[test]
+    fn dnl_window_flags_outliers() {
+        let bits = lsb_stream(&[4, 10, 16, 5, 10, 3]);
+        // Window 6..=15: 16 is too wide, 5 too narrow, 10s pass.
+        let (p, ms) = run_processor(config(6, 6, 15, 10), &bits);
+        let verdicts: Vec<WindowVerdict> = ms.iter().map(|m| m.dnl_verdict).collect();
+        assert_eq!(
+            verdicts,
+            vec![
+                WindowVerdict::Pass,
+                WindowVerdict::TooWide,
+                WindowVerdict::TooNarrow,
+                WindowVerdict::Pass,
+            ]
+        );
+        assert_eq!(p.dnl_failures(), 2);
+        assert!(!p.all_pass());
+    }
+
+    #[test]
+    fn counter_overflow_reports_too_wide() {
+        // 4-bit counter saturates at 15; a 40-sample code overflows. The
+        // final run must exceed the 2-cycle synchroniser latency for the
+        // 10-run's closing edge to be observed.
+        let bits = lsb_stream(&[3, 40, 10, 4]);
+        let (_, ms) = run_processor(config(4, 1, 100, 10), &bits);
+        assert!(ms[0].overflow);
+        assert_eq!(ms[0].dnl_verdict, WindowVerdict::TooWide);
+        // The next code is measured correctly after the overflow.
+        assert_eq!(ms[1].count, 10);
+        assert!(!ms[1].overflow);
+    }
+
+    #[test]
+    fn inl_accumulates_dnl_residuals() {
+        let bits = lsb_stream(&[4, 12, 8, 10, 11, 4]);
+        let mut cfg = config(6, 1, 63, 10);
+        cfg.inl_limit_counts = Some(3);
+        let (_, ms) = run_processor(cfg, &bits);
+        let inls: Vec<i64> = ms.iter().map(|m| m.inl_counts).collect();
+        // Residuals vs ideal 10: +2, −2, 0, +1 → cumulative 2, 0, 0, 1.
+        assert_eq!(inls, vec![2, 0, 0, 1]);
+        assert!(ms.iter().all(|m| m.inl_pass));
+    }
+
+    #[test]
+    fn inl_window_fails_on_drift() {
+        // Codes persistently 12 wide vs ideal 10: INL drifts +2 per code.
+        let bits = lsb_stream(&[4, 12, 12, 12, 12, 4]);
+        let mut cfg = config(6, 1, 63, 10);
+        cfg.inl_limit_counts = Some(5);
+        let (p, ms) = run_processor(cfg, &bits);
+        assert!(ms[0].inl_pass); // +2
+        assert!(ms[1].inl_pass); // +4
+        assert!(!ms[2].inl_pass); // +6 > 5
+        assert_eq!(p.inl_failures(), 2); // codes 3 and 4
+    }
+
+    #[test]
+    fn deglitcher_absorbs_transition_noise() {
+        // A bouncing transition: without deglitch it yields spurious
+        // short codes; with deglitch, one clean transition.
+        let mut bits = lsb_stream(&[4, 10]);
+        // Splice a bounce into the rising transition.
+        bits.insert(4, true);
+        bits.insert(5, false);
+        let cfg_raw = config(6, 6, 15, 10);
+        let (p_raw, _) = run_processor(cfg_raw, &bits);
+        let mut cfg_filt = cfg_raw;
+        cfg_filt.deglitch = true;
+        let (p_filt, _) = run_processor(cfg_filt, &bits);
+        assert!(p_raw.measurements() > p_filt.measurements());
+        assert!(p_filt.all_pass() || p_filt.measurements() == 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let bits = lsb_stream(&[4, 10, 10, 2]);
+        let (mut p, _) = run_processor(config(6, 6, 15, 10), &bits);
+        assert!(p.measurements() > 0);
+        p.reset();
+        assert_eq!(p.measurements(), 0);
+        assert_eq!(p.dnl_failures(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "i_min must not exceed i_max")]
+    fn invalid_window_panics() {
+        LsbProcessor::new(config(6, 10, 5, 7));
+    }
+
+    // --- UpperBitChecker ---
+
+    /// Builds (lsb, upper) sample pairs for a clean binary count through
+    /// `codes`, `per_code` samples each.
+    fn code_walk(codes: &[u32], per_code: usize, upper_width: u32) -> Vec<(bool, Bus)> {
+        let mut out = Vec::new();
+        for &c in codes {
+            for _ in 0..per_code {
+                out.push((c & 1 == 1, Bus::truncate(upper_width, (c >> 1) as u64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn clean_count_passes() {
+        let codes: Vec<u32> = (0..32).collect();
+        let mut chk = UpperBitChecker::new(5);
+        for (lsb, upper) in code_walk(&codes, 8, 5) {
+            chk.tick(lsb, upper);
+        }
+        assert!(chk.checks() > 10, "checks {}", chk.checks());
+        assert!(chk.all_pass(), "{chk}");
+    }
+
+    #[test]
+    fn stuck_upper_bit_detected() {
+        let codes: Vec<u32> = (0..32).collect();
+        let mut chk = UpperBitChecker::new(5);
+        for (lsb, upper) in code_walk(&codes, 8, 5) {
+            // Upper bit 2 stuck at 0 (i.e. code bit 3).
+            let faulty = upper.with_bit(2, false);
+            chk.tick(lsb, faulty);
+        }
+        assert!(!chk.all_pass());
+        assert!(chk.mismatches() >= 2, "mismatches {}", chk.mismatches());
+    }
+
+    #[test]
+    fn skipped_code_detected() {
+        // The sequence jumps 4 → 6 (code 5's upper word never appears as
+        // expected at the 5→6 boundary... the jump breaks +1 continuity).
+        let codes = [0u32, 1, 2, 3, 4, 6, 7, 8, 9];
+        let mut chk = UpperBitChecker::new(5);
+        for (lsb, upper) in code_walk(&codes, 8, 5) {
+            chk.tick(lsb, upper);
+        }
+        assert_eq!(chk.mismatches(), 1);
+    }
+
+    #[test]
+    fn checker_resynchronises_after_error() {
+        // One glitch then clean counting: exactly one mismatch.
+        let codes = [0u32, 1, 2, 3, 12, 13, 14, 15, 16, 17];
+        let mut chk = UpperBitChecker::new(5);
+        for (lsb, upper) in code_walk(&codes, 8, 5) {
+            chk.tick(lsb, upper);
+        }
+        assert_eq!(chk.mismatches(), 1, "{chk}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width changed")]
+    fn width_mismatch_panics() {
+        let mut chk = UpperBitChecker::new(5);
+        chk.tick(false, Bus::zero(4));
+    }
+
+    #[test]
+    fn displays() {
+        let p = LsbProcessor::new(config(6, 1, 63, 10));
+        assert!(p.to_string().contains("LSB processor"));
+        let c = UpperBitChecker::new(3);
+        assert!(c.to_string().contains("checker"));
+    }
+}

@@ -1,0 +1,140 @@
+//! RTL majority-vote deglitcher for the monitored LSB.
+//!
+//! §3: comparator transition noise *"can cause toggling of the LSB which
+//! means that there is no exact transition. Toggles in the LSB can be
+//! removed by means of a simple digital filter."* This is that filter as
+//! hardware: a 3-stage shift register and a majority gate. Its behaviour
+//! is bit-exact with `bist_dsp::filter::MajorityVote` (window 3) once the
+//! pipeline is primed — a cross-check test in `bist-core` enforces that.
+
+use crate::registers::ShiftRegister;
+use std::fmt;
+
+/// Three-tap majority-vote filter.
+///
+/// # Examples
+///
+/// ```
+/// use bist_rtl::deglitch::Deglitcher;
+///
+/// let mut d = Deglitcher::new();
+/// // An isolated glitch is absorbed.
+/// let out: Vec<bool> = [false, false, true, false, false]
+///     .iter()
+///     .map(|&b| d.tick(b))
+///     .collect();
+/// assert!(out.iter().all(|&b| !b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deglitcher {
+    taps: ShiftRegister,
+}
+
+impl Deglitcher {
+    /// A deglitcher with cleared taps.
+    pub fn new() -> Self {
+        Deglitcher {
+            taps: ShiftRegister::new(3),
+        }
+    }
+
+    /// Clocks the filter with the raw bit; returns the voted output
+    /// (2-of-3 majority over the window including this cycle's input).
+    pub fn tick(&mut self, raw: bool) -> bool {
+        self.taps.tick(raw);
+        let ones = self.taps.bits().iter().filter(|&&b| b).count();
+        ones >= 2
+    }
+
+    /// Clears the filter state.
+    pub fn clear(&mut self) {
+        self.taps.clear();
+    }
+}
+
+impl Default for Deglitcher {
+    fn default() -> Self {
+        Deglitcher::new()
+    }
+}
+
+impl fmt::Display for Deglitcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deglitcher [{}]",
+            self.taps
+                .bits()
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect::<String>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(bits: &[bool]) -> Vec<bool> {
+        let mut d = Deglitcher::new();
+        bits.iter().map(|&b| d.tick(b)).collect()
+    }
+
+    #[test]
+    fn suppresses_isolated_high_glitch() {
+        let out = run(&[false, false, true, false, false, false]);
+        assert!(out.iter().all(|&b| !b), "{out:?}");
+    }
+
+    #[test]
+    fn suppresses_isolated_low_glitch() {
+        let out = run(&[true, true, true, false, true, true]);
+        // After priming (cycle 1), output stays high through the glitch.
+        assert!(out[1..].iter().all(|&b| b), "{out:?}");
+    }
+
+    #[test]
+    fn passes_clean_transition_with_one_cycle_latency() {
+        let out = run(&[false, false, true, true, true]);
+        assert_eq!(out, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn bouncing_edge_single_transition() {
+        let out = run(&[false, true, false, true, true, false, true, true, true]);
+        let transitions = out.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(transitions, 1, "{out:?}");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = Deglitcher::new();
+        d.tick(true);
+        d.tick(true);
+        assert!(d.tick(true));
+        d.clear();
+        assert!(!d.tick(false));
+    }
+
+    #[test]
+    fn matches_behavioral_majority_vote() {
+        // Bit-exact against the bist-dsp reference for a pseudo-random
+        // stream, after the 2-sample priming window (the RTL taps reset
+        // to zero whereas the behavioural filter votes over the bits
+        // seen so far).
+        use bist_dsp::filter::MajorityVote;
+        let bits: Vec<bool> = (0..200).map(|i| (i * 7919 % 13) < 6).collect();
+        let rtl = run(&bits);
+        let mut beh = MajorityVote::new(3);
+        let reference: Vec<bool> = bits.iter().map(|&b| beh.push(b)).collect();
+        assert_eq!(rtl[2..], reference[2..]);
+    }
+
+    #[test]
+    fn display_shows_taps() {
+        let mut d = Deglitcher::new();
+        d.tick(true);
+        assert!(d.to_string().contains('1'));
+    }
+}

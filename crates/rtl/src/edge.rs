@@ -1,0 +1,167 @@
+//! Input synchroniser and edge detector for the monitored LSB.
+//!
+//! Figure 4's "LSB edge detect": the raw LSB is registered (two-stage
+//! synchroniser, as any signal crossing into the BIST clock domain would
+//! be) and a transition on the synchronised bit produces a one-cycle
+//! pulse. Rising and falling edges are reported separately because the
+//! upper-bit functional counter clocks only on the falling edge ("clocked
+//! if q goes from 1 to 0").
+
+use crate::registers::Dff;
+use std::fmt;
+
+/// Edge pulses produced in one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Edges {
+    /// Synchronised level after the synchroniser flops.
+    pub level: bool,
+    /// High for one cycle on a 0→1 transition.
+    pub rising: bool,
+    /// High for one cycle on a 1→0 transition.
+    pub falling: bool,
+}
+
+impl Edges {
+    /// Whether any transition happened this cycle.
+    pub fn any(&self) -> bool {
+        self.rising || self.falling
+    }
+}
+
+/// Two-flop synchroniser plus transition detector.
+///
+/// # Examples
+///
+/// ```
+/// use bist_rtl::edge::EdgeDetector;
+///
+/// let mut ed = EdgeDetector::new();
+/// // Latency: two synchroniser stages before the edge shows.
+/// let outs: Vec<bool> = [false, true, true, true]
+///     .iter()
+///     .map(|&b| ed.tick(b).rising)
+///     .collect();
+/// assert_eq!(outs, vec![false, false, false, true]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EdgeDetector {
+    sync0: Dff,
+    sync1: Dff,
+    prev: Dff,
+}
+
+impl EdgeDetector {
+    /// A detector with all stages cleared.
+    pub fn new() -> Self {
+        EdgeDetector::default()
+    }
+
+    /// Clocks the detector with the raw input bit.
+    pub fn tick(&mut self, raw: bool) -> Edges {
+        // Chain: raw → sync0 → sync1 → prev; compare sync1 vs prev.
+        let s0_old = self.sync0.tick(raw, true);
+        let s1_old = self.sync1.tick(s0_old, true);
+        let prev_old = self.prev.tick(s1_old, true);
+        let level = s1_old;
+        Edges {
+            level,
+            rising: level && !prev_old,
+            falling: !level && prev_old,
+        }
+    }
+
+    /// Clears all stages.
+    pub fn clear(&mut self) {
+        self.sync0.clear();
+        self.sync1.clear();
+        self.prev.clear();
+    }
+}
+
+impl fmt::Display for EdgeDetector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "edge detector (level {})", u8::from(self.sync1.q()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(bits: &[bool]) -> Vec<Edges> {
+        let mut ed = EdgeDetector::new();
+        bits.iter().map(|&b| ed.tick(b)).collect()
+    }
+
+    #[test]
+    fn detects_single_rising_edge_once() {
+        let out = run(&[false, false, true, true, true, true]);
+        let rises: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.rising)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rises, vec![4]); // input edge at 2 + 2 cycles latency
+        assert!(out.iter().all(|e| !e.falling));
+    }
+
+    #[test]
+    fn detects_falling_edge() {
+        let out = run(&[true, true, true, false, false, false]);
+        let falls: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.falling)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(falls, vec![5]);
+    }
+
+    #[test]
+    fn square_wave_alternates_edges() {
+        let bits: Vec<bool> = (0..20).map(|i| (i / 2) % 2 == 1).collect();
+        let out = run(&bits);
+        let total_edges = out.iter().filter(|e| e.any()).count();
+        // Input has 9 transitions within the window; latency trims the tail.
+        assert!((8..=9).contains(&total_edges), "{total_edges}");
+        // Rising and falling strictly alternate.
+        let kinds: Vec<bool> = out
+            .iter()
+            .filter(|e| e.any())
+            .map(|e| e.rising)
+            .collect();
+        for w in kinds.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn level_follows_input_with_latency() {
+        let out = run(&[true, true, true, true]);
+        assert!(!out[0].level);
+        assert!(!out[1].level);
+        assert!(out[2].level);
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut ed = EdgeDetector::new();
+        ed.tick(true);
+        ed.tick(true);
+        ed.clear();
+        let e = ed.tick(false);
+        assert!(!e.any());
+    }
+
+    #[test]
+    fn edges_any() {
+        assert!(Edges {
+            level: true,
+            rising: true,
+            falling: false
+        }
+        .any());
+        assert!(!Edges::default().any());
+    }
+}

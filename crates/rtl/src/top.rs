@@ -1,0 +1,281 @@
+//! The complete on-chip BIST top level — the paper's "ultimate goal …
+//! a complete BIST solution where no expensive mixed-signal tester is
+//! needed".
+//!
+//! [`BistTop`] wires the Figure-4 LSB processor and the Figure-2
+//! upper-bit checker to a single clock, latches sticky pass/fail bits,
+//! counts transitions for the completeness check, and compacts every
+//! code measurement into a MISR signature so the *entire* test result
+//! can be read out through one register scan — a single test pin, as §5
+//! promises.
+
+use crate::datapath::{CodeMeasurement, LsbProcessor, LsbProcessorConfig, UpperBitChecker};
+use crate::logic::Bus;
+use crate::registers::Misr;
+use std::fmt;
+
+/// Configuration of the full BIST top level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistTopConfig {
+    /// LSB-processing block configuration.
+    pub lsb: LsbProcessorConfig,
+    /// Converter resolution in bits (upper word is `adc_bits − 1` wide).
+    pub adc_bits: u32,
+    /// Number of complete code measurements a healthy sweep produces
+    /// (`2ⁿ − 2` for a full ramp at bit 0).
+    pub expected_codes: u64,
+}
+
+/// The sticky result register of a finished self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistReport {
+    /// Codes measured.
+    pub codes_measured: u64,
+    /// DNL window failures.
+    pub dnl_failures: u64,
+    /// INL window failures.
+    pub inl_failures: u64,
+    /// Upper-bit mismatches.
+    pub functional_mismatches: u64,
+    /// Whether the sweep produced the expected number of measurements.
+    pub complete: bool,
+    /// The MISR signature over all measurements (count ‖ verdict bits).
+    pub signature: Bus,
+}
+
+impl BistReport {
+    /// The single pass/fail bit the chip would expose.
+    pub fn pass(&self) -> bool {
+        self.complete
+            && self.dnl_failures == 0
+            && self.inl_failures == 0
+            && self.functional_mismatches == 0
+    }
+}
+
+impl fmt::Display for BistReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} codes, {} DNL / {} INL / {} functional failures, signature {:b}",
+            if self.pass() { "PASS" } else { "FAIL" },
+            self.codes_measured,
+            self.dnl_failures,
+            self.inl_failures,
+            self.functional_mismatches,
+            self.signature
+        )
+    }
+}
+
+/// The full on-chip BIST: tick once per ADC sample with the output code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BistTop {
+    config: BistTopConfig,
+    lsb: LsbProcessor,
+    upper: UpperBitChecker,
+    misr: Misr,
+    functional_mismatches: u64,
+}
+
+impl BistTop {
+    /// 16-bit MISR polynomial (x¹⁶+x¹⁵+x¹³+x⁴+1-ish taps — any dense
+    /// polynomial works for compaction).
+    const MISR_TAPS: u64 = 0b1010_0000_0001_1001;
+
+    /// Builds the top level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adc_bits < 2` (there must be at least one upper bit)
+    /// or the LSB configuration is invalid.
+    pub fn new(config: BistTopConfig) -> Self {
+        assert!(config.adc_bits >= 2, "need at least one upper bit");
+        BistTop {
+            config,
+            lsb: LsbProcessor::new(config.lsb),
+            upper: UpperBitChecker::new(config.adc_bits - 1),
+            misr: Misr::new(16, Self::MISR_TAPS),
+            functional_mismatches: 0,
+        }
+    }
+
+    /// Clocks the BIST with this sample's output code. Returns the
+    /// LSB-processor measurement when a code completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` does not fit in `adc_bits`.
+    pub fn tick(&mut self, code: u64) -> Option<CodeMeasurement> {
+        let word = Bus::new(self.config.adc_bits, code);
+        let lsb_bit = word.bit(0);
+        let upper = word.slice(self.config.adc_bits - 1, 1);
+        if let Some(ok) = self.upper.tick(lsb_bit, upper) {
+            if !ok {
+                self.functional_mismatches += 1;
+            }
+        }
+        let m = self.lsb.tick(lsb_bit);
+        if let Some(m) = &m {
+            // Compact count and verdicts into the signature: the count
+            // in the low bits, verdict flags above.
+            let verdict_bits = (u64::from(!m.dnl_verdict.is_pass()) << 14)
+                | (u64::from(!m.inl_pass) << 15);
+            self.misr.tick((m.count & 0x3FFF) | verdict_bits);
+        }
+        m
+    }
+
+    /// The report register as it stands now (read at end of sweep).
+    pub fn report(&self) -> BistReport {
+        BistReport {
+            codes_measured: self.lsb.measurements(),
+            dnl_failures: self.lsb.dnl_failures(),
+            inl_failures: self.lsb.inl_failures(),
+            functional_mismatches: self.functional_mismatches,
+            complete: self.lsb.measurements() >= self.config.expected_codes,
+            signature: self.misr.signature(),
+        }
+    }
+
+    /// Resets all state for a new self-test run.
+    pub fn reset(&mut self) {
+        *self = BistTop::new(self.config);
+    }
+}
+
+impl fmt::Display for BistTop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BIST top: {}", self.report())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window_compare::WindowVerdict;
+
+    fn config() -> BistTopConfig {
+        BistTopConfig {
+            lsb: LsbProcessorConfig {
+                counter_bits: 6,
+                i_min: 6,
+                i_max: 16,
+                i_ideal: 11,
+                inl_limit_counts: None,
+                deglitch: false,
+            },
+            adc_bits: 6,
+            expected_codes: 62,
+        }
+    }
+
+    /// A clean staircase through all 64 codes, `per_code` samples each.
+    fn staircase(per_code: usize) -> Vec<u64> {
+        (0..64u64)
+            .flat_map(|c| std::iter::repeat_n(c, per_code))
+            .collect()
+    }
+
+    fn run(top: &mut BistTop, codes: &[u64]) -> Vec<CodeMeasurement> {
+        codes.iter().filter_map(|&c| top.tick(c)).collect()
+    }
+
+    #[test]
+    fn clean_sweep_passes() {
+        let mut top = BistTop::new(config());
+        let ms = run(&mut top, &staircase(11));
+        assert_eq!(ms.len(), 62);
+        assert!(ms.iter().all(|m| m.dnl_verdict == WindowVerdict::Pass));
+        let report = top.report();
+        assert!(report.pass(), "{report}");
+        assert!(report.complete);
+        assert_ne!(report.signature.value(), 0);
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_sensitive() {
+        let mut a = BistTop::new(config());
+        let mut b = BistTop::new(config());
+        run(&mut a, &staircase(11));
+        run(&mut b, &staircase(11));
+        assert_eq!(a.report().signature, b.report().signature);
+
+        // One code slightly wider: same pass verdicts, different
+        // signature — the signature carries the fine measurement data.
+        let mut skewed = staircase(11);
+        let insert_at = skewed.iter().position(|&c| c == 30).expect("code 30");
+        skewed.insert(insert_at, 29);
+        let mut c = BistTop::new(config());
+        run(&mut c, &skewed);
+        assert!(c.report().pass());
+        assert_ne!(c.report().signature, a.report().signature);
+    }
+
+    #[test]
+    fn stuck_lsb_fails_via_completeness() {
+        let mut top = BistTop::new(config());
+        let stuck: Vec<u64> = staircase(11).iter().map(|c| c & !1).collect();
+        run(&mut top, &stuck);
+        let report = top.report();
+        assert_eq!(report.codes_measured, 0);
+        assert!(!report.complete);
+        assert!(!report.pass());
+    }
+
+    #[test]
+    fn stuck_upper_bit_fails_functionally() {
+        let mut top = BistTop::new(config());
+        let stuck: Vec<u64> = staircase(11).iter().map(|c| c & !(1 << 4)).collect();
+        run(&mut top, &stuck);
+        let report = top.report();
+        assert!(report.functional_mismatches > 0);
+        assert!(!report.pass());
+    }
+
+    #[test]
+    fn wide_code_fails_dnl() {
+        let mut codes = staircase(11);
+        // Stretch code 20 to 30 samples (> i_max 16).
+        let pos = codes.iter().position(|&c| c == 20).expect("code 20");
+        for _ in 0..19 {
+            codes.insert(pos, 20);
+        }
+        let mut top = BistTop::new(config());
+        run(&mut top, &codes);
+        let report = top.report();
+        assert!(report.dnl_failures >= 1);
+        assert!(!report.pass());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut top = BistTop::new(config());
+        run(&mut top, &staircase(11));
+        top.reset();
+        let report = top.report();
+        assert_eq!(report.codes_measured, 0);
+        assert_eq!(report.signature.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_code_panics() {
+        let mut top = BistTop::new(config());
+        top.tick(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one upper bit")]
+    fn one_bit_adc_panics() {
+        let mut cfg = config();
+        cfg.adc_bits = 1;
+        BistTop::new(cfg);
+    }
+
+    #[test]
+    fn display_includes_verdict() {
+        let top = BistTop::new(config());
+        assert!(top.to_string().contains("FAIL")); // incomplete at start
+    }
+}

@@ -1,0 +1,46 @@
+//! # adc-bist
+//!
+//! Umbrella crate for the reproduction of R. de Vries, T. Zwemstra,
+//! E.M.J.G. Bruls and P.P.L. Regtien, *Built-In Self-Test Methodology
+//! for A/D Converters*, ED&TC/DATE 1997 — re-exporting the workspace
+//! members under one roof for the examples and integration tests.
+//!
+//! * [`dsp`] — FFT/spectral/statistics substrate.
+//! * [`adc`] — behavioural converter models, stimuli, noise, metrics.
+//! * [`rtl`] — cycle-accurate on-chip BIST circuitry and area model.
+//! * [`core`] — the BIST method, error theory and harnesses.
+//! * [`mc`] — Monte-Carlo batches and experiment drivers.
+//!
+//! See the repository README for the architecture overview and
+//! EXPERIMENTS.md for paper-vs-reproduced results.
+//!
+//! ## Example
+//!
+//! ```
+//! use adc_bist::adc::flash::FlashConfig;
+//! use adc_bist::adc::noise::NoiseConfig;
+//! use adc_bist::adc::spec::LinearitySpec;
+//! use adc_bist::adc::types::Resolution;
+//! use adc_bist::core::config::BistConfig;
+//! use adc_bist::core::harness::run_static_bist;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), adc_bist::core::limits::PlanLimitsError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let device = FlashConfig::paper_device().sample(&mut rng);
+//! let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+//!     .counter_bits(4)
+//!     .build()?;
+//! let outcome = run_static_bist(&device, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+//! println!("{outcome}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bist_adc as adc;
+pub use bist_core as core;
+pub use bist_dsp as dsp;
+pub use bist_mc as mc;
+pub use bist_rtl as rtl;

@@ -1,0 +1,133 @@
+//! Integration: the single-pin RTL top level (`bist_rtl::top::BistTop`)
+//! must reach the same device verdicts as the behavioural harness on
+//! real converter sweeps — the last link between the paper's concept and
+//! synthesisable hardware.
+
+use bist_adc::flash::FlashConfig;
+use bist_adc::noise::NoiseConfig;
+use bist_adc::sampler::{acquire, SamplingConfig};
+use bist_adc::signal::Ramp;
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::{Resolution, Volts};
+use bist_core::config::BistConfig;
+use bist_core::harness::{bist_from_capture, run_static_bist};
+use bist_rtl::top::{BistTop, BistTopConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn paper_config(bits: u32) -> BistConfig {
+    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(bits)
+        .build()
+        .expect("paper operating point")
+}
+
+fn top_from(config: &BistConfig) -> BistTop {
+    BistTop::new(BistTopConfig {
+        lsb: config.to_rtl(),
+        adc_bits: config.resolution().bits(),
+        expected_codes: config.expected_measurements(),
+    })
+}
+
+#[test]
+fn top_level_agrees_with_harness_on_flash_batch() {
+    let config = paper_config(5);
+    let mut agreements = 0;
+    let total = 40;
+    for seed in 0..total {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adc = FlashConfig::paper_device().sample(&mut rng);
+        let slope = config.delta_s().0 * 0.1 * 1.0e6;
+        let capture = acquire(
+            &adc,
+            &Ramp::new(Volts(-0.2), slope),
+            SamplingConfig::new(1.0e6, ((6.4 + 1.4) / slope * 1.0e6) as usize),
+        );
+        let behavioural = bist_from_capture(&config, &capture);
+
+        let mut top = top_from(&config);
+        for code in capture.codes() {
+            top.tick(u64::from(code.0));
+        }
+        let report = top.report();
+        // The RTL top may miss the final edge (synchroniser latency), so
+        // completeness can differ by one code; compare failure verdicts.
+        let rtl_reject = report.dnl_failures > 0
+            || report.inl_failures > 0
+            || report.functional_mismatches > 0;
+        let beh_reject =
+            !behavioural.monitor.all_pass() || !behavioural.functional.all_pass();
+        if rtl_reject == beh_reject {
+            agreements += 1;
+        }
+        // Failure counts must match exactly on the common prefix: DNL
+        // counts can differ by at most the final (possibly missed) code.
+        assert!(
+            report
+                .dnl_failures
+                .abs_diff(behavioural.monitor.dnl_failures)
+                <= 1,
+            "seed {seed}: DNL fails {} vs {}",
+            report.dnl_failures,
+            behavioural.monitor.dnl_failures
+        );
+    }
+    assert_eq!(agreements, total, "verdict disagreement");
+}
+
+#[test]
+fn top_level_catches_the_stuck_lsb_that_needs_completeness() {
+    // The fault class that motivated the completeness check: dead LSB.
+    let config = paper_config(4);
+    let mut top = top_from(&config);
+    // A staircase with the LSB masked off.
+    for c in 0..64u64 {
+        for _ in 0..11 {
+            top.tick(c & !1);
+        }
+    }
+    let report = top.report();
+    assert!(!report.complete);
+    assert!(!report.pass());
+
+    // Behavioural side agrees.
+    let mut rng = StdRng::seed_from_u64(1);
+    let good = bist_adc::transfer::TransferFunction::ideal(
+        Resolution::SIX_BIT,
+        Volts(0.0),
+        Volts(6.4),
+    );
+    let faulty = bist_adc::faults::FaultyAdc::new(
+        good,
+        bist_adc::faults::OutputFault::StuckBit { bit: 0, value: false },
+    );
+    let outcome = run_static_bist(&faulty, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+    assert!(!outcome.complete());
+    assert!(!outcome.accepted());
+}
+
+#[test]
+fn signature_distinguishes_devices() {
+    // Different mismatch instances must yield different MISR signatures
+    // (the whole point of compaction: one register read identifies the
+    // measured linearity profile).
+    let config = paper_config(6);
+    let mut signatures = std::collections::HashSet::new();
+    for seed in 0..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let adc = FlashConfig::paper_device().sample(&mut rng);
+        let slope = config.delta_s().0 * 0.1 * 1.0e6;
+        let capture = acquire(
+            &adc,
+            &Ramp::new(Volts(-0.2), slope),
+            SamplingConfig::new(1.0e6, ((6.4 + 1.4) / slope * 1.0e6) as usize),
+        );
+        let mut top = top_from(&config);
+        for code in capture.codes() {
+            top.tick(u64::from(code.0));
+        }
+        signatures.insert(top.report().signature.value());
+    }
+    assert_eq!(signatures.len(), 20, "signature collision across devices");
+}

@@ -1,0 +1,213 @@
+//! Integration: full-pipeline scenarios spanning every crate — devices,
+//! stimuli, noise, BIST, histogram baselines and fault coverage.
+
+use bist_adc::faults::{FaultyAdc, OutputFault};
+use bist_adc::flash::FlashConfig;
+use bist_adc::noise::NoiseConfig;
+use bist_adc::sar::SarConfig;
+use bist_adc::spec::LinearitySpec;
+use bist_adc::transfer::Adc;
+use bist_adc::types::{Code, Resolution, Volts};
+use bist_core::config::BistConfig;
+use bist_core::harness::{conventional_test, reference_measurement, run_static_bist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn config(bits: u32) -> BistConfig {
+    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(bits)
+        .build()
+        .expect("paper operating point")
+}
+
+#[test]
+fn bist_screens_flash_batch_consistently_with_truth() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let spec = LinearitySpec::paper_stringent();
+    let cfg = config(7);
+    let mut correct = 0;
+    let total = 60;
+    for _ in 0..total {
+        let adc = FlashConfig::paper_device().sample(&mut rng);
+        let truth = spec
+            .classify(&adc.transfer().expect("flash states transfer"))
+            .good;
+        let outcome = run_static_bist(&adc, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        if outcome.accepted() == truth {
+            correct += 1;
+        }
+    }
+    assert!(correct >= total - 4, "only {correct}/{total} correct at 7 bits");
+}
+
+#[test]
+fn bist_works_on_sar_architecture_too() {
+    // The method only watches output bits — it must screen a SAR
+    // converter exactly the same way.
+    let mut rng = StdRng::seed_from_u64(5);
+    let spec = LinearitySpec::paper_actual();
+    let cfg = BistConfig::builder(Resolution::SIX_BIT, spec)
+        .counter_bits(6)
+        .build()
+        .expect("valid configuration");
+    let mut agree = 0;
+    let total = 25;
+    for _ in 0..total {
+        let sar = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_unit_cap_sigma(0.08)
+            .sample(&mut rng);
+        let truth = spec
+            .classify(&sar.transfer().expect("sar characterises"))
+            .good;
+        let outcome = run_static_bist(&sar, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        if outcome.accepted() == truth {
+            agree += 1;
+        }
+    }
+    assert!(agree >= total - 3, "only {agree}/{total} agree on SAR");
+}
+
+#[test]
+fn transition_noise_handled_by_deglitcher() {
+    // With comparator transition noise the raw BIST rejects an ideal
+    // device (spurious short runs); the §3 deglitch filter restores the
+    // correct verdict.
+    let mut rng = StdRng::seed_from_u64(9);
+    let adc = bist_adc::transfer::TransferFunction::ideal(
+        Resolution::SIX_BIT,
+        Volts(0.0),
+        Volts(6.4),
+    );
+    // 0.01 LSB rms — small against the 6-bit Δs of 0.023 LSB, so the
+    // toggles are mostly isolated single-sample glitches (the regime the
+    // paper's "simple digital filter" remark addresses).
+    let noise = NoiseConfig::noiseless().with_transition_noise(0.001);
+    let raw_cfg = config(6);
+    let mut raw_rejects = 0;
+    let runs = 10;
+    for _ in 0..runs {
+        let outcome = run_static_bist(&adc, &raw_cfg, &noise, 0.0, &mut rng);
+        if !outcome.accepted() {
+            raw_rejects += 1;
+        }
+    }
+    let deglitched_cfg =
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(6)
+            .deglitch(true)
+            .build()
+            .expect("valid configuration");
+    let mut deglitched_accepts = 0;
+    for _ in 0..runs {
+        let outcome = run_static_bist(&adc, &deglitched_cfg, &noise, 0.0, &mut rng);
+        if outcome.accepted() {
+            deglitched_accepts += 1;
+        }
+    }
+    assert!(
+        deglitched_accepts > raw_rejects.min(runs / 2),
+        "deglitcher did not help: raw rejects {raw_rejects}/{runs}, deglitched accepts {deglitched_accepts}/{runs}"
+    );
+    assert!(
+        deglitched_accepts >= runs - 2,
+        "deglitched accepts only {deglitched_accepts}/{runs}"
+    );
+}
+
+#[test]
+fn every_gross_output_fault_is_rejected() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let cfg = config(4);
+    let good = bist_adc::transfer::TransferFunction::ideal(
+        Resolution::SIX_BIT,
+        Volts(0.0),
+        Volts(6.4),
+    );
+    let faults = [
+        OutputFault::StuckBit { bit: 0, value: false },
+        OutputFault::StuckBit { bit: 0, value: true },
+        OutputFault::StuckBit { bit: 2, value: false },
+        OutputFault::StuckBit { bit: 5, value: true },
+        OutputFault::SwappedBits { a: 0, b: 3 },
+        OutputFault::SwappedBits { a: 2, b: 4 },
+        OutputFault::StuckCode(Code(0)),
+        OutputFault::StuckCode(Code(33)),
+        OutputFault::CodeOffset(1),
+        OutputFault::CodeOffset(-5),
+    ];
+    for fault in faults {
+        let adc = FaultyAdc::new(&good, fault);
+        let outcome = run_static_bist(&adc, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        assert!(!outcome.accepted(), "fault escaped: {fault}");
+    }
+}
+
+#[test]
+fn analog_spot_defects_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let cfg = config(4);
+    let device = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+        .sample(&mut rng);
+    for faulty in [
+        device.with_ladder_short(5),
+        device.with_ladder_short(40),
+        device.with_stuck_comparator(0, true),
+        device.with_stuck_comparator(62, false),
+        device.with_stuck_comparator(31, true),
+    ] {
+        let outcome = run_static_bist(&faulty, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        assert!(!outcome.accepted(), "analog defect escaped: {faulty}");
+    }
+}
+
+#[test]
+fn reference_and_conventional_agree_on_clear_devices() {
+    // Devices far from the spec boundary must be classified identically
+    // by the reference measurement and the 4096-sample conventional test.
+    let mut rng = StdRng::seed_from_u64(31);
+    let spec = LinearitySpec::paper_stringent();
+    // Clearly good: tight process.
+    let good = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+        .with_width_sigma_lsb(0.05)
+        .sample(&mut rng);
+    // Clearly bad: loose process, huge DNL everywhere.
+    let bad = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+        .with_width_sigma_lsb(0.6)
+        .sample(&mut rng);
+    for (adc, want) in [(&good, true), (&bad, false)] {
+        let r = reference_measurement(adc, &spec, 1000, &NoiseConfig::noiseless(), &mut rng)
+            .expect("histogram usable");
+        let c = conventional_test(adc, &spec, 4096, &NoiseConfig::noiseless(), &mut rng)
+            .expect("histogram usable");
+        assert_eq!(r.accepted, want, "reference misclassified");
+        assert_eq!(c.accepted, want, "conventional misclassified");
+    }
+}
+
+#[test]
+fn partial_bist_judges_half_the_codes_per_monitored_bit() {
+    // Monitoring bit 1 (q = 2) halves the number of observable "codes"
+    // (each run of bit 1 spans two converter codes).
+    let mut rng = StdRng::seed_from_u64(41);
+    let adc = bist_adc::transfer::TransferFunction::ideal(
+        Resolution::SIX_BIT,
+        Volts(0.0),
+        Volts(6.4),
+    );
+    // At q = 2 a "code" is 2 LSB wide: widen the window accordingly by
+    // using a 2x delta_s with the same counter.
+    let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(6)
+        .monitored_bit(1)
+        .delta_s(bist_adc::types::Lsb(2.0 * 1.5 / 64.5))
+        .build()
+        .expect("valid configuration");
+    let outcome = run_static_bist(&adc, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+    // 31 runs of bit 1 between the partial first and last: 30 complete.
+    assert!(
+        (29..=31).contains(&outcome.monitor.codes.len()),
+        "judged {} bit-1 periods",
+        outcome.monitor.codes.len()
+    );
+    assert!(outcome.functional.all_pass());
+}
