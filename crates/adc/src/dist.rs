@@ -32,7 +32,10 @@ impl Normal {
     ///
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mean: f64, sigma: f64) -> Self {
-        assert!(mean.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         Normal { mean, sigma }
     }

@@ -120,7 +120,8 @@ impl<A: Adc> Adc for FaultyAdc<A> {
     }
 
     fn convert(&self, v: Volts) -> Code {
-        self.fault.apply(self.inner.convert(v), self.inner.resolution())
+        self.fault
+            .apply(self.inner.convert(v), self.inner.resolution())
     }
 
     fn input_range(&self) -> (Volts, Volts) {
@@ -214,7 +215,11 @@ mod tests {
     #[test]
     fn fault_display() {
         assert_eq!(
-            OutputFault::StuckBit { bit: 2, value: true }.to_string(),
+            OutputFault::StuckBit {
+                bit: 2,
+                value: true
+            }
+            .to_string(),
             "bit 2 stuck at 1"
         );
         assert!(OutputFault::SwappedBits { a: 1, b: 2 }

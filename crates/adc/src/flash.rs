@@ -178,9 +178,7 @@ impl FlashAdc {
         let res_dist = Normal::new(1.0, config.sigma_resistor_rel);
         // Draw resistors; clamp at a small positive floor so a wildly
         // unlucky draw cannot produce a negative resistance.
-        let resistors: Vec<f64> = (0..n_res)
-            .map(|_| res_dist.sample(rng).max(1e-6))
-            .collect();
+        let resistors: Vec<f64> = (0..n_res).map(|_| res_dist.sample(rng).max(1e-6)).collect();
         let total: f64 = resistors.iter().sum();
         let span = config.high.0 - config.low.0;
         let q = span / config.resolution.code_count() as f64;

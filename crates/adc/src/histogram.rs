@@ -176,10 +176,7 @@ pub fn ramp_linearity(hist: &CodeHistogram) -> Result<HistogramLinearity, Histog
     let n = hist.counts().len();
     let inner = &hist.counts()[1..n - 1];
     let mean = inner_total as f64 / inner.len() as f64;
-    let dnl: Vec<Lsb> = inner
-        .iter()
-        .map(|&c| Lsb(c as f64 / mean - 1.0))
-        .collect();
+    let dnl: Vec<Lsb> = inner.iter().map(|&c| Lsb(c as f64 / mean - 1.0)).collect();
     let inl = crate::metrics::inl_from_dnl(&dnl);
     Ok(HistogramLinearity {
         dnl,
@@ -304,8 +301,16 @@ mod tests {
         let h = CodeHistogram::from_capture(Resolution::SIX_BIT, &cap);
         let lin = ramp_linearity(&h).unwrap();
         // Inner-code index 9 == code 10.
-        assert!((lin.dnl[9].0 - 0.5).abs() < 0.05, "dnl[10] {}", lin.dnl[9].0);
-        assert!((lin.dnl[10].0 + 0.5).abs() < 0.05, "dnl[11] {}", lin.dnl[10].0);
+        assert!(
+            (lin.dnl[9].0 - 0.5).abs() < 0.05,
+            "dnl[10] {}",
+            lin.dnl[9].0
+        );
+        assert!(
+            (lin.dnl[10].0 + 0.5).abs() < 0.05,
+            "dnl[11] {}",
+            lin.dnl[10].0
+        );
         // INL returns to ~0 after the compensating pair.
         assert!(lin.inl[11].0.abs() < 0.05);
     }
@@ -375,6 +380,8 @@ mod tests {
         assert!(HistogramTestError::EmptyInnerCode(Code(3))
             .to_string()
             .contains("3"));
-        assert!(HistogramTestError::NoInnerSamples.to_string().contains("no inner"));
+        assert!(HistogramTestError::NoInnerSamples
+            .to_string()
+            .contains("no inner"));
     }
 }

@@ -125,12 +125,7 @@ impl StaticSummary {
     pub fn of(tf: &TransferFunction) -> Self {
         let d = dnl(tf);
         let i = inl(tf);
-        let peak = |xs: &[Lsb]| {
-            Lsb(xs
-                .iter()
-                .map(|x| x.0.abs())
-                .fold(0.0f64, f64::max))
-        };
+        let peak = |xs: &[Lsb]| Lsb(xs.iter().map(|x| x.0.abs()).fold(0.0f64, f64::max));
         StaticSummary {
             peak_dnl: peak(&d),
             peak_inl: peak(&i),
@@ -173,12 +168,7 @@ mod tests {
         while t.len() < res.transition_count() as usize {
             t.push(t.last().unwrap() + q);
         }
-        TransferFunction::from_transitions(
-            res,
-            Volts(0.0),
-            Volts(q * res.code_count() as f64),
-            t,
-        )
+        TransferFunction::from_transitions(res, Volts(0.0), Volts(q * res.code_count() as f64), t)
     }
 
     #[test]

@@ -107,8 +107,7 @@ impl NoiseConfig {
 
     /// Perturbs a sampled voltage by input and transition noise.
     pub fn perturb_voltage<R: Rng + ?Sized>(&self, v: f64, rng: &mut R) -> f64 {
-        let total =
-            (self.input_noise_v.powi(2) + self.transition_noise_v.powi(2)).sqrt();
+        let total = (self.input_noise_v.powi(2) + self.transition_noise_v.powi(2)).sqrt();
         if total == 0.0 {
             v
         } else {

@@ -151,9 +151,7 @@ impl Adc for PipelineAdc {
         let seg = span / (1u64 << self.config.coarse_bits) as f64;
 
         // Stage 1: coarse decision against (mismatched) thresholds.
-        let coarse = self
-            .coarse_thresholds
-            .partition_point(|&t| t <= v.0) as u32;
+        let coarse = self.coarse_thresholds.partition_point(|&t| t <= v.0) as u32;
 
         // Stage 2: residue = (v − segment base) amplified by the
         // (mismatched) inter-stage gain, quantised by an ideal fine
@@ -174,8 +172,8 @@ impl Adc for PipelineAdc {
     }
 
     fn transfer(&self) -> Option<TransferFunction> {
-        let q = (self.config.high.0 - self.config.low.0)
-            / self.config.resolution.code_count() as f64;
+        let q =
+            (self.config.high.0 - self.config.low.0) / self.config.resolution.code_count() as f64;
         Some(crate::transfer::characterize(self, Volts(q / 256.0)))
     }
 }
@@ -214,7 +212,11 @@ mod tests {
         let reference = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
         let mut v = 0.003;
         while v < 6.4 {
-            assert_eq!(pipe.convert(Volts(v)), reference.convert(Volts(v)), "at {v} V");
+            assert_eq!(
+                pipe.convert(Volts(v)),
+                reference.convert(Volts(v)),
+                "at {v} V"
+            );
             v += 0.0137;
         }
     }

@@ -117,11 +117,7 @@ impl fmt::Display for Capture {
 
 /// Samples `stimulus` through `adc` without noise (the deterministic
 /// sampling process assumed by the §3 theory).
-pub fn acquire<A: Adc, S: Stimulus>(
-    adc: &A,
-    stimulus: &S,
-    sampling: SamplingConfig,
-) -> Capture {
+pub fn acquire<A: Adc, S: Stimulus>(adc: &A, stimulus: &S, sampling: SamplingConfig) -> Capture {
     let codes = (0..sampling.samples)
         .map(|i| adc.convert(stimulus.value(sampling.sample_time(i))))
         .collect();

@@ -173,8 +173,8 @@ impl Adc for SarAdc {
         // The SAR decision tree yields transitions at the DAC levels of
         // each code (plus the mid-rise q), but DAC non-monotonicity can
         // reorder them; recover by characterisation at fine resolution.
-        let q = (self.config.high.0 - self.config.low.0)
-            / self.config.resolution.code_count() as f64;
+        let q =
+            (self.config.high.0 - self.config.low.0) / self.config.resolution.code_count() as f64;
         Some(crate::transfer::characterize(self, Volts(q / 256.0)))
     }
 }
@@ -234,8 +234,8 @@ mod tests {
         // With unit-cap mismatch, the DNL variance at the MSB major
         // transition (code 31→32, where all weights swap) is far larger
         // than at a typical code: compare the population-average |DNL|.
-        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-            .with_unit_cap_sigma(0.05);
+        let cfg =
+            SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_unit_cap_sigma(0.05);
         let mut r = rng(3);
         let trials = 40;
         let mut msb_abs = 0.0;
@@ -277,8 +277,8 @@ mod tests {
 
     #[test]
     fn offset_shifts_transfer() {
-        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-            .with_offset_sigma_lsb(2.0);
+        let cfg =
+            SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_offset_sigma_lsb(2.0);
         let mut r = rng(4);
         let a = cfg.sample(&mut r);
         // Positive comparator offset makes codes trip earlier (higher
@@ -292,8 +292,8 @@ mod tests {
 
     #[test]
     fn seeded_reproducibility() {
-        let cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-            .with_unit_cap_sigma(0.02);
+        let cfg =
+            SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_unit_cap_sigma(0.02);
         let a = cfg.sample(&mut rng(7));
         let b = cfg.sample(&mut rng(7));
         assert_eq!(a.bit_weights(), b.bit_weights());

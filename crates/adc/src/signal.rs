@@ -67,7 +67,10 @@ impl Ramp {
     ///
     /// Panics if `slope` is not finite or is zero.
     pub fn new(start: Volts, slope: f64) -> Self {
-        assert!(slope.is_finite() && slope != 0.0, "slope must be finite and non-zero");
+        assert!(
+            slope.is_finite() && slope != 0.0,
+            "slope must be finite and non-zero"
+        );
         Ramp {
             start,
             slope,

@@ -221,12 +221,7 @@ mod tests {
             t.push(acc);
             let _ = k;
         }
-        let tf = TransferFunction::from_transitions(
-            Resolution::SIX_BIT,
-            Volts(0.0),
-            Volts(6.4),
-            t,
-        );
+        let tf = TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t);
         let spec = LinearitySpec::new(0.5, 1.0);
         let gt = spec.classify(&tf);
         assert!(gt.worst_dnl.0 < 0.5, "dnl {}", gt.worst_dnl.0);

@@ -376,8 +376,7 @@ mod tests {
     fn from_transitions_validation() {
         let r = Resolution::new(2).unwrap();
         // 3 levels required.
-        let tf =
-            TransferFunction::from_transitions(r, Volts(0.0), Volts(4.0), vec![1.0, 2.0, 3.0]);
+        let tf = TransferFunction::from_transitions(r, Volts(0.0), Volts(4.0), vec![1.0, 2.0, 3.0]);
         assert_eq!(tf.convert(Volts(2.5)), Code(2));
     }
 
@@ -398,8 +397,7 @@ mod tests {
     #[test]
     fn equal_transitions_make_missing_code() {
         let r = Resolution::new(2).unwrap();
-        let tf =
-            TransferFunction::from_transitions(r, Volts(0.0), Volts(4.0), vec![1.0, 2.0, 2.0]);
+        let tf = TransferFunction::from_transitions(r, Volts(0.0), Volts(4.0), vec![1.0, 2.0, 2.0]);
         // Code 2 has zero width: input 2.0 jumps straight to code 3.
         assert_eq!(tf.convert(Volts(1.99)), Code(1));
         assert_eq!(tf.convert(Volts(2.0)), Code(3));

@@ -23,7 +23,13 @@ use bist_core::report::{fmt_prob, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn screen<F>(name: &str, n: usize, seed: u64, config: &BistConfig, mut draw: F) -> (String, Vec<String>)
+fn screen<F>(
+    name: &str,
+    n: usize,
+    seed: u64,
+    config: &BistConfig,
+    mut draw: F,
+) -> (String, Vec<String>)
 where
     F: FnMut(&mut StdRng) -> TransferFunction,
 {
@@ -61,13 +67,16 @@ fn main() {
 
     let flash_cfg = FlashConfig::paper_device();
     let (_, row) = screen("flash (ladder σ)", n, seed, &config, |rng| {
-        flash_cfg.sample(rng).transfer().expect("flash states transfer")
+        flash_cfg
+            .sample(rng)
+            .transfer()
+            .expect("flash states transfer")
     });
     csv.push(row.clone());
     t.row_owned(row);
 
-    let sar_cfg = SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-        .with_unit_cap_sigma(0.09);
+    let sar_cfg =
+        SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_unit_cap_sigma(0.09);
     let (_, row) = screen("SAR (cap mismatch)", n, seed ^ 1, &config, |rng| {
         sar_cfg.sample(rng).transfer().expect("sar characterises")
     });
@@ -78,7 +87,10 @@ fn main() {
         .with_gain_sigma(0.08)
         .with_coarse_sigma_lsb(0.3);
     let (_, row) = screen("pipeline (gain err)", n, seed ^ 2, &config, |rng| {
-        pipe_cfg.sample(rng).transfer().expect("pipeline characterises")
+        pipe_cfg
+            .sample(rng)
+            .transfer()
+            .expect("pipeline characterises")
     });
     csv.push(row.clone());
     t.row_owned(row);

@@ -40,10 +40,13 @@ fn main() {
         "ENOB [bits]",
         "noise power [LSB²]",
     ])
-    .with_title(format!(
-        "Dynamic metrics vs process spread (ideal 6-bit SINAD {:.1} dB)",
-        ideal_sinad_db(6)
-    ).as_str());
+    .with_title(
+        format!(
+            "Dynamic metrics vs process spread (ideal 6-bit SINAD {:.1} dB)",
+            ideal_sinad_db(6)
+        )
+        .as_str(),
+    );
     let mut csv = Vec::new();
     for sigma in [0.0, 0.1, 0.16, 0.21, 0.3] {
         let cfg = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
@@ -92,7 +95,13 @@ fn main() {
     println!("with Welch averaging from the same record the static BIST would capture.");
     let path = write_csv(
         "dynamic_screening.csv",
-        &["sigma_lsb", "sinad_db", "thd_db", "enob", "noise_power_lsb2"],
+        &[
+            "sigma_lsb",
+            "sinad_db",
+            "thd_db",
+            "enob",
+            "noise_power_lsb2",
+        ],
         &csv,
     );
     eprintln!("wrote {}", path.display());

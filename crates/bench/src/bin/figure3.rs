@@ -23,10 +23,7 @@ fn lsb_row(adc: &TransferFunction, samples: usize) -> (Vec<u32>, Vec<bool>) {
 }
 
 fn render(label: &str, bits: &[bool]) -> String {
-    let wave: String = bits
-        .iter()
-        .map(|&b| if b { '▔' } else { '▁' })
-        .collect();
+    let wave: String = bits.iter().map(|&b| if b { '▔' } else { '▁' }).collect();
     format!("{label:>9} {wave}")
 }
 
@@ -47,9 +44,7 @@ fn main() {
 
     println!("Figure 3 — the LSB waveform under a ramp carries the code widths\n");
     let stride = 10; // compress for display
-    let compress = |bits: &[bool]| -> Vec<bool> {
-        bits.iter().step_by(stride).copied().collect()
-    };
+    let compress = |bits: &[bool]| -> Vec<bool> { bits.iter().step_by(stride).copied().collect() };
     println!("{}", render("ideal", &compress(&ideal_lsb)));
     println!("{}", render("actual", &compress(&actual_lsb)));
     println!("\n(code 2 widened by +0.5 LSB: its LSB half-period stretches; code 3");
@@ -85,6 +80,10 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv("figure3.csv", &["time_s", "ideal_code", "actual_code"], &rows);
+    let path = write_csv(
+        "figure3.csv",
+        &["time_s", "ideal_code", "actual_code"],
+        &rows,
+    );
     eprintln!("wrote {}", path.display());
 }

@@ -18,9 +18,7 @@ fn main() {
     let dist = WidthDistribution::paper_worst_case();
     let pts = figure6_series(&dist, ds, &limits, 0.2, 1.9, 171);
 
-    println!(
-        "Figure 6 — f(ΔV) [σ=0.21 LSB] and h(ΔV, Δs) at Δs={ds:.4} LSB, window {limits}\n"
-    );
+    println!("Figure 6 — f(ΔV) [σ=0.21 LSB] and h(ΔV, Δs) at Δs={ds:.4} LSB, window {limits}\n");
     let density: Vec<(f64, f64)> = pts.iter().map(|p| (p.dv, p.density)).collect();
     let accept: Vec<(f64, f64)> = pts
         .iter()
@@ -68,6 +66,10 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv("figure6.csv", &["dv_lsb", "density", "acceptance", "product"], &rows);
+    let path = write_csv(
+        "figure6.csv",
+        &["dv_lsb", "density", "acceptance", "product"],
+        &rows,
+    );
     eprintln!("wrote {}", path.display());
 }

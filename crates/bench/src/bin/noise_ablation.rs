@@ -45,10 +45,7 @@ fn main() {
                 .build()
                 .expect("valid configuration");
             let batch = Batch::paper_simulation(seed, n);
-            let result = run_parallel(
-                &Experiment::new(batch, config).with_noise(noise),
-                0,
-            );
+            let result = run_parallel(&Experiment::new(batch, config).with_noise(noise), 0);
             cells.push((result.type_i(), result.type_ii()));
         }
         t.row_owned(vec![
@@ -73,7 +70,13 @@ fn main() {
     println!("the paper's 'simple digital filter' remark implies.");
     let path = write_csv(
         "noise_ablation.csv",
-        &["noise_lsb", "raw_type_i", "deglitched_type_i", "raw_type_ii", "deglitched_type_ii"],
+        &[
+            "noise_lsb",
+            "raw_type_i",
+            "deglitched_type_i",
+            "raw_type_ii",
+            "deglitched_type_ii",
+        ],
         &csv,
     );
     eprintln!("wrote {}", path.display());

@@ -12,16 +12,12 @@ use bist_core::report::Table;
 
 fn main() {
     let f_sample = 1.0e6;
-    let ratios: Vec<f64> = (0..=24).map(|i| 10f64.powf(-6.0 + i as f64 * 0.25)).collect();
+    let ratios: Vec<f64> = (0..=24)
+        .map(|i| 10f64.powf(-6.0 + i as f64 * 0.25))
+        .collect();
 
-    let mut t = Table::new(&[
-        "f_stim/f_sample",
-        "n=6",
-        "n=8",
-        "n=10",
-        "n=12",
-    ])
-    .with_title("q_min (off-chip bits) vs stimulus speed — DNL 0.5, INL 1.0 LSB");
+    let mut t = Table::new(&["f_stim/f_sample", "n=6", "n=8", "n=10", "n=12"])
+        .with_title("q_min (off-chip bits) vs stimulus speed — DNL 0.5, INL 1.0 LSB");
     let mut csv = Vec::new();
     let plans: Vec<(u32, QminPlan)> = [6u32, 8, 10, 12]
         .into_iter()
@@ -52,7 +48,10 @@ fn main() {
     println!("max testable stimulus ratio per q (n = 6):");
     let plan = QminPlan::new(Resolution::SIX_BIT, 0.5, 1.0);
     for q in 1..=6 {
-        println!("  q = {q}: f_stim/f_sample ≤ {:.3e}", plan.max_stimulus_ratio(q));
+        println!(
+            "  q = {q}: f_stim/f_sample ≤ {:.3e}",
+            plan.max_stimulus_ratio(q)
+        );
     }
     let path = write_csv("qmin_table.csv", &["ratio", "n6", "n8", "n10", "n12"], &csv);
     eprintln!("wrote {}", path.display());

@@ -41,7 +41,11 @@ fn main() {
     for bin in BINS.iter().chain(std::iter::once(&SLOW_EXTRA)) {
         // The equivalence experiment runs 4096-sample histograms per
         // device; trim its batch further.
-        let mut cmd = Command::new(std::env::current_exe().expect("self path").with_file_name(bin));
+        let mut cmd = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        );
         for (k, v) in quick_env {
             cmd.env(k, v);
         }

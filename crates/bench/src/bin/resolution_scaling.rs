@@ -31,9 +31,10 @@ fn main() {
         "type II",
         "type I / N·p_I",
     ])
-    .with_title(format!(
-        "Resolution scaling at σ = 0.21 LSB, ±0.5 LSB spec, {counter_bits}-bit counter"
-    ).as_str());
+    .with_title(
+        format!("Resolution scaling at σ = 0.21 LSB, ±0.5 LSB spec, {counter_bits}-bit counter")
+            .as_str(),
+    );
     let mut csv = Vec::new();
     let p_i_code = per_code.type_i_conditional();
     for bits in 4..=12u32 {

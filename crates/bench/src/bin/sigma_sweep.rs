@@ -60,7 +60,14 @@ fn main() {
     println!("0.18 than the stated 0.21 worst case — see EXPERIMENTS.md E1 discussion.");
     let path = write_csv(
         "sigma_sweep.csv",
-        &["sigma_lsb", "yield_stringent", "p_faulty_actual", "type_i_4b", "type_i_7b", "type_ii_4b"],
+        &[
+            "sigma_lsb",
+            "yield_stringent",
+            "p_faulty_actual",
+            "type_i_4b",
+            "type_i_7b",
+            "type_ii_4b",
+        ],
         &csv,
     );
     eprintln!("wrote {}", path.display());

@@ -73,8 +73,7 @@ fn main() {
     println!("{t}");
     println!(
         "shipped-defect check: all type II joint values within 10-100 ppm? {}",
-        rows.iter()
-            .all(|r| r.type_ii_joint < 100e-6)
+        rows.iter().all(|r| r.type_ii_joint < 100e-6)
     );
     let path = write_csv(
         "table2.csv",

@@ -69,7 +69,13 @@ fn main() {
     );
     let path = write_csv(
         "test_economics.csv",
-        &["style", "pins", "parallel", "s_per_converter", "tester_bits"],
+        &[
+            "style",
+            "pins",
+            "parallel",
+            "s_per_converter",
+            "tester_bits",
+        ],
         &csv,
     );
     eprintln!("wrote {}", path.display());

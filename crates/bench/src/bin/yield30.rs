@@ -18,10 +18,7 @@ use bist_mc::batch::Batch;
 use bist_mc::estimate::Proportion;
 
 fn empirical_yield(batch: &Batch, spec: &LinearitySpec) -> Proportion {
-    let good = batch
-        .devices()
-        .filter(|tf| spec.classify(tf).good)
-        .count() as u64;
+    let good = batch.devices().filter(|tf| spec.classify(tf).good).count() as u64;
     Proportion::new(good, batch.size as u64)
 }
 
@@ -78,6 +75,10 @@ fn main() {
         .iter()
         .map(|(l, y)| vec![l.to_string(), y.to_string()])
         .collect();
-    let path = write_csv("yield_curve.csv", &["dnl_limit_lsb", "p_device_good"], &rows);
+    let path = write_csv(
+        "yield_curve.csv",
+        &["dnl_limit_lsb", "p_device_good"],
+        &rows,
+    );
     eprintln!("wrote {}", path.display());
 }

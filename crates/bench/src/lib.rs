@@ -120,8 +120,8 @@ impl AsciiPlot {
                     continue;
                 }
                 let cx = ((x - x_lo) / (x_hi - x_lo) * (self.width - 1) as f64).round() as usize;
-                let cy = ((tx(y) - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round()
-                    as usize;
+                let cy =
+                    ((tx(y) - y_lo) / (y_hi - y_lo) * (self.height - 1) as f64).round() as usize;
                 grid[self.height - 1 - cy][cx] = *marker;
             }
         }
@@ -169,11 +169,7 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        let p = write_csv(
-            "test_tmp.csv",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        let p = write_csv("test_tmp.csv", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let content = fs::read_to_string(&p).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
         fs::remove_file(p).ok();

@@ -1,0 +1,316 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The adc-bist workspace builds in hermetic environments with no access
+//! to crates.io, so this crate provides the criterion API subset the
+//! workspace's `benches/perf.rs` uses — groups, `bench_function`,
+//! `iter`/`iter_batched`, throughput annotation — as a small wall-clock
+//! harness. It reports median-of-samples timings to stdout and performs
+//! no statistical analysis, HTML reporting or regression detection; it
+//! exists so `cargo bench` runs and the bench code cannot rot.
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default().measurement_time(std::time::Duration::from_millis(10));
+//! let mut group = c.benchmark_group("demo");
+//! group.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimisation barrier.
+pub use std::hint::black_box;
+
+/// Top-level harness state: global defaults for warm-up and measurement
+/// budgets, applied to every group it creates.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 50,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark warm-up budget.
+    #[must_use]
+    pub fn warm_up_time(mut self, time: Duration) -> Self {
+        self.warm_up_time = time;
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// How many work items one iteration of a benchmark processes; timings
+/// are also reported per element/byte when set.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortises setup cost; the stub runs one routine
+/// call per setup call regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per allocation.
+    SmallInput,
+    /// Inputs are expensive to hold; batch few.
+    LargeInput,
+    /// Create one input per iteration.
+    PerIteration,
+}
+
+/// A named collection of benchmarks sharing throughput annotation and
+/// sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with work-per-iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark: `routine` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] or [`Bencher::iter_batched`].
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        bencher.report(&self.name, &id, self.throughput);
+        self
+    }
+
+    /// Ends the group. (The stub keeps no cross-group state; this exists
+    /// for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Per-iteration wall-clock samples, in seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also yields a rough per-call estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Choose a batch size so one sample costs roughly
+        // measurement_time / sample_size.
+        let sample_budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((sample_budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                start.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// inside the timed section.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let _ = warm_iters;
+
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                let out = routine(input);
+                let sample = start.elapsed().as_secs_f64();
+                black_box(out);
+                sample
+            })
+            .collect();
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{group}/{id}: no measurement taken");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!(", {:.3e} elem/s", n as f64 / median)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!(", {:.3e} B/s", n as f64 / median)
+            }
+            _ => String::new(),
+        };
+        println!("{group}/{id}: median {}{rate}", format_seconds(median));
+    }
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a function running a list of benchmark targets, mirroring
+/// criterion's `criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_macro_forms_compile() {
+        fn target(c: &mut Criterion) {
+            let mut g = c.benchmark_group("macro");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(1));
+            g.bench_function("noop", |b| b.iter(|| black_box(1u32)));
+            g.finish();
+        }
+        criterion_group!(
+            name = benches;
+            config = Criterion::default()
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(2));
+            targets = target
+        );
+        benches();
+    }
+}

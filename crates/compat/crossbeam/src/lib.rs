@@ -1,0 +1,64 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The adc-bist workspace builds in hermetic environments with no access
+//! to crates.io, so this crate provides the one piece of crossbeam the
+//! workspace uses — [`channel::bounded`] — as a thin wrapper over
+//! `std::sync::mpsc::sync_channel`. The semantics the workspace relies
+//! on (blocking bounded sends, sender cloning, iteration draining the
+//! channel until every sender is dropped) are identical.
+//!
+//! ```
+//! use crossbeam::channel;
+//!
+//! let (tx, rx) = channel::bounded(2);
+//! std::thread::scope(|scope| {
+//!     for i in 0..3u32 {
+//!         let tx = tx.clone();
+//!         scope.spawn(move || tx.send(i).expect("receiver alive"));
+//!     }
+//!     drop(tx);
+//!     let mut got: Vec<u32> = rx.into_iter().collect();
+//!     got.sort_unstable();
+//!     assert_eq!(got, [0, 1, 2]);
+//! });
+//! ```
+
+#![warn(missing_docs)]
+
+/// Multi-producer channels (the `crossbeam-channel` API subset).
+pub mod channel {
+    /// The sending half of a bounded channel; clone it once per producer.
+    pub use std::sync::mpsc::SyncSender as Sender;
+
+    /// The receiving half; iterating blocks until all senders hang up.
+    pub use std::sync::mpsc::Receiver;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    /// Creates a bounded channel of the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_drains_after_senders_drop() {
+        let (tx, rx) = channel::bounded(4);
+        std::thread::scope(|scope| {
+            for w in 0..8u64 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(w).expect("receiver outlives workers"));
+            }
+            drop(tx);
+            let mut seen: Vec<u64> = rx.into_iter().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        });
+    }
+}

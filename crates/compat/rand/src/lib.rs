@@ -1,0 +1,298 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The adc-bist workspace builds in hermetic environments with no access
+//! to crates.io, so this crate provides the (small) subset of the `rand`
+//! 0.8 API the workspace actually uses — [`Rng::gen_range`],
+//! [`SeedableRng::seed_from_u64`] and [`rngs::StdRng`] — backed by a
+//! deterministic xoshiro256\*\* generator seeded through SplitMix64.
+//!
+//! Everything in the workspace that consumes randomness is seeded
+//! explicitly, so determinism (same seed ⇒ same stream on every
+//! platform) is the property that matters, not the exact stream the real
+//! `rand` crate would produce.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let xs: Vec<f64> = (0..4).map(|_| a.gen_range(0.0..1.0)).collect();
+//! let ys: Vec<f64> = (0..4).map(|_| b.gen_range(0.0..1.0)).collect();
+//! assert_eq!(xs, ys);
+//! assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+//! ```
+
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The raw random-word interface: everything else is derived from
+/// [`RngCore::next_u64`].
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits (the high half of
+    /// [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// exactly like `rand_core` does.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Maps 64 random bits onto `[0, 1)` with 53-bit precision.
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64());
+        let x = self.start + (self.end - self.start) * u;
+        // Guard against `start + span * u` rounding up to `end`.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "gen_range: empty range");
+        a + (b - a) * unit_f64(rng.next_u64())
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = unit_f64(rng.next_u64()) as f32;
+        let x = self.start + (self.end - self.start) * u;
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+/// Lemire's unbiased multiply-shift rejection sampler on `[0, span)`.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold for rejecting the biased low zone: (2^64 - span) % span.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let v = rng.next_u64();
+        let m = (v as u128) * (span as u128);
+        if (m as u64) >= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = sample_below(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "gen_range: empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return (a as i128 + rng.next_u64() as i128) as $t;
+                }
+                let off = sample_below(rng, span as u64);
+                (a as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The generators themselves.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256\*\*
+    /// (Blackman & Vigna), seeded through SplitMix64.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this generator is guaranteed
+    /// stable across releases — experiment tables cite seeds, so the
+    /// stream must never change.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// One step of the SplitMix64 sequence, used for seed expansion.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            if s == [0; 4] {
+                // xoshiro must not start from the all-zero state.
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-7i64..13);
+            assert!((-7..13).contains(&x));
+            let y = rng.gen_range(0usize..3);
+            assert!(y < 3);
+            let z = rng.gen_range(1u32..=15);
+            assert!((1..=15).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_cover() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut lo_half = 0usize;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+            if x < 0.0 {
+                lo_half += 1;
+            }
+        }
+        // Crude uniformity check: both halves get hit often.
+        assert!(lo_half > 4_000 && lo_half < 6_000, "lo_half = {lo_half}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

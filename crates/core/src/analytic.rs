@@ -324,8 +324,7 @@ pub fn figure6_series(
         .map(|i| {
             let dv = dv_lo + (dv_hi - dv_lo) * i as f64 / (points - 1) as f64;
             let density = dist.pdf(dv);
-            let acceptance =
-                acceptance_probability(dv, delta_s, limits.i_min(), limits.i_max());
+            let acceptance = acceptance_probability(dv, delta_s, limits.i_min(), limits.i_max());
             Figure6Point {
                 dv,
                 density,
@@ -395,8 +394,7 @@ mod tests {
         assert!(c.p_accept() <= 1.0);
         assert!(c.p_reject_and_good() >= 0.0);
         // All four joint masses partition probability space.
-        let p_reject_and_faulty =
-            1.0 - c.p_good - c.p_accept_and_faulty - c.p_reject_and_good();
+        let p_reject_and_faulty = 1.0 - c.p_good - c.p_accept_and_faulty - c.p_reject_and_good();
         assert!(p_reject_and_faulty > 0.0);
     }
 
@@ -413,10 +411,7 @@ mod tests {
         let c2 = code_probabilities(&dist, &actual, 0.125, &lim);
         let d2 = device_probabilities(&c2, 64);
         let p_faulty = 1.0 - d2.p_good;
-        assert!(
-            (0.7e-4..2.5e-4).contains(&p_faulty),
-            "p_faulty {p_faulty}"
-        );
+        assert!((0.7e-4..2.5e-4).contains(&p_faulty), "p_faulty {p_faulty}");
     }
 
     #[test]
@@ -471,10 +466,7 @@ mod tests {
         let (dist, spec, limits) = paper_setup(0.091);
         let c = code_probabilities(&dist, &spec, 0.091, &limits);
         let brute = adaptive_simpson(
-            |dv| {
-                acceptance_probability(dv, 0.091, limits.i_min(), limits.i_max())
-                    * dist.pdf(dv)
-            },
+            |dv| acceptance_probability(dv, 0.091, limits.i_min(), limits.i_max()) * dist.pdf(dv),
             0.5,
             1.5,
             1e-13,

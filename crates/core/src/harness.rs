@@ -74,7 +74,11 @@ impl fmt::Display for BistOutcome {
                     self.expected_codes
                 )
             },
-            if self.accepted() { "ACCEPTED" } else { "REJECTED" }
+            if self.accepted() {
+                "ACCEPTED"
+            } else {
+                "REJECTED"
+            }
         )
     }
 }
@@ -363,13 +367,7 @@ mod tests {
         t[20] += 0.1;
         let adc =
             TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t);
-        let outcome = run_static_bist(
-            &adc,
-            &cfg(4),
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng(1),
-        );
+        let outcome = run_static_bist(&adc, &cfg(4), &NoiseConfig::noiseless(), 0.0, &mut rng(1));
         assert!(!outcome.accepted());
         assert!(outcome.monitor.dnl_failures > 0);
     }
@@ -383,13 +381,7 @@ mod tests {
                 value: false,
             },
         );
-        let outcome = run_static_bist(
-            &adc,
-            &cfg(4),
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng(1),
-        );
+        let outcome = run_static_bist(&adc, &cfg(4), &NoiseConfig::noiseless(), 0.0, &mut rng(1));
         assert!(!outcome.functional.all_pass());
         assert!(!outcome.accepted());
     }

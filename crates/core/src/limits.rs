@@ -208,7 +208,10 @@ pub fn slope_for_delta_s(delta_s: Lsb, sample_rate: f64, lsb_size_volts: f64) ->
 /// assert!((ds.0 - 0.0909).abs() < 1e-4); // the paper's 0.091 LSB
 /// ```
 pub fn plan_delta_s(spec: &LinearitySpec, counter_bits: u32) -> Lsb {
-    assert!((1..=32).contains(&counter_bits), "counter bits must be 1..=32");
+    assert!(
+        (1..=32).contains(&counter_bits),
+        "counter bits must be 1..=32"
+    );
     let (_, hi) = spec.width_window_lsb();
     Lsb(hi.0 / ((1u64 << counter_bits) as f64 + 0.5))
 }
@@ -241,7 +244,10 @@ mod tests {
             let hi_center = (lim.i_max() as f64 + 0.5) * ds.0;
             assert!((hi_center - hi.0).abs() < 1e-12, "counter {bits}");
             let lo_center = (lim.i_min() as f64 - 0.5) * ds.0;
-            assert!((lo_center - lo.0).abs() < 0.02, "counter {bits}: {lo_center}");
+            assert!(
+                (lo_center - lo.0).abs() < 0.02,
+                "counter {bits}: {lo_center}"
+            );
         }
     }
 

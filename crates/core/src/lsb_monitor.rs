@@ -217,8 +217,7 @@ mod tests {
     fn verdicts_follow_window() {
         // Window [6, 16] for the 4-bit planned config.
         let result = monitor_bit_stream(&cfg(4), &stream(&[3, 5, 10, 16, 3]));
-        let verdicts: Vec<WindowVerdict> =
-            result.codes.iter().map(|c| c.dnl_verdict).collect();
+        let verdicts: Vec<WindowVerdict> = result.codes.iter().map(|c| c.dnl_verdict).collect();
         assert_eq!(
             verdicts,
             vec![
@@ -324,11 +323,7 @@ mod tests {
         // compare the common prefix.
         let n = rtl_counts.len().min(behavioural.codes.len());
         assert!(n > 30, "too few common measurements: {n}");
-        assert_eq!(
-            behavioural.counts()[..n],
-            rtl_counts[..n],
-            "count mismatch"
-        );
+        assert_eq!(behavioural.counts()[..n], rtl_counts[..n], "count mismatch");
         for i in 0..n {
             assert_eq!(
                 behavioural.codes[i].dnl_verdict, rtl_verdicts[i],

@@ -112,10 +112,7 @@ impl QminPlan {
     ///
     /// Panics if `q` is 0 or exceeds the resolution.
     pub fn max_stimulus_ratio(&self, q: u32) -> f64 {
-        assert!(
-            q >= 1 && q <= self.resolution.bits(),
-            "q must be 1..=n"
-        );
+        assert!(q >= 1 && q <= self.resolution.bits(), "q must be 1..=n");
         let n = self.resolution.bits();
         let headroom = (1u64 << q) as f64 - self.nl(q);
         (headroom / (1u64 << (n + 1)) as f64).max(0.0)

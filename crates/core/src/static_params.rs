@@ -170,14 +170,10 @@ mod tests {
     #[test]
     fn detects_gain_error() {
         let cfg = config();
-        let adc = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-            .with_gain(1.02); // span stretches 2 %: 62 LSB → +1.24 LSB
+        let adc =
+            TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_gain(1.02); // span stretches 2 %: 62 LSB → +1.24 LSB
         let est = estimate_offset_gain(&cfg, &sweep(&adc, &cfg), -2.0).expect("transitions");
-        assert!(
-            (est.gain_lsb.0 - 1.24).abs() < 0.1,
-            "gain {}",
-            est.gain_lsb
-        );
+        assert!((est.gain_lsb.0 - 1.24).abs() < 0.1, "gain {}", est.gain_lsb);
     }
 
     #[test]

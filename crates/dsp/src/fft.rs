@@ -197,10 +197,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Complex64, b: Complex64, tol: f64) {
-        assert!(
-            (a - b).abs() < tol,
-            "expected {b}, got {a} (tol {tol})"
-        );
+        assert!((a - b).abs() < tol, "expected {b}, got {a} (tol {tol})");
     }
 
     #[test]
@@ -255,8 +252,7 @@ mod tests {
         for k in 0..n {
             let slow: Complex64 = (0..n)
                 .map(|t| {
-                    signal[t]
-                        * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64)
+                    signal[t] * Complex64::cis(-std::f64::consts::TAU * (k * t) as f64 / n as f64)
                 })
                 .sum();
             assert_close(fast[k], slow, 1e-9);
@@ -312,8 +308,12 @@ mod tests {
     #[test]
     fn linearity_of_transform() {
         let n = 64;
-        let a: Vec<Complex64> = (0..n).map(|i| Complex64::from_re((i as f64).cos())).collect();
-        let b: Vec<Complex64> = (0..n).map(|i| Complex64::from_re((i as f64).sin())).collect();
+        let a: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_re((i as f64).cos()))
+            .collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::from_re((i as f64).sin()))
+            .collect();
         let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
 
         let mut fa = a.clone();

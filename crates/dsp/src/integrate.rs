@@ -32,7 +32,17 @@ pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f6
     let fb = f(b);
     let m = 0.5 * (a + b);
     let fm = f(m);
-    simpson_recurse(&f, a, b, fa, fb, fm, simpson_estimate(a, b, fa, fm, fb), tol, MAX_DEPTH)
+    simpson_recurse(
+        &f,
+        a,
+        b,
+        fa,
+        fb,
+        fm,
+        simpson_estimate(a, b, fa, fm, fb),
+        tol,
+        MAX_DEPTH,
+    )
 }
 
 fn simpson_estimate(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
@@ -231,7 +241,12 @@ mod tests {
     #[test]
     fn composite_handles_oscillatory() {
         // ∫₀^{10π} sin² = 5π
-        let v = gauss_legendre_composite(|x: f64| x.sin().powi(2), 0.0, 10.0 * std::f64::consts::PI, 32);
+        let v = gauss_legendre_composite(
+            |x: f64| x.sin().powi(2),
+            0.0,
+            10.0 * std::f64::consts::PI,
+            32,
+        );
         assert!((v - 5.0 * std::f64::consts::PI).abs() < 1e-9);
     }
 

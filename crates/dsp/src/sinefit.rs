@@ -98,9 +98,7 @@ impl fmt::Display for FitSineError {
                 write!(f, "sine fit needs at least {need} samples, got {have}")
             }
             FitSineError::Singular => f.write_str("sine fit normal equations are singular"),
-            FitSineError::NoConvergence => {
-                f.write_str("four-parameter sine fit did not converge")
-            }
+            FitSineError::NoConvergence => f.write_str("four-parameter sine fit did not converge"),
         }
     }
 }
@@ -112,8 +110,12 @@ impl Error for FitSineError {}
 fn solve(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
     let n = rhs.len();
     for col in 0..n {
-        let pivot = (col..n)
-            .max_by(|&a, &b| m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite"))?;
+        let pivot = (col..n).max_by(|&a, &b| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .expect("finite")
+        })?;
         if m[pivot][col].abs() < 1e-300 {
             return None;
         }
@@ -293,7 +295,10 @@ mod tests {
     fn three_param_singular_at_zero_omega() {
         // cos(0·t)=1 duplicates the DC column → singular.
         let data = synth(64, 1.0, 0.3, 0.0, 0.0);
-        assert_eq!(fit_sine_3param(&data, 0.0).unwrap_err(), FitSineError::Singular);
+        assert_eq!(
+            fit_sine_3param(&data, 0.0).unwrap_err(),
+            FitSineError::Singular
+        );
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub fn erf(x: f64) -> f64 {
     let ax = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * ax);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
     let mut estimate = 1.0 - poly * (-ax * ax).exp();
     // One Newton refinement: d/dx erf = 2/sqrt(pi) e^{-x^2}. Use a
     // high-accuracy series/continued-fraction target via erfc_cf for the
@@ -421,10 +422,7 @@ mod tests {
         let mut fact = 1.0f64;
         for n in 1..15u32 {
             fact *= n as f64;
-            assert!(
-                (ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9,
-                "n={n}"
-            );
+            assert!((ln_gamma(n as f64 + 1.0) - fact.ln()).abs() < 1e-9, "n={n}");
         }
     }
 

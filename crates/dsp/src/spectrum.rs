@@ -178,8 +178,7 @@ pub fn analyze_tone(
     // exact; for non-coherent capture the error is the window's
     // scalloping loss (negligible for FlatTop, up to ~3.9 dB for
     // Rectangular — pick the window to match the capture).
-    let fundamental_amplitude =
-        2.0 * data[fundamental_bin].abs() / (n as f64 * coherent_gain);
+    let fundamental_amplitude = 2.0 * data[fundamental_bin].abs() / (n as f64 * coherent_gain);
 
     let mut harmonic_bins = Vec::with_capacity(config.harmonics);
     let mut harmonic_power = 0.0;

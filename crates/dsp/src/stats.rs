@@ -66,8 +66,7 @@ impl Running {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * self.count as f64 * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -416,8 +415,8 @@ mod tests {
         let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
         let r: Running = xs.iter().copied().collect();
         let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>()
-            / (xs.len() - 1) as f64;
+        let naive_var =
+            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((r.mean() - naive_mean).abs() < 1e-10);
         assert!((r.sample_variance() - naive_var).abs() < 1e-8);
     }
@@ -477,9 +476,7 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
             (z ^ (z >> 31)) as f64 / u64::MAX as f64
         };
-        let samples: Vec<Vec<f64>> = (0..400)
-            .map(|_| (0..8).map(|_| next()).collect())
-            .collect();
+        let samples: Vec<Vec<f64>> = (0..400).map(|_| (0..8).map(|_| next()).collect()).collect();
         let rho = mean_pairwise_correlation(&samples);
         assert!(rho.abs() < 0.05, "rho = {rho}");
     }

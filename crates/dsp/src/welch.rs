@@ -174,7 +174,9 @@ mod tests {
         let mut state = seed;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
             })
             .collect()
@@ -193,7 +195,13 @@ mod tests {
     fn rejects_short_record() {
         let x = vec![0.0; 100];
         let err = welch_psd(&x, 256, Window::Hann).unwrap_err();
-        assert!(matches!(err, WelchError::RecordTooShort { have: 100, need: 256 }));
+        assert!(matches!(
+            err,
+            WelchError::RecordTooShort {
+                have: 100,
+                need: 256
+            }
+        ));
     }
 
     #[test]

@@ -61,7 +61,13 @@ impl Window {
             Window::Hamming => &[0.54, 0.46],
             Window::Blackman => &[0.42, 0.5, 0.08],
             Window::BlackmanHarris => &[0.35875, 0.48829, 0.14128, 0.01168],
-            Window::FlatTop => &[0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368],
+            Window::FlatTop => &[
+                0.21557895,
+                0.41663158,
+                0.277263158,
+                0.083578947,
+                0.006947368,
+            ],
         }
     }
 
@@ -78,7 +84,13 @@ impl Window {
         self.terms()
             .iter()
             .enumerate()
-            .map(|(k, &a)| if k % 2 == 0 { a * (k as f64 * x).cos() } else { -a * (k as f64 * x).cos() })
+            .map(|(k, &a)| {
+                if k % 2 == 0 {
+                    a * (k as f64 * x).cos()
+                } else {
+                    -a * (k as f64 * x).cos()
+                }
+            })
             .sum()
     }
 
@@ -191,10 +203,7 @@ mod tests {
         for win in Window::ALL {
             let w = win.coefficients(64);
             for i in 1..64 {
-                assert!(
-                    (w[i] - w[64 - i]).abs() < 1e-12,
-                    "{win} asymmetric at {i}"
-                );
+                assert!((w[i] - w[64 - i]).abs() < 1e-12, "{win} asymmetric at {i}");
             }
         }
     }

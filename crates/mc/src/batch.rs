@@ -37,7 +37,11 @@ impl fmt::Display for DeviceModel {
                 write!(f, "iid widths (σ {} LSB)", d.sigma())
             }
             DeviceModel::PhysicalFlash(c) => {
-                write!(f, "physical flash (σ_w {:.3} LSB)", c.code_width_sigma_lsb())
+                write!(
+                    f,
+                    "physical flash (σ_w {:.3} LSB)",
+                    c.code_width_sigma_lsb()
+                )
             }
         }
     }
@@ -97,9 +101,7 @@ impl Batch {
                 .sample(&mut rng)
                 .transfer()
                 .expect("flash states its transfer"),
-            DeviceModel::IidWidths(dist) => {
-                iid_width_transfer(self.resolution, &dist, &mut rng)
-            }
+            DeviceModel::IidWidths(dist) => iid_width_transfer(self.resolution, &dist, &mut rng),
         }
     }
 
@@ -174,6 +176,12 @@ pub fn truncated_normal<R: Rng + ?Sized>(
 /// `P(faulty) ≈ 1.4×10⁻⁴` and a faulty device almost surely has exactly
 /// one bad code, so sampling that conditional law directly estimates
 /// `P(accept | faulty)` without 10⁷ rejection draws.
+///
+/// # Panics
+///
+/// Panics when the spec window has no realisable out-of-spec tail mass
+/// (both Gaussian tails numerically zero), since the conditional law is
+/// then undefined.
 pub fn conditional_faulty_widths<R: Rng + ?Sized>(
     dist: &WidthDistribution,
     spec: &bist_adc::spec::LinearitySpec,
@@ -183,8 +191,23 @@ pub fn conditional_faulty_widths<R: Rng + ?Sized>(
     let (lo, hi) = spec.width_window_lsb();
     let mean = dist.mean();
     let sigma = dist.sigma();
-    let p_below = bist_dsp::special::gaussian_cdf(lo.0, mean, sigma);
+    // With the window floored at zero a below-spec width cannot be
+    // realised: widths clamp at 0, and a zero width is DNL = −1 exactly,
+    // which sits *on* the inclusive spec limit and classifies good. All
+    // conditional mass is then in the above tail.
+    let p_below = if lo.0 > 0.0 {
+        bist_dsp::special::gaussian_cdf(lo.0, mean, sigma)
+    } else {
+        0.0
+    };
     let p_above = 1.0 - bist_dsp::special::gaussian_cdf(hi.0, mean, sigma);
+    assert!(
+        p_below + p_above > 0.0,
+        "spec window ({}, {}) has no realisable tail mass at mean {mean}, sigma {sigma}: \
+         the conditional faulty law is undefined",
+        lo.0,
+        hi.0
+    );
     let bad_index = rng.gen_range(0..codes);
     (0..codes)
         .map(|i| {
@@ -263,10 +286,7 @@ mod tests {
         assert!(matches!(b.model, DeviceModel::PhysicalFlash(_)));
         // Yield under the stringent spec lands near the paper's 30 %.
         let spec = LinearitySpec::paper_stringent();
-        let good = b
-            .devices()
-            .filter(|tf| spec.classify(tf).good)
-            .count();
+        let good = b.devices().filter(|tf| spec.classify(tf).good).count();
         let yield_frac = good as f64 / b.size as f64;
         assert!(
             (0.2..0.45).contains(&yield_frac),

@@ -80,17 +80,15 @@ impl Experiment {
             let mut rng = self.batch.device_rng(i ^ 0x5eed_0000_0000_0000);
             let truth_good = match self.ground_truth {
                 GroundTruthMode::Exact => spec.classify(&tf).good,
-                GroundTruthMode::Reference { samples_per_code } => {
-                    reference_measurement(
-                        &tf,
-                        &spec,
-                        samples_per_code,
-                        &NoiseConfig::noiseless(),
-                        &mut rng,
-                    )
-                    .map(|v| v.accepted)
-                    .unwrap_or(false)
-                }
+                GroundTruthMode::Reference { samples_per_code } => reference_measurement(
+                    &tf,
+                    &spec,
+                    samples_per_code,
+                    &NoiseConfig::noiseless(),
+                    &mut rng,
+                )
+                .map(|v| v.accepted)
+                .unwrap_or(false),
             };
             let outcome =
                 run_static_bist(&tf, &self.config, &self.noise, self.slope_error, &mut rng);

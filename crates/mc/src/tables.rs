@@ -178,8 +178,7 @@ pub fn table2(faulty_devices: usize, seed: u64) -> Vec<Table2Row> {
                 let mut rng = batch.device_rng(i ^ 0x7ab1e2);
                 let widths = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
                 let tf = transfer_from_widths(Resolution::SIX_BIT, &widths);
-                let outcome =
-                    run_static_bist(&tf, &bist, &NoiseConfig::noiseless(), 0.0, &mut rng);
+                let outcome = run_static_bist(&tf, &bist, &NoiseConfig::noiseless(), 0.0, &mut rng);
                 if outcome.accepted() {
                     accepted += 1;
                 }
@@ -353,19 +352,17 @@ mod tests {
         // resonances, so the max/min ratio is large.
         let max_i = pts.iter().map(|p| p.type_i).fold(0.0f64, f64::max);
         let min_i = pts.iter().map(|p| p.type_i).fold(1.0f64, f64::min);
-        assert!(max_i / min_i.max(1e-9) > 2.0, "flat type I: {min_i}..{max_i}");
+        assert!(
+            max_i / min_i.max(1e-9) > 2.0,
+            "flat type I: {min_i}..{max_i}"
+        );
     }
 
     #[test]
     fn figure7_mc_overlay_matches_theory() {
         let pts = figure7_mc(&[0.0909], 600, 11, 1);
         let (ds, p1, _) = &pts[0];
-        let theory = analytic_point(
-            &LinearitySpec::paper_stringent(),
-            0.21,
-            *ds,
-            JUDGED_CODES,
-        );
+        let theory = analytic_point(&LinearitySpec::paper_stringent(), 0.21, *ds, JUDGED_CODES);
         let (lo, hi) = p1.wilson(0.99).expect("non-empty");
         assert!(
             theory.type_i >= lo - 0.02 && theory.type_i <= hi + 0.02,

@@ -1,8 +1,8 @@
 //! Property-based tests of the Monte-Carlo estimator invariants.
 
+use bist_adc::types::Resolution;
 use bist_mc::batch::{transfer_from_widths, Batch};
 use bist_mc::estimate::Proportion;
-use bist_adc::types::Resolution;
 use proptest::prelude::*;
 
 proptest! {

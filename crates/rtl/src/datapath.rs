@@ -252,7 +252,11 @@ impl UpperBitChecker {
     ///
     /// Panics if `upper` has a different width than configured.
     pub fn tick(&mut self, monitored_bit: bool, upper: Bus) -> Option<bool> {
-        assert_eq!(upper.width(), self.align0.width(), "upper word width changed");
+        assert_eq!(
+            upper.width(),
+            self.align0.width(),
+            "upper word width changed"
+        );
         let e = self.edges.tick(monitored_bit);
         // Align the upper word with the synchronised LSB (2 cycles).
         let aligned = self.align1;
@@ -336,7 +340,10 @@ mod tests {
         out
     }
 
-    fn run_processor(cfg: LsbProcessorConfig, bits: &[bool]) -> (LsbProcessor, Vec<CodeMeasurement>) {
+    fn run_processor(
+        cfg: LsbProcessorConfig,
+        bits: &[bool],
+    ) -> (LsbProcessor, Vec<CodeMeasurement>) {
         let mut p = LsbProcessor::new(cfg);
         let mut out = Vec::new();
         for &b in bits {

@@ -126,11 +126,7 @@ mod tests {
         // Input has 9 transitions within the window; latency trims the tail.
         assert!((8..=9).contains(&total_edges), "{total_edges}");
         // Rising and falling strictly alternate.
-        let kinds: Vec<bool> = out
-            .iter()
-            .filter(|e| e.any())
-            .map(|e| e.rising)
-            .collect();
+        let kinds: Vec<bool> = out.iter().filter(|e| e.any()).map(|e| e.rising).collect();
         for w in kinds.windows(2) {
             assert_ne!(w[0], w[1]);
         }

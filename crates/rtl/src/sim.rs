@@ -94,12 +94,7 @@ impl Trace {
     /// signals as value sequences, one line per signal.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let width = self
-            .signals
-            .keys()
-            .map(|k| k.len())
-            .max()
-            .unwrap_or(0);
+        let width = self.signals.keys().map(|k| k.len()).max().unwrap_or(0);
         for (name, samples) in &self.signals {
             let is_single_bit = samples.iter().all(|&(_, v)| v <= 1);
             let mut line = format!("{name:>width$} ");

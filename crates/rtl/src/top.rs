@@ -119,8 +119,8 @@ impl BistTop {
         if let Some(m) = &m {
             // Compact count and verdicts into the signature: the count
             // in the low bits, verdict flags above.
-            let verdict_bits = (u64::from(!m.dnl_verdict.is_pass()) << 14)
-                | (u64::from(!m.inl_pass) << 15);
+            let verdict_bits =
+                (u64::from(!m.dnl_verdict.is_pass()) << 14) | (u64::from(!m.inl_pass) << 15);
             self.misr.tick((m.count & 0x3FFF) | verdict_bits);
         }
         m

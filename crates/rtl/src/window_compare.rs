@@ -65,7 +65,10 @@ impl WindowComparator {
     ///
     /// Panics if `i_min > i_max`.
     pub fn new(i_min: u64, i_max: u64) -> Self {
-        assert!(i_min <= i_max, "i_min ({i_min}) must not exceed i_max ({i_max})");
+        assert!(
+            i_min <= i_max,
+            "i_min ({i_min}) must not exceed i_max ({i_max})"
+        );
         WindowComparator { i_min, i_max }
     }
 

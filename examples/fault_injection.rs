@@ -21,7 +21,11 @@ fn verdict<A: Adc>(name: &str, adc: &A, config: &BistConfig, rng: &mut StdRng) -
     let outcome = run_static_bist(adc, config, &NoiseConfig::noiseless(), 0.0, rng);
     println!(
         "  {name:<36} {} (DNL fails {}, INL fails {}, functional mismatches {})",
-        if outcome.accepted() { "ACCEPTED" } else { "REJECTED" },
+        if outcome.accepted() {
+            "ACCEPTED"
+        } else {
+            "REJECTED"
+        },
         outcome.monitor.dnl_failures,
         outcome.monitor.inl_failures,
         outcome.functional.mismatches,
@@ -72,9 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\ndigital output faults:");
     for fault in [
-        OutputFault::StuckBit { bit: 0, value: false },
-        OutputFault::StuckBit { bit: 0, value: true },
-        OutputFault::StuckBit { bit: 5, value: false },
+        OutputFault::StuckBit {
+            bit: 0,
+            value: false,
+        },
+        OutputFault::StuckBit {
+            bit: 0,
+            value: true,
+        },
+        OutputFault::StuckBit {
+            bit: 5,
+            value: false,
+        },
         OutputFault::SwappedBits { a: 1, b: 4 },
         OutputFault::StuckCode(Code(21)),
         OutputFault::CodeOffset(3),
@@ -85,7 +98,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nresult: {} — gross faults detected by the smallest (4-bit) BIST configuration",
-        if all_rejected { "ALL REJECTED" } else { "SOME ESCAPED" }
+        if all_rejected {
+            "ALL REJECTED"
+        } else {
+            "SOME ESCAPED"
+        }
     );
     assert!(all_rejected, "every gross fault must be rejected");
     Ok(())

@@ -24,8 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("q_min vs stimulus frequency (6-bit, DNL 0.5 / INL 1.0 LSB, f_sample = 1 MHz):");
     for f_stim in [1.0, 100.0, 1e3, 5e3, 2e4, 5e4, 1e5, 3e5] {
         match plan.q_min(f_stim, f_sample) {
-            Some(1) => println!("  {f_stim:>9.0} Hz → q_min = 1  (full BIST: only the LSB leaves the chip)"),
-            Some(q) => println!("  {f_stim:>9.0} Hz → q_min = {q}  ({q} bits off-chip, {} on-chip)", 6 - q),
+            Some(1) => println!(
+                "  {f_stim:>9.0} Hz → q_min = 1  (full BIST: only the LSB leaves the chip)"
+            ),
+            Some(q) => println!(
+                "  {f_stim:>9.0} Hz → q_min = {q}  ({q} bits off-chip, {} on-chip)",
+                6 - q
+            ),
             None => println!("  {f_stim:>9.0} Hz → untestable (stimulus too fast for 6 bits)"),
         }
     }
@@ -50,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same capture through a faulty device: bit 4 stuck low.
     let faulty = bist_adc::faults::FaultyAdc::new(
         adc,
-        bist_adc::faults::OutputFault::StuckBit { bit: 4, value: false },
+        bist_adc::faults::OutputFault::StuckBit {
+            bit: 4,
+            value: false,
+        },
     );
     let capture = acquire(&faulty, &ramp, SamplingConfig::new(f_sample, 900_000));
     let functional = check_code_stream(capture.codes(), config.monitored_bit());

@@ -37,16 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Per-code detail: the measured sample count per code is the code
     //    width in units of Δs.
-    println!("\nfirst judged codes (count ∈ [{}, {}] passes):",
-        config.limits().i_min(), config.limits().i_max());
+    println!(
+        "\nfirst judged codes (count ∈ [{}, {}] passes):",
+        config.limits().i_min(),
+        config.limits().i_max()
+    );
     for code in outcome.monitor.codes.iter().take(8) {
         println!(
             "  code #{:2}: {:2} samples → width {:.3} LSB, DNL {:+.3} LSB, {}",
-            code.index,
-            code.count,
-            code.width_lsb.0,
-            code.dnl_lsb.0,
-            code.dnl_verdict
+            code.index, code.count, code.width_lsb.0, code.dnl_lsb.0, code.dnl_verdict
         );
     }
 
@@ -65,9 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
         .bit_stream(0)
     };
-    if let Some(est) =
-        bist_core::static_params::estimate_offset_gain(&config, &lsb_stream, -2.0)
-    {
+    if let Some(est) = bist_core::static_params::estimate_offset_gain(&config, &lsb_stream, -2.0) {
         println!("\nstatic parameters:  {est}");
     }
 
@@ -78,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nground truth:      {truth}");
     println!(
         "verdict agreement: BIST {} vs truth {} → {}",
-        if outcome.accepted() { "accept" } else { "reject" },
+        if outcome.accepted() {
+            "accept"
+        } else {
+            "reject"
+        },
         if truth.good { "good" } else { "faulty" },
         if outcome.accepted() == truth.good {
             "CORRECT"

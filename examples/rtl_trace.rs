@@ -6,10 +6,10 @@
 
 use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::Ramp;
+use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::TransferFunction;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::config::BistConfig;
-use bist_adc::spec::LinearitySpec;
 use bist_rtl::datapath::LsbProcessor;
 use bist_rtl::sim::Trace;
 
@@ -48,14 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("{}", trace.render());
-    println!("measurements (window [{}, {}]):", config.limits().i_min(), config.limits().i_max());
+    println!(
+        "measurements (window [{}, {}]):",
+        config.limits().i_min(),
+        config.limits().i_max()
+    );
     for m in &results {
         println!(
             "  code #{}: {} samples, {}{}, INL {} counts",
             m.index,
             m.count,
             m.dnl_verdict,
-            if m.overflow { " (counter overflow)" } else { "" },
+            if m.overflow {
+                " (counter overflow)"
+            } else {
+                ""
+            },
             m.inl_counts,
         );
     }

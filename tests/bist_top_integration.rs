@@ -53,11 +53,9 @@ fn top_level_agrees_with_harness_on_flash_batch() {
         let report = top.report();
         // The RTL top may miss the final edge (synchroniser latency), so
         // completeness can differ by one code; compare failure verdicts.
-        let rtl_reject = report.dnl_failures > 0
-            || report.inl_failures > 0
-            || report.functional_mismatches > 0;
-        let beh_reject =
-            !behavioural.monitor.all_pass() || !behavioural.functional.all_pass();
+        let rtl_reject =
+            report.dnl_failures > 0 || report.inl_failures > 0 || report.functional_mismatches > 0;
+        let beh_reject = !behavioural.monitor.all_pass() || !behavioural.functional.all_pass();
         if rtl_reject == beh_reject {
             agreements += 1;
         }
@@ -93,14 +91,14 @@ fn top_level_catches_the_stuck_lsb_that_needs_completeness() {
 
     // Behavioural side agrees.
     let mut rng = StdRng::seed_from_u64(1);
-    let good = bist_adc::transfer::TransferFunction::ideal(
-        Resolution::SIX_BIT,
-        Volts(0.0),
-        Volts(6.4),
-    );
+    let good =
+        bist_adc::transfer::TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
     let faulty = bist_adc::faults::FaultyAdc::new(
         good,
-        bist_adc::faults::OutputFault::StuckBit { bit: 0, value: false },
+        bist_adc::faults::OutputFault::StuckBit {
+            bit: 0,
+            value: false,
+        },
     );
     let outcome = run_static_bist(&faulty, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
     assert!(!outcome.complete());

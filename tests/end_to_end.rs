@@ -37,7 +37,10 @@ fn bist_screens_flash_batch_consistently_with_truth() {
             correct += 1;
         }
     }
-    assert!(correct >= total - 4, "only {correct}/{total} correct at 7 bits");
+    assert!(
+        correct >= total - 4,
+        "only {correct}/{total} correct at 7 bits"
+    );
 }
 
 #[test]
@@ -73,11 +76,8 @@ fn transition_noise_handled_by_deglitcher() {
     // device (spurious short runs); the §3 deglitch filter restores the
     // correct verdict.
     let mut rng = StdRng::seed_from_u64(9);
-    let adc = bist_adc::transfer::TransferFunction::ideal(
-        Resolution::SIX_BIT,
-        Volts(0.0),
-        Volts(6.4),
-    );
+    let adc =
+        bist_adc::transfer::TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
     // 0.01 LSB rms — small against the 6-bit Δs of 0.023 LSB, so the
     // toggles are mostly isolated single-sample glitches (the regime the
     // paper's "simple digital filter" remark addresses).
@@ -91,12 +91,11 @@ fn transition_noise_handled_by_deglitcher() {
             raw_rejects += 1;
         }
     }
-    let deglitched_cfg =
-        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
-            .counter_bits(6)
-            .deglitch(true)
-            .build()
-            .expect("valid configuration");
+    let deglitched_cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(6)
+        .deglitch(true)
+        .build()
+        .expect("valid configuration");
     let mut deglitched_accepts = 0;
     for _ in 0..runs {
         let outcome = run_static_bist(&adc, &deglitched_cfg, &noise, 0.0, &mut rng);
@@ -118,16 +117,25 @@ fn transition_noise_handled_by_deglitcher() {
 fn every_gross_output_fault_is_rejected() {
     let mut rng = StdRng::seed_from_u64(21);
     let cfg = config(4);
-    let good = bist_adc::transfer::TransferFunction::ideal(
-        Resolution::SIX_BIT,
-        Volts(0.0),
-        Volts(6.4),
-    );
+    let good =
+        bist_adc::transfer::TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
     let faults = [
-        OutputFault::StuckBit { bit: 0, value: false },
-        OutputFault::StuckBit { bit: 0, value: true },
-        OutputFault::StuckBit { bit: 2, value: false },
-        OutputFault::StuckBit { bit: 5, value: true },
+        OutputFault::StuckBit {
+            bit: 0,
+            value: false,
+        },
+        OutputFault::StuckBit {
+            bit: 0,
+            value: true,
+        },
+        OutputFault::StuckBit {
+            bit: 2,
+            value: false,
+        },
+        OutputFault::StuckBit {
+            bit: 5,
+            value: true,
+        },
         OutputFault::SwappedBits { a: 0, b: 3 },
         OutputFault::SwappedBits { a: 2, b: 4 },
         OutputFault::StuckCode(Code(0)),
@@ -146,8 +154,7 @@ fn every_gross_output_fault_is_rejected() {
 fn analog_spot_defects_are_rejected() {
     let mut rng = StdRng::seed_from_u64(23);
     let cfg = config(4);
-    let device = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
-        .sample(&mut rng);
+    let device = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).sample(&mut rng);
     for faulty in [
         device.with_ladder_short(5),
         device.with_ladder_short(40),
@@ -189,11 +196,8 @@ fn partial_bist_judges_half_the_codes_per_monitored_bit() {
     // Monitoring bit 1 (q = 2) halves the number of observable "codes"
     // (each run of bit 1 spans two converter codes).
     let mut rng = StdRng::seed_from_u64(41);
-    let adc = bist_adc::transfer::TransferFunction::ideal(
-        Resolution::SIX_BIT,
-        Volts(0.0),
-        Volts(6.4),
-    );
+    let adc =
+        bist_adc::transfer::TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
     // At q = 2 a "code" is 2 LSB wide: widen the window accordingly by
     // using a 2x delta_s with the same counter.
     let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
