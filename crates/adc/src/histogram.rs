@@ -42,17 +42,28 @@ impl CodeHistogram {
         }
     }
 
-    /// Builds a histogram from a capture.
+    /// Builds a histogram by draining a code stream — the single-pass
+    /// accumulation used by the streaming harnesses (no capture is
+    /// materialised).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds the resolution's maximum code.
+    pub fn from_codes<I: IntoIterator<Item = Code>>(resolution: Resolution, codes: I) -> Self {
+        let mut h = CodeHistogram::new(resolution);
+        for c in codes {
+            h.record(c);
+        }
+        h
+    }
+
+    /// Builds a histogram from a materialised capture.
     ///
     /// # Panics
     ///
     /// Panics if any code exceeds the resolution's maximum code.
     pub fn from_capture(resolution: Resolution, capture: &Capture) -> Self {
-        let mut h = CodeHistogram::new(resolution);
-        for &c in capture.codes() {
-            h.record(c);
-        }
-        h
+        CodeHistogram::from_codes(resolution, capture.codes().iter().copied())
     }
 
     /// Records one code occurrence.

@@ -15,9 +15,10 @@
 //!   and correlation ρ ≈ −1/(N−1) (Eq. 10).
 //! * [`sar`] — a SAR converter (different mismatch signature) showing the
 //!   method is architecture-agnostic.
-//! * [`signal`] / [`noise`] / [`sampler`] — ramp/sine/triangle stimuli,
-//!   the §3 noise sources (jitter, transition noise) and the acquisition
-//!   loop.
+//! * [`signal`] / [`noise`] / [`stream`] / [`sampler`] — ramp/sine/
+//!   triangle stimuli, the §3 noise sources (jitter, transition noise),
+//!   the lazy single-pass acquisition stream ([`stream::CodeStream`])
+//!   and its materialised [`sampler::Capture`] view.
 //! * [`metrics`] / [`histogram`] — ground-truth DNL/INL and the
 //!   conventional code-density tests (ramp and sine histogram).
 //! * [`faults`] — gross spot-defect injection (stuck bits, stuck codes).
@@ -53,11 +54,13 @@ pub mod sampler;
 pub mod sar;
 pub mod signal;
 pub mod spec;
+pub mod stream;
 pub mod transfer;
 pub mod types;
 
 pub use flash::{FlashAdc, FlashConfig};
 pub use sampler::{acquire, acquire_noisy, Capture, SamplingConfig};
 pub use spec::{GroundTruth, LinearitySpec};
+pub use stream::CodeStream;
 pub use transfer::{Adc, TransferFunction};
 pub use types::{Code, Lsb, Resolution, Volts};

@@ -1,16 +1,19 @@
 //! The acquisition loop: stimulus → sampling instants → converter codes.
 //!
-//! This is the simulated equivalent of the tester capture (or of the
-//! on-chip capture path in a full BIST): the converter samples the
-//! stimulus at `f_sample`, optionally perturbed by the noise sources of
-//! [`crate::noise`], and produces a code record for the downstream test
-//! processing.
+//! The conversion itself is performed lazily by
+//! [`crate::stream::CodeStream`]; this module holds the sampling plan
+//! ([`SamplingConfig`]) and the materialised view ([`Capture`]) that
+//! tests, plots and the conventional histogram baselines collect the
+//! stream into. Production-path consumers (the BIST harness, the
+//! Monte-Carlo engine) consume the stream directly and never allocate a
+//! capture.
 
 use crate::noise::NoiseConfig;
 use crate::signal::Stimulus;
+use crate::stream::CodeStream;
 use crate::transfer::Adc;
-use crate::types::{Code, Volts};
-use rand::Rng;
+use crate::types::Code;
+use rand::RngCore;
 use std::fmt;
 
 /// Sampling parameters for one acquisition.
@@ -58,7 +61,8 @@ impl SamplingConfig {
     }
 }
 
-/// A captured record of output codes plus capture metadata.
+/// A captured record of output codes plus capture metadata — the
+/// materialised (`collect()`ed) view of a [`CodeStream`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Capture {
     codes: Vec<Code>,
@@ -66,6 +70,12 @@ pub struct Capture {
 }
 
 impl Capture {
+    /// Assembles a capture from already-collected codes (crate-internal;
+    /// use [`CodeStream::capture`] or [`acquire`]/[`acquire_noisy`]).
+    pub(crate) fn from_parts(codes: Vec<Code>, sampling: SamplingConfig) -> Self {
+        Capture { codes, sampling }
+    }
+
     /// The captured codes.
     pub fn codes(&self) -> &[Code] {
         &self.codes
@@ -76,26 +86,19 @@ impl Capture {
         &self.sampling
     }
 
-    /// The codes as raw `u32` values.
-    pub fn raw(&self) -> Vec<u32> {
-        self.codes.iter().map(|c| c.0).collect()
+    /// Iterates over bit `b` (0 = LSB) of every code — the signal the
+    /// paper's on-chip LSB monitor watches. Allocation-free; `collect()`
+    /// when a materialised stream is needed.
+    pub fn bits(&self, b: u32) -> impl Iterator<Item = bool> + '_ {
+        self.codes.iter().map(move |c| (c.0 >> b) & 1 == 1)
     }
 
-    /// The codes centred to `±0.5`-normalised values for spectral
-    /// analysis: `(code + 0.5)/2ⁿ − 0.5`, given the resolution implied by
-    /// `bits`.
-    pub fn normalized(&self, bits: u32) -> Vec<f64> {
+    /// Iterates over the codes centred to `±0.5`-normalised values for
+    /// spectral analysis: `(code + 0.5)/2ⁿ − 0.5`, given the resolution
+    /// implied by `bits`.
+    pub fn normalized(&self, bits: u32) -> impl Iterator<Item = f64> + '_ {
         let n = (1u64 << bits) as f64;
-        self.codes
-            .iter()
-            .map(|c| (c.0 as f64 + 0.5) / n - 0.5)
-            .collect()
-    }
-
-    /// Extracts bit `b` (0 = LSB) of every code as a boolean stream —
-    /// the signal the paper's on-chip LSB monitor watches.
-    pub fn bit_stream(&self, b: u32) -> Vec<bool> {
-        self.codes.iter().map(|c| (c.0 >> b) & 1 == 1).collect()
+        self.codes.iter().map(move |c| (c.0 as f64 + 0.5) / n - 0.5)
     }
 
     /// Consumes the capture, returning the code vector.
@@ -116,34 +119,26 @@ impl fmt::Display for Capture {
 }
 
 /// Samples `stimulus` through `adc` without noise (the deterministic
-/// sampling process assumed by the §3 theory).
+/// sampling process assumed by the §3 theory) and materialises the
+/// result. Thin wrapper over [`CodeStream::noiseless`].
 pub fn acquire<A: Adc, S: Stimulus>(adc: &A, stimulus: &S, sampling: SamplingConfig) -> Capture {
-    let codes = (0..sampling.samples)
-        .map(|i| adc.convert(stimulus.value(sampling.sample_time(i))))
-        .collect();
-    Capture { codes, sampling }
+    CodeStream::noiseless(adc, stimulus, sampling).capture()
 }
 
-/// Samples `stimulus` through `adc` with the given noise sources.
+/// Samples `stimulus` through `adc` with the given noise sources and
+/// materialises the result. Thin wrapper over [`CodeStream::noisy`].
 ///
 /// Jitter perturbs each sample instant; input and transition noise
 /// perturb the sampled voltage. With [`NoiseConfig::noiseless`] this is
 /// identical to [`acquire`].
-pub fn acquire_noisy<A: Adc, S: Stimulus, R: Rng + ?Sized>(
+pub fn acquire_noisy<A: Adc, S: Stimulus, R: RngCore + ?Sized>(
     adc: &A,
     stimulus: &S,
     sampling: SamplingConfig,
     noise: &NoiseConfig,
     rng: &mut R,
 ) -> Capture {
-    let codes = (0..sampling.samples)
-        .map(|i| {
-            let t = noise.perturb_time(sampling.sample_time(i), rng);
-            let v = noise.perturb_voltage(stimulus.value(t).0, rng);
-            adc.convert(Volts(v))
-        })
-        .collect();
-    Capture { codes, sampling }
+    CodeStream::noisy(adc, stimulus, sampling, noise, rng).capture()
 }
 
 #[cfg(test)]
@@ -151,7 +146,7 @@ mod tests {
     use super::*;
     use crate::signal::{Dc, Ramp};
     use crate::transfer::TransferFunction;
-    use crate::types::Resolution;
+    use crate::types::{Resolution, Volts};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -192,7 +187,7 @@ mod tests {
         // 1 V/s ramp, 1 kHz sampling: 6.4 s sweep = 6400 samples, 100/code.
         let ramp = Ramp::new(Volts(-0.05), 1.0);
         let cap = acquire(&adc, &ramp, SamplingConfig::new(1e3, 6600));
-        let raw = cap.raw();
+        let raw: Vec<u32> = cap.codes().iter().map(|c| c.0).collect();
         assert_eq!(raw[0], 0);
         assert_eq!(*raw.last().unwrap(), 63);
         // Monotone non-decreasing.
@@ -212,10 +207,10 @@ mod tests {
         let adc = six_bit();
         let ramp = Ramp::new(Volts(0.05), 1.0);
         let cap = acquire(&adc, &ramp, SamplingConfig::new(1e3, 6300));
-        let lsb = cap.bit_stream(0);
+        let lsb: Vec<bool> = cap.bits(0).collect();
         // The LSB toggles once per code: count transitions ≈ codes crossed.
         let transitions = lsb.windows(2).filter(|w| w[0] != w[1]).count();
-        let codes_crossed = cap.raw().last().unwrap() - cap.raw()[0];
+        let codes_crossed = cap.codes().last().unwrap().0 - cap.codes()[0].0;
         assert_eq!(transitions as u32, codes_crossed);
     }
 
@@ -224,8 +219,8 @@ mod tests {
         let adc = six_bit();
         let cap = acquire(&adc, &Dc(Volts(5.0)), SamplingConfig::new(1e3, 4));
         // 5.0 V → code 50 = 0b110010: bit 5 is 1.
-        assert!(cap.bit_stream(5).iter().all(|&b| b));
-        assert!(cap.bit_stream(0).iter().all(|&b| !b));
+        assert!(cap.bits(5).all(|b| b));
+        assert!(cap.bits(0).all(|b| !b));
     }
 
     #[test]
@@ -233,7 +228,8 @@ mod tests {
         let adc = six_bit();
         let cap = acquire(&adc, &Dc(Volts(3.25)), SamplingConfig::new(1e3, 2));
         // code 32 → (32.5)/64 - 0.5 = 0.0078125
-        assert!((cap.normalized(6)[0] - 0.0078125).abs() < 1e-12);
+        let first = cap.normalized(6).next().unwrap();
+        assert!((first - 0.0078125).abs() < 1e-12);
     }
 
     #[test]
@@ -257,10 +253,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let clean = acquire(&adc, &dc, sampling);
         let toggles = |cap: &Capture| {
-            cap.bit_stream(0)
-                .windows(2)
-                .filter(|w| w[0] != w[1])
-                .count()
+            let bits: Vec<bool> = cap.bits(0).collect();
+            bits.windows(2).filter(|w| w[0] != w[1]).count()
         };
         assert_eq!(toggles(&clean), 0);
         let noise = NoiseConfig::noiseless().with_transition_noise(0.02);
@@ -279,7 +273,7 @@ mod tests {
         let jittered = acquire_noisy(&adc, &ramp, sampling, &noise, &mut rng);
         assert_ne!(clean, jittered);
         // But the overall trajectory is still a ramp of the same span.
-        assert_eq!(clean.raw().last(), jittered.raw().last());
+        assert_eq!(clean.codes().last(), jittered.codes().last());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use bist_adc::transfer::Adc;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::analytic::{code_probabilities, WidthDistribution};
 use bist_core::config::BistConfig;
-use bist_core::harness::run_static_bist;
+use bist_core::harness::{
+    bist_from_capture, plan_ramp, run_static_bist, run_static_bist_with, Scratch,
+};
 use bist_core::limits::CountLimits;
 use bist_core::lsb_monitor::monitor_bit_stream;
 use bist_dsp::fft::fft_in_place;
@@ -86,7 +88,7 @@ fn bench_monitor(c: &mut Criterion) {
         &Ramp::new(Volts(-0.2), slope),
         SamplingConfig::new(1.0e6, ((6.4 + 1.4) / slope * 1.0e6) as usize),
     );
-    let stream = capture.bit_stream(0);
+    let stream: Vec<bool> = capture.bits(0).collect();
     group.throughput(Throughput::Elements(stream.len() as u64));
     group.bench_function("behavioural_sweep", |b| {
         b.iter(|| black_box(monitor_bit_stream(&config, &stream)))
@@ -123,6 +125,57 @@ fn bench_full_bist(c: &mut Criterion) {
                 0.0,
                 &mut rng,
             ))
+        })
+    });
+    group.finish();
+}
+
+/// The single-device hot path of the streaming engine: one device in,
+/// one verdict out, scratch reused — zero heap allocations after
+/// warm-up (asserted by `bist-core`'s `tests/zero_alloc.rs`). The
+/// `materialized` variant is the seed two-pass path (capture a `Vec`,
+/// then process) kept for run-over-run comparison.
+fn bench_device_to_verdict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(40);
+    let config = paper_config(4);
+    let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(4));
+    let (samples, _) = {
+        // One warm-up sweep sizes the throughput annotation.
+        let mut scratch = Scratch::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let v = run_static_bist_with(
+            &adc,
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        (v.samples, v.accepted())
+    };
+    group.throughput(Throughput::Elements(samples));
+    group.bench_function("device_to_verdict", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            black_box(run_static_bist_with(
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut rng,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("device_to_verdict_materialized", |b| {
+        // The exact sweep the streaming variant drives, so the two
+        // benchmarks convert identical samples.
+        let (ramp, sampling) = plan_ramp(&adc, &config);
+        b.iter(|| {
+            let capture = acquire(&adc, &ramp, sampling);
+            black_box(bist_from_capture(&config, &capture))
         })
     });
     group.finish();
@@ -172,10 +225,13 @@ fn bench_experiment(c: &mut Criterion) {
     let mut group = c.benchmark_group("mc");
     group.sample_size(10);
     let config = paper_config(4);
+    // Pinned to one thread (`run_range`): `Experiment::run` now fans
+    // out over all cores, which would make this number machine-
+    // dependent and dominated by thread spawn for a 100-device batch.
     group.bench_function("experiment_100_devices", |b| {
         b.iter(|| {
             let batch = Batch::paper_simulation(9, 100);
-            black_box(Experiment::new(batch, config).run())
+            black_box(Experiment::new(batch, config).run_range(0, 100))
         })
     });
     group.finish();
@@ -191,6 +247,7 @@ criterion_group!(
         bench_flash,
         bench_monitor,
         bench_full_bist,
+        bench_device_to_verdict,
         bench_analytic,
         bench_histogram,
         bench_sinefit,

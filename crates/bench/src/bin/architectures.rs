@@ -6,7 +6,9 @@
 //! roughly half the devices violate the ±0.5 LSB spec, then screened by
 //! the 6-bit-counter BIST against exact ground truth.
 //!
-//! Knobs: `BIST_BATCH` (default 600), `BIST_SEED`.
+//! Knobs: `BIST_BATCH` (default 600), `BIST_SEED`. (Runs
+//! sequentially by design: each population draws devices from one
+//! shared RNG stream.)
 
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
@@ -15,7 +17,7 @@ use bist_adc::sar::SarConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::{Adc, TransferFunction};
 use bist_adc::types::{Resolution, Volts};
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
 use bist_core::harness::run_static_bist;
@@ -53,8 +55,12 @@ where
 }
 
 fn main() {
-    let n = env_usize("BIST_BATCH", 600);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("architectures", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let n = sc.usize_knob("BIST_BATCH", 600);
+    let seed = sc.seed();
     let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
         .counter_bits(6)
         .build()
@@ -99,7 +105,7 @@ fn main() {
     println!("reading: error rates stay in the same band across architectures even though");
     println!("the DNL signatures differ completely (iid widths vs binary-weighted steps vs");
     println!("coarse-boundary gaps) — the method never looks inside the converter.");
-    let path = write_csv(
+    let path = sc.csv(
         "architectures.csv",
         &["architecture", "yield", "type_i", "type_ii", "devices"],
         &csv,

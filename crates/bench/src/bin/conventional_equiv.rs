@@ -5,19 +5,25 @@
 //! Runs both tests on the same device batches and compares their
 //! confusion matrices and device-level agreement, for counter sizes 4–7.
 //!
-//! Knobs: `BIST_BATCH` (default 2000), `BIST_SEED`.
+//! Knobs: `BIST_BATCH` (default 2000), `BIST_SEED`, `BIST_WORKERS`
+//! (0 = all cores).
 
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::Resolution;
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::report::{fmt_prob, Table};
 use bist_mc::batch::Batch;
 use bist_mc::experiment::run_equivalence;
 
 fn main() {
-    let n = env_usize("BIST_BATCH", 2000);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("conventional_equiv", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let n = sc.usize_knob("BIST_BATCH", 2000);
+    let seed = sc.seed();
+    let workers = sc.workers();
     let spec = LinearitySpec::paper_stringent();
     eprintln!("conventional_equiv: {n} iid-width devices, spec {spec}");
 
@@ -37,7 +43,7 @@ fn main() {
             .build()
             .expect("paper operating points are valid");
         let batch = Batch::paper_simulation(seed, n);
-        let res = run_equivalence(&batch, &cfg, 4096);
+        let res = run_equivalence(&batch, &cfg, 4096, workers);
         t.row_owned(vec![
             bits.to_string(),
             fmt_prob(res.bist.type_i_rate()),
@@ -66,7 +72,7 @@ fn main() {
         }
     }
     println!("{t}");
-    let path = write_csv(
+    let path = sc.csv(
         "conventional_equiv.csv",
         &[
             "counter_bits",

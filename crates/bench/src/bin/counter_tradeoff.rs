@@ -9,13 +9,17 @@
 //! as the knee of this curve.
 
 use bist_adc::spec::LinearitySpec;
-use bist_bench::{write_csv, AsciiPlot};
+use bist_bench::{AsciiPlot, Scenario};
 use bist_core::limits::plan_delta_s;
 use bist_core::report::Table;
 use bist_mc::tables::{analytic_point, JUDGED_CODES};
 use bist_rtl::area::{full_bist, LsbProcessorArea};
 
 fn main() {
+    Scenario::run("counter_tradeoff", run);
+}
+
+fn run(sc: &mut Scenario) {
     let spec = LinearitySpec::paper_stringent();
     let mut t = Table::new(&[
         "counter",
@@ -62,7 +66,7 @@ fn main() {
     println!("{}", plot.render());
     println!("reading: each extra counter bit costs a few % area and ~halves type I —");
     println!("the Figure-1 accuracy/size trade-off is strongly in favour of the BIST.");
-    let path = write_csv(
+    let path = sc.csv(
         "counter_tradeoff.csv",
         &[
             "counter_bits",

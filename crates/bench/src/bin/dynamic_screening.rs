@@ -10,12 +10,14 @@
 //! test the BIST capture path enables.
 //!
 //! Knobs: `BIST_BATCH` (default 100 devices/cell), `BIST_SEED`.
+//! (Runs sequentially by design: each cell draws devices from one
+//! shared RNG stream.)
 
 use bist_adc::flash::FlashConfig;
 use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::SineWave;
 use bist_adc::types::{Resolution, Volts};
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::report::Table;
 use bist_dsp::spectrum::{analyze_tone, ideal_sinad_db, ToneAnalysisConfig};
 use bist_dsp::stats::Running;
@@ -25,8 +27,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let n_devices = env_usize("BIST_BATCH", 100);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("dynamic_screening", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let n_devices = sc.usize_knob("BIST_BATCH", 100);
+    let seed = sc.seed();
     let record_len = 4096usize;
     let fs = 1.0e6;
     let f_in = SineWave::coherent_frequency(1021, record_len, fs);
@@ -59,7 +65,7 @@ fn main() {
         for _ in 0..n_devices {
             let adc = cfg.sample(&mut rng);
             let capture = acquire(&adc, &sine, SamplingConfig::new(fs, record_len));
-            let record = capture.normalized(6);
+            let record: Vec<f64> = capture.normalized(6).collect();
             let analysis = analyze_tone(&record, &ToneAnalysisConfig::default())
                 .expect("4096 is a power of two");
             sinad.push(analysis.sinad_db);
@@ -93,7 +99,7 @@ fn main() {
     println!("reading: mismatch costs ~1 ENOB at the paper's worst-case σ = 0.21; the");
     println!("noise-power column is the §2 'introduced noise power' parameter, estimated");
     println!("with Welch averaging from the same record the static BIST would capture.");
-    let path = write_csv(
+    let path = sc.csv(
         "dynamic_screening.csv",
         &[
             "sigma_lsb",

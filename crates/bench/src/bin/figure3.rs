@@ -11,7 +11,7 @@ use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::Ramp;
 use bist_adc::transfer::TransferFunction;
 use bist_adc::types::{Resolution, Volts};
-use bist_bench::write_csv;
+use bist_bench::Scenario;
 
 fn lsb_row(adc: &TransferFunction, samples: usize) -> (Vec<u32>, Vec<bool>) {
     let capture = acquire(
@@ -19,7 +19,8 @@ fn lsb_row(adc: &TransferFunction, samples: usize) -> (Vec<u32>, Vec<bool>) {
         &Ramp::new(Volts(-0.02), 1.0),
         SamplingConfig::new(1000.0, samples),
     );
-    (capture.raw(), capture.bit_stream(0))
+    let lsb = capture.bits(0).collect();
+    (capture.codes().iter().map(|c| c.0).collect(), lsb)
 }
 
 fn render(label: &str, bits: &[bool]) -> String {
@@ -28,6 +29,10 @@ fn render(label: &str, bits: &[bool]) -> String {
 }
 
 fn main() {
+    Scenario::run("figure3", run);
+}
+
+fn run(sc: &mut Scenario) {
     // A 3-bit world keeps the figure readable, like the paper's sketch.
     let res = Resolution::new(3).expect("3 bits valid");
     let ideal = TransferFunction::ideal(res, Volts(0.0), Volts(0.8));
@@ -80,7 +85,7 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv(
+    let path = sc.csv(
         "figure3.csv",
         &["time_s", "ideal_code", "actual_code"],
         &rows,

@@ -7,11 +7,15 @@
 //! window [6, 16]) with σ = 0.21 LSB.
 
 use bist_adc::spec::LinearitySpec;
-use bist_bench::{write_csv, AsciiPlot};
+use bist_bench::{AsciiPlot, Scenario};
 use bist_core::analytic::{figure6_series, WidthDistribution};
 use bist_core::limits::{plan_delta_s, CountLimits};
 
 fn main() {
+    Scenario::run("figure6", run);
+}
+
+fn run(sc: &mut Scenario) {
     let spec = LinearitySpec::paper_stringent();
     let ds = plan_delta_s(&spec, 4).0;
     let limits = CountLimits::from_spec(&spec, ds).expect("paper operating point");
@@ -66,7 +70,7 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv(
+    let path = sc.csv(
         "figure6.csv",
         &["dv_lsb", "density", "acceptance", "product"],
         &rows,

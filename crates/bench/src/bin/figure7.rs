@@ -9,15 +9,20 @@
 //! overlay validates the theory at selected points.
 //!
 //! Knobs: `BIST_MC_BATCH` (devices per MC point, default 3000; 0
-//! disables the overlay), `BIST_SEED`.
+//! disables the overlay), `BIST_SEED`, `BIST_WORKERS` (0 = all cores).
 
-use bist_bench::{env_usize, write_csv, AsciiPlot};
+use bist_bench::{AsciiPlot, Scenario};
 use bist_mc::tables::{figure7, figure7_mc};
 
 fn main() {
+    Scenario::run("figure7", run);
+}
+
+fn run(sc: &mut Scenario) {
     let pts = figure7(4, 161);
-    let mc_batch = env_usize("BIST_MC_BATCH", 3000);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    let mc_batch = sc.usize_knob("BIST_MC_BATCH", 3000);
+    let seed = sc.seed();
+    let workers = sc.workers();
 
     let ti: Vec<(f64, f64)> = pts.iter().map(|p| (p.delta_s, p.type_i)).collect();
     let tii: Vec<(f64, f64)> = pts.iter().map(|p| (p.delta_s, p.type_ii)).collect();
@@ -34,7 +39,7 @@ fn main() {
         let probe: Vec<f64> = [0.0895, 0.0909, 0.0953, 0.1034, 0.1120, 0.125, 0.1395]
             .into_iter()
             .collect();
-        let mc = figure7_mc(&probe, mc_batch, seed, 0);
+        let mc = figure7_mc(&probe, mc_batch, seed, workers);
         let mc_ti: Vec<(f64, f64)> = mc
             .iter()
             .filter_map(|(ds, p1, _)| p1.point().map(|p| (*ds, p)))
@@ -80,14 +85,14 @@ fn main() {
             ]
         })
         .collect();
-    let path = write_csv(
+    let path = sc.csv(
         "figure7.csv",
         &["delta_s_lsb", "type_i", "type_ii", "i_min", "i_max"],
         &rows,
     );
     eprintln!("wrote {}", path.display());
     if !mc_rows.is_empty() {
-        let path = write_csv(
+        let path = sc.csv(
             "figure7_mc.csv",
             &["delta_s_lsb", "mc_type_i", "mc_type_ii"],
             &mc_rows,

@@ -7,12 +7,13 @@
 //! deglitcher, quantifying both the damage the noise does and how much
 //! of it the filter recovers.
 //!
-//! Knobs: `BIST_BATCH` (default 800), `BIST_SEED`.
+//! Knobs: `BIST_BATCH` (default 800), `BIST_SEED`, `BIST_WORKERS`
+//! (0 = all cores).
 
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::Resolution;
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::report::{fmt_prob, Table};
 use bist_mc::batch::Batch;
@@ -20,8 +21,13 @@ use bist_mc::experiment::Experiment;
 use bist_mc::parallel::run_parallel;
 
 fn main() {
-    let n = env_usize("BIST_BATCH", 800);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("noise_ablation", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let n = sc.usize_knob("BIST_BATCH", 800);
+    let seed = sc.seed();
+    let workers = sc.workers();
     let spec = LinearitySpec::paper_stringent();
     eprintln!("noise_ablation: {n} devices per cell, 6-bit counter");
 
@@ -45,7 +51,7 @@ fn main() {
                 .build()
                 .expect("valid configuration");
             let batch = Batch::paper_simulation(seed, n);
-            let result = run_parallel(&Experiment::new(batch, config).with_noise(noise), 0);
+            let result = run_parallel(&Experiment::new(batch, config).with_noise(noise), workers);
             cells.push((result.type_i(), result.type_ii()));
         }
         t.row_owned(vec![
@@ -68,7 +74,7 @@ fn main() {
     println!("type I collapses toward 1; the 3-tap majority voter restores the noiseless");
     println!("rate until the noise approaches Δs (≈0.023 LSB at 6 bits), the regime limit");
     println!("the paper's 'simple digital filter' remark implies.");
-    let path = write_csv(
+    let path = sc.csv(
         "noise_ablation.csv",
         &[
             "noise_lsb",

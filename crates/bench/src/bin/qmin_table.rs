@@ -6,11 +6,15 @@
 //! bits must be processed off-chip.
 
 use bist_adc::types::Resolution;
-use bist_bench::write_csv;
+use bist_bench::Scenario;
 use bist_core::qmin::QminPlan;
 use bist_core::report::Table;
 
 fn main() {
+    Scenario::run("qmin_table", run);
+}
+
+fn run(sc: &mut Scenario) {
     let f_sample = 1.0e6;
     let ratios: Vec<f64> = (0..=24)
         .map(|i| 10f64.powf(-6.0 + i as f64 * 0.25))
@@ -53,6 +57,6 @@ fn main() {
             plan.max_stimulus_ratio(q)
         );
     }
-    let path = write_csv("qmin_table.csv", &["ratio", "n6", "n8", "n10", "n12"], &csv);
+    let path = sc.csv("qmin_table.csv", &["ratio", "n6", "n8", "n10", "n12"], &csv);
     eprintln!("wrote {}", path.display());
 }

@@ -1,13 +1,18 @@
 //! Runs every reproduction binary in sequence (E1–E11) with reduced
 //! batch sizes suitable for a quick end-to-end regeneration, capturing
-//! each binary's stdout into `bench/out/repro_all.txt`.
+//! each binary's stdout into `bench/out/repro_all.txt` and the
+//! per-experiment wall times into `bench/out/repro_all.json`.
 //!
-//! For publication-quality intervals, run the individual binaries with
-//! larger `BIST_*` batch knobs instead.
+//! The children inherit `BIST_WORKERS` (default: all cores), so the
+//! whole sweep runs parallel by default. For publication-quality
+//! intervals, run the individual binaries with larger `BIST_*` batch
+//! knobs instead.
 
+use bist_bench::Scenario;
 use std::fs;
 use std::io::Write as _;
 use std::process::Command;
+use std::time::Instant;
 
 const BINS: [&str; 14] = [
     "table1",
@@ -28,6 +33,17 @@ const BINS: [&str; 14] = [
 const SLOW_EXTRA: &str = "conventional_equiv";
 
 fn main() {
+    // Exit AFTER the scenario completes so a failing experiment still
+    // leaves the repro_all.json perf record (with the wall times of the
+    // experiments that did succeed) on disk.
+    let mut ok = true;
+    Scenario::run("repro_all", |sc| ok = run(sc));
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn run(sc: &mut Scenario) -> bool {
     let out_path = bist_bench::out_dir().join("repro_all.txt");
     let mut log = fs::File::create(&out_path).expect("create log");
     let quick_env = [
@@ -53,11 +69,16 @@ fn main() {
             cmd.env("BIST_BATCH", "400");
         }
         println!("=== {bin} ===");
+        let start = Instant::now();
         match cmd.output() {
             Ok(output) => {
+                let secs = start.elapsed().as_secs_f64();
                 let stdout = String::from_utf8_lossy(&output.stdout);
                 println!("{stdout}");
-                writeln!(log, "=== {bin} ===\n{stdout}").expect("write log");
+                println!("--- {bin}: {secs:.2} s");
+                writeln!(log, "=== {bin} ===\n{stdout}--- {bin}: {secs:.2} s\n")
+                    .expect("write log");
+                sc.metric(bin, secs);
                 if !output.status.success() {
                     failures.push(bin.to_string());
                     let stderr = String::from_utf8_lossy(&output.stderr);
@@ -73,6 +94,8 @@ fn main() {
     println!("log written to {}", out_path.display());
     if !failures.is_empty() {
         eprintln!("failed experiments: {failures:?}");
-        std::process::exit(1);
+        sc.metric_str("failed_experiments", &failures.join(","));
+        return false;
     }
+    true
 }

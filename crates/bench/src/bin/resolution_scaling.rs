@@ -9,13 +9,17 @@
 //! (7 bits) fixed and varies the resolution.
 
 use bist_adc::spec::LinearitySpec;
-use bist_bench::write_csv;
+use bist_bench::Scenario;
 use bist_core::analytic::{code_probabilities, device_probabilities, WidthDistribution};
 use bist_core::limits::{plan_delta_s, CountLimits};
 use bist_core::report::{fmt_prob, Table};
 use bist_core::yield_model::YieldModel;
 
 fn main() {
+    Scenario::run("resolution_scaling", run);
+}
+
+fn run(sc: &mut Scenario) {
     let spec = LinearitySpec::paper_stringent();
     let dist = WidthDistribution::paper_worst_case();
     let counter_bits = 7;
@@ -65,7 +69,7 @@ fn main() {
     println!("8 bits (yield < 1 %): high-resolution devices need tighter σ, which is why");
     println!("the paper's 6-bit flash with its relaxed ±1 LSB production spec is the");
     println!("sweet spot for the method's accuracy budget.");
-    let path = write_csv(
+    let path = sc.csv(
         "resolution_scaling.csv",
         &["bits", "judged_codes", "p_good", "type_i", "type_ii"],
         &csv,

@@ -8,7 +8,7 @@
 //! parameter the authors could not pin down.
 
 use bist_adc::spec::LinearitySpec;
-use bist_bench::write_csv;
+use bist_bench::Scenario;
 use bist_core::analytic::WidthDistribution;
 use bist_core::limits::plan_delta_s;
 use bist_core::report::{fmt_prob, Table};
@@ -16,6 +16,10 @@ use bist_core::yield_model::YieldModel;
 use bist_mc::tables::{analytic_point, JUDGED_CODES};
 
 fn main() {
+    Scenario::run("sigma_sweep", run);
+}
+
+fn run(sc: &mut Scenario) {
     let stringent = LinearitySpec::paper_stringent();
     let actual = LinearitySpec::paper_actual();
     let ds4 = plan_delta_s(&stringent, 4).0;
@@ -58,7 +62,7 @@ fn main() {
     println!("reading: the paper's '30 % yield' anchor moves from 69 % (σ=0.16) to 33 %");
     println!("(σ=0.21); its Table 1 sim values are consistent with an effective σ nearer");
     println!("0.18 than the stated 0.21 worst case — see EXPERIMENTS.md E1 discussion.");
-    let path = write_csv(
+    let path = sc.csv(
         "sigma_sweep.csv",
         &[
             "sigma_lsb",

@@ -8,9 +8,9 @@
 //! with the paper's inferred ramp-slope error.
 //!
 //! Knobs: `BIST_SIM_BATCH` / `BIST_MEAS_BATCH` (device counts,
-//! default 4000), `BIST_SEED`.
+//! default 4000), `BIST_SEED`, `BIST_WORKERS` (0 = all cores).
 
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::report::{fmt_prob, Table};
 use bist_mc::tables::{table1, Table1Config};
 
@@ -24,12 +24,16 @@ const PAPER: [(u32, f64, f64, f64, f64, f64); 4] = [
 ];
 
 fn main() {
+    Scenario::run("table1", run);
+}
+
+fn run(sc: &mut Scenario) {
     let cfg = Table1Config {
-        sim_batch: env_usize("BIST_SIM_BATCH", 4000),
-        meas_batch: env_usize("BIST_MEAS_BATCH", 4000),
+        sim_batch: sc.usize_knob("BIST_SIM_BATCH", 4000),
+        meas_batch: sc.usize_knob("BIST_MEAS_BATCH", 4000),
         slope_error_millis: -22,
-        seed: env_usize("BIST_SEED", 1997) as u64,
-        workers: 0,
+        seed: sc.seed(),
+        workers: sc.workers(),
     };
     eprintln!(
         "table1: sim batch {}, meas batch {} (paper used 364 silicon devices)",
@@ -94,7 +98,7 @@ fn main() {
         "\n95% Wilson intervals (measurement): type I {}, {}, {}, {}",
         rows[0].meas_type_i, rows[1].meas_type_i, rows[2].meas_type_i, rows[3].meas_type_i
     );
-    let path = write_csv(
+    let path = sc.csv(
         "table1.csv",
         &[
             "counter_bits",

@@ -8,9 +8,9 @@
 //! rare-event Monte Carlo (devices sampled conditioned on being faulty).
 //!
 //! Knobs: `BIST_FAULTY_DEVICES` (conditioned draws per row, default
-//! 4000), `BIST_SEED`.
+//! 4000), `BIST_SEED`, `BIST_WORKERS` (0 = all cores).
 
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::report::Table;
 use bist_mc::tables::table2;
 
@@ -24,10 +24,15 @@ const PAPER: [(u32, f64, f64, &str); 4] = [
 ];
 
 fn main() {
-    let faulty = env_usize("BIST_FAULTY_DEVICES", 4000);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("table2", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let faulty = sc.usize_knob("BIST_FAULTY_DEVICES", 4000);
+    let seed = sc.seed();
+    let workers = sc.workers();
     eprintln!("table2: {faulty} conditioned faulty devices per counter size");
-    let rows = table2(faulty, seed);
+    let rows = table2(faulty, seed, workers);
 
     let mut t = Table::new(&[
         "counter",
@@ -75,7 +80,7 @@ fn main() {
         "shipped-defect check: all type II joint values within 10-100 ppm? {}",
         rows.iter().all(|r| r.type_ii_joint < 100e-6)
     );
-    let path = write_csv(
+    let path = sc.csv(
         "table2.csv",
         &[
             "counter_bits",

@@ -9,12 +9,16 @@
 
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::Resolution;
-use bist_bench::write_csv;
+use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::economics::{plan_cost, TestStyle};
 use bist_core::report::Table;
 
 fn main() {
+    Scenario::run("test_economics", run);
+}
+
+fn run(sc: &mut Scenario) {
     let tester_pins = 64;
     let sample_rate = 1.0e6;
     let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
@@ -67,7 +71,7 @@ fn main() {
         "{}× less tester data — and the capture channels need no deep memory at all.",
         conv.tester_bits_per_converter / full.tester_bits_per_converter
     );
-    let path = write_csv(
+    let path = sc.csv(
         "test_economics.csv",
         &[
             "style",

@@ -8,23 +8,25 @@
 //! Both are checked three ways: the closed-form yield model, a batch of
 //! iid-width devices, and a batch of physically-modelled flash devices.
 //!
-//! Knobs: `BIST_BATCH` (default 20000), `BIST_SEED`.
+//! Knobs: `BIST_BATCH` (default 20000), `BIST_SEED`, `BIST_WORKERS`
+//! (0 = all cores).
 
 use bist_adc::spec::LinearitySpec;
-use bist_bench::{env_usize, write_csv};
+use bist_bench::Scenario;
 use bist_core::report::{fmt_prob, Table};
 use bist_core::yield_model::YieldModel;
 use bist_mc::batch::Batch;
 use bist_mc::estimate::Proportion;
-
-fn empirical_yield(batch: &Batch, spec: &LinearitySpec) -> Proportion {
-    let good = batch.devices().filter(|tf| spec.classify(tf).good).count() as u64;
-    Proportion::new(good, batch.size as u64)
-}
+use bist_mc::parallel::classify_parallel;
 
 fn main() {
-    let n = env_usize("BIST_BATCH", 20_000);
-    let seed = env_usize("BIST_SEED", 1997) as u64;
+    Scenario::run("yield30", run);
+}
+
+fn run(sc: &mut Scenario) {
+    let n = sc.usize_knob("BIST_BATCH", 20_000);
+    let seed = sc.seed();
+    let workers = sc.workers();
     let model = YieldModel::paper_device();
     let stringent = LinearitySpec::paper_stringent();
     let actual = LinearitySpec::paper_actual();
@@ -33,14 +35,14 @@ fn main() {
     let mut flash = Batch::paper_measurement(seed ^ 0xF1A5);
     flash.size = n;
 
-    let iid_stringent = empirical_yield(&iid, &stringent);
-    let flash_stringent = empirical_yield(&flash, &stringent);
+    let iid_stringent = classify_parallel(&iid, &stringent, workers);
+    let flash_stringent = classify_parallel(&flash, &stringent, workers);
     let iid_actual_faulty = Proportion::new(
-        iid.size as u64 - empirical_yield(&iid, &actual).successes(),
+        iid.size as u64 - classify_parallel(&iid, &actual, workers).successes(),
         iid.size as u64,
     );
     let flash_actual_faulty = Proportion::new(
-        flash.size as u64 - empirical_yield(&flash, &actual).successes(),
+        flash.size as u64 - classify_parallel(&flash, &actual, workers).successes(),
         flash.size as u64,
     );
 
@@ -75,7 +77,7 @@ fn main() {
         .iter()
         .map(|(l, y)| vec![l.to_string(), y.to_string()])
         .collect();
-    let path = write_csv(
+    let path = sc.csv(
         "yield_curve.csv",
         &["dnl_limit_lsb", "p_device_good"],
         &rows,

@@ -1,12 +1,20 @@
-//! Shared helpers for the reproduction binaries: ASCII plotting, CSV
-//! emission and output-directory management.
+//! Shared helpers for the reproduction binaries: the [`scenario`]
+//! runner, ASCII plotting, CSV emission and output-directory management.
 //!
 //! Every binary in this crate regenerates one table or figure of the
 //! ED&TC 1997 paper (see DESIGN.md §4 for the experiment index), prints
-//! it next to the published values, and drops a CSV under `bench/out/`.
+//! it next to the published values, and drops a CSV plus a
+//! machine-readable `<name>.json` perf record under `bench/out/`. The
+//! binaries run their Monte-Carlo batches in parallel by default;
+//! `BIST_WORKERS` overrides the worker count (0 = available
+//! parallelism) alongside the existing `BIST_*` batch knobs.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod scenario;
+
+pub use scenario::Scenario;
 
 use std::fs;
 use std::io::Write as _;

@@ -40,6 +40,16 @@ pub trait RngCore {
     }
 }
 
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
 /// Construction of generators from seeds.
 pub trait SeedableRng: Sized {
     /// The fixed-size seed type.

@@ -74,39 +74,141 @@ impl fmt::Display for FunctionalResult {
 /// assert!(result.checks.len() >= 14);
 /// ```
 pub fn check_code_stream(codes: &[Code], monitored_bit: u32) -> FunctionalResult {
-    let shift = monitored_bit + 1;
     let mut checks = Vec::new();
-    let mut mismatches = 0;
-    let mut expected: Option<u64> = None;
-    let mut prev_bit: Option<bool> = None;
-    for (i, &code) in codes.iter().enumerate() {
-        let bit = (code.0 >> monitored_bit) & 1 == 1;
-        let upper = u64::from(code.0 >> shift);
-        if let Some(p) = prev_bit {
+    let mut acc = FunctionalAcc::new(monitored_bit, false, &mut checks);
+    for &code in codes {
+        acc.push(code);
+    }
+    let tally = acc.finish();
+    FunctionalResult {
+        checks,
+        mismatches: tally.mismatches,
+    }
+}
+
+/// Compact (heap-free) summary returned by [`FunctionalAcc::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunctionalTally {
+    /// Number of checks fired.
+    pub checks: u64,
+    /// Number of mismatches.
+    pub mismatches: u64,
+}
+
+/// Streaming upper-bit functional checker: push codes one sample at a
+/// time.
+///
+/// Replicates [`check_code_stream`] exactly without materialising the
+/// code stream. With `deglitch` enabled the codes are first passed
+/// through a streaming median-of-3 filter (first and last samples passed
+/// through unchanged) — the behavioural equivalent of clocking the
+/// upper-bit checker from the deglitched monitored bit, and identical to
+/// filtering the materialised capture with a median-of-3 pass.
+///
+/// Follows the same scratch-reuse contract as
+/// [`crate::lsb_monitor::LsbMonitorAcc`]: the borrowed check buffer is
+/// cleared, not reallocated.
+#[derive(Debug)]
+pub struct FunctionalAcc<'s> {
+    monitored_bit: u32,
+    checks: &'s mut Vec<FunctionalCheck>,
+    mismatches: u64,
+    expected: Option<u64>,
+    prev_bit: Option<bool>,
+    pos: usize,
+    /// Median-of-3 window state: the last two raw codes and how many
+    /// codes have been pushed (None = filter off).
+    median: Option<(Code, Code, u64)>,
+}
+
+impl<'s> FunctionalAcc<'s> {
+    /// Starts a sweep, clearing (but not shrinking) the check buffer.
+    pub fn new(monitored_bit: u32, deglitch: bool, checks: &'s mut Vec<FunctionalCheck>) -> Self {
+        checks.clear();
+        FunctionalAcc {
+            monitored_bit,
+            checks,
+            mismatches: 0,
+            expected: None,
+            prev_bit: None,
+            pos: 0,
+            median: deglitch.then_some((Code(0), Code(0), 0)),
+        }
+    }
+
+    /// Pushes one raw code sample.
+    pub fn push(&mut self, code: Code) {
+        match &mut self.median {
+            None => self.step(code),
+            Some((c1, c2, n)) => {
+                let emit = match *n {
+                    // First sample passes through unfiltered.
+                    0 => {
+                        *c1 = code;
+                        Some(code)
+                    }
+                    1 => {
+                        *c2 = code;
+                        None
+                    }
+                    _ => {
+                        let (a, b, c) = (c1.0, c2.0, code.0);
+                        let m = a.max(b).min(a.max(c)).min(b.max(c));
+                        (*c1, *c2) = (*c2, code);
+                        Some(Code(m))
+                    }
+                };
+                *n += 1;
+                if let Some(c) = emit {
+                    self.step(c);
+                }
+            }
+        }
+    }
+
+    /// Processes one element of the (possibly filtered) code stream.
+    fn step(&mut self, code: Code) {
+        let bit = (code.0 >> self.monitored_bit) & 1 == 1;
+        let upper = u64::from(code.0 >> (self.monitored_bit + 1));
+        if let Some(p) = self.prev_bit {
             if p && !bit {
                 // Falling edge of the monitored bit.
-                match expected {
-                    None => expected = Some(upper),
+                match self.expected {
+                    None => self.expected = Some(upper),
                     Some(prev_val) => {
                         let want = prev_val.wrapping_add(1);
                         let ok = upper == want;
                         if !ok {
-                            mismatches += 1;
+                            self.mismatches += 1;
                         }
-                        checks.push(FunctionalCheck {
-                            sample: i,
+                        self.checks.push(FunctionalCheck {
+                            sample: self.pos,
                             expected: want,
                             observed: upper,
                             ok,
                         });
-                        expected = Some(upper);
+                        self.expected = Some(upper);
                     }
                 }
             }
         }
-        prev_bit = Some(bit);
+        self.prev_bit = Some(bit);
+        self.pos += 1;
     }
-    FunctionalResult { checks, mismatches }
+
+    /// Ends the sweep, flushing the median filter's trailing sample
+    /// (the last raw code passes through unfiltered).
+    pub fn finish(mut self) -> FunctionalTally {
+        if let Some((_, c2, n)) = self.median {
+            if n >= 2 {
+                self.step(c2);
+            }
+        }
+        FunctionalTally {
+            checks: self.checks.len() as u64,
+            mismatches: self.mismatches,
+        }
+    }
 }
 
 #[cfg(test)]

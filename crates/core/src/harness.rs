@@ -9,19 +9,43 @@
 //!   approximately 1000 samples per code width … as a reference".
 //! * [`conventional_test`] — the production histogram test "where 4096
 //!   samples are taken for the test of all the codes".
+//!
+//! ## The streaming engine
+//!
+//! All three harnesses are built on a fused single-pass pipeline that
+//! matches the hardware semantics: a lazy
+//! [`CodeStream`](bist_adc::stream::CodeStream) evaluates the stimulus,
+//! injects noise and converts one sample at a time, and the
+//! accumulators — [`LsbMonitorAcc`](crate::lsb_monitor::LsbMonitorAcc),
+//! [`FunctionalAcc`](crate::functional::FunctionalAcc), the transition
+//! counter and (for the histogram harnesses) the
+//! [`CodeHistogram`](bist_adc::histogram::CodeHistogram) — consume it
+//! incrementally from one traversal. No capture is materialised on the
+//! production path; [`bist_from_capture`] remains as the materialised
+//! reference for tests, plots and external code records.
+//!
+//! ## Scratch reuse
+//!
+//! Per-device state that must persist across devices lives in
+//! [`Scratch`]: the per-code and per-check result buffers. The contract
+//! is *clear, don't shrink* — each run clears the buffers but keeps
+//! their capacity, so after the first device ("warm-up") the
+//! device→verdict hot path of [`run_static_bist_with`] performs zero
+//! heap allocations (enforced by `tests/zero_alloc.rs`).
 
 use crate::config::BistConfig;
-use crate::functional::{check_code_stream, FunctionalResult};
+use crate::functional::{FunctionalAcc, FunctionalCheck, FunctionalResult};
 use crate::limits::slope_for_delta_s;
-use crate::lsb_monitor::{monitor_bit_stream, MonitorResult};
+use crate::lsb_monitor::{CodeResult, LsbMonitorAcc, MonitorResult};
 use bist_adc::histogram::{ramp_linearity, CodeHistogram, HistogramLinearity, HistogramTestError};
 use bist_adc::noise::NoiseConfig;
-use bist_adc::sampler::{acquire_noisy, Capture, SamplingConfig};
+use bist_adc::sampler::{Capture, SamplingConfig};
 use bist_adc::signal::Ramp;
 use bist_adc::spec::LinearitySpec;
+use bist_adc::stream::CodeStream;
 use bist_adc::transfer::Adc;
-use bist_adc::types::Volts;
-use rand::Rng;
+use bist_adc::types::{Code, Volts};
+use rand::RngCore;
 use std::error::Error;
 use std::fmt;
 
@@ -83,9 +107,95 @@ impl fmt::Display for BistOutcome {
     }
 }
 
+/// Compact, heap-free verdict of one BIST sweep — what the on-chip
+/// block actually latches. The full per-code detail stays in the
+/// [`Scratch`] the sweep ran with (see [`Scratch::take_outcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistVerdict {
+    /// Number of complete codes the LSB monitor judged.
+    pub codes_judged: u64,
+    /// DNL window failures.
+    pub dnl_failures: u64,
+    /// INL window failures.
+    pub inl_failures: u64,
+    /// Functional checks fired.
+    pub functional_checks: u64,
+    /// Functional mismatches.
+    pub functional_mismatches: u64,
+    /// The transition-counter expectation (see [`BistOutcome`]).
+    pub expected_codes: u64,
+    /// ADC samples consumed by the sweep.
+    pub samples: u64,
+}
+
+impl BistVerdict {
+    /// Whether the sweep produced the expected number of measurements.
+    pub fn complete(&self) -> bool {
+        self.codes_judged >= self.expected_codes
+    }
+
+    /// The device-level decision (same rule as [`BistOutcome::accepted`]).
+    pub fn accepted(&self) -> bool {
+        self.complete()
+            && self.dnl_failures == 0
+            && self.inl_failures == 0
+            && self.functional_mismatches == 0
+    }
+}
+
+/// Reusable per-device working state for the streaming engine.
+///
+/// Holds the result buffers the accumulators write into. Contract:
+/// every run *clears* the buffers but never shrinks them, so capacity
+/// warms up on the first device and subsequent devices allocate
+/// nothing. Keep one `Scratch` per worker thread and pass it to
+/// [`run_static_bist_with`] / [`process_code_stream`].
+#[derive(Debug, Default)]
+pub struct Scratch {
+    monitor_codes: Vec<CodeResult>,
+    checks: Vec<FunctionalCheck>,
+}
+
+impl Scratch {
+    /// Creates an empty scratch (buffers warm up on first use).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Per-code monitor results of the most recent sweep.
+    pub fn monitor_codes(&self) -> &[CodeResult] {
+        &self.monitor_codes
+    }
+
+    /// Functional checks of the most recent sweep.
+    pub fn checks(&self) -> &[FunctionalCheck] {
+        &self.checks
+    }
+
+    /// Assembles the full [`BistOutcome`] of the most recent sweep,
+    /// moving the detail buffers out (the scratch then re-warms on the
+    /// next device; use only on the detailed/diagnostic path).
+    pub fn take_outcome(&mut self, verdict: BistVerdict) -> BistOutcome {
+        BistOutcome {
+            monitor: MonitorResult {
+                codes: std::mem::take(&mut self.monitor_codes),
+                dnl_failures: verdict.dnl_failures,
+                inl_failures: verdict.inl_failures,
+            },
+            functional: FunctionalResult {
+                checks: std::mem::take(&mut self.checks),
+                mismatches: verdict.functional_mismatches,
+            },
+            expected_codes: verdict.expected_codes,
+        }
+    }
+}
+
 /// Builds the ramp and sampling plan realising the config's Δs on the
-/// given converter: starts two LSB below the range, ends two LSB above.
-fn plan_ramp<A: Adc>(adc: &A, config: &BistConfig) -> (Ramp, SamplingConfig) {
+/// given converter: starts two LSB below the range, overshoots the top.
+/// Public so benches and diagnostics can reproduce the exact sweep the
+/// harness drives.
+pub fn plan_ramp<A: Adc + ?Sized>(adc: &A, config: &BistConfig) -> (Ramp, SamplingConfig) {
     let (low, high) = adc.input_range();
     let lsb = adc.resolution().lsb_size(Volts(high.0 - low.0)).0;
     let slope = slope_for_delta_s(config.delta_s(), SAMPLE_RATE, lsb);
@@ -101,12 +211,74 @@ fn plan_ramp<A: Adc>(adc: &A, config: &BistConfig) -> (Ramp, SamplingConfig) {
     )
 }
 
+/// Runs the BIST processing over any code stream in one pass: the LSB
+/// monitor, the upper-bit functional check and the transition counter
+/// all accumulate incrementally from the single traversal.
+///
+/// This is the engine under [`run_static_bist`],
+/// [`run_static_bist_with`] and [`bist_from_capture`]; use it directly
+/// to screen codes from an external source without materialising them.
+pub fn process_code_stream<I: IntoIterator<Item = Code>>(
+    config: &BistConfig,
+    codes: I,
+    scratch: &mut Scratch,
+) -> BistVerdict {
+    let bit = config.monitored_bit();
+    let mut monitor = LsbMonitorAcc::new(config, &mut scratch.monitor_codes);
+    let mut functional = FunctionalAcc::new(bit, config.deglitch(), &mut scratch.checks);
+    let mut samples = 0u64;
+    for code in codes {
+        monitor.push((code.0 >> bit) & 1 == 1);
+        functional.push(code);
+        samples += 1;
+    }
+    let m = monitor.finish();
+    let f = functional.finish();
+    BistVerdict {
+        codes_judged: m.codes_judged,
+        dnl_failures: m.dnl_failures,
+        inl_failures: m.inl_failures,
+        functional_checks: f.checks,
+        functional_mismatches: f.mismatches,
+        expected_codes: config.expected_measurements(),
+        samples,
+    }
+}
+
+/// Runs the static-linearity BIST of Figures 2–4 on a converter,
+/// reusing the caller's [`Scratch`] — the allocation-free hot path used
+/// by the Monte-Carlo engine.
+///
+/// The acquisition is fused: stimulus evaluation, noise injection,
+/// conversion and all test processing happen in one pass with no sample
+/// memory, exactly like the on-chip design.
+pub fn run_static_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
+    adc: &A,
+    config: &BistConfig,
+    noise: &NoiseConfig,
+    slope_error: f64,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> BistVerdict {
+    let (ramp, sampling) = plan_ramp(adc, config);
+    let ramp = ramp.with_slope_error(slope_error);
+    process_code_stream(
+        config,
+        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
+        scratch,
+    )
+}
+
 /// Runs the static-linearity BIST of Figures 2–4 on a converter.
 ///
 /// The ramp slope is derived from the config's Δs (Eq. 5); `noise`
 /// injects the §3 non-idealities (use [`NoiseConfig::noiseless`] for the
 /// theoretical setting); `slope_error` perturbs the ramp slope relative
 /// to the plan (the paper's measured ramp was "slightly too steep").
+///
+/// Returns the full per-code detail; batch screeners should prefer
+/// [`run_static_bist_with`], which reuses a [`Scratch`] and returns the
+/// compact [`BistVerdict`] without allocating.
 ///
 /// # Examples
 ///
@@ -131,55 +303,25 @@ fn plan_ramp<A: Adc>(adc: &A, config: &BistConfig) -> (Ramp, SamplingConfig) {
 /// # Ok(())
 /// # }
 /// ```
-pub fn run_static_bist<A: Adc, R: Rng + ?Sized>(
+pub fn run_static_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     config: &BistConfig,
     noise: &NoiseConfig,
     slope_error: f64,
     rng: &mut R,
 ) -> BistOutcome {
-    let (ramp, sampling) = plan_ramp(adc, config);
-    let ramp = ramp.with_slope_error(slope_error);
-    let capture = acquire_noisy(adc, &ramp, sampling, noise, rng);
-    bist_from_capture(config, &capture)
+    let mut scratch = Scratch::new();
+    let verdict = run_static_bist_with(adc, config, noise, slope_error, rng, &mut scratch);
+    scratch.take_outcome(verdict)
 }
 
 /// Runs the BIST processing on an already-captured code record (e.g.
-/// from a shared acquisition or an external source).
+/// from a shared acquisition or an external source) — the materialised
+/// counterpart of the streaming engine, kept for tests and diagnostics.
 pub fn bist_from_capture(config: &BistConfig, capture: &Capture) -> BistOutcome {
-    let monitor = monitor_bit_stream(config, &capture.bit_stream(config.monitored_bit()));
-    // When the deglitcher is enabled, the functional path sees a
-    // median-of-3 filtered code word — the behavioural equivalent of
-    // clocking the upper-bit checker from the deglitched monitored bit
-    // (two word registers plus a small comparator in hardware).
-    let functional = if config.deglitch() {
-        check_code_stream(&median3_codes(capture.codes()), config.monitored_bit())
-    } else {
-        check_code_stream(capture.codes(), config.monitored_bit())
-    };
-    BistOutcome {
-        monitor,
-        functional,
-        expected_codes: config.expected_measurements(),
-    }
-}
-
-/// Median-of-3 filter over a code stream (end samples passed through):
-/// suppresses the isolated transition-noise bounces of §3 coherently
-/// across the whole output word.
-fn median3_codes(codes: &[bist_adc::types::Code]) -> Vec<bist_adc::types::Code> {
-    if codes.len() < 3 {
-        return codes.to_vec();
-    }
-    let mut out = Vec::with_capacity(codes.len());
-    out.push(codes[0]);
-    for w in codes.windows(3) {
-        let (a, b, c) = (w[0].0, w[1].0, w[2].0);
-        let median = a.max(b).min(a.max(c)).min(b.max(c));
-        out.push(bist_adc::types::Code(median));
-    }
-    out.push(codes[codes.len() - 1]);
-    out
+    let mut scratch = Scratch::new();
+    let verdict = process_code_stream(config, capture.codes().iter().copied(), &mut scratch);
+    scratch.take_outcome(verdict)
 }
 
 /// Error from a histogram-based harness.
@@ -226,6 +368,10 @@ pub struct HistogramVerdict {
 /// code and judges it against `spec` — §4's reference measurement uses
 /// ~1000 samples per code.
 ///
+/// The histogram accumulates directly from the code stream: the ~64 k
+/// sample capture of the paper's reference setting is never
+/// materialised.
+///
 /// # Errors
 ///
 /// Returns [`HarnessError`] if the capture yields an unusable histogram.
@@ -233,7 +379,7 @@ pub struct HistogramVerdict {
 /// # Panics
 ///
 /// Panics if `samples_per_code` is zero.
-pub fn reference_measurement<A: Adc, R: Rng + ?Sized>(
+pub fn reference_measurement<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     spec: &LinearitySpec,
     samples_per_code: u32,
@@ -247,14 +393,15 @@ pub fn reference_measurement<A: Adc, R: Rng + ?Sized>(
     let start = Volts(low.0 - 2.0 * lsb);
     let span = (high.0 - low.0) + 12.0 * lsb;
     let samples = (span / slope * SAMPLE_RATE).ceil() as usize + 2;
-    let capture = acquire_noisy(
+    let ramp = Ramp::new(start, slope);
+    let stream = CodeStream::noisy(
         adc,
-        &Ramp::new(start, slope),
+        &ramp,
         SamplingConfig::new(SAMPLE_RATE, samples),
         noise,
         rng,
     );
-    let hist = CodeHistogram::from_capture(adc.resolution(), &capture);
+    let hist = CodeHistogram::from_codes(adc.resolution(), stream);
     let linearity = ramp_linearity(&hist)?;
     let accepted = judge_linearity(&linearity, spec);
     Ok(HistogramVerdict {
@@ -274,7 +421,7 @@ pub fn reference_measurement<A: Adc, R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `total_samples` is smaller than the number of codes.
-pub fn conventional_test<A: Adc, R: Rng + ?Sized>(
+pub fn conventional_test<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     spec: &LinearitySpec,
     total_samples: u32,
@@ -305,6 +452,7 @@ mod tests {
     use super::*;
     use bist_adc::faults::{FaultyAdc, OutputFault};
     use bist_adc::flash::FlashConfig;
+    use bist_adc::sampler::acquire_noisy;
     use bist_adc::transfer::TransferFunction;
     use bist_adc::types::Resolution;
     use rand::rngs::StdRng;
@@ -358,6 +506,58 @@ mod tests {
                 c.count
             );
         }
+    }
+
+    #[test]
+    fn streaming_verdict_matches_materialized_outcome() {
+        // The streaming engine and the materialised capture path must be
+        // bit-identical from the same RNG state — including under noise,
+        // slope error and the deglitcher.
+        let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(5)
+            .deglitch(true)
+            .build()
+            .unwrap();
+        let adc = FlashConfig::paper_device().sample(&mut rng(21));
+        let noise = NoiseConfig::noiseless().with_transition_noise(0.004);
+        let mut scratch = Scratch::new();
+        for (round, slope_error) in [(0u64, 0.0), (1, -0.022), (2, 0.015)] {
+            let verdict = run_static_bist_with(
+                &adc,
+                &config,
+                &noise,
+                slope_error,
+                &mut rng(100 + round),
+                &mut scratch,
+            );
+            let (ramp, sampling) = plan_ramp(&adc, &config);
+            let ramp = ramp.with_slope_error(slope_error);
+            let capture = acquire_noisy(&adc, &ramp, sampling, &noise, &mut rng(100 + round));
+            let materialized = bist_from_capture(&config, &capture);
+            assert_eq!(scratch.monitor_codes(), &materialized.monitor.codes[..]);
+            assert_eq!(scratch.checks(), &materialized.functional.checks[..]);
+            assert_eq!(verdict.accepted(), materialized.accepted());
+            assert_eq!(verdict.samples, capture.codes().len() as u64);
+        }
+    }
+
+    #[test]
+    fn scratch_take_outcome_preserves_detail() {
+        let config = cfg(6);
+        let mut scratch = Scratch::new();
+        let verdict = run_static_bist_with(
+            &ideal(),
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng(1),
+            &mut scratch,
+        );
+        let codes_judged = verdict.codes_judged;
+        let outcome = scratch.take_outcome(verdict);
+        assert_eq!(outcome.monitor.codes.len() as u64, codes_judged);
+        assert!(outcome.accepted());
+        assert!(scratch.monitor_codes().is_empty());
     }
 
     #[test]

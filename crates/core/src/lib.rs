@@ -20,11 +20,15 @@
 //! * [`limits`] — Eqs. 3–5 (count window, step size, slope planning).
 //! * [`qmin`] — Eqs. 1–2 (partial-BIST planning).
 //! * [`lsb_monitor`] / [`functional`] — behavioural reference models of
-//!   the Figure-4 and Figure-2 blocks (bit-exact vs `bist-rtl`).
+//!   the Figure-4 and Figure-2 blocks (bit-exact vs `bist-rtl`), each
+//!   exposed as a streaming accumulator consuming one sample at a time.
 //! * [`analytic`] — the §3 error theory (Eqs. 6–12): trapezoid
 //!   acceptance, Gaussian widths, per-code and device-level type I/II.
 //! * [`yield_model`] — parametric yield (the 30 % / 1.4×10⁻⁴ anchors).
-//! * [`harness`] — BIST vs reference vs conventional test execution.
+//! * [`harness`] — BIST vs reference vs conventional test execution as
+//!   a fused single-pass pipeline (stimulus → code stream →
+//!   accumulators), with a reusable [`harness::Scratch`] making the
+//!   per-device hot path allocation-free.
 //! * [`decision`] — confusion-matrix accounting of type I/II errors.
 //! * [`report`] — text tables for the experiment binaries.
 //!
@@ -78,7 +82,7 @@ pub use analytic::{
 };
 pub use config::BistConfig;
 pub use decision::ConfusionMatrix;
-pub use harness::{run_static_bist, BistOutcome};
+pub use harness::{run_static_bist, run_static_bist_with, BistOutcome, BistVerdict, Scratch};
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
 pub use yield_model::YieldModel;

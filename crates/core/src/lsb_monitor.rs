@@ -1,15 +1,26 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the maths/netlists
 //! Behavioural reference model of the Figure-4 LSB-processing block.
 //!
-//! Operates on a captured bit stream of the monitored bit: extracts the
-//! run length of every complete code (the gap between consecutive
-//! transitions), judges it against the count window, and accumulates INL.
-//! Bit-exact with the RTL [`bist_rtl::datapath::LsbProcessor`] —
-//! a cross-validation test in this crate enforces it.
+//! The primary interface is the streaming accumulator
+//! [`LsbMonitorAcc`]: it consumes the monitored bit one sample at a
+//! time — exactly like the on-chip block, which has no sample memory —
+//! extracting the run length of every complete code (the gap between
+//! consecutive transitions), judging it against the count window, and
+//! accumulating INL. [`monitor_bit_stream`] is the materialised
+//! convenience wrapper over a captured `&[bool]`. Bit-exact with the
+//! RTL [`bist_rtl::datapath::LsbProcessor`] — a cross-validation test
+//! in this crate enforces it.
+//!
+//! ## Scratch-reuse contract
+//!
+//! [`LsbMonitorAcc::new`] borrows the caller's `Vec<CodeResult>` result
+//! buffer, clearing its contents but keeping its capacity — so a caller
+//! screening many devices (see `harness::Scratch`) pays the per-code
+//! allocation only on the first device and the hot path is
+//! allocation-free afterwards.
 
 use crate::config::BistConfig;
 use bist_adc::types::Lsb;
-use bist_dsp::filter::MajorityVote;
 use bist_rtl::window_compare::{WindowComparator, WindowVerdict};
 use std::fmt;
 
@@ -109,78 +120,147 @@ impl fmt::Display for MonitorResult {
 /// # }
 /// ```
 pub fn monitor_bit_stream(config: &BistConfig, stream: &[bool]) -> MonitorResult {
-    let filtered: Vec<bool> = if config.deglitch() {
-        let mut f = MajorityVote::new(3);
-        // Match the RTL deglitcher's zero-initialised taps: prime with
-        // two zero samples before the stream proper.
-        f.push(false);
-        f.push(false);
-        stream.iter().map(|&b| f.push(b)).collect()
-    } else {
-        stream.to_vec()
-    };
-
-    let comparator = WindowComparator::new(config.limits().i_min(), config.limits().i_max());
-    let capacity = 1u64 << config.counter_bits();
-    let i_ideal = config.limits().i_ideal() as i64;
-    let delta_s = config.delta_s().0;
-
     let mut codes = Vec::new();
-    let mut dnl_failures = 0;
-    let mut inl_failures = 0;
-    let mut inl_acc: i64 = 0;
-    let mut run_start: Option<usize> = None;
-    let mut index = 0u64;
-    let mut level = filtered.first().copied().unwrap_or(false);
-
-    for (i, &bit) in filtered.iter().enumerate() {
-        if bit == level {
-            continue;
-        }
-        // Transition at sample i: the previous run is complete.
-        if let Some(start) = run_start {
-            let raw_count = (i - start) as u64;
-            // A k-bit counter stores count − 1 and saturates at 2^k − 1,
-            // so counts above 2^k are unmeasurable.
-            let overflow = raw_count > capacity;
-            let count = raw_count.min(capacity);
-            let dnl_verdict = if overflow {
-                WindowVerdict::TooWide
-            } else {
-                comparator.compare(count)
-            };
-            if !dnl_verdict.is_pass() {
-                dnl_failures += 1;
-            }
-            inl_acc += count as i64 - i_ideal;
-            let inl_pass = match config.inl_limit_counts() {
-                Some(limit) => inl_acc.unsigned_abs() <= limit,
-                None => true,
-            };
-            if !inl_pass {
-                inl_failures += 1;
-            }
-            let width_lsb = Lsb(raw_count as f64 * delta_s);
-            codes.push(CodeResult {
-                index,
-                count,
-                overflow,
-                dnl_verdict,
-                width_lsb,
-                dnl_lsb: Lsb(width_lsb.0 - 1.0),
-                inl_counts: inl_acc,
-                inl_pass,
-            });
-            index += 1;
-        }
-        run_start = Some(i);
-        level = bit;
+    let mut acc = LsbMonitorAcc::new(config, &mut codes);
+    for &b in stream {
+        acc.push(b);
     }
-
+    let tally = acc.finish();
     MonitorResult {
         codes,
-        dnl_failures,
-        inl_failures,
+        dnl_failures: tally.dnl_failures,
+        inl_failures: tally.inl_failures,
+    }
+}
+
+/// Compact (heap-free) summary returned by [`LsbMonitorAcc::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorTally {
+    /// Number of complete codes judged.
+    pub codes_judged: u64,
+    /// Number of DNL failures.
+    pub dnl_failures: u64,
+    /// Number of INL failures.
+    pub inl_failures: u64,
+}
+
+/// Streaming LSB monitor: push the monitored bit one sample at a time.
+///
+/// Replicates [`monitor_bit_stream`] exactly (including the optional
+/// 3-tap majority-vote deglitcher, realised here as two zero-initialised
+/// tap registers, matching the RTL) without materialising the bit
+/// stream. Per-code results land in the borrowed buffer; counters are
+/// returned by [`LsbMonitorAcc::finish`].
+#[derive(Debug)]
+pub struct LsbMonitorAcc<'s> {
+    comparator: WindowComparator,
+    capacity: u64,
+    i_ideal: i64,
+    delta_s: f64,
+    inl_limit: Option<u64>,
+    // Deglitcher taps (None = filter off): the last two raw bits, zero-
+    // initialised like the RTL's flops.
+    taps: Option<(bool, bool)>,
+    codes: &'s mut Vec<CodeResult>,
+    pos: u64,
+    level: bool,
+    run_start: Option<u64>,
+    index: u64,
+    dnl_failures: u64,
+    inl_failures: u64,
+    inl_acc: i64,
+}
+
+impl<'s> LsbMonitorAcc<'s> {
+    /// Starts a sweep, clearing (but not shrinking) the result buffer.
+    pub fn new(config: &BistConfig, codes: &'s mut Vec<CodeResult>) -> Self {
+        codes.clear();
+        LsbMonitorAcc {
+            comparator: WindowComparator::new(config.limits().i_min(), config.limits().i_max()),
+            capacity: 1u64 << config.counter_bits(),
+            i_ideal: config.limits().i_ideal() as i64,
+            delta_s: config.delta_s().0,
+            inl_limit: config.inl_limit_counts(),
+            taps: config.deglitch().then_some((false, false)),
+            codes,
+            pos: 0,
+            level: false,
+            run_start: None,
+            index: 0,
+            dnl_failures: 0,
+            inl_failures: 0,
+            inl_acc: 0,
+        }
+    }
+
+    /// Pushes one raw sample of the monitored bit.
+    pub fn push(&mut self, raw: bool) {
+        let bit = match &mut self.taps {
+            // Majority over the window [b_{i-2}, b_{i-1}, b_i].
+            Some((t2, t1)) => {
+                let vote = u8::from(*t2) + u8::from(*t1) + u8::from(raw) >= 2;
+                (*t2, *t1) = (*t1, raw);
+                vote
+            }
+            None => raw,
+        };
+        if self.pos == 0 {
+            self.level = bit;
+        }
+        if bit != self.level {
+            // Transition: the previous run is complete.
+            if let Some(start) = self.run_start {
+                self.record(self.pos - start);
+            }
+            self.run_start = Some(self.pos);
+            self.level = bit;
+        }
+        self.pos += 1;
+    }
+
+    fn record(&mut self, raw_count: u64) {
+        // A k-bit counter stores count − 1 and saturates at 2^k − 1,
+        // so counts above 2^k are unmeasurable.
+        let overflow = raw_count > self.capacity;
+        let count = raw_count.min(self.capacity);
+        let dnl_verdict = if overflow {
+            WindowVerdict::TooWide
+        } else {
+            self.comparator.compare(count)
+        };
+        if !dnl_verdict.is_pass() {
+            self.dnl_failures += 1;
+        }
+        self.inl_acc += count as i64 - self.i_ideal;
+        let inl_pass = match self.inl_limit {
+            Some(limit) => self.inl_acc.unsigned_abs() <= limit,
+            None => true,
+        };
+        if !inl_pass {
+            self.inl_failures += 1;
+        }
+        let width_lsb = Lsb(raw_count as f64 * self.delta_s);
+        self.codes.push(CodeResult {
+            index: self.index,
+            count,
+            overflow,
+            dnl_verdict,
+            width_lsb,
+            dnl_lsb: Lsb(width_lsb.0 - 1.0),
+            inl_counts: self.inl_acc,
+            inl_pass,
+        });
+        self.index += 1;
+    }
+
+    /// Ends the sweep. The run in flight (after the last transition) is
+    /// a partial code and is not judged, mirroring the hardware.
+    pub fn finish(self) -> MonitorTally {
+        MonitorTally {
+            codes_judged: self.index,
+            dnl_failures: self.dnl_failures,
+            inl_failures: self.inl_failures,
+        }
     }
 }
 

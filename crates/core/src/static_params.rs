@@ -140,7 +140,8 @@ mod tests {
             &Ramp::new(Volts(-0.2), slope),
             SamplingConfig::new(1.0e6, samples),
         )
-        .bit_stream(0)
+        .bits(0)
+        .collect()
     }
 
     #[test]

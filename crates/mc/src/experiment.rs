@@ -1,13 +1,22 @@
 //! Batch experiments: run the BIST (and optionally the reference or
 //! conventional test) over a device batch and account type I/II errors.
+//!
+//! Each worker drives the streaming engine of `bist-core` with one
+//! reusable [`bist_core::harness::Scratch`], so screening a device is
+//! allocation-free after the first (stimulus→stream→accumulator, no
+//! capture materialised), and [`ExperimentResult`] carries throughput
+//! accounting (devices and ADC samples per second) alongside the
+//! confusion matrix.
 
 use crate::batch::Batch;
 use crate::estimate::Proportion;
+use crate::parallel::{partitioned, run_parallel};
 use bist_adc::noise::NoiseConfig;
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
-use bist_core::harness::{conventional_test, reference_measurement, run_static_bist};
+use bist_core::harness::{conventional_test, reference_measurement, run_static_bist_with, Scratch};
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How ground truth is established for each device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,9 +80,14 @@ impl Experiment {
     }
 
     /// Runs the experiment over device indices `[from, to)` —
-    /// the unit of work for parallel execution.
+    /// the unit of work for parallel execution. One [`Scratch`] is
+    /// reused across the whole range, so per-device screening allocates
+    /// nothing after the first device.
     pub fn run_range(&self, from: usize, to: usize) -> ExperimentResult {
+        let start = Instant::now();
         let mut matrix = ConfusionMatrix::new();
+        let mut samples = 0u64;
+        let mut scratch = Scratch::new();
         let spec = *self.config.spec();
         for i in from..to.min(self.batch.size) {
             let tf = self.batch.device(i);
@@ -90,30 +104,57 @@ impl Experiment {
                 .map(|v| v.accepted)
                 .unwrap_or(false),
             };
-            let outcome =
-                run_static_bist(&tf, &self.config, &self.noise, self.slope_error, &mut rng);
-            matrix.record(truth_good, outcome.accepted());
+            let verdict = run_static_bist_with(
+                &tf,
+                &self.config,
+                &self.noise,
+                self.slope_error,
+                &mut rng,
+                &mut scratch,
+            );
+            samples += verdict.samples;
+            matrix.record(truth_good, verdict.accepted());
         }
-        ExperimentResult { matrix }
+        ExperimentResult {
+            matrix,
+            samples,
+            elapsed: start.elapsed(),
+        }
     }
 
-    /// Runs the whole batch on the current thread.
+    /// Runs the whole batch, fanned out over the available parallelism
+    /// (equivalent to `run_parallel(self, 0)`; results are bit-identical
+    /// to a sequential [`Experiment::run_range`] because devices derive
+    /// from `(seed, index)`).
     pub fn run(&self) -> ExperimentResult {
-        self.run_range(0, self.batch.size)
+        run_parallel(self, 0)
     }
 }
 
-/// Accumulated outcome of an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Accumulated outcome of an experiment, with throughput accounting.
+///
+/// Equality compares the accounting (`matrix` and `samples`) but not
+/// `elapsed`, so two runs of the same experiment compare equal
+/// regardless of timing — e.g. across different worker counts.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ExperimentResult {
     /// The confusion matrix over all devices run so far.
     pub matrix: ConfusionMatrix,
+    /// Total ADC samples consumed by the BIST captures.
+    pub samples: u64,
+    /// Time spent screening: wall-clock for a `run_parallel` fan-out,
+    /// summed per-range CPU time when partials are merged by hand.
+    pub elapsed: Duration,
 }
 
 impl ExperimentResult {
-    /// Merges a partial result (e.g. from another worker).
+    /// Merges a partial result (e.g. from another worker). Elapsed
+    /// times add; [`crate::parallel::run_parallel`] overwrites the sum
+    /// with the observed wall-clock.
     pub fn merge(&mut self, other: &ExperimentResult) {
         self.matrix.merge(&other.matrix);
+        self.samples += other.samples;
+        self.elapsed += other.elapsed;
     }
 
     /// Type I rate estimate `P(reject | good)` with trial counts.
@@ -130,7 +171,36 @@ impl ExperimentResult {
     pub fn observed_yield(&self) -> Proportion {
         Proportion::new(self.matrix.good(), self.matrix.total())
     }
+
+    /// Screening throughput in devices per second of [`Self::elapsed`].
+    pub fn devices_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.matrix.total() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Acquisition throughput in ADC samples per second of
+    /// [`Self::elapsed`].
+    pub fn samples_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.samples as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
+
+impl PartialEq for ExperimentResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.matrix == other.matrix && self.samples == other.samples
+    }
+}
+
+impl Eq for ExperimentResult {}
 
 impl fmt::Display for ExperimentResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -162,14 +232,48 @@ impl EquivalenceResult {
             self.agreements as f64 / self.total as f64
         }
     }
+
+    /// Merges a partial result from another worker.
+    pub fn merge(&mut self, other: &EquivalenceResult) {
+        self.bist.merge(&other.bist);
+        self.conventional.merge(&other.conventional);
+        self.agreements += other.agreements;
+        self.total += other.total;
+    }
 }
 
 /// Runs the E10 equivalence experiment: BIST with `config` vs the
-/// conventional histogram test with `conventional_samples` total samples.
+/// conventional histogram test with `conventional_samples` total
+/// samples, fanned out across `workers` threads (0 = available
+/// parallelism). Devices derive from `(seed, index)`, so the result is
+/// independent of the worker count.
 pub fn run_equivalence(
     batch: &Batch,
     config: &BistConfig,
     conventional_samples: u32,
+    workers: usize,
+) -> EquivalenceResult {
+    let partials = partitioned(batch.size, workers, |from, to| {
+        equivalence_range(batch, config, conventional_samples, from, to)
+    });
+    let mut total = EquivalenceResult {
+        bist: ConfusionMatrix::new(),
+        conventional: ConfusionMatrix::new(),
+        agreements: 0,
+        total: 0,
+    };
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+fn equivalence_range(
+    batch: &Batch,
+    config: &BistConfig,
+    conventional_samples: u32,
+    from: usize,
+    to: usize,
 ) -> EquivalenceResult {
     // Salt decorrelating this experiment's RNG stream from the device
     // generation stream.
@@ -178,11 +282,20 @@ pub fn run_equivalence(
     let mut bist_m = ConfusionMatrix::new();
     let mut conv_m = ConfusionMatrix::new();
     let mut agreements = 0;
-    for i in 0..batch.size {
+    let mut scratch = Scratch::new();
+    let to = to.min(batch.size);
+    for i in from..to {
         let tf = batch.device(i);
         let mut rng = batch.device_rng(i ^ EQ_SALT);
         let truth = spec.classify(&tf).good;
-        let bist = run_static_bist(&tf, config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+        let bist = run_static_bist_with(
+            &tf,
+            config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
         let conv = conventional_test(
             &tf,
             &spec,
@@ -202,7 +315,7 @@ pub fn run_equivalence(
         bist: bist_m,
         conventional: conv_m,
         agreements,
-        total: batch.size as u64,
+        total: (to - from) as u64,
     }
 }
 
@@ -293,13 +406,41 @@ mod tests {
     #[test]
     fn equivalence_bist7_vs_conventional() {
         let batch = Batch::paper_simulation(19, 150);
-        let res = run_equivalence(&batch, &config(7), 4096);
+        let res = run_equivalence(&batch, &config(7), 4096, 0);
         assert_eq!(res.total, 150);
         assert!(
             res.agreement_rate() > 0.9,
             "agreement {}",
             res.agreement_rate()
         );
+    }
+
+    #[test]
+    fn equivalence_independent_of_workers() {
+        let batch = Batch::paper_simulation(23, 60);
+        let cfg = config(5);
+        let seq = run_equivalence(&batch, &cfg, 4096, 1);
+        let par = run_equivalence(&batch, &cfg, 4096, 4);
+        assert_eq!(seq.bist, par.bist);
+        assert_eq!(seq.conventional, par.conventional);
+        assert_eq!(seq.agreements, par.agreements);
+        assert_eq!(seq.total, par.total);
+    }
+
+    #[test]
+    fn result_accounts_samples_and_throughput() {
+        let batch = Batch::paper_simulation(3, 20);
+        let r = Experiment::new(batch, config(6)).run();
+        // Every device's sweep is ~Δs⁻¹ samples per code on 64 codes.
+        assert!(r.samples > 20 * 64, "samples {}", r.samples);
+        assert!(r.elapsed > Duration::ZERO);
+        assert!(r.devices_per_second() > 0.0);
+        assert!(r.samples_per_second() > r.devices_per_second());
+        // Merging partials adds both counters.
+        let mut merged = r;
+        merged.merge(&r);
+        assert_eq!(merged.samples, 2 * r.samples);
+        assert_eq!(merged.matrix.total(), 2 * r.matrix.total());
     }
 
     #[test]

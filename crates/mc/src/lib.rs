@@ -8,8 +8,14 @@
 //!   simulation model) and physical flash devices (the stand-in for its
 //!   364 measured parts), plus rare-event conditional sampling.
 //! * [`experiment`] — run the BIST/reference/conventional tests over a
-//!   batch and account type I/II errors.
-//! * [`parallel`] — deterministic thread fan-out.
+//!   batch and account type I/II errors plus throughput (devices/s,
+//!   samples/s). Each device is screened by the streaming engine
+//!   (stimulus → code stream → accumulators) with a per-worker
+//!   `Scratch`, so the hot path allocates nothing after warm-up.
+//! * [`parallel`] — deterministic thread fan-out
+//!   ([`parallel::run_parallel`], the default under
+//!   [`experiment::Experiment::run`]) and the generic range
+//!   partitioner behind it.
 //! * [`estimate`] — Wilson confidence intervals for the error rates.
 //! * [`tables`] — the drivers that regenerate Table 1, Table 2 and
 //!   Figure 7.

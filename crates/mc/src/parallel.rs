@@ -2,49 +2,89 @@
 //!
 //! Devices are generated from `(seed, index)`, so splitting a batch into
 //! index ranges and merging the confusion matrices is exactly equivalent
-//! to a sequential run — the tests assert that equivalence.
+//! to a sequential run — the tests assert that equivalence. Each worker
+//! keeps its own `bist_core::harness::Scratch` (created inside
+//! `Experiment::run_range`), so the fan-out multiplies the
+//! allocation-free streaming hot path across cores.
 
+use crate::batch::Batch;
+use crate::estimate::Proportion;
 use crate::experiment::{Experiment, ExperimentResult};
+use bist_adc::spec::LinearitySpec;
 use crossbeam::channel;
 use std::thread;
+use std::time::Instant;
 
-/// Runs an experiment across `workers` threads, returning the merged
-/// result. `workers = 1` degenerates to [`Experiment::run`]; 0 selects
-/// the available parallelism.
-pub fn run_parallel(experiment: &Experiment, workers: usize) -> ExperimentResult {
-    let workers = if workers == 0 {
+/// Resolves a worker-count knob: `0` selects the available parallelism.
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
         thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         workers
-    };
-    let size = experiment.batch.size;
+    }
+}
+
+/// Splits `[0, size)` into `workers` contiguous ranges and evaluates
+/// `work(from, to)` on each, in parallel, returning the per-range
+/// results in range order. Degenerates to one inline call when a single
+/// worker suffices or the batch is tiny.
+pub fn partitioned<T, F>(size: usize, workers: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers);
     if workers <= 1 || size < 2 * workers {
-        return experiment.run();
+        return vec![work(0, size)];
     }
     let chunk = size.div_ceil(workers);
     let (tx, rx) = channel::bounded(workers);
     thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
-            let exp = *experiment;
+            let work = &work;
             scope.spawn(move || {
-                let from = w * chunk;
+                let from = (w * chunk).min(size);
                 let to = (from + chunk).min(size);
-                let partial = if from < to {
-                    exp.run_range(from, to)
-                } else {
-                    ExperimentResult::default()
-                };
-                tx.send(partial).expect("receiver outlives workers");
+                tx.send((w, work(from, to)))
+                    .expect("receiver outlives workers");
             });
         }
         drop(tx);
-        let mut total = ExperimentResult::default();
-        for partial in rx {
-            total.merge(&partial);
-        }
-        total
+        let mut parts: Vec<(usize, T)> = rx.into_iter().collect();
+        parts.sort_by_key(|(w, _)| *w);
+        parts.into_iter().map(|(_, t)| t).collect()
     })
+}
+
+/// Runs an experiment across `workers` threads, returning the merged
+/// result with wall-clock `elapsed`. `workers = 1` degenerates to a
+/// sequential sweep; 0 selects the available parallelism.
+pub fn run_parallel(experiment: &Experiment, workers: usize) -> ExperimentResult {
+    let start = Instant::now();
+    let partials = partitioned(experiment.batch.size, workers, |from, to| {
+        experiment.run_range(from, to)
+    });
+    let mut total = ExperimentResult::default();
+    for partial in &partials {
+        total.merge(partial);
+    }
+    // Per-range elapsed sums CPU time; report the observed wall-clock so
+    // devices/s and samples/s mean what a caller expects of a fan-out.
+    total.elapsed = start.elapsed();
+    total
+}
+
+/// Classifies every device of a batch against `spec` in parallel,
+/// returning the good-device proportion — the ground-truth yield sweep
+/// used by the yield-anchor experiments.
+pub fn classify_parallel(batch: &Batch, spec: &LinearitySpec, workers: usize) -> Proportion {
+    let goods = partitioned(batch.size, workers, |from, to| {
+        (from..to)
+            .filter(|&i| spec.classify(&batch.device(i)).good)
+            .count() as u64
+    });
+    Proportion::new(goods.iter().sum(), batch.size as u64)
 }
 
 #[cfg(test)]
@@ -66,10 +106,11 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let exp = experiment(240);
-        let seq = exp.run();
+        let seq = exp.run_range(0, 240);
         for workers in [2, 3, 8] {
             let par = run_parallel(&exp, workers);
             assert_eq!(par.matrix, seq.matrix, "workers {workers}");
+            assert_eq!(par.samples, seq.samples, "workers {workers}");
         }
     }
 
@@ -90,5 +131,25 @@ mod tests {
         let exp = experiment(64);
         let r = run_parallel(&exp, 0);
         assert_eq!(r.matrix.total(), 64);
+    }
+
+    #[test]
+    fn partitioned_covers_range_in_order() {
+        let parts = partitioned(103, 4, |from, to| (from, to));
+        assert_eq!(parts.first().unwrap().0, 0);
+        assert_eq!(parts.last().unwrap().1, 103);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn classify_parallel_matches_sequential() {
+        let batch = Batch::paper_simulation(7, 120);
+        let spec = LinearitySpec::paper_stringent();
+        let seq = classify_parallel(&batch, &spec, 1);
+        let par = classify_parallel(&batch, &spec, 4);
+        assert_eq!(seq.successes(), par.successes());
+        assert_eq!(seq.trials(), par.trials());
     }
 }

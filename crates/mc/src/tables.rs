@@ -10,7 +10,7 @@
 use crate::batch::{conditional_faulty_widths, transfer_from_widths, Batch};
 use crate::estimate::Proportion;
 use crate::experiment::Experiment;
-use crate::parallel::run_parallel;
+use crate::parallel::{partitioned, run_parallel};
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::Resolution;
@@ -18,7 +18,7 @@ use bist_core::analytic::{
     code_probabilities, device_probabilities, DeviceProbabilities, WidthDistribution,
 };
 use bist_core::config::BistConfig;
-use bist_core::harness::run_static_bist;
+use bist_core::harness::{run_static_bist_with, Scratch};
 use bist_core::limits::{plan_delta_s, CountLimits};
 
 /// Number of codes a full sweep judges on the paper's 6-bit device
@@ -156,8 +156,9 @@ pub struct Table2Row {
 
 /// Regenerates Table 2: joint error probabilities at the actual ±1 LSB
 /// spec, with a conditional Monte-Carlo check of `P(accept|faulty)`
-/// (`faulty_devices` conditioned draws per counter size).
-pub fn table2(faulty_devices: usize, seed: u64) -> Vec<Table2Row> {
+/// (`faulty_devices` conditioned draws per counter size, fanned out
+/// across `workers` threads with per-worker scratch reuse; 0 = auto).
+pub fn table2(faulty_devices: usize, seed: u64, workers: usize) -> Vec<Table2Row> {
     let spec = LinearitySpec::paper_actual();
     let dist = WidthDistribution::paper_worst_case();
     (4..=7)
@@ -171,18 +172,32 @@ pub fn table2(faulty_devices: usize, seed: u64) -> Vec<Table2Row> {
 
             // Rare-event MC: sample devices conditioned on exactly one
             // out-of-spec code (P(≥2 bad | faulty) ≈ 3×10⁻³, negligible)
-            // and run the full counting BIST on each.
+            // and run the full counting BIST on each. Devices derive
+            // from `(seed, index)`, so the fan-out is deterministic.
             let batch = Batch::paper_simulation(seed ^ u64::from(bits), 1);
-            let mut accepted = 0u64;
-            for i in 0..faulty_devices {
-                let mut rng = batch.device_rng(i ^ 0x7ab1e2);
-                let widths = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
-                let tf = transfer_from_widths(Resolution::SIX_BIT, &widths);
-                let outcome = run_static_bist(&tf, &bist, &NoiseConfig::noiseless(), 0.0, &mut rng);
-                if outcome.accepted() {
-                    accepted += 1;
+            let accepted: u64 = partitioned(faulty_devices, workers, |from, to| {
+                let mut scratch = Scratch::new();
+                let mut accepted = 0u64;
+                for i in from..to {
+                    let mut rng = batch.device_rng(i ^ 0x7ab1e2);
+                    let widths = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
+                    let tf = transfer_from_widths(Resolution::SIX_BIT, &widths);
+                    let verdict = run_static_bist_with(
+                        &tf,
+                        &bist,
+                        &NoiseConfig::noiseless(),
+                        0.0,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    if verdict.accepted() {
+                        accepted += 1;
+                    }
                 }
-            }
+                accepted
+            })
+            .into_iter()
+            .sum();
 
             Table2Row {
                 counter_bits: bits,
@@ -313,7 +328,7 @@ mod tests {
 
     #[test]
     fn table2_joint_probabilities_in_ppm_range() {
-        let rows = table2(300, 3);
+        let rows = table2(300, 3, 0);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             // The paper's values are 5–70 ppm; ours must land in the
@@ -340,6 +355,15 @@ mod tests {
         // Max-error column: 1/8, 1/16, 1/32, 1/64.
         assert_eq!(rows[0].max_error_lsb, 0.125);
         assert_eq!(rows[3].max_error_lsb, 0.015625);
+    }
+
+    #[test]
+    fn table2_independent_of_workers() {
+        let a = table2(120, 5, 1);
+        let b = table2(120, 5, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.mc_type_ii_conditional, y.mc_type_ii_conditional);
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f_in = SineWave::coherent_frequency(cycles, n, fs);
     let sine = SineWave::new(3.26, f_in, 0.0, Volts(3.2));
     let capture = acquire(&device, &sine, SamplingConfig::new(fs, n));
-    let record = capture.normalized(Resolution::SIX_BIT.bits());
+    let record: Vec<f64> = capture.normalized(Resolution::SIX_BIT.bits()).collect();
 
     // --- 1. FFT test -----------------------------------------------------
     let analysis = analyze_tone(&record, &ToneAnalysisConfig::default())?;

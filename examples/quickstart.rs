@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &Ramp::new(bist_adc::types::Volts(-0.2), slope),
             SamplingConfig::new(1.0e6, samples),
         )
-        .bit_stream(0)
+        .bits(0)
+        .collect()
     };
     if let Some(est) = bist_core::static_params::estimate_offset_gain(&config, &lsb_stream, -2.0) {
         println!("\nstatic parameters:  {est}");

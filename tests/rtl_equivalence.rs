@@ -45,7 +45,7 @@ fn behavioural_monitor_matches_rtl_on_flash_devices() {
         for bits in [4, 6] {
             let config = paper_config(bits);
             let capture = flash_capture(seed, &config);
-            let stream = capture.bit_stream(0);
+            let stream: Vec<bool> = capture.bits(0).collect();
 
             let behavioural = monitor_bit_stream(&config, &stream);
             let mut rtl = LsbProcessor::new(config.to_rtl());
