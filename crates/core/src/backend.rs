@@ -1,0 +1,373 @@
+//! Pluggable verdict backends: one acquisition, two judges.
+//!
+//! The streaming engine fixes *what* is measured (the fused
+//! stimulus→code pass of [`crate::harness`]); a [`BistBackend`] decides
+//! *who* judges it:
+//!
+//! * [`BehavioralBackend`] — the reference accumulators
+//!   ([`crate::lsb_monitor::LsbMonitorAcc`] +
+//!   [`crate::functional::FunctionalAcc`]). Zero-size, zero-cost: this
+//!   is exactly the allocation-free hot path the Monte-Carlo fleet runs.
+//! * [`RtlBackend`] — the gate-accurate `bist_rtl::top::BistTop`,
+//!   clocked one code per tick and drained through its synchroniser
+//!   latency at end of sweep, with its [`bist_rtl::top::BistReport`]
+//!   mapped onto the same [`BistVerdict`].
+//!
+//! The two backends are **bit-exact** on every verdict field for any
+//! sweep that dwells ≥ [`bist_rtl::top::BistTop::DRAIN_TICKS`] samples
+//! after its last transition — which every harness ramp does by
+//! construction (10-LSB overshoot past full scale). Property tests in
+//! `crates/core/tests` pin the equivalence on adversarial synthetic
+//! streams; the `bist-mc` differential experiment pins it fleet-wide on
+//! random devices, noise configurations and counter widths.
+
+use crate::config::BistConfig;
+use crate::harness::{process_code_stream, BistVerdict, Scratch};
+use crate::lsb_monitor::CodeResult;
+use bist_adc::types::{Code, Lsb};
+use bist_rtl::top::{BistTop, BistTopConfig};
+
+/// A verdict engine consuming one sweep's code stream.
+pub trait BistBackend {
+    /// Stable backend name for perf records and reports.
+    fn name(&self) -> &'static str;
+
+    /// Judges one sweep: consumes the code stream sample by sample and
+    /// returns the compact verdict, leaving per-code detail for the
+    /// most recent sweep in `scratch` (as much of it as the backend
+    /// models — see the implementors).
+    fn process<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> BistVerdict;
+}
+
+/// The behavioural reference backend — a zero-size handle onto
+/// [`process_code_stream`], so `run_static_bist_with` compiled through
+/// it is byte-for-byte the pre-backend hot path (the counting-allocator
+/// test keeps it honest).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BehavioralBackend;
+
+impl BistBackend for BehavioralBackend {
+    fn name(&self) -> &'static str {
+        "behavioral"
+    }
+
+    fn process<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> BistVerdict {
+        process_code_stream(config, codes, scratch)
+    }
+}
+
+/// The gate-accurate backend: feeds `bist_rtl::BistTop` one code per
+/// tick.
+///
+/// The constructed top level is cached and reused while the
+/// configuration is unchanged — between devices it is *reset in place*
+/// (no component reconstructed), so after its first sweep this path is
+/// allocation-free too (covered by the counting-allocator test).
+/// Codes are pre-shifted by the monitored bit (the on-chip
+/// block always watches its own bit 0 — a partial BIST simply taps the
+/// bus higher up), and after the stream ends the top is drained for
+/// [`BistTop::DRAIN_TICKS`] cycles so measurements inside the
+/// synchroniser pipeline complete.
+///
+/// Scratch detail: per-code monitor results are recorded (with the
+/// hardware's view — a saturated code reports the clamped width, since
+/// the chip cannot know more); per-check functional detail is not (the
+/// silicon latches only the counters), so
+/// [`Scratch::checks`](Scratch::checks) is empty after an RTL sweep.
+#[derive(Debug, Default)]
+pub struct RtlBackend {
+    top: Option<BistTop>,
+}
+
+impl RtlBackend {
+    /// A backend with no cached datapath (built on first sweep).
+    pub fn new() -> Self {
+        RtlBackend::default()
+    }
+
+    /// The top-level configuration equivalent to a harness config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two bits remain above the monitored bit —
+    /// the Figure-2 checker needs at least one upper bit.
+    fn top_config(config: &BistConfig) -> BistTopConfig {
+        let bits = config.resolution().bits();
+        assert!(
+            config.monitored_bit() + 2 <= bits,
+            "RTL backend needs at least one bit above the monitored bit \
+             (monitored {} of {bits})",
+            config.monitored_bit()
+        );
+        BistTopConfig {
+            lsb: config.to_rtl(),
+            adc_bits: bits - config.monitored_bit(),
+            expected_codes: config.expected_measurements(),
+        }
+    }
+}
+
+impl BistBackend for RtlBackend {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn process<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> BistVerdict {
+        let want = Self::top_config(config);
+        let top = match &mut self.top {
+            Some(top) if *top.config() == want => {
+                top.reset();
+                top
+            }
+            slot => slot.insert(BistTop::new(want)),
+        };
+        scratch.monitor_codes.clear();
+        scratch.checks.clear();
+        let bit = config.monitored_bit();
+        let delta_s = config.delta_s().0;
+        let mut record = |m: bist_rtl::datapath::CodeMeasurement| {
+            let width_lsb = Lsb(m.count as f64 * delta_s);
+            scratch.monitor_codes.push(CodeResult {
+                index: m.index,
+                count: m.count,
+                overflow: m.overflow,
+                dnl_verdict: m.dnl_verdict,
+                width_lsb,
+                dnl_lsb: Lsb(width_lsb.0 - 1.0),
+                inl_counts: m.inl_counts,
+                inl_pass: m.inl_pass,
+            });
+        };
+        let mut samples = 0u64;
+        for code in codes {
+            if let Some(m) = top.tick(u64::from(code.0) >> bit) {
+                record(m);
+            }
+            samples += 1;
+        }
+        for _ in 0..BistTop::DRAIN_TICKS {
+            if let Some(m) = top.drain_tick() {
+                record(m);
+            }
+        }
+        let report = top.report();
+        BistVerdict {
+            codes_judged: report.codes_measured,
+            dnl_failures: report.dnl_failures,
+            inl_failures: report.inl_failures,
+            functional_checks: report.functional_checks,
+            functional_mismatches: report.functional_mismatches,
+            expected_codes: want.expected_codes,
+            samples,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{plan_ramp, run_static_bist_with, run_static_bist_with_backend};
+    use bist_adc::flash::FlashConfig;
+    use bist_adc::noise::NoiseConfig;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::stream::CodeStream;
+    use bist_adc::transfer::TransferFunction;
+    use bist_adc::types::{Resolution, Volts};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(bits: u32, deglitch: bool) -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(bits)
+            .deglitch(deglitch)
+            .build()
+            .unwrap()
+    }
+
+    fn ideal() -> TransferFunction {
+        TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    #[test]
+    fn behavioral_backend_is_the_streaming_engine() {
+        let config = cfg(5, false);
+        let adc = ideal();
+        let (ramp, sampling) = plan_ramp(&adc, &config);
+        let mut s1 = Scratch::new();
+        let mut s2 = Scratch::new();
+        let direct = process_code_stream(
+            &config,
+            CodeStream::noiseless(&adc, &ramp, sampling),
+            &mut s1,
+        );
+        let via_backend = BehavioralBackend.process(
+            &config,
+            CodeStream::noiseless(&adc, &ramp, sampling),
+            &mut s2,
+        );
+        assert_eq!(direct, via_backend);
+        assert_eq!(s1.monitor_codes(), s2.monitor_codes());
+        assert_eq!(s1.checks(), s2.checks());
+    }
+
+    #[test]
+    fn rtl_backend_accepts_ideal_device_all_counters() {
+        let adc = ideal();
+        let mut backend = RtlBackend::new();
+        let mut scratch = Scratch::new();
+        for bits in 4..=7 {
+            let config = cfg(bits, false);
+            let verdict = run_static_bist_with_backend(
+                &mut backend,
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut StdRng::seed_from_u64(1),
+                &mut scratch,
+            );
+            assert!(verdict.accepted(), "counter {bits}: {verdict:?}");
+            assert_eq!(verdict.codes_judged, 62);
+            assert_eq!(scratch.monitor_codes().len(), 62);
+            assert!(scratch.checks().is_empty(), "RTL keeps only counters");
+        }
+    }
+
+    #[test]
+    fn rtl_matches_behavioral_on_flash_devices() {
+        // The tentpole seam, in miniature: same device, same RNG
+        // stream, both backends — every verdict field identical.
+        for seed in 0..12 {
+            for (bits, deglitch, noise) in [
+                (4u32, false, NoiseConfig::noiseless()),
+                (
+                    6,
+                    false,
+                    NoiseConfig::noiseless().with_transition_noise(0.004),
+                ),
+                (
+                    5,
+                    true,
+                    NoiseConfig::noiseless().with_transition_noise(0.006),
+                ),
+                (7, true, NoiseConfig::noiseless().with_input_noise(0.003)),
+            ] {
+                let config = cfg(bits, deglitch);
+                let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
+                let mut scratch = Scratch::new();
+                let behavioral = run_static_bist_with(
+                    &adc,
+                    &config,
+                    &noise,
+                    0.0,
+                    &mut StdRng::seed_from_u64(900 + seed),
+                    &mut scratch,
+                );
+                let rtl = run_static_bist_with_backend(
+                    &mut RtlBackend::new(),
+                    &adc,
+                    &config,
+                    &noise,
+                    0.0,
+                    &mut StdRng::seed_from_u64(900 + seed),
+                    &mut scratch,
+                );
+                assert_eq!(
+                    behavioral, rtl,
+                    "seed {seed} bits {bits} deglitch {deglitch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rtl_backend_reuses_top_across_devices_and_rebuilds_on_config_change() {
+        let mut backend = RtlBackend::new();
+        let mut scratch = Scratch::new();
+        let adc = ideal();
+        let c4 = cfg(4, false);
+        let c6 = cfg(6, true);
+        for config in [&c4, &c4, &c6, &c4] {
+            let v = run_static_bist_with_backend(
+                &mut backend,
+                &adc,
+                config,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut StdRng::seed_from_u64(3),
+                &mut scratch,
+            );
+            assert!(v.accepted(), "{config}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn rtl_backend_monitored_bit_one() {
+        // Partial BIST: bit 1 monitored, upper word = code >> 2.
+        let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(5)
+            .monitored_bit(1)
+            .build()
+            .unwrap();
+        let adc = ideal();
+        let mut scratch = Scratch::new();
+        let behavioral = run_static_bist_with(
+            &adc,
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(5),
+            &mut scratch,
+        );
+        let rtl = run_static_bist_with_backend(
+            &mut RtlBackend::new(),
+            &adc,
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(5),
+            &mut scratch,
+        );
+        // (Acceptance is immaterial here — the paper-planned window
+        // assumes 1-LSB codes, and bit-1 runs are ~2 LSB — the point is
+        // that both backends read the tapped-up bus identically.)
+        assert_eq!(behavioral, rtl);
+        assert_eq!(rtl.expected_codes, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit above the monitored bit")]
+    fn rtl_backend_rejects_msb_monitoring() {
+        let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(5)
+            .monitored_bit(5)
+            .build()
+            .unwrap();
+        let adc = ideal();
+        let mut scratch = Scratch::new();
+        run_static_bist_with_backend(
+            &mut RtlBackend::new(),
+            &adc,
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+    }
+}

@@ -100,10 +100,11 @@ pub struct FunctionalTally {
 ///
 /// Replicates [`check_code_stream`] exactly without materialising the
 /// code stream. With `deglitch` enabled the codes are first passed
-/// through a streaming median-of-3 filter (first and last samples passed
-/// through unchanged) — the behavioural equivalent of clocking the
-/// upper-bit checker from the deglitched monitored bit, and identical to
-/// filtering the materialised capture with a median-of-3 pass.
+/// through a streaming median-of-3 filter (the first sample passes
+/// through unchanged; the trailing in-flight window is discarded at
+/// [`FunctionalAcc::finish`]) — the behavioural twin of the RTL
+/// `CodeMedianFilter` guarding `bist_rtl`'s upper-bit checker, and
+/// bit-exact with it per the backend-equivalence property tests.
 ///
 /// Follows the same scratch-reuse contract as
 /// [`crate::lsb_monitor::LsbMonitorAcc`]: the borrowed check buffer is
@@ -196,14 +197,14 @@ impl<'s> FunctionalAcc<'s> {
         self.pos += 1;
     }
 
-    /// Ends the sweep, flushing the median filter's trailing sample
-    /// (the last raw code passes through unfiltered).
-    pub fn finish(mut self) -> FunctionalTally {
-        if let Some((_, c2, n)) = self.median {
-            if n >= 2 {
-                self.step(c2);
-            }
-        }
+    /// Ends the sweep. The median filter's in-flight window is
+    /// discarded — like the monitor path (and the hardware), the sweep
+    /// stops dead at the last sample and judges nothing beyond it. (An
+    /// earlier revision flushed the trailing raw code here, which could
+    /// fire one final check no realisable filter-then-synchronise
+    /// datapath would ever see; the harness's overshoot past full scale
+    /// makes the two semantics identical on real sweeps.)
+    pub fn finish(self) -> FunctionalTally {
         FunctionalTally {
             checks: self.checks.len() as u64,
             mismatches: self.mismatches,

@@ -24,6 +24,13 @@
 //! production path; [`bist_from_capture`] remains as the materialised
 //! reference for tests, plots and external code records.
 //!
+//! The verdict stage is pluggable: [`run_static_bist_with_backend`]
+//! accepts any [`crate::backend::BistBackend`], so the identical fused
+//! acquisition can be judged by the behavioural accumulators (the
+//! default) or by the gate-accurate `bist_rtl::BistTop` datapath
+//! ([`crate::backend::RtlBackend`]) — the seam the differential fleet
+//! experiment in `bist-mc` validates at scale.
+//!
 //! ## Scratch reuse
 //!
 //! Per-device state that must persist across devices lives in
@@ -74,11 +81,13 @@ impl BistOutcome {
         self.complete() && self.monitor.all_pass() && self.functional.all_pass()
     }
 
-    /// Whether the sweep produced at least the expected number of code
-    /// measurements (missing transitions indicate stuck bits, dead
-    /// comparators or a stuck output bus).
+    /// Whether the sweep produced *exactly* the expected number of code
+    /// measurements. Missing transitions indicate stuck bits, dead
+    /// comparators or a stuck output bus; surplus transitions indicate
+    /// a toggling LSB splitting codes — under the earlier `>=` rule a
+    /// glitchy sweep could still read "complete".
     pub fn complete(&self) -> bool {
-        self.monitor.codes.len() as u64 >= self.expected_codes
+        self.monitor.codes.len() as u64 == self.expected_codes
     }
 }
 
@@ -129,9 +138,11 @@ pub struct BistVerdict {
 }
 
 impl BistVerdict {
-    /// Whether the sweep produced the expected number of measurements.
+    /// Whether the sweep produced *exactly* the expected number of
+    /// measurements (same rule as [`BistOutcome::complete`]: surplus
+    /// transitions fail too).
     pub fn complete(&self) -> bool {
-        self.codes_judged >= self.expected_codes
+        self.codes_judged == self.expected_codes
     }
 
     /// The device-level decision (same rule as [`BistOutcome::accepted`]).
@@ -152,8 +163,8 @@ impl BistVerdict {
 /// [`run_static_bist_with`] / [`process_code_stream`].
 #[derive(Debug, Default)]
 pub struct Scratch {
-    monitor_codes: Vec<CodeResult>,
-    checks: Vec<FunctionalCheck>,
+    pub(crate) monitor_codes: Vec<CodeResult>,
+    pub(crate) checks: Vec<FunctionalCheck>,
 }
 
 impl Scratch {
@@ -245,9 +256,39 @@ pub fn process_code_stream<I: IntoIterator<Item = Code>>(
     }
 }
 
+/// Runs the static-linearity BIST of Figures 2–4 on a converter with an
+/// explicit verdict backend (see [`crate::backend`]): the same fused
+/// acquisition — stimulus evaluation, noise injection, conversion and
+/// test processing in one pass with no sample memory — judged by either
+/// the behavioural accumulators or the gate-accurate RTL datapath.
+pub fn run_static_bist_with_backend<B, A, R>(
+    backend: &mut B,
+    adc: &A,
+    config: &BistConfig,
+    noise: &NoiseConfig,
+    slope_error: f64,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> BistVerdict
+where
+    B: crate::backend::BistBackend,
+    A: Adc + ?Sized,
+    R: RngCore + ?Sized,
+{
+    let (ramp, sampling) = plan_ramp(adc, config);
+    let ramp = ramp.with_slope_error(slope_error);
+    backend.process(
+        config,
+        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
+        scratch,
+    )
+}
+
 /// Runs the static-linearity BIST of Figures 2–4 on a converter,
 /// reusing the caller's [`Scratch`] — the allocation-free hot path used
-/// by the Monte-Carlo engine.
+/// by the Monte-Carlo engine. Equivalent to
+/// [`run_static_bist_with_backend`] with the (zero-cost)
+/// [`BehavioralBackend`](crate::backend::BehavioralBackend).
 ///
 /// The acquisition is fused: stimulus evaluation, noise injection,
 /// conversion and all test processing happen in one pass with no sample
@@ -260,11 +301,13 @@ pub fn run_static_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
     rng: &mut R,
     scratch: &mut Scratch,
 ) -> BistVerdict {
-    let (ramp, sampling) = plan_ramp(adc, config);
-    let ramp = ramp.with_slope_error(slope_error);
-    process_code_stream(
+    run_static_bist_with_backend(
+        &mut crate::backend::BehavioralBackend,
+        adc,
         config,
-        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
+        noise,
+        slope_error,
+        rng,
         scratch,
     )
 }

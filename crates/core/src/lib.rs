@@ -29,6 +29,9 @@
 //!   a fused single-pass pipeline (stimulus → code stream →
 //!   accumulators), with a reusable [`harness::Scratch`] making the
 //!   per-device hot path allocation-free.
+//! * [`backend`] — pluggable verdict engines for that pipeline: the
+//!   behavioural accumulators or the gate-accurate `bist-rtl` datapath
+//!   ([`backend::RtlBackend`]), bit-exact with each other.
 //! * [`decision`] — confusion-matrix accounting of type I/II errors.
 //! * [`report`] — text tables for the experiment binaries.
 //!
@@ -65,6 +68,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod analytic;
+pub mod backend;
 pub mod config;
 pub mod decision;
 pub mod economics;
@@ -80,9 +84,13 @@ pub mod yield_model;
 pub use analytic::{
     acceptance_probability, code_probabilities, device_probabilities, WidthDistribution,
 };
+pub use backend::{BehavioralBackend, BistBackend, RtlBackend};
 pub use config::BistConfig;
 pub use decision::ConfusionMatrix;
-pub use harness::{run_static_bist, run_static_bist_with, BistOutcome, BistVerdict, Scratch};
+pub use harness::{
+    run_static_bist, run_static_bist_with, run_static_bist_with_backend, BistOutcome, BistVerdict,
+    Scratch,
+};
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
 pub use yield_model::YieldModel;

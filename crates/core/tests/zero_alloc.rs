@@ -108,4 +108,68 @@ fn hot_path_is_allocation_free_after_warmup() {
     );
     // The verdicts themselves must still be real work, not dead code.
     assert!(accepted <= 10);
+
+    // The gate-accurate backend gets the same guarantee: each backend
+    // caches one BistTop per configuration and resets it in place
+    // between devices (nothing reconstructed), and the scratch buffers
+    // are already warm — so the rtl device→verdict path is also
+    // allocation-free after its first sweep. One backend per config,
+    // as a fleet screener would hold them.
+    use bist_core::backend::RtlBackend;
+    use bist_core::harness::run_static_bist_with_backend;
+    let mut plain_rtl = RtlBackend::new();
+    let mut deglitched_rtl = RtlBackend::new();
+    for round in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        run_static_bist_with_backend(
+            &mut plain_rtl,
+            &adc,
+            &plain,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        run_static_bist_with_backend(
+            &mut deglitched_rtl,
+            &adc,
+            &deglitched,
+            &noise,
+            -0.01,
+            &mut rng,
+            &mut scratch,
+        );
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut accepted = 0u32;
+    for round in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        let a = run_static_bist_with_backend(
+            &mut plain_rtl,
+            &adc,
+            &plain,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        let b = run_static_bist_with_backend(
+            &mut deglitched_rtl,
+            &adc,
+            &deglitched,
+            &noise,
+            -0.01,
+            &mut rng,
+            &mut scratch,
+        );
+        accepted += u32::from(a.accepted()) + u32::from(b.accepted());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "rtl path allocated {} times after warm-up",
+        after - before
+    );
+    assert!(accepted <= 10);
 }

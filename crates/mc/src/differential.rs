@@ -1,0 +1,383 @@
+//! Differential fleet validation of the behavioural↔RTL verdict seam.
+//!
+//! The streaming engine judges devices through pluggable backends
+//! (`bist_core::backend`): the behavioural accumulators the fleet runs
+//! in production, and the gate-accurate `bist_rtl::BistTop`. This
+//! module sweeps both over the *same* code streams — random devices ×
+//! counter widths 4–7 × deglitch on/off × noise configurations × ramp
+//! slope errors — and demands **bit-exact agreement on every verdict
+//! field** (codes judged, DNL/INL failure counts, functional
+//! checks/mismatches, sample count, acceptance).
+//!
+//! Any disagreement is a [`Divergence`] carrying both verdicts; the
+//! `rtl_fleet` reproduction binary fails its run (and CI) if one
+//! appears. The equivalence holds because every harness sweep dwells
+//! past its last transition (10-LSB overshoot), which is exactly the
+//! drain contract the RTL needs to flush its synchroniser latency —
+//! see `bist_core::backend` for the fine print.
+
+use crate::batch::Batch;
+use crate::parallel::partitioned;
+use bist_adc::noise::NoiseConfig;
+use bist_adc::spec::LinearitySpec;
+use bist_core::backend::{BehavioralBackend, RtlBackend};
+use bist_core::config::BistConfig;
+use bist_core::harness::{run_static_bist_with_backend, BistVerdict, Scratch};
+use std::fmt;
+
+/// The counter widths the paper sweeps (Table 1).
+pub const COUNTER_BITS: [u32; 4] = [4, 5, 6, 7];
+
+/// The acquisition noise points of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NoisePoint {
+    /// The §3 theory setting: no noise at all.
+    Noiseless,
+    /// Comparator transition noise (the §3 toggle mechanism, ~0.04 LSB
+    /// at the paper's 0.1 V LSB) — the deglitcher's raison d'être.
+    Transition,
+    /// Input noise + transition noise + aperture jitter together.
+    Mixed,
+}
+
+impl NoisePoint {
+    /// All sweep points.
+    pub const ALL: [NoisePoint; 3] = [
+        NoisePoint::Noiseless,
+        NoisePoint::Transition,
+        NoisePoint::Mixed,
+    ];
+
+    /// The acquisition noise this point injects.
+    pub fn config(self) -> NoiseConfig {
+        match self {
+            NoisePoint::Noiseless => NoiseConfig::noiseless(),
+            NoisePoint::Transition => NoiseConfig::noiseless().with_transition_noise(0.004),
+            NoisePoint::Mixed => NoiseConfig::noiseless()
+                .with_input_noise(0.002)
+                .with_transition_noise(0.003)
+                .with_jitter(1e-7),
+        }
+    }
+
+    /// Stable label for reports and CSV artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            NoisePoint::Noiseless => "noiseless",
+            NoisePoint::Transition => "transition",
+            NoisePoint::Mixed => "mixed",
+        }
+    }
+}
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioId {
+    /// Counter width in bits.
+    pub counter_bits: u32,
+    /// Whether the deglitch filters are in the datapath.
+    pub deglitch: bool,
+    /// Acquisition noise point.
+    pub noise: NoisePoint,
+}
+
+impl fmt::Display for ScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-bit/{}/{}",
+            self.counter_bits,
+            if self.deglitch { "deglitch" } else { "raw" },
+            self.noise.label()
+        )
+    }
+}
+
+/// A device/scenario where the two backends disagreed, with both
+/// verdicts for the post-mortem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// Device index within the batch.
+    pub device: usize,
+    /// The sweep cell.
+    pub scenario: ScenarioId,
+    /// What the behavioural accumulators latched.
+    pub behavioral: BistVerdict,
+    /// What the gate-accurate datapath latched.
+    pub rtl: BistVerdict,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device {} [{}]: behavioral {:?} vs rtl {:?}",
+            self.device, self.scenario, self.behavioral, self.rtl
+        )
+    }
+}
+
+/// Per-scenario agreement accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioTally {
+    /// The sweep cell.
+    pub scenario: ScenarioId,
+    /// Devices compared in this cell.
+    pub comparisons: u64,
+    /// Devices with bit-exact verdict agreement.
+    pub agreements: u64,
+    /// Devices the BIST accepted (both backends — counted on the
+    /// behavioural verdict).
+    pub accepted: u64,
+}
+
+/// Outcome of a differential sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DifferentialResult {
+    /// Devices swept.
+    pub devices: u64,
+    /// Total (device × scenario) comparisons.
+    pub comparisons: u64,
+    /// Comparisons with bit-exact verdict agreement.
+    pub agreements: u64,
+    /// Every disagreement observed.
+    pub divergences: Vec<Divergence>,
+    /// Agreement accounting per sweep cell (stable grid order).
+    pub per_scenario: Vec<ScenarioTally>,
+}
+
+impl DifferentialResult {
+    /// Whether the sweep found no divergence at all.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.agreements == self.comparisons
+    }
+
+    /// Fraction of comparisons in bit-exact agreement.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.comparisons == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.comparisons as f64
+        }
+    }
+
+    /// Merges a partial result from another worker (scenario tallies
+    /// merge cell-wise; both sides carry the same grid order).
+    pub fn merge(&mut self, other: &DifferentialResult) {
+        self.devices += other.devices;
+        self.comparisons += other.comparisons;
+        self.agreements += other.agreements;
+        self.divergences.extend_from_slice(&other.divergences);
+        if self.per_scenario.is_empty() {
+            self.per_scenario = other.per_scenario.clone();
+        } else {
+            debug_assert_eq!(self.per_scenario.len(), other.per_scenario.len());
+            for (mine, theirs) in self.per_scenario.iter_mut().zip(&other.per_scenario) {
+                debug_assert_eq!(mine.scenario, theirs.scenario);
+                mine.comparisons += theirs.comparisons;
+                mine.agreements += theirs.agreements;
+                mine.accepted += theirs.accepted;
+            }
+        }
+    }
+}
+
+impl fmt::Display for DifferentialResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices × {} scenarios: {}/{} verdicts bit-exact ({} divergences)",
+            self.devices,
+            self.per_scenario.len(),
+            self.agreements,
+            self.comparisons,
+            self.divergences.len()
+        )
+    }
+}
+
+/// The sweep grid: every counter width × deglitch × noise point, with
+/// the BIST config built once per cell.
+fn scenario_grid() -> Vec<(ScenarioId, BistConfig, NoiseConfig)> {
+    let spec = LinearitySpec::paper_stringent();
+    let mut grid = Vec::new();
+    for &counter_bits in &COUNTER_BITS {
+        for deglitch in [false, true] {
+            let config = BistConfig::builder(bist_adc::types::Resolution::SIX_BIT, spec)
+                .counter_bits(counter_bits)
+                .deglitch(deglitch)
+                .build()
+                .expect("paper operating points are valid");
+            for noise in NoisePoint::ALL {
+                grid.push((
+                    ScenarioId {
+                        counter_bits,
+                        deglitch,
+                        noise,
+                    },
+                    config,
+                    noise.config(),
+                ));
+            }
+        }
+    }
+    grid
+}
+
+/// RNG-stream salt decorrelating the differential sweep from device
+/// generation and the other experiments.
+const DIFF_SALT: usize = 0xd1ff_0000;
+
+/// Runs the differential sweep over a device range — the unit of work
+/// for the parallel fan-out. Both backends consume bit-identical code
+/// streams (same `(seed, device, scenario)`-derived RNG), so any
+/// disagreement is a genuine datapath divergence, not sampling noise.
+pub fn run_differential_range(
+    batch: &Batch,
+    slope_error: f64,
+    from: usize,
+    to: usize,
+) -> DifferentialResult {
+    let grid = scenario_grid();
+    let mut behavioral_backend = BehavioralBackend;
+    // One RTL backend per grid cell: the device-outer sweep order would
+    // otherwise thrash the backend's single cached BistTop (one rebuild
+    // per config change); per-cell backends keep every cache hit an
+    // in-place reset.
+    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
+    let mut scratch_b = Scratch::new();
+    let mut scratch_r = Scratch::new();
+    let mut result = DifferentialResult {
+        per_scenario: grid
+            .iter()
+            .map(|(id, ..)| ScenarioTally {
+                scenario: *id,
+                comparisons: 0,
+                agreements: 0,
+                accepted: 0,
+            })
+            .collect(),
+        ..DifferentialResult::default()
+    };
+    let to = to.min(batch.size);
+    for i in from..to {
+        let tf = batch.device(i);
+        result.devices += 1;
+        for (cell, (id, config, noise)) in grid.iter().enumerate() {
+            // Cell stride 2^24: overflow-free even on 32-bit targets
+            // (cell < 48) and collision-free below 16M devices.
+            let rng_seed = i ^ DIFF_SALT ^ (cell << 24);
+            let behavioral = run_static_bist_with_backend(
+                &mut behavioral_backend,
+                &tf,
+                config,
+                noise,
+                slope_error,
+                &mut batch.device_rng(rng_seed),
+                &mut scratch_b,
+            );
+            let rtl = run_static_bist_with_backend(
+                &mut rtl_backends[cell],
+                &tf,
+                config,
+                noise,
+                slope_error,
+                &mut batch.device_rng(rng_seed),
+                &mut scratch_r,
+            );
+            result.comparisons += 1;
+            result.per_scenario[cell].comparisons += 1;
+            if behavioral == rtl {
+                result.agreements += 1;
+                result.per_scenario[cell].agreements += 1;
+            } else {
+                result.divergences.push(Divergence {
+                    device: i,
+                    scenario: *id,
+                    behavioral,
+                    rtl,
+                });
+            }
+            if behavioral.accepted() {
+                result.per_scenario[cell].accepted += 1;
+            }
+        }
+    }
+    result
+}
+
+/// Runs the full differential sweep over a batch, fanned out across
+/// `workers` threads (0 = available parallelism). Deterministic in the
+/// worker count: devices and RNG streams derive from `(seed, index,
+/// scenario)` alone.
+pub fn run_differential(batch: &Batch, slope_error: f64, workers: usize) -> DifferentialResult {
+    let partials = partitioned(batch.size, workers, |from, to| {
+        run_differential_range(batch, slope_error, from, to)
+    });
+    let mut total = DifferentialResult::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_is_bit_exact() {
+        let batch = Batch::paper_simulation(31, 12);
+        let result = run_differential(&batch, 0.0, 0);
+        assert_eq!(result.devices, 12);
+        assert_eq!(result.comparisons, 12 * 24);
+        assert!(
+            result.is_clean(),
+            "divergences: {:#?}",
+            &result.divergences[..result.divergences.len().min(3)]
+        );
+        // The sweep does real screening work: some devices accepted,
+        // some rejected, across the grid.
+        let accepted: u64 = result.per_scenario.iter().map(|s| s.accepted).sum();
+        assert!(accepted > 0);
+        assert!(accepted < result.comparisons);
+    }
+
+    #[test]
+    fn slope_error_sweep_is_bit_exact() {
+        // The paper's "slightly too steep" ramp shifts every count;
+        // both datapaths must shift identically.
+        let batch = Batch::paper_simulation(37, 8);
+        let result = run_differential(&batch, -0.022, 0);
+        assert!(result.is_clean(), "{result}");
+    }
+
+    #[test]
+    fn independent_of_worker_count() {
+        let batch = Batch::paper_simulation(41, 10);
+        let seq = run_differential(&batch, 0.0, 1);
+        let par = run_differential(&batch, 0.0, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn merge_accumulates_cellwise() {
+        let batch = Batch::paper_simulation(43, 6);
+        let whole = run_differential_range(&batch, 0.0, 0, 6);
+        let mut parts = run_differential_range(&batch, 0.0, 0, 2);
+        parts.merge(&run_differential_range(&batch, 0.0, 2, 6));
+        assert_eq!(whole.comparisons, parts.comparisons);
+        assert_eq!(whole.agreements, parts.agreements);
+        assert_eq!(whole.per_scenario, parts.per_scenario);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let batch = Batch::paper_simulation(47, 2);
+        let r = run_differential(&batch, 0.0, 1);
+        let s = r.to_string();
+        assert!(s.contains("2 devices"), "{s}");
+        assert!(s.contains("bit-exact"), "{s}");
+    }
+}

@@ -12,9 +12,13 @@ use crate::batch::Batch;
 use crate::estimate::Proportion;
 use crate::parallel::{partitioned, run_parallel};
 use bist_adc::noise::NoiseConfig;
+use bist_core::backend::{BehavioralBackend, BistBackend};
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
-use bist_core::harness::{conventional_test, reference_measurement, run_static_bist_with, Scratch};
+use bist_core::harness::{
+    conventional_test, reference_measurement, run_static_bist_with, run_static_bist_with_backend,
+    Scratch,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -84,6 +88,20 @@ impl Experiment {
     /// reused across the whole range, so per-device screening allocates
     /// nothing after the first device.
     pub fn run_range(&self, from: usize, to: usize) -> ExperimentResult {
+        self.run_range_with(&mut BehavioralBackend, from, to)
+    }
+
+    /// Runs a device range through an explicit verdict backend (the
+    /// behavioural accumulators or the gate-accurate RTL datapath) —
+    /// the seam the differential experiment exercises. The RNG stream
+    /// per device depends only on `(seed, index)`, so two backends run
+    /// against the same experiment see bit-identical code streams.
+    pub fn run_range_with<B: BistBackend>(
+        &self,
+        backend: &mut B,
+        from: usize,
+        to: usize,
+    ) -> ExperimentResult {
         let start = Instant::now();
         let mut matrix = ConfusionMatrix::new();
         let mut samples = 0u64;
@@ -104,7 +122,8 @@ impl Experiment {
                 .map(|v| v.accepted)
                 .unwrap_or(false),
             };
-            let verdict = run_static_bist_with(
+            let verdict = run_static_bist_with_backend(
+                backend,
                 &tf,
                 &self.config,
                 &self.noise,

@@ -11,11 +11,18 @@
 //!   batch and account type I/II errors plus throughput (devices/s,
 //!   samples/s). Each device is screened by the streaming engine
 //!   (stimulus → code stream → accumulators) with a per-worker
-//!   `Scratch`, so the hot path allocates nothing after warm-up.
+//!   `Scratch`, so the hot path allocates nothing after warm-up. The
+//!   verdict backend is pluggable
+//!   ([`experiment::Experiment::run_range_with`]): the behavioural
+//!   accumulators by default, or the gate-accurate `bist-rtl` datapath.
+//! * [`differential`] — the behavioural↔RTL seam validator: sweep both
+//!   backends over identical code streams at fleet scale and demand
+//!   bit-exact verdict agreement.
 //! * [`parallel`] — deterministic thread fan-out
 //!   ([`parallel::run_parallel`], the default under
-//!   [`experiment::Experiment::run`]) and the generic range
-//!   partitioner behind it.
+//!   [`experiment::Experiment::run`]; [`parallel::run_parallel_with`]
+//!   for a per-worker backend) and the generic range partitioner
+//!   behind it.
 //! * [`estimate`] — Wilson confidence intervals for the error rates.
 //! * [`tables`] — the drivers that regenerate Table 1, Table 2 and
 //!   Figure 7.
@@ -43,12 +50,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod batch;
+pub mod differential;
 pub mod estimate;
 pub mod experiment;
 pub mod parallel;
 pub mod tables;
 
 pub use batch::{Batch, DeviceModel};
+pub use differential::{run_differential, DifferentialResult, Divergence};
 pub use estimate::Proportion;
 pub use experiment::{Experiment, ExperimentResult, GroundTruthMode};
-pub use parallel::run_parallel;
+pub use parallel::{run_parallel, run_parallel_with};

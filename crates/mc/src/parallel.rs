@@ -61,9 +61,28 @@ where
 /// result with wall-clock `elapsed`. `workers = 1` degenerates to a
 /// sequential sweep; 0 selects the available parallelism.
 pub fn run_parallel(experiment: &Experiment, workers: usize) -> ExperimentResult {
+    run_parallel_with(experiment, workers, || {
+        bist_core::backend::BehavioralBackend
+    })
+}
+
+/// Runs an experiment across `workers` threads with a per-worker
+/// verdict backend built by `make_backend` — the fleet-scale entry
+/// point for the gate-accurate RTL datapath (`|| RtlBackend::new()`).
+/// Results remain independent of the worker count: devices derive from
+/// `(seed, index)` and each backend judges only its own range.
+pub fn run_parallel_with<B, F>(
+    experiment: &Experiment,
+    workers: usize,
+    make_backend: F,
+) -> ExperimentResult
+where
+    B: bist_core::backend::BistBackend,
+    F: Fn() -> B + Sync,
+{
     let start = Instant::now();
     let partials = partitioned(experiment.batch.size, workers, |from, to| {
-        experiment.run_range(from, to)
+        experiment.run_range_with(&mut make_backend(), from, to)
     });
     let mut total = ExperimentResult::default();
     for partial in &partials {
@@ -141,6 +160,15 @@ mod tests {
         for w in parts.windows(2) {
             assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
         }
+    }
+
+    #[test]
+    fn rtl_backend_fleet_matches_behavioral() {
+        let exp = experiment(60);
+        let behavioral = run_parallel(&exp, 2);
+        let rtl = run_parallel_with(&exp, 2, bist_core::backend::RtlBackend::new);
+        assert_eq!(behavioral.matrix, rtl.matrix);
+        assert_eq!(behavioral.samples, rtl.samples);
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   external data.
 //!
 //! Both blocks tick once per ADC sample clock. Their behaviour is
-//! cross-validated against the behavioural monitor in `bist-core`.
+//! cross-validated against the behavioural accumulators of `bist-core`
+//! at three levels: unit/property tests on synthetic bit streams here
+//! and in `bist-core`, the seam proptests in `crates/core/tests`, and —
+//! at fleet scale — the `bist-mc` differential experiment (driven by
+//! the `rtl_fleet` bench binary and the CI smoke step), which runs the
+//! full `BistTop` as a drop-in verdict backend over thousands of random
+//! devices and asserts bit-exact verdict agreement.
 
 use crate::accumulator::Accumulator;
 use crate::counter::Counter;
@@ -60,17 +66,35 @@ pub struct LsbProcessorConfig {
 }
 
 impl LsbProcessorConfig {
+    /// The largest count a `counter_bits`-bit counter can measure: the
+    /// counter stores `count − 1` and saturates at `2^k − 1`, so counts
+    /// up to `2^k` are representable.
+    pub fn capacity(&self) -> u64 {
+        1u64 << self.counter_bits
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Panics
     ///
-    /// Panics if `i_min > i_max` or `counter_bits` is outside `1..=32`.
+    /// Panics if `i_min > i_max`, `counter_bits` is outside `1..=32`,
+    /// or `i_max` exceeds the counter capacity `2^counter_bits` — an
+    /// unreachable window ceiling would silently turn every saturated
+    /// (certainly-too-wide) code into a false DNL failure of a window
+    /// the hardware can never evaluate.
     pub fn validate(self) -> Self {
         assert!(
             (1..=32).contains(&self.counter_bits),
             "counter width must be 1..=32"
         );
         assert!(self.i_min <= self.i_max, "i_min must not exceed i_max");
+        assert!(
+            self.i_max <= self.capacity(),
+            "i_max ({}) exceeds the {}-bit counter capacity ({})",
+            self.i_max,
+            self.counter_bits,
+            self.capacity()
+        );
         self
     }
 }
@@ -93,6 +117,9 @@ pub struct LsbProcessor {
     measurements_emitted: u64,
     dnl_failures: u64,
     inl_failures: u64,
+    /// Input hold register: the last raw sample, recirculated during
+    /// drain cycles on the unfiltered path.
+    last_raw: bool,
 }
 
 impl LsbProcessor {
@@ -112,6 +139,7 @@ impl LsbProcessor {
             measurements_emitted: 0,
             dnl_failures: 0,
             inl_failures: 0,
+            last_raw: false,
         }
     }
 
@@ -123,11 +151,34 @@ impl LsbProcessor {
     /// Clocks the block with this sample's LSB level. Returns a
     /// measurement when a code completed this cycle.
     pub fn tick(&mut self, lsb: bool) -> Option<CodeMeasurement> {
+        self.last_raw = lsb;
         let filtered = if self.config.deglitch {
             self.deglitcher.tick(lsb)
         } else {
             lsb
         };
+        self.clock(filtered)
+    }
+
+    /// Drain cycle at the end of a sweep: clocks the block without new
+    /// input, recirculating the deglitcher output (or the input hold
+    /// register on the unfiltered path). Drain cycles let transitions
+    /// already inside the synchroniser pipeline complete their
+    /// measurement, but — because recirculation never flips the
+    /// filtered level — can never judge a code the stream itself did
+    /// not close.
+    pub fn drain_tick(&mut self) -> Option<CodeMeasurement> {
+        let filtered = if self.config.deglitch {
+            self.deglitcher.hold()
+        } else {
+            self.last_raw
+        };
+        self.clock(filtered)
+    }
+
+    /// The post-filter datapath: edge detect → counter → window
+    /// comparator → INL accumulation.
+    fn clock(&mut self, filtered: bool) -> Option<CodeMeasurement> {
         let e = self.edges.tick(filtered);
         if !e.any() {
             // Mid-code sample: count it (the edge-cycle sample itself is
@@ -195,9 +246,20 @@ impl LsbProcessor {
         self.dnl_failures == 0 && self.inl_failures == 0
     }
 
-    /// Resets all sequential state for a new run.
+    /// Resets all sequential state for a new run, in place — no
+    /// component is reconstructed (the deglitcher's tap register keeps
+    /// its storage), so a batch screener can reuse one processor across
+    /// devices without per-device heap traffic.
     pub fn reset(&mut self) {
-        *self = LsbProcessor::new(self.config);
+        self.deglitcher.clear();
+        self.edges.clear();
+        self.counter = Counter::new(self.config.counter_bits);
+        self.inl.clear();
+        self.seen_first_edge = false;
+        self.measurements_emitted = 0;
+        self.dnl_failures = 0;
+        self.inl_failures = 0;
+        self.last_raw = false;
     }
 }
 
@@ -390,7 +452,7 @@ mod tests {
         // final run must exceed the 2-cycle synchroniser latency for the
         // 10-run's closing edge to be observed.
         let bits = lsb_stream(&[3, 40, 10, 4]);
-        let (_, ms) = run_processor(config(4, 1, 100, 10), &bits);
+        let (_, ms) = run_processor(config(4, 1, 16, 10), &bits);
         assert!(ms[0].overflow);
         assert_eq!(ms[0].dnl_verdict, WindowVerdict::TooWide);
         // The next code is measured correctly after the overflow.
@@ -448,12 +510,64 @@ mod tests {
         p.reset();
         assert_eq!(p.measurements(), 0);
         assert_eq!(p.dnl_failures(), 0);
+        // In-place reset is indistinguishable from a fresh build.
+        assert_eq!(p, LsbProcessor::new(config(6, 6, 15, 10)));
     }
 
     #[test]
     #[should_panic(expected = "i_min must not exceed i_max")]
     fn invalid_window_panics() {
         LsbProcessor::new(config(6, 10, 5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 4-bit counter capacity")]
+    fn unreachable_window_ceiling_panics() {
+        // A 4-bit counter measures counts up to 16; i_max = 17 could
+        // never pass a code that wide (it saturates → "too wide").
+        LsbProcessor::new(config(4, 1, 17, 10));
+    }
+
+    #[test]
+    fn ceiling_at_exact_capacity_is_reachable() {
+        // A run of exactly 2^k samples is the widest measurable code:
+        // the counter tops out without raising overflow, and the window
+        // may legally accept it.
+        let bits = lsb_stream(&[3, 16, 10, 4]);
+        let (_, ms) = run_processor(config(4, 1, 16, 10), &bits);
+        assert_eq!(ms[0].count, 16);
+        assert!(!ms[0].overflow);
+        assert_eq!(ms[0].dnl_verdict, WindowVerdict::Pass);
+    }
+
+    #[test]
+    fn drain_completes_pending_final_measurement() {
+        // The stream ends exactly at the closing transition of the last
+        // code: without drain cycles the 2-cycle synchroniser never
+        // reports it.
+        let bits = lsb_stream(&[4, 10, 12]);
+        let mut with_drain = LsbProcessor::new(config(6, 1, 64, 10));
+        let mut without = LsbProcessor::new(config(6, 1, 64, 10));
+        let mut bits_plus_edge = bits.clone();
+        bits_plus_edge.push(!*bits.last().unwrap()); // closing edge
+        for &b in &bits_plus_edge {
+            with_drain.tick(b);
+            without.tick(b);
+        }
+        assert_eq!(without.measurements(), 1, "edge still in the pipeline");
+        let mut drained = Vec::new();
+        for _ in 0..3 {
+            if let Some(m) = with_drain.drain_tick() {
+                drained.push(m);
+            }
+        }
+        assert_eq!(with_drain.measurements(), 2);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].count, 12);
+        // Further drain cycles judge nothing: recirculation is inert.
+        for _ in 0..10 {
+            assert!(with_drain.drain_tick().is_none());
+        }
     }
 
     // --- UpperBitChecker ---

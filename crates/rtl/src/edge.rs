@@ -30,6 +30,13 @@ impl Edges {
 
 /// Two-flop synchroniser plus transition detector.
 ///
+/// A 2-bit priming counter holds the edge outputs low for the first
+/// three cycles while the input level propagates through the zeroed
+/// synchroniser flops — the hardware reset-release protocol. Without it
+/// a stream that starts high would fire a phantom 0→1 edge against the
+/// power-on state, which the behavioural monitor (which adopts the
+/// first sample as its initial level) never sees.
+///
 /// # Examples
 ///
 /// ```
@@ -48,6 +55,7 @@ pub struct EdgeDetector {
     sync0: Dff,
     sync1: Dff,
     prev: Dff,
+    primed: u8,
 }
 
 impl EdgeDetector {
@@ -63,6 +71,17 @@ impl EdgeDetector {
         let s1_old = self.sync1.tick(s0_old, true);
         let prev_old = self.prev.tick(s1_old, true);
         let level = s1_old;
+        if self.primed < 3 {
+            // Reset window: the first input sample only reaches the
+            // `level` output on the third tick; until `prev` holds a
+            // real sample no transition can be trusted.
+            self.primed += 1;
+            return Edges {
+                level,
+                rising: false,
+                falling: false,
+            };
+        }
         Edges {
             level,
             rising: level && !prev_old,
@@ -70,11 +89,12 @@ impl EdgeDetector {
         }
     }
 
-    /// Clears all stages.
+    /// Clears all stages and re-arms the priming window.
     pub fn clear(&mut self) {
         self.sync0.clear();
         self.sync1.clear();
         self.prev.clear();
+        self.primed = 0;
     }
 }
 
@@ -148,6 +168,44 @@ mod tests {
         ed.clear();
         let e = ed.tick(false);
         assert!(!e.any());
+    }
+
+    #[test]
+    fn stream_starting_high_fires_no_phantom_edge() {
+        // Power-on: flops hold 0 but the input is already 1. The old
+        // detector reported a 0→1 edge that never happened on the wire.
+        let out = run(&[true, true, true, true, true]);
+        assert!(out.iter().all(|e| !e.any()), "{out:?}");
+        // A real transition after the constant prefix is still seen.
+        let out = run(&[true, true, true, false, false, false]);
+        assert_eq!(out.iter().filter(|e| e.falling).count(), 1);
+        assert!(out.iter().all(|e| !e.rising));
+    }
+
+    #[test]
+    fn earliest_real_edge_survives_priming() {
+        // Transition at input index 1 surfaces at tick 3, the first
+        // tick after the priming window.
+        let out = run(&[false, true, true, true]);
+        let rises: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.rising)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rises, vec![3]);
+    }
+
+    #[test]
+    fn clear_rearms_priming() {
+        let mut ed = EdgeDetector::new();
+        for _ in 0..6 {
+            ed.tick(false);
+        }
+        ed.clear();
+        // Constant-high input after clear: no phantom edge again.
+        let any = (0..5).any(|_| ed.tick(true).any());
+        assert!(!any);
     }
 
     #[test]

@@ -64,4 +64,5 @@ pub mod window_compare;
 pub use counter::Counter;
 pub use datapath::{CodeMeasurement, LsbProcessor, LsbProcessorConfig, UpperBitChecker};
 pub use logic::Bus;
+pub use top::{BistReport, BistTop, BistTopConfig};
 pub use window_compare::{WindowComparator, WindowVerdict};

@@ -39,18 +39,25 @@ impl fmt::Display for WindowVerdict {
 
 /// Combinational window comparator with programmable limits.
 ///
+/// The comparator itself accepts any limits; reachability of the
+/// ceiling is the datapath's concern —
+/// [`LsbProcessorConfig::validate`](crate::datapath::LsbProcessorConfig::validate)
+/// rejects configurations whose `i_max` exceeds the counter capacity
+/// `2^k` (the counter stores `count − 1`), so a saturated counter is
+/// always genuinely "too wide".
+///
 /// # Examples
 ///
 /// ```
 /// use bist_rtl::window_compare::{WindowComparator, WindowVerdict};
 ///
 /// // 4-bit counter, paper's stringent spec at Δs = 0.091 LSB:
-/// // i_min = 6, i_max = 16 — but a 4-bit counter saturates at 15, so
-/// // the effective ceiling is min(i_max, 2^4 − 1) = 15.
-/// let cmp = WindowComparator::new(6, 15);
+/// // i_min = 6, i_max = 16 (the full capacity of a counter that
+/// // stores count − 1).
+/// let cmp = WindowComparator::new(6, 16);
 /// assert_eq!(cmp.compare(5), WindowVerdict::TooNarrow);
 /// assert_eq!(cmp.compare(10), WindowVerdict::Pass);
-/// assert_eq!(cmp.compare(16), WindowVerdict::TooWide);
+/// assert_eq!(cmp.compare(17), WindowVerdict::TooWide);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WindowComparator {

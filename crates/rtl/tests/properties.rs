@@ -3,6 +3,8 @@
 use bist_rtl::accumulator::Accumulator;
 use bist_rtl::counter::Counter;
 use bist_rtl::datapath::{LsbProcessor, LsbProcessorConfig};
+use bist_rtl::deglitch::{CodeMedianFilter, Deglitcher};
+use bist_rtl::edge::EdgeDetector;
 use bist_rtl::logic::Bus;
 use bist_rtl::registers::{Lfsr, Misr, ShiftRegister};
 use bist_rtl::window_compare::{WindowComparator, WindowVerdict};
@@ -122,6 +124,95 @@ proptest! {
         for _ in 0..200 {
             prop_assert_ne!(lfsr.tick().value(), 0);
         }
+    }
+
+    /// The edge detector is exactly a 2-cycle-delayed transition
+    /// detector of its input — no spurious power-on edge for any
+    /// stream, including those starting high (the priming window).
+    #[test]
+    fn edge_detector_reports_input_transitions_only(
+        bits in prop::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut ed = EdgeDetector::new();
+        let mut observed = Vec::new();
+        for (t, &b) in bits.iter().enumerate() {
+            let e = ed.tick(b);
+            if e.any() {
+                observed.push((t, e.rising));
+            }
+        }
+        let expected: Vec<(usize, bool)> = bits
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[0] != w[1])
+            .map(|(i, w)| (i + 3, w[1])) // transition at i+1, +2 latency
+            .filter(|(t, _)| *t < bits.len())
+            .collect();
+        prop_assert_eq!(observed, expected);
+    }
+
+    /// Recirculating either deglitch filter (the drain protocol) never
+    /// changes its output, whatever state the stream left it in.
+    #[test]
+    fn deglitch_hold_is_inert(
+        bits in prop::collection::vec(any::<bool>(), 1..60),
+        codes in prop::collection::vec(0u64..64, 1..60),
+        drains in 1usize..8,
+    ) {
+        let mut d = Deglitcher::new();
+        let mut last = false;
+        for &b in &bits {
+            last = d.tick(b);
+        }
+        for _ in 0..drains {
+            prop_assert_eq!(d.hold(), last);
+        }
+        let mut f = CodeMedianFilter::new(6);
+        let mut last = Bus::zero(6);
+        for &c in &codes {
+            last = f.tick(Bus::new(6, c));
+        }
+        for _ in 0..drains {
+            prop_assert_eq!(f.hold(), last);
+        }
+    }
+
+    /// The MISR compaction of the top level never truncates a count:
+    /// for any counter width, two single-code sweeps with different
+    /// measured widths produce different signatures (the old fixed
+    /// 14-bit mask aliased widths ≡ mod 2^14).
+    #[test]
+    fn top_signature_separates_widths(
+        counter_bits in 14u32..18,
+        width_a in 1u64..40_000,
+        delta in 1u64..=16_384, // includes 2^14, the old mask's alias stride
+    ) {
+        use bist_rtl::top::{BistTop, BistTopConfig};
+        let capacity = 1u64 << counter_bits;
+        let width_b = width_a + delta;
+        prop_assume!(width_b <= capacity);
+        let cfg = BistTopConfig {
+            lsb: LsbProcessorConfig {
+                counter_bits,
+                i_min: 1,
+                i_max: capacity,
+                i_ideal: 10,
+                inl_limit_counts: None,
+                deglitch: false,
+            },
+            adc_bits: 6,
+            expected_codes: 1,
+        };
+        let sig = |width: u64| {
+            let mut top = BistTop::new(cfg);
+            for _ in 0..3 { top.tick(0); }
+            for _ in 0..width { top.tick(1); }
+            for _ in 0..4 { top.tick(0); }
+            for _ in 0..BistTop::DRAIN_TICKS { top.drain_tick(); }
+            assert_eq!(top.report().codes_measured, 1);
+            top.report().signature.value()
+        };
+        prop_assert_ne!(sig(width_a), sig(width_b));
     }
 
     /// The LSB processor judges exactly `runs − 2` codes for any clean

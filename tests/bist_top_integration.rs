@@ -2,6 +2,13 @@
 //! must reach the same device verdicts as the behavioural harness on
 //! real converter sweeps — the last link between the paper's concept and
 //! synthesisable hardware.
+//!
+//! Since the backend seam landed this agreement is *exact*: driven
+//! through the drain protocol (`BistTop::DRAIN_TICKS` recirculating
+//! cycles after the last sample), the RTL top reports the identical
+//! measurement count, failure counts and pass/fail as the behavioural
+//! accumulators — the looser "±1 code, compare rejections only"
+//! tolerances this test used to need are gone.
 
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
@@ -30,10 +37,19 @@ fn top_from(config: &BistConfig) -> BistTop {
     })
 }
 
+/// Runs a capture through the top level, honouring the drain protocol.
+fn run_top(top: &mut BistTop, codes: &[bist_adc::types::Code]) {
+    for code in codes {
+        top.tick(u64::from(code.0));
+    }
+    for _ in 0..BistTop::DRAIN_TICKS {
+        top.drain_tick();
+    }
+}
+
 #[test]
 fn top_level_agrees_with_harness_on_flash_batch() {
     let config = paper_config(5);
-    let mut agreements = 0;
     let total = 40;
     for seed in 0..total {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -47,31 +63,34 @@ fn top_level_agrees_with_harness_on_flash_batch() {
         let behavioural = bist_from_capture(&config, &capture);
 
         let mut top = top_from(&config);
-        for code in capture.codes() {
-            top.tick(u64::from(code.0));
-        }
+        run_top(&mut top, capture.codes());
         let report = top.report();
-        // The RTL top may miss the final edge (synchroniser latency), so
-        // completeness can differ by one code; compare failure verdicts.
-        let rtl_reject =
-            report.dnl_failures > 0 || report.inl_failures > 0 || report.functional_mismatches > 0;
-        let beh_reject = !behavioural.monitor.all_pass() || !behavioural.functional.all_pass();
-        if rtl_reject == beh_reject {
-            agreements += 1;
-        }
-        // Failure counts must match exactly on the common prefix: DNL
-        // counts can differ by at most the final (possibly missed) code.
-        assert!(
-            report
-                .dnl_failures
-                .abs_diff(behavioural.monitor.dnl_failures)
-                <= 1,
-            "seed {seed}: DNL fails {} vs {}",
-            report.dnl_failures,
-            behavioural.monitor.dnl_failures
+        // Exact agreement, field by field — no latency fudge.
+        assert_eq!(
+            report.codes_measured,
+            behavioural.monitor.codes.len() as u64,
+            "seed {seed}: measurement count"
         );
+        assert_eq!(
+            report.dnl_failures, behavioural.monitor.dnl_failures,
+            "seed {seed}: DNL failures"
+        );
+        assert_eq!(
+            report.inl_failures, behavioural.monitor.inl_failures,
+            "seed {seed}: INL failures"
+        );
+        assert_eq!(
+            report.functional_mismatches, behavioural.functional.mismatches,
+            "seed {seed}: functional mismatches"
+        );
+        assert_eq!(
+            report.functional_checks,
+            behavioural.functional.checks.len() as u64,
+            "seed {seed}: functional checks"
+        );
+        assert_eq!(report.complete, behavioural.complete(), "seed {seed}");
+        assert_eq!(report.pass(), behavioural.accepted(), "seed {seed}");
     }
-    assert_eq!(agreements, total, "verdict disagreement");
 }
 
 #[test]
@@ -84,6 +103,9 @@ fn top_level_catches_the_stuck_lsb_that_needs_completeness() {
         for _ in 0..11 {
             top.tick(c & !1);
         }
+    }
+    for _ in 0..BistTop::DRAIN_TICKS {
+        top.drain_tick();
     }
     let report = top.report();
     assert!(!report.complete);
@@ -122,9 +144,7 @@ fn signature_distinguishes_devices() {
             SamplingConfig::new(1.0e6, ((6.4 + 1.4) / slope * 1.0e6) as usize),
         );
         let mut top = top_from(&config);
-        for code in capture.codes() {
-            top.tick(u64::from(code.0));
-        }
+        run_top(&mut top, capture.codes());
         signatures.insert(top.report().signature.value());
     }
     assert_eq!(signatures.len(), 20, "signature collision across devices");
