@@ -204,6 +204,51 @@ fn bench_device_to_verdict(c: &mut Criterion) {
     group.finish();
 }
 
+/// The dynamic counterpart of `device_to_verdict`: one coherent
+/// 4096-sample sine record fused stimulus→code→Goertzel-bank→verdict,
+/// scratch reused (allocation-free after warm-up, asserted by
+/// `zero_alloc.rs`), plus the fixed-point RTL variant for the
+/// gate-accuracy cost of the dynamic seam.
+fn bench_dynamic_verdict(c: &mut Criterion) {
+    use bist_core::dynamic::{
+        run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig,
+    };
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(40);
+    let config = DynamicConfig::paper_default();
+    let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(4));
+    group.throughput(Throughput::Elements(config.record_len() as u64));
+    group.bench_function("dynamic_verdict", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = DynScratch::new();
+        b.iter(|| {
+            black_box(run_dynamic_bist_with(
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                &mut rng,
+                &mut scratch,
+            ))
+        })
+    });
+    group.bench_function("dynamic_verdict_rtl", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scratch = DynScratch::new();
+        let mut backend = RtlBackend::new();
+        b.iter(|| {
+            black_box(run_dynamic_bist_with_backend(
+                &mut backend,
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                &mut rng,
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
 fn bench_analytic(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic");
     let spec = LinearitySpec::paper_stringent();
@@ -271,6 +316,7 @@ criterion_group!(
         bench_monitor,
         bench_full_bist,
         bench_device_to_verdict,
+        bench_dynamic_verdict,
         bench_analytic,
         bench_histogram,
         bench_sinefit,

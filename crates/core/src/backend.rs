@@ -20,11 +20,20 @@
 //! `crates/core/tests` pin the equivalence on adversarial synthetic
 //! streams; the `bist-mc` differential experiment pins it fleet-wide on
 //! random devices, noise configurations and counter widths.
+//!
+//! The same two backend types also judge the **dynamic** workload
+//! through [`DynBistBackend`]: the behavioural streaming Goertzel bank
+//! of [`crate::dynamic`], or the fixed-point
+//! [`bist_rtl::dyn_top::DynBistTop`] clocked one code per tick. There
+//! the contract is decision-exactness — see the trait docs.
 
 use crate::config::BistConfig;
+use crate::dynamic::{process_dyn_code_stream, DynScratch, DynamicConfig, DynamicVerdict};
 use crate::harness::{process_code_stream, BistVerdict, Scratch};
 use crate::lsb_monitor::CodeResult;
 use bist_adc::types::{Code, Lsb};
+use bist_dsp::goertzel::TonePowers;
+use bist_rtl::dyn_top::DynBistTop;
 use bist_rtl::top::{BistTop, BistTopConfig};
 
 /// A verdict engine consuming one sweep's code stream.
@@ -42,6 +51,32 @@ pub trait BistBackend {
         codes: I,
         scratch: &mut Scratch,
     ) -> BistVerdict;
+}
+
+/// A verdict engine for the **dynamic** workload (see
+/// [`crate::dynamic`]): consumes one coherent sine record's code stream
+/// and returns the SINAD/THD/ENOB/noise-power verdict.
+///
+/// Implemented by the same two backends as the static seam, so a fleet
+/// can run both workloads through one backend value. The contract
+/// across implementors is weaker than the static seam's bit-exactness:
+/// the raw dB metrics may differ by the RTL's bounded fixed-point
+/// quantisation, but [`DynamicVerdict::checks`], `samples` and
+/// `expected_samples` must agree — which the dynamic differential fleet
+/// sweep (`bist_mc::differential`) enforces at scale.
+pub trait DynBistBackend {
+    /// Stable backend name for perf records and reports.
+    fn name(&self) -> &'static str;
+
+    /// Judges one coherent record: consumes the code stream sample by
+    /// sample and returns the compact dynamic verdict. `scratch` holds
+    /// the behavioural bank (unused by hardware-state backends).
+    fn process_dyn<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        codes: I,
+        scratch: &mut DynScratch,
+    ) -> DynamicVerdict;
 }
 
 /// The behavioural reference backend — a zero-size handle onto
@@ -66,6 +101,21 @@ impl BistBackend for BehavioralBackend {
     }
 }
 
+impl DynBistBackend for BehavioralBackend {
+    fn name(&self) -> &'static str {
+        "behavioral"
+    }
+
+    fn process_dyn<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        codes: I,
+        scratch: &mut DynScratch,
+    ) -> DynamicVerdict {
+        process_dyn_code_stream(config, codes, scratch)
+    }
+}
+
 /// The gate-accurate backend: feeds `bist_rtl::BistTop` one code per
 /// tick.
 ///
@@ -87,6 +137,8 @@ impl BistBackend for BehavioralBackend {
 #[derive(Debug, Default)]
 pub struct RtlBackend {
     top: Option<BistTop>,
+    /// Cached dynamic-test datapath (see the [`DynBistBackend`] impl).
+    dyn_top: Option<DynBistTop>,
 }
 
 impl RtlBackend {
@@ -175,6 +227,61 @@ impl BistBackend for RtlBackend {
             expected_codes: want.expected_codes,
             samples,
         }
+    }
+}
+
+/// The gate-accurate dynamic backend: feeds `bist_rtl::DynBistTop` one
+/// code per tick and drains its input pipeline at end of record.
+///
+/// Like the static path, the constructed top level is cached and *reset
+/// in place* between devices while the configuration is unchanged, so
+/// after its first sweep this path is allocation-free too (covered by
+/// the counting-allocator test). The report's register contents —
+/// fixed-point bin powers in half-LSB², exact Σv and Σv² — are mapped
+/// onto a [`TonePowers`] in LSB² and judged by the *same*
+/// [`DynamicConfig::judge_powers`] the behavioural bank uses, so the
+/// only possible behavioural↔RTL difference is the bounded fixed-point
+/// quantisation of the Goertzel accumulation.
+impl DynBistBackend for RtlBackend {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn process_dyn<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        codes: I,
+        _scratch: &mut DynScratch,
+    ) -> DynamicVerdict {
+        let want = config.to_rtl();
+        let top = match &mut self.dyn_top {
+            Some(top) if *top.config() == want => {
+                top.reset();
+                top
+            }
+            slot => slot.insert(DynBistTop::new(want)),
+        };
+        for code in codes {
+            top.tick(u64::from(code.0));
+        }
+        for _ in 0..DynBistTop::DRAIN_TICKS {
+            top.drain_tick();
+        }
+        let report = top.report();
+        // Half-LSB² → LSB² (÷4); the integer side channels convert
+        // exactly (Σv and Σv² are lossless in f64 for every supported
+        // record length).
+        let n = config.record_len() as f64;
+        let mean_half = report.sum_half_lsb as f64 / n;
+        let powers = TonePowers {
+            n: config.record_len(),
+            carrier: report.carrier_power / 4.0,
+            harmonics_by_order: report.harmonic_power_by_order / 4.0,
+            harmonics_distinct: report.harmonic_power_distinct / 4.0,
+            dc: mean_half * mean_half / 4.0,
+            total: report.sum_sq_half_lsb2 as f64 / n / 4.0,
+        };
+        config.judge_powers(&powers, report.samples)
     }
 }
 
@@ -348,6 +455,119 @@ mod tests {
         // that both backends read the tapped-up bus identically.)
         assert_eq!(behavioral, rtl);
         assert_eq!(rtl.expected_codes, 30);
+    }
+
+    #[test]
+    fn dyn_behavioral_backend_is_the_streaming_engine() {
+        use crate::dynamic::{plan_sine, DynamicConfig};
+        let config = DynamicConfig::paper_default();
+        let adc = ideal();
+        let (sine, sampling) = plan_sine(&adc, &config);
+        let mut s1 = DynScratch::new();
+        let mut s2 = DynScratch::new();
+        let direct = process_dyn_code_stream(
+            &config,
+            bist_adc::stream::CodeStream::noiseless(&adc, &sine, sampling),
+            &mut s1,
+        );
+        let via_backend = BehavioralBackend.process_dyn(
+            &config,
+            bist_adc::stream::CodeStream::noiseless(&adc, &sine, sampling),
+            &mut s2,
+        );
+        assert_eq!(direct, via_backend);
+    }
+
+    #[test]
+    fn dyn_rtl_decisions_match_behavioral_on_flash_devices() {
+        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
+        let config = DynamicConfig::paper_default();
+        let mut rtl = RtlBackend::new();
+        let mut scratch = DynScratch::new();
+        for seed in 0..12 {
+            let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
+            let noise = NoiseConfig::noiseless().with_input_noise(0.002);
+            let behavioral = run_dynamic_bist_with_backend(
+                &mut BehavioralBackend,
+                &adc,
+                &config,
+                &noise,
+                &mut StdRng::seed_from_u64(700 + seed),
+                &mut scratch,
+            );
+            let rtl_v = run_dynamic_bist_with_backend(
+                &mut rtl,
+                &adc,
+                &config,
+                &noise,
+                &mut StdRng::seed_from_u64(700 + seed),
+                &mut scratch,
+            );
+            // Decisions bit-exact; metrics within the fixed-point
+            // quantisation budget.
+            assert_eq!(behavioral.checks, rtl_v.checks, "seed {seed}");
+            assert_eq!(behavioral.samples, rtl_v.samples);
+            assert_eq!(behavioral.expected_samples, rtl_v.expected_samples);
+            assert!(
+                (behavioral.sinad_db - rtl_v.sinad_db).abs() < 1e-4,
+                "seed {seed}: sinad {} vs {}",
+                behavioral.sinad_db,
+                rtl_v.sinad_db
+            );
+            assert!((behavioral.noise_power_lsb2 - rtl_v.noise_power_lsb2).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dyn_rtl_backend_reuses_top_and_rebuilds_on_config_change() {
+        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
+        use bist_adc::types::Resolution;
+        let c_a = DynamicConfig::paper_default();
+        let c_b = DynamicConfig::new(Resolution::SIX_BIT, 2048, 509).unwrap();
+        let mut backend = RtlBackend::new();
+        let mut scratch = DynScratch::new();
+        let adc = ideal();
+        for config in [&c_a, &c_a, &c_b, &c_a] {
+            let v = run_dynamic_bist_with_backend(
+                &mut backend,
+                &adc,
+                config,
+                &NoiseConfig::noiseless(),
+                &mut StdRng::seed_from_u64(3),
+                &mut scratch,
+            );
+            assert!(v.accepted(), "{config}: {v}");
+        }
+    }
+
+    #[test]
+    fn one_backend_value_serves_both_workloads() {
+        // A fleet screener holds one RtlBackend and runs static and
+        // dynamic sweeps through it; the two cached tops coexist.
+        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
+        let mut backend = RtlBackend::new();
+        let mut scratch = Scratch::new();
+        let mut dyn_scratch = DynScratch::new();
+        let adc = ideal();
+        let static_v = run_static_bist_with_backend(
+            &mut backend,
+            &adc,
+            &cfg(5, false),
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+        let dyn_v = run_dynamic_bist_with_backend(
+            &mut backend,
+            &adc,
+            &DynamicConfig::paper_default(),
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(2),
+            &mut dyn_scratch,
+        );
+        assert!(static_v.accepted());
+        assert!(dyn_v.accepted());
     }
 
     #[test]

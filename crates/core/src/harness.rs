@@ -56,9 +56,11 @@ use rand::RngCore;
 use std::error::Error;
 use std::fmt;
 
-/// Sample rate used by the simulated harness (the absolute value is
-/// immaterial — only the slope/f_sample ratio Δs matters, Eq. 5).
-const SAMPLE_RATE: f64 = 1.0e6;
+/// Sample rate used by the simulated harnesses — static ramp and
+/// dynamic sine alike (the absolute value is immaterial: the ramp cares
+/// only about the slope/f_sample ratio Δs of Eq. 5, the sine only about
+/// the cycles-per-record coherency ratio).
+pub(crate) const SAMPLE_RATE: f64 = 1.0e6;
 
 /// Result of one complete BIST run on one device.
 #[derive(Debug, Clone, PartialEq)]

@@ -32,6 +32,11 @@
 //! * [`backend`] — pluggable verdict engines for that pipeline: the
 //!   behavioural accumulators or the gate-accurate `bist-rtl` datapath
 //!   ([`backend::RtlBackend`]), bit-exact with each other.
+//! * [`dynamic`] — the §2 dynamic workload as a streaming subsystem:
+//!   coherent sine stimulus → code stream → Goertzel-bank accumulation
+//!   → SINAD/THD/ENOB/noise-power [`dynamic::DynamicVerdict`], judged
+//!   through the same backend seam (behavioural bank or fixed-point
+//!   `bist_rtl::DynBistTop`).
 //! * [`decision`] — confusion-matrix accounting of type I/II errors.
 //! * [`report`] — text tables for the experiment binaries.
 //!
@@ -71,6 +76,7 @@ pub mod analytic;
 pub mod backend;
 pub mod config;
 pub mod decision;
+pub mod dynamic;
 pub mod economics;
 pub mod functional;
 pub mod harness;
@@ -84,9 +90,13 @@ pub mod yield_model;
 pub use analytic::{
     acceptance_probability, code_probabilities, device_probabilities, WidthDistribution,
 };
-pub use backend::{BehavioralBackend, BistBackend, RtlBackend};
+pub use backend::{BehavioralBackend, BistBackend, DynBistBackend, RtlBackend};
 pub use config::BistConfig;
 pub use decision::ConfusionMatrix;
+pub use dynamic::{
+    run_dynamic_bist, run_dynamic_bist_with, run_dynamic_bist_with_backend, DynChecks, DynScratch,
+    DynamicConfig, DynamicLimits, DynamicVerdict,
+};
 pub use harness::{
     run_static_bist, run_static_bist_with, run_static_bist_with_backend, BistOutcome, BistVerdict,
     Scratch,

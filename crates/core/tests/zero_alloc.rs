@@ -172,4 +172,52 @@ fn hot_path_is_allocation_free_after_warmup() {
         after - before
     );
     assert!(accepted <= 10);
+
+    // The dynamic verdict path gets the same guarantee on both
+    // backends: the behavioural Goertzel bank lives in a reusable
+    // DynScratch (reset in place between devices), and the RTL backend
+    // caches one DynBistTop per configuration — so after warm-up the
+    // coherent-record device→verdict path allocates nothing either.
+    use bist_core::dynamic::{
+        run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig,
+    };
+    let dyn_config = DynamicConfig::paper_default();
+    let dyn_noise = NoiseConfig::noiseless().with_input_noise(0.002);
+    let mut dyn_scratch = DynScratch::new();
+    let mut dyn_rtl = RtlBackend::new();
+    for round in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        run_dynamic_bist_with(&adc, &dyn_config, &dyn_noise, &mut rng, &mut dyn_scratch);
+        run_dynamic_bist_with_backend(
+            &mut dyn_rtl,
+            &adc,
+            &dyn_config,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut dyn_accepted = 0u32;
+    for round in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        let a = run_dynamic_bist_with(&adc, &dyn_config, &dyn_noise, &mut rng, &mut dyn_scratch);
+        let b = run_dynamic_bist_with_backend(
+            &mut dyn_rtl,
+            &adc,
+            &dyn_config,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+        dyn_accepted += u32::from(a.accepted()) + u32::from(b.accepted());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "dynamic path allocated {} times after warm-up",
+        after - before
+    );
+    assert!(dyn_accepted <= 10);
 }

@@ -57,5 +57,6 @@ pub mod window;
 
 pub use complex::Complex64;
 pub use fft::{fft_in_place, fft_real, ifft_in_place, magnitude_spectrum};
+pub use goertzel::{harmonic_plan, Goertzel, GoertzelBank, HarmonicPlan, ToneMetrics, TonePowers};
 pub use spectrum::{analyze_tone, SpectralAnalysis, ToneAnalysisConfig};
 pub use window::Window;

@@ -85,12 +85,10 @@ impl Batch {
     /// The RNG for device `index` (stable mixing of seed and index).
     pub fn device_rng(&self, index: usize) -> StdRng {
         // SplitMix64 finaliser decorrelates consecutive indices.
-        let mut z = self
-            .seed
-            .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        StdRng::seed_from_u64(z ^ (z >> 31))
+        StdRng::seed_from_u64(splitmix_finalize(
+            self.seed
+                .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1)),
+        ))
     }
 
     /// Generates device `index`'s transfer function.
@@ -109,6 +107,35 @@ impl Batch {
     pub fn devices(&self) -> impl Iterator<Item = TransferFunction> + '_ {
         (0..self.size).map(move |i| self.device(i))
     }
+}
+
+/// The SplitMix64 finaliser behind every derived RNG stream in the
+/// workspace.
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A reproducible RNG for an arbitrary tuple of stream coordinates —
+/// the one mixing function behind every experiment-derived stream
+/// (device generation, acquisition noise, per-cell sweeps), so stream
+/// independence is auditable in one place.
+///
+/// Each coordinate is absorbed and finalised in turn, so streams differ
+/// whenever any coordinate (or the coordinate order) differs; the empty
+/// tuple just finalises the seed. Same-seed, same-coordinates calls are
+/// bit-identical across threads, platforms and releases
+/// ([`rand`](::rand)'s compat `StdRng` is pinned).
+pub fn stream_rng(seed: u64, coords: &[u64]) -> StdRng {
+    let mut z = seed;
+    for &c in coords {
+        z = splitmix_finalize(
+            z.wrapping_add(0x9e3779b97f4a7c15)
+                .wrapping_add(c.wrapping_mul(0x2545f4914f6cdd1d)),
+        );
+    }
+    StdRng::seed_from_u64(splitmix_finalize(z))
 }
 
 /// Builds a transfer function whose inner-code widths are iid draws from

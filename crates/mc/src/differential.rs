@@ -1,4 +1,5 @@
-//! Differential fleet validation of the behavioural↔RTL verdict seam.
+//! Differential fleet validation of the behavioural↔RTL verdict seam —
+//! static and dynamic workloads alike.
 //!
 //! The streaming engine judges devices through pluggable backends
 //! (`bist_core::backend`): the behavioural accumulators the fleet runs
@@ -15,14 +16,31 @@
 //! past its last transition (10-LSB overshoot), which is exactly the
 //! drain contract the RTL needs to flush its synchroniser latency —
 //! see `bist_core::backend` for the fine print.
+//!
+//! The **dynamic** seam gets the same treatment
+//! ([`run_dyn_differential`], driven by the `dyn_fleet` binary): random
+//! flash devices × converter resolution × mismatch σ × coherent-bin
+//! choice, each screened by the behavioural Goertzel bank and the
+//! fixed-point `bist_rtl::DynBistTop` on bit-identical code streams.
+//! There the raw dB metrics legitimately differ by the RTL's bounded
+//! quantisation, so agreement is demanded on what silicon latches: the
+//! per-limit *decisions*, the sample count and the completeness
+//! expectation ([`bist_core::dynamic::DynChecks`] plus the counters).
+//! Any disagreement is a [`DynDivergence`] and fails the run.
 
 use crate::batch::Batch;
 use crate::parallel::partitioned;
+use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
+use bist_adc::types::{Resolution, Volts};
 use bist_core::backend::{BehavioralBackend, RtlBackend};
 use bist_core::config::BistConfig;
+use bist_core::dynamic::{
+    run_dynamic_bist_with_backend, DynScratch, DynamicConfig, DynamicVerdict,
+};
 use bist_core::harness::{run_static_bist_with_backend, BistVerdict, Scratch};
+use rand::rngs::StdRng;
 use std::fmt;
 
 /// The counter widths the paper sweeps (Table 1).
@@ -322,6 +340,285 @@ pub fn run_differential(batch: &Batch, slope_error: f64, workers: usize) -> Diff
     total
 }
 
+// ---------------------------------------------------------------------
+// The dynamic seam: behavioural Goertzel bank vs fixed-point DynBistTop.
+// ---------------------------------------------------------------------
+
+/// Converter resolutions of the dynamic sweep.
+pub const DYN_RESOLUTION_BITS: [u32; 2] = [6, 8];
+
+/// Code-width mismatch points of the dynamic sweep, milli-LSB (0 =
+/// ideal, 160/210 = the paper's circuit-simulation range).
+pub const DYN_SIGMA_MILLI: [u32; 3] = [0, 160, 210];
+
+/// Coherent-bin choices of the dynamic sweep (cycles per record, both
+/// odd and coprime with the record length).
+pub const DYN_CYCLES: [u32; 2] = [1021, 997];
+
+/// Samples per coherent record in the dynamic sweep.
+pub const DYN_RECORD_LEN: usize = 4096;
+
+/// One cell of the dynamic sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynScenarioId {
+    /// Converter resolution in bits.
+    pub resolution_bits: u32,
+    /// Code-width mismatch σ_w in milli-LSB.
+    pub sigma_milli_lsb: u32,
+    /// Sine cycles per record (= the fundamental bin).
+    pub cycles: u32,
+}
+
+impl fmt::Display for DynScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-bit/σ0.{:03}/{}c",
+            self.resolution_bits, self.sigma_milli_lsb, self.cycles
+        )
+    }
+}
+
+/// A device/scenario where the two dynamic backends disagreed on a
+/// decision, with both verdicts for the post-mortem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynDivergence {
+    /// Device index within the sweep.
+    pub device: usize,
+    /// The sweep cell.
+    pub scenario: DynScenarioId,
+    /// What the behavioural bank concluded.
+    pub behavioral: DynamicVerdict,
+    /// What the fixed-point datapath concluded.
+    pub rtl: DynamicVerdict,
+}
+
+impl fmt::Display for DynDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device {} [{}]: behavioral {} vs rtl {}",
+            self.device, self.scenario, self.behavioral, self.rtl
+        )
+    }
+}
+
+/// Per-cell agreement accounting of the dynamic sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynScenarioTally {
+    /// The sweep cell.
+    pub scenario: DynScenarioId,
+    /// Devices compared in this cell.
+    pub comparisons: u64,
+    /// Devices with decision-exact verdict agreement.
+    pub agreements: u64,
+    /// Devices accepted (counted on the behavioural verdict).
+    pub accepted: u64,
+}
+
+/// Outcome of a dynamic differential sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DynDifferentialResult {
+    /// Devices swept.
+    pub devices: u64,
+    /// Total (device × scenario) comparisons.
+    pub comparisons: u64,
+    /// Comparisons with decision-exact agreement.
+    pub agreements: u64,
+    /// Every disagreement observed.
+    pub divergences: Vec<DynDivergence>,
+    /// Agreement accounting per sweep cell (stable grid order).
+    pub per_scenario: Vec<DynScenarioTally>,
+}
+
+impl DynDifferentialResult {
+    /// Whether the sweep found no divergence at all.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.agreements == self.comparisons
+    }
+
+    /// Fraction of comparisons in decision-exact agreement.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.comparisons == 0 {
+            0.0
+        } else {
+            self.agreements as f64 / self.comparisons as f64
+        }
+    }
+
+    /// Merges a partial result from another worker (cell-wise, like the
+    /// static [`DifferentialResult::merge`]).
+    pub fn merge(&mut self, other: &DynDifferentialResult) {
+        self.devices += other.devices;
+        self.comparisons += other.comparisons;
+        self.agreements += other.agreements;
+        self.divergences.extend_from_slice(&other.divergences);
+        if self.per_scenario.is_empty() {
+            self.per_scenario = other.per_scenario.clone();
+        } else {
+            debug_assert_eq!(self.per_scenario.len(), other.per_scenario.len());
+            for (mine, theirs) in self.per_scenario.iter_mut().zip(&other.per_scenario) {
+                debug_assert_eq!(mine.scenario, theirs.scenario);
+                mine.comparisons += theirs.comparisons;
+                mine.agreements += theirs.agreements;
+                mine.accepted += theirs.accepted;
+            }
+        }
+    }
+}
+
+impl fmt::Display for DynDifferentialResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices × {} scenarios: {}/{} dynamic decisions exact ({} divergences)",
+            self.devices,
+            self.per_scenario.len(),
+            self.agreements,
+            self.comparisons,
+            self.divergences.len()
+        )
+    }
+}
+
+/// The dynamic sweep grid: every resolution × mismatch σ × coherent-bin
+/// choice, with the device model and test plan built once per cell.
+fn dyn_scenario_grid() -> Vec<(DynScenarioId, FlashConfig, DynamicConfig)> {
+    let mut grid = Vec::new();
+    for &bits in &DYN_RESOLUTION_BITS {
+        let resolution = Resolution::new(bits).expect("sweep resolutions are valid");
+        // Keep the seed's 0.1 V/LSB convention at every resolution.
+        let high = Volts(0.1 * resolution.code_count() as f64);
+        for &sigma_milli in &DYN_SIGMA_MILLI {
+            let flash = FlashConfig::new(resolution, Volts(0.0), high)
+                .with_width_sigma_lsb(sigma_milli as f64 / 1000.0);
+            for &cycles in &DYN_CYCLES {
+                // Drive at exactly full scale: the default overdrive's
+                // clipping distortion (~−37 dBc, resolution-independent)
+                // would bury the 8-bit quantisation floor and reject
+                // even ideal devices.
+                let config = DynamicConfig::new(resolution, DYN_RECORD_LEN, cycles)
+                    .expect("sweep bins are valid")
+                    .with_overdrive(0.0);
+                grid.push((
+                    DynScenarioId {
+                        resolution_bits: bits,
+                        sigma_milli_lsb: sigma_milli,
+                        cycles,
+                    },
+                    flash,
+                    config,
+                ));
+            }
+        }
+    }
+    grid
+}
+
+/// RNG-stream salts decorrelating dynamic device generation and
+/// acquisition noise from each other and from the other experiments.
+const DYN_DEVICE_SALT: u64 = 0xdd1f_f000;
+const DYN_NOISE_SALT: u64 = 0xdd1f_f001;
+
+/// A seeded RNG for `(seed, salt, device, cell)` — every cell gets its
+/// own device and noise streams, so the sweep is deterministic in the
+/// worker count and cells never share draws (the shared
+/// [`crate::batch::stream_rng`] mixing).
+fn dyn_stream_rng(seed: u64, device: usize, cell: usize, salt: u64) -> StdRng {
+    crate::batch::stream_rng(seed, &[salt, device as u64, cell as u64])
+}
+
+/// Whether two dynamic verdicts agree on everything the silicon
+/// latches: the per-limit decisions, the sample count and the
+/// completeness expectation. The raw dB metrics are allowed to differ
+/// by the RTL's bounded fixed-point quantisation.
+pub fn dyn_decisions_agree(a: &DynamicVerdict, b: &DynamicVerdict) -> bool {
+    a.checks == b.checks && a.samples == b.samples && a.expected_samples == b.expected_samples
+}
+
+/// Runs the dynamic differential sweep over a device range — the unit
+/// of work for the parallel fan-out. Both backends consume
+/// bit-identical code streams (same `(seed, device, cell)`-derived
+/// device and noise RNG), so any decision disagreement is a genuine
+/// datapath divergence.
+pub fn run_dyn_differential_range(seed: u64, from: usize, to: usize) -> DynDifferentialResult {
+    let grid = dyn_scenario_grid();
+    let mut behavioral_backend = BehavioralBackend;
+    // One RTL backend and one behavioural scratch per cell: the
+    // device-outer sweep order would otherwise thrash the cached
+    // DynBistTop / Goertzel bank (one rebuild per config change).
+    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
+    let mut scratches: Vec<DynScratch> = grid.iter().map(|_| DynScratch::new()).collect();
+    let mut rtl_scratch = DynScratch::new(); // unused by the RTL backend
+    let noise = NoiseConfig::noiseless().with_input_noise(0.002);
+    let mut result = DynDifferentialResult {
+        per_scenario: grid
+            .iter()
+            .map(|(id, ..)| DynScenarioTally {
+                scenario: *id,
+                comparisons: 0,
+                agreements: 0,
+                accepted: 0,
+            })
+            .collect(),
+        ..DynDifferentialResult::default()
+    };
+    for i in from..to {
+        result.devices += 1;
+        for (cell, (id, flash, config)) in grid.iter().enumerate() {
+            let adc = flash.sample(&mut dyn_stream_rng(seed, i, cell, DYN_DEVICE_SALT));
+            let behavioral = run_dynamic_bist_with_backend(
+                &mut behavioral_backend,
+                &adc,
+                config,
+                &noise,
+                &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT),
+                &mut scratches[cell],
+            );
+            let rtl = run_dynamic_bist_with_backend(
+                &mut rtl_backends[cell],
+                &adc,
+                config,
+                &noise,
+                &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT),
+                &mut rtl_scratch,
+            );
+            result.comparisons += 1;
+            result.per_scenario[cell].comparisons += 1;
+            if dyn_decisions_agree(&behavioral, &rtl) {
+                result.agreements += 1;
+                result.per_scenario[cell].agreements += 1;
+            } else {
+                result.divergences.push(DynDivergence {
+                    device: i,
+                    scenario: *id,
+                    behavioral,
+                    rtl,
+                });
+            }
+            if behavioral.accepted() {
+                result.per_scenario[cell].accepted += 1;
+            }
+        }
+    }
+    result
+}
+
+/// Runs the full dynamic differential sweep over `devices` devices,
+/// fanned out across `workers` threads (0 = available parallelism).
+/// Deterministic in the worker count: devices and RNG streams derive
+/// from `(seed, index, cell)` alone.
+pub fn run_dyn_differential(seed: u64, devices: usize, workers: usize) -> DynDifferentialResult {
+    let partials = partitioned(devices, workers, |from, to| {
+        run_dyn_differential_range(seed, from, to)
+    });
+    let mut total = DynDifferentialResult::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,5 +676,60 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("2 devices"), "{s}");
         assert!(s.contains("bit-exact"), "{s}");
+    }
+
+    #[test]
+    fn dyn_small_fleet_is_decision_exact() {
+        let result = run_dyn_differential(31, 8, 0);
+        assert_eq!(result.devices, 8);
+        assert_eq!(result.comparisons, 8 * 12);
+        assert!(
+            result.is_clean(),
+            "divergences: {:#?}",
+            &result.divergences[..result.divergences.len().min(3)]
+        );
+        // The sweep does real screening work: the ideal cells accept,
+        // the worst-case mismatch cells reject at least someone.
+        let accepted: u64 = result.per_scenario.iter().map(|s| s.accepted).sum();
+        assert!(accepted > 0);
+        assert!(accepted < result.comparisons, "nothing was rejected");
+    }
+
+    #[test]
+    fn dyn_independent_of_worker_count() {
+        let seq = run_dyn_differential(41, 6, 1);
+        let par = run_dyn_differential(41, 6, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn dyn_merge_accumulates_cellwise() {
+        let whole = run_dyn_differential_range(43, 0, 4);
+        let mut parts = run_dyn_differential_range(43, 0, 1);
+        parts.merge(&run_dyn_differential_range(43, 1, 4));
+        assert_eq!(whole.comparisons, parts.comparisons);
+        assert_eq!(whole.agreements, parts.agreements);
+        assert_eq!(whole.per_scenario, parts.per_scenario);
+    }
+
+    #[test]
+    fn dyn_cells_draw_independent_devices() {
+        // The satellite fix behind run_dyn_differential: every cell has
+        // its own seeded device stream, so two cells at the same device
+        // index see different silicon.
+        let a = dyn_stream_rng(7, 3, 0, DYN_DEVICE_SALT);
+        let b = dyn_stream_rng(7, 3, 1, DYN_DEVICE_SALT);
+        let mut a = a;
+        let mut b = b;
+        use rand::RngCore;
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn dyn_display_summarises() {
+        let r = run_dyn_differential(47, 2, 1);
+        let s = r.to_string();
+        assert!(s.contains("2 devices"), "{s}");
+        assert!(s.contains("decisions exact"), "{s}");
     }
 }

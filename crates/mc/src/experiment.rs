@@ -11,14 +11,17 @@
 use crate::batch::Batch;
 use crate::estimate::Proportion;
 use crate::parallel::{partitioned, run_parallel};
+use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
-use bist_core::backend::{BehavioralBackend, BistBackend};
+use bist_core::backend::{BehavioralBackend, BistBackend, DynBistBackend};
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
+use bist_core::dynamic::{run_dynamic_bist_with_backend, DynScratch, DynamicConfig};
 use bist_core::harness::{
     conventional_test, reference_measurement, run_static_bist_with, run_static_bist_with_backend,
     Scratch,
 };
+use rand::rngs::StdRng;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -338,6 +341,221 @@ fn equivalence_range(
     }
 }
 
+/// Descriptor of one **dynamic** screening experiment: a seeded flash
+/// population driven through the streaming SINAD/THD/ENOB/noise-power
+/// verdict path of `bist_core::dynamic`.
+///
+/// The worker fan-out mirrors [`Experiment`]: devices derive from
+/// `(seed, index)`, every worker reuses one [`DynScratch`] (and one
+/// cached RTL datapath when judging with
+/// [`bist_core::backend::RtlBackend`]), so the per-device hot path is
+/// allocation-free after warm-up on either backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynExperiment {
+    /// Master seed; device `i` derives its RNG from `(seed, i)`.
+    pub seed: u64,
+    /// Number of devices.
+    pub devices: usize,
+    /// The device model.
+    pub flash: FlashConfig,
+    /// The dynamic test plan and limits.
+    pub config: DynamicConfig,
+    /// Acquisition noise for the sine capture.
+    pub noise: NoiseConfig,
+}
+
+/// Salt decorrelating dynamic acquisition noise from device generation.
+const DYN_EXP_SALT: u64 = 0xd1e_57a7;
+
+impl DynExperiment {
+    /// A noiseless dynamic experiment.
+    pub fn new(seed: u64, devices: usize, flash: FlashConfig, config: DynamicConfig) -> Self {
+        DynExperiment {
+            seed,
+            devices,
+            flash,
+            config,
+            noise: NoiseConfig::noiseless(),
+        }
+    }
+
+    /// Sets the acquisition noise.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The RNG for stream `salt` of device `index` (the shared
+    /// [`crate::batch::stream_rng`] mixing).
+    fn rng(&self, index: usize, salt: u64) -> StdRng {
+        crate::batch::stream_rng(self.seed, &[salt, index as u64])
+    }
+
+    /// Runs the experiment over device indices `[from, to)` with an
+    /// explicit verdict backend — the unit of work for the fan-out.
+    pub fn run_range_with<B: DynBistBackend>(
+        &self,
+        backend: &mut B,
+        from: usize,
+        to: usize,
+    ) -> DynExperimentResult {
+        let start = Instant::now();
+        let mut scratch = DynScratch::new();
+        let mut result = DynExperimentResult::default();
+        for i in from..to.min(self.devices) {
+            let adc = self.flash.sample(&mut self.rng(i, 0));
+            let verdict = run_dynamic_bist_with_backend(
+                backend,
+                &adc,
+                &self.config,
+                &self.noise,
+                &mut self.rng(i, DYN_EXP_SALT),
+                &mut scratch,
+            );
+            result.screened += 1;
+            result.samples += verdict.samples;
+            result.accepted += u64::from(verdict.accepted());
+            result.incomplete += u64::from(!verdict.checks.complete);
+            result.failed_sinad += u64::from(!verdict.checks.sinad);
+            result.failed_thd += u64::from(!verdict.checks.thd);
+            result.failed_enob += u64::from(!verdict.checks.enob);
+            result.failed_noise += u64::from(!verdict.checks.noise);
+        }
+        result.elapsed = start.elapsed();
+        result
+    }
+
+    /// Runs the whole population across `workers` threads (0 =
+    /// available parallelism) with a per-worker backend built by
+    /// `make_backend`, returning the merged result with wall-clock
+    /// `elapsed`. Results are independent of the worker count.
+    pub fn run_with<B, F>(&self, workers: usize, make_backend: F) -> DynExperimentResult
+    where
+        B: DynBistBackend,
+        F: Fn() -> B + Sync,
+    {
+        let start = Instant::now();
+        let partials = partitioned(self.devices, workers, |from, to| {
+            self.run_range_with(&mut make_backend(), from, to)
+        });
+        let mut total = DynExperimentResult::default();
+        for p in &partials {
+            total.merge(p);
+        }
+        total.elapsed = start.elapsed();
+        total
+    }
+
+    /// Runs the whole population through the behavioural backend —
+    /// the default fleet path (equivalent to
+    /// `run_with(workers, || BehavioralBackend)`).
+    pub fn run(&self, workers: usize) -> DynExperimentResult {
+        self.run_with(workers, || BehavioralBackend)
+    }
+}
+
+/// Accumulated outcome of a dynamic experiment, with throughput
+/// accounting. Equality compares the counters but not `elapsed` (same
+/// convention as [`ExperimentResult`]). Failure counters are
+/// non-exclusive: a device missing two limits increments both.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynExperimentResult {
+    /// Devices screened.
+    pub screened: u64,
+    /// Devices accepted (complete and every metric within limits).
+    pub accepted: u64,
+    /// Devices with an incomplete record.
+    pub incomplete: u64,
+    /// Devices below the SINAD limit.
+    pub failed_sinad: u64,
+    /// Devices above the THD limit.
+    pub failed_thd: u64,
+    /// Devices below the ENOB limit.
+    pub failed_enob: u64,
+    /// Devices above the noise-power limit.
+    pub failed_noise: u64,
+    /// Total ADC samples consumed.
+    pub samples: u64,
+    /// Time spent screening (wall-clock for `run`/`run_with`, summed
+    /// per-range CPU time when partials are merged by hand).
+    pub elapsed: Duration,
+}
+
+impl DynExperimentResult {
+    /// Merges a partial result from another worker.
+    pub fn merge(&mut self, other: &DynExperimentResult) {
+        self.screened += other.screened;
+        self.accepted += other.accepted;
+        self.incomplete += other.incomplete;
+        self.failed_sinad += other.failed_sinad;
+        self.failed_thd += other.failed_thd;
+        self.failed_enob += other.failed_enob;
+        self.failed_noise += other.failed_noise;
+        self.samples += other.samples;
+        self.elapsed += other.elapsed;
+    }
+
+    /// Observed acceptance rate.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.screened == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.screened as f64
+        }
+    }
+
+    /// Screening throughput in devices per second of `elapsed`.
+    pub fn devices_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.screened as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Acquisition throughput in ADC samples per second of `elapsed`.
+    pub fn samples_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.samples as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PartialEq for DynExperimentResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.screened == other.screened
+            && self.accepted == other.accepted
+            && self.incomplete == other.incomplete
+            && self.failed_sinad == other.failed_sinad
+            && self.failed_thd == other.failed_thd
+            && self.failed_enob == other.failed_enob
+            && self.failed_noise == other.failed_noise
+            && self.samples == other.samples
+    }
+}
+
+impl Eq for DynExperimentResult {}
+
+impl fmt::Display for DynExperimentResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} accepted (sinad {} thd {} enob {} noise {} incomplete {} rejections)",
+            self.accepted,
+            self.screened,
+            self.failed_sinad,
+            self.failed_thd,
+            self.failed_enob,
+            self.failed_noise,
+            self.incomplete
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,5 +685,57 @@ mod tests {
         let batch = Batch::paper_simulation(3, 10);
         let r = Experiment::new(batch, config(6)).run();
         assert!(r.to_string().contains("n=10"));
+    }
+
+    fn dyn_experiment(devices: usize, sigma: f64) -> DynExperiment {
+        use bist_adc::types::Volts;
+        let flash = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_width_sigma_lsb(sigma);
+        DynExperiment::new(3, devices, flash, DynamicConfig::paper_default())
+    }
+
+    #[test]
+    fn dyn_experiment_screens_population() {
+        let ideal = dyn_experiment(30, 0.0).run(0);
+        assert_eq!(ideal.screened, 30);
+        assert_eq!(ideal.accepted, 30, "{ideal}");
+        assert_eq!(ideal.samples, 30 * 4096);
+        assert!(ideal.devices_per_second() > 0.0);
+        let worst = dyn_experiment(30, 0.3).run(0);
+        assert!(worst.accepted < 30, "{worst}");
+        assert!(worst.acceptance_rate() < ideal.acceptance_rate());
+    }
+
+    #[test]
+    fn dyn_experiment_independent_of_workers() {
+        let exp = dyn_experiment(40, 0.21);
+        let seq = exp.run(1);
+        let par = exp.run(4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn dyn_rtl_fleet_decisions_match_behavioral() {
+        use bist_core::backend::RtlBackend;
+        let exp = dyn_experiment(25, 0.21);
+        let behavioral = exp.run(2);
+        let rtl = exp.run_with(2, RtlBackend::new);
+        assert_eq!(behavioral, rtl);
+    }
+
+    #[test]
+    fn dyn_experiment_range_clamps_and_merges() {
+        let exp = dyn_experiment(10, 0.16);
+        let whole = exp.run_range_with(&mut BehavioralBackend, 0, 1000);
+        assert_eq!(whole.screened, 10);
+        let mut parts = exp.run_range_with(&mut BehavioralBackend, 0, 4);
+        parts.merge(&exp.run_range_with(&mut BehavioralBackend, 4, 10));
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn dyn_display_result() {
+        let r = dyn_experiment(5, 0.0).run(1);
+        assert!(r.to_string().contains("5/5 accepted"), "{r}");
     }
 }

@@ -17,7 +17,12 @@
 //!   accumulators by default, or the gate-accurate `bist-rtl` datapath.
 //! * [`differential`] — the behavioural↔RTL seam validator: sweep both
 //!   backends over identical code streams at fleet scale and demand
-//!   bit-exact verdict agreement.
+//!   bit-exact verdict agreement. The dynamic seam gets the same
+//!   treatment ([`differential::run_dyn_differential`]): devices ×
+//!   resolution × mismatch σ × coherent-bin choice, decision-exact
+//!   agreement between the Goertzel bank and the fixed-point RTL.
+//!   [`experiment::DynExperiment`] is the matching fleet-screening
+//!   entry point with throughput accounting.
 //! * [`parallel`] — deterministic thread fan-out
 //!   ([`parallel::run_parallel`], the default under
 //!   [`experiment::Experiment::run`]; [`parallel::run_parallel_with`]
@@ -57,7 +62,12 @@ pub mod parallel;
 pub mod tables;
 
 pub use batch::{Batch, DeviceModel};
-pub use differential::{run_differential, DifferentialResult, Divergence};
+pub use differential::{
+    run_differential, run_dyn_differential, DifferentialResult, Divergence, DynDifferentialResult,
+    DynDivergence,
+};
 pub use estimate::Proportion;
-pub use experiment::{Experiment, ExperimentResult, GroundTruthMode};
+pub use experiment::{
+    DynExperiment, DynExperimentResult, Experiment, ExperimentResult, GroundTruthMode,
+};
 pub use parallel::{run_parallel, run_parallel_with};

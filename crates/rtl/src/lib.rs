@@ -20,6 +20,9 @@
 //!   (Eqs. 3–4) and on-chip INL accumulation.
 //! * [`datapath`] — the full Figure-4 LSB processor and Figure-2
 //!   upper-bit functional checker.
+//! * [`dyn_top`] — the dynamic-test top level: a fixed-point Goertzel
+//!   bank plus exact integer power accumulators for the §2 THD /
+//!   noise-power parameters, one code per tick.
 //! * [`area`] — gate-equivalent area model feeding the Figure-1
 //!   trade-off experiment.
 //!
@@ -54,6 +57,7 @@ pub mod area;
 pub mod counter;
 pub mod datapath;
 pub mod deglitch;
+pub mod dyn_top;
 pub mod edge;
 pub mod logic;
 pub mod registers;
@@ -63,6 +67,7 @@ pub mod window_compare;
 
 pub use counter::Counter;
 pub use datapath::{CodeMeasurement, LsbProcessor, LsbProcessorConfig, UpperBitChecker};
+pub use dyn_top::{DynBistReport, DynBistTop, DynBistTopConfig, RegisterOverflowError};
 pub use logic::Bus;
 pub use top::{BistReport, BistTop, BistTopConfig};
 pub use window_compare::{WindowComparator, WindowVerdict};
