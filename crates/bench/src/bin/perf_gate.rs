@@ -1,0 +1,92 @@
+//! CI performance gate: diffs fresh fleet perf records
+//! (`bench/out/<name>.json`) against the committed baselines
+//! (`crates/bench/baseline/<name>.json`).
+//!
+//! Rules, per record:
+//!
+//! * the fresh `divergences` metric (when present) must be 0 — a
+//!   behavioural↔RTL disagreement is a correctness failure regardless
+//!   of speed;
+//! * every baseline metric whose key ends in `devices_per_s` must not
+//!   regress by more than the tolerance (default 25 %,
+//!   `BIST_PERF_TOLERANCE` overrides, e.g. `0.4` for 40 %);
+//! * every gated baseline metric must still exist in the fresh record
+//!   (a silently dropped metric would un-gate itself).
+//!
+//! Baselines are committed from a run on the reference runner class;
+//! refresh them (copy `bench/out/<name>.json` over
+//! `crates/bench/baseline/<name>.json`) when the runner hardware or
+//! the smoke knobs change. Exits 1 on any violation, printing one line
+//! per check.
+//!
+//! Usage: `perf_gate [record-name ...]` (default: `seq_fleet rtl_fleet
+//! dyn_fleet`).
+
+use bist_bench::{baseline_dir, env_f64, out_dir, record_metric, record_metrics};
+use std::fs;
+
+fn main() {
+    let mut names: Vec<String> = std::env::args().skip(1).collect();
+    if names.is_empty() {
+        names = vec![
+            "seq_fleet".to_owned(),
+            "rtl_fleet".to_owned(),
+            "dyn_fleet".to_owned(),
+        ];
+    }
+    let tolerance = env_f64("BIST_PERF_TOLERANCE", 0.25);
+    let mut failures = 0u32;
+    let mut fail = |msg: String| {
+        println!("FAIL  {msg}");
+        failures += 1;
+    };
+
+    for name in &names {
+        let fresh_path = out_dir().join(format!("{name}.json"));
+        let base_path = baseline_dir().join(format!("{name}.json"));
+        let Ok(fresh) = fs::read_to_string(&fresh_path) else {
+            fail(format!(
+                "{name}: fresh record missing at {}",
+                fresh_path.display()
+            ));
+            continue;
+        };
+        let Ok(base) = fs::read_to_string(&base_path) else {
+            fail(format!(
+                "{name}: committed baseline missing at {}",
+                base_path.display()
+            ));
+            continue;
+        };
+        match record_metric(&fresh, "divergences") {
+            Some(d) if d > 0.0 => fail(format!("{name}: {d:.0} backend divergences (want 0)")),
+            Some(_) => println!("ok    {name}: 0 divergences"),
+            None => println!("note  {name}: no divergences metric"),
+        }
+        for (key, base_value) in record_metrics(&base) {
+            if !key.ends_with("devices_per_s") || base_value <= 0.0 {
+                continue;
+            }
+            let floor = base_value * (1.0 - tolerance);
+            match record_metric(&fresh, &key) {
+                None => fail(format!(
+                    "{name}: gated metric {key} missing from fresh record"
+                )),
+                Some(v) if v < floor => fail(format!(
+                    "{name}: {key} regressed {v:.1} < {floor:.1} \
+                     (baseline {base_value:.1}, tolerance {:.0}%)",
+                    tolerance * 100.0
+                )),
+                Some(v) => println!(
+                    "ok    {name}: {key} {v:.1} vs baseline {base_value:.1} \
+                     (floor {floor:.1})"
+                ),
+            }
+        }
+    }
+    if failures > 0 {
+        println!("perf_gate: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+    println!("perf_gate: all checks passed ({} records)", names.len());
+}

@@ -47,6 +47,13 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     path
 }
 
+/// Returns the committed performance-baseline directory
+/// (`crates/bench/baseline/`) holding the perf records the CI
+/// `perf-baseline` job diffs fresh runs against.
+pub fn baseline_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("baseline")
+}
+
 /// Reads an environment variable as usize with a default — the knob used
 /// by the binaries for batch sizes (e.g. `BIST_BATCH=500 cargo run ...`).
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -54,6 +61,103 @@ pub fn env_usize(name: &str, default: usize) -> usize {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Reads an environment variable as f64 with a default.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Extracts the numeric metrics of a `Scenario` perf record (the flat
+/// JSON written to `bench/out/<name>.json`): every `"key": number`
+/// pair of its `"metrics"` object, in file order. String and `null`
+/// metrics are skipped. Tolerant of the record's exact whitespace but
+/// specific to this crate's own flat format — not a general JSON
+/// parser.
+pub fn record_metrics(json: &str) -> Vec<(String, f64)> {
+    let Some(start) = json.find("\"metrics\":") else {
+        return Vec::new();
+    };
+    let rest = &json[start + "\"metrics\":".len()..];
+    let Some(open) = rest.find('{') else {
+        return Vec::new();
+    };
+    let body = &rest[open + 1..];
+    let Some(end) = flat_object_end(body) else {
+        return Vec::new();
+    };
+    parse_flat_pairs(&body[..end])
+}
+
+/// Looks up one numeric metric of a perf record.
+pub fn record_metric(json: &str, key: &str) -> Option<f64> {
+    record_metrics(json)
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Index of the `}` closing a flat (depth-1) object body, respecting
+/// string quoting.
+fn flat_object_end(body: &str) -> Option<usize> {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            '}' if !in_string => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a flat object body into `(key, numeric value)` pairs.
+fn parse_flat_pairs(body: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(k0) = rest.find('"') {
+        let after_key = &rest[k0 + 1..];
+        let Some(k1) = after_key.find('"') else { break };
+        let key = &after_key[..k1];
+        let after = &after_key[k1 + 1..];
+        let Some(colon) = after.find(':') else { break };
+        let value_str = &after[colon + 1..];
+        // The value ends at the next comma outside quotes, or the end.
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut end = value_str.len();
+        for (i, c) in value_str.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                ',' if !in_string => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let raw = value_str[..end].trim();
+        if let Ok(v) = raw.parse::<f64>() {
+            out.push((key.to_owned(), v));
+        }
+        rest = &value_str[end..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    out
 }
 
 /// A minimal ASCII scatter/line plot for the figure binaries.
@@ -186,6 +290,28 @@ mod tests {
     #[test]
     fn env_usize_default() {
         assert_eq!(env_usize("BIST_SURELY_UNSET_VAR", 42), 42);
+        assert_eq!(env_f64("BIST_SURELY_UNSET_VAR", 0.25), 0.25);
+    }
+
+    #[test]
+    fn record_metrics_parses_the_scenario_format() {
+        let json = "{\n  \"scenario\": \"x\",\n  \"elapsed_seconds\": 1.5,\n  \
+                    \"knobs\": {\"BIST_DEVICES\": 100},\n  \
+                    \"metrics\": {\"divergences\": 0, \"rate\": 0.975, \
+                    \"note\": \"has, comma and } brace\", \"nan_metric\": null, \
+                    \"devices_per_s\": 1234.5},\n  \"artifacts\": []\n}\n";
+        let m = record_metrics(json);
+        assert_eq!(
+            m,
+            vec![
+                ("divergences".to_owned(), 0.0),
+                ("rate".to_owned(), 0.975),
+                ("devices_per_s".to_owned(), 1234.5),
+            ]
+        );
+        assert_eq!(record_metric(json, "devices_per_s"), Some(1234.5));
+        assert_eq!(record_metric(json, "missing"), None);
+        assert!(record_metrics("not json").is_empty());
     }
 
     #[test]

@@ -29,12 +29,58 @@
 
 use crate::config::BistConfig;
 use crate::dynamic::{process_dyn_code_stream, DynScratch, DynamicConfig, DynamicVerdict};
+use crate::functional::FunctionalAcc;
 use crate::harness::{process_code_stream, BistVerdict, Scratch};
-use crate::lsb_monitor::CodeResult;
+use crate::lsb_monitor::{CodeResult, LsbMonitorAcc};
+use crate::sequencer::{
+    DynSequencer, SeqDecision, SeqOutcome, StaticSequencer, STATIC_DECISION_LATENCY,
+};
 use bist_adc::types::{Code, Lsb};
 use bist_dsp::goertzel::TonePowers;
-use bist_rtl::dyn_top::DynBistTop;
+use bist_rtl::dyn_top::{DynBistReport, DynBistTop};
 use bist_rtl::top::{BistTop, BistTopConfig};
+
+/// Fixed-capacity delay line realising the sequencer's visibility
+/// protocol on the behavioural path: an event recorded at sample `t`
+/// becomes visible at `t + STATIC_DECISION_LATENCY`, exactly when the
+/// RTL datapath would emit it. At most one event of each kind fires per
+/// sample, so a capacity of 4 can never overflow at latency 2.
+#[derive(Debug, Clone, Copy)]
+struct DelayLine<T: Copy, const N: usize> {
+    buf: [Option<(u64, T)>; N],
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy, const N: usize> DelayLine<T, N> {
+    fn new() -> Self {
+        DelayLine {
+            buf: [None; N],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, sample: u64, value: T) {
+        debug_assert!(self.len < N, "delay line overflow");
+        let tail = (self.head + self.len) % N;
+        self.buf[tail] = Some((sample, value));
+        self.len += 1;
+    }
+
+    /// Pops the oldest entry whose sample is within the visible
+    /// horizon, if any.
+    fn pop_visible(&mut self, visible: u64) -> Option<(u64, T)> {
+        let (sample, value) = self.buf[self.head]?;
+        if sample > visible {
+            return None;
+        }
+        self.buf[self.head] = None;
+        self.head = (self.head + 1) % N;
+        self.len -= 1;
+        Some((sample, value))
+    }
+}
 
 /// A verdict engine consuming one sweep's code stream.
 pub trait BistBackend {
@@ -51,6 +97,26 @@ pub trait BistBackend {
         codes: I,
         scratch: &mut Scratch,
     ) -> BistVerdict;
+
+    /// Judges one sweep under an early-stop sequencer: like
+    /// [`BistBackend::process`], but every
+    /// [`crate::sequencer::SequencerConfig::check_interval`] samples
+    /// the sequencer may stop the sweep, in which case the stream is
+    /// abandoned and the verdict holds the sequencer-visible tallies.
+    ///
+    /// Contract across implementors: for the same code stream and the
+    /// same (re-`begin`-able) sequencer, every backend reaches the
+    /// identical [`SeqDecision`] and identical verdict — the visibility
+    /// protocol in [`crate::sequencer`] makes the decision independent
+    /// of the backend's pipeline latency. The `bist-mc` sequenced
+    /// differential sweep enforces this fleet-wide.
+    fn process_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        seq: &mut StaticSequencer,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> SeqOutcome<BistVerdict>;
 }
 
 /// A verdict engine for the **dynamic** workload (see
@@ -77,6 +143,28 @@ pub trait DynBistBackend {
         codes: I,
         scratch: &mut DynScratch,
     ) -> DynamicVerdict;
+
+    /// Judges one coherent record under an early-stop sequencer: like
+    /// [`DynBistBackend::process_dyn`], but the sequencer watches the
+    /// centred code stream and may stop the record early. The decision
+    /// is backend-independent by construction (the sequencer owns its
+    /// statistic); on an early stop both backends must report the same
+    /// consumed-sample count (the RTL flushes its input pipeline), and
+    /// the truncated verdict's raw metrics keep the full-record
+    /// quantisation contract.
+    fn process_dyn_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        seq: &mut DynSequencer,
+        codes: I,
+        scratch: &mut DynScratch,
+    ) -> SeqOutcome<DynamicVerdict>;
+}
+
+/// The centred signed half-LSB value `2·code + 1 − 2ⁿ` the dynamic
+/// sequencer consumes — identical for both backends by construction.
+fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
+    2 * i64::from(code.0) + 1 - config.resolution().code_count() as i64
 }
 
 /// The behavioural reference backend — a zero-size handle onto
@@ -99,6 +187,85 @@ impl BistBackend for BehavioralBackend {
     ) -> BistVerdict {
         process_code_stream(config, codes, scratch)
     }
+
+    fn process_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        seq: &mut StaticSequencer,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> SeqOutcome<BistVerdict> {
+        let bit = config.monitored_bit();
+        let mut monitor = LsbMonitorAcc::new(config, &mut scratch.monitor_codes);
+        let mut functional = FunctionalAcc::new(bit, config.deglitch(), &mut scratch.checks);
+        seq.begin(config);
+        // Events are delayed to the RTL's emission horizon so both
+        // backends see bit-identical event streams at every checkpoint.
+        let mut code_line: DelayLine<CodeResult, 4> = DelayLine::new();
+        let mut func_line: DelayLine<bool, 4> = DelayLine::new();
+        let mut consumed = 0u64;
+        let mut codes_seen = 0usize;
+        let mut checks_seen = 0usize;
+        // Countdown to the next checkpoint, in consumed samples — the
+        // per-sample fast path is compare-and-branch only.
+        let mut next_checkpoint = seq.next_checkpoint_after(0) + STATIC_DECISION_LATENCY;
+        for code in codes {
+            consumed += 1;
+            monitor.push((code.0 >> bit) & 1 == 1);
+            functional.push(code);
+            if monitor.recorded() > codes_seen {
+                codes_seen = monitor.recorded();
+                let m = monitor.latest().expect("just recorded");
+                code_line.push(consumed, m);
+            }
+            if functional.fired() > checks_seen {
+                checks_seen = functional.fired();
+                let c = functional.latest().expect("just fired");
+                func_line.push(consumed, c.ok);
+            }
+            let Some(visible) = consumed.checked_sub(STATIC_DECISION_LATENCY) else {
+                continue;
+            };
+            while let Some((t, m)) = code_line.pop_visible(visible) {
+                seq.observe_code(
+                    t,
+                    m.count,
+                    m.dnl_verdict.is_pass(),
+                    m.inl_pass,
+                    m.inl_counts,
+                );
+            }
+            while let Some((_, ok)) = func_line.pop_visible(visible) {
+                seq.observe_functional(ok);
+            }
+            if consumed == next_checkpoint {
+                next_checkpoint = seq.next_checkpoint_after(visible) + STATIC_DECISION_LATENCY;
+                let decision = seq.checkpoint(visible);
+                if decision.stops() {
+                    return SeqOutcome {
+                        decision,
+                        verdict: seq.verdict(consumed),
+                    };
+                }
+            }
+        }
+        // Stream exhausted: the full-sweep verdict, bit-identical to
+        // `process_code_stream` on the same stream.
+        let m = monitor.finish();
+        let f = functional.finish();
+        SeqOutcome {
+            decision: SeqDecision::Continue,
+            verdict: BistVerdict {
+                codes_judged: m.codes_judged,
+                dnl_failures: m.dnl_failures,
+                inl_failures: m.inl_failures,
+                functional_checks: f.checks,
+                functional_mismatches: f.mismatches,
+                expected_codes: config.expected_measurements(),
+                samples: consumed,
+            },
+        }
+    }
 }
 
 impl DynBistBackend for BehavioralBackend {
@@ -113,6 +280,40 @@ impl DynBistBackend for BehavioralBackend {
         scratch: &mut DynScratch,
     ) -> DynamicVerdict {
         process_dyn_code_stream(config, codes, scratch)
+    }
+
+    fn process_dyn_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        seq: &mut DynSequencer,
+        codes: I,
+        scratch: &mut DynScratch,
+    ) -> SeqOutcome<DynamicVerdict> {
+        let bank = scratch.bank_for(config);
+        let half_fs = (config.resolution().code_count() / 2) as f64;
+        seq.begin(config);
+        let record_len = config.record_len() as u64;
+        let mut next_checkpoint = seq.next_checkpoint_after(0);
+        let mut consumed = 0u64;
+        for code in codes {
+            consumed += 1;
+            bank.push(f64::from(code.0) + 0.5 - half_fs);
+            seq.push(centred_half_lsb(config, code));
+            if consumed == next_checkpoint && consumed < record_len {
+                next_checkpoint = seq.next_checkpoint_after(consumed);
+                let decision = seq.checkpoint(consumed);
+                if decision.stops() {
+                    return SeqOutcome {
+                        decision,
+                        verdict: config.judge_powers(&bank.powers(), consumed),
+                    };
+                }
+            }
+        }
+        SeqOutcome {
+            decision: SeqDecision::Continue,
+            verdict: config.judge_powers(&bank.powers(), consumed),
+        }
     }
 }
 
@@ -167,6 +368,26 @@ impl RtlBackend {
             expected_codes: config.expected_measurements(),
         }
     }
+
+    /// The cached static top for `want`: reset in place on a hit,
+    /// rebuilt on a configuration change.
+    fn top_for(&mut self, want: BistTopConfig) -> &mut BistTop {
+        match &mut self.top {
+            Some(top) if *top.config() == want => top.reset(),
+            slot => *slot = Some(BistTop::new(want)),
+        }
+        self.top.as_mut().expect("installed above")
+    }
+
+    /// The cached dynamic top for `want`: reset in place on a hit,
+    /// rebuilt on a configuration change.
+    fn dyn_top_for(&mut self, want: bist_rtl::dyn_top::DynBistTopConfig) -> &mut DynBistTop {
+        match &mut self.dyn_top {
+            Some(top) if *top.config() == want => top.reset(),
+            slot => *slot = Some(DynBistTop::new(want)),
+        }
+        self.dyn_top.as_mut().expect("installed above")
+    }
 }
 
 impl BistBackend for RtlBackend {
@@ -181,40 +402,21 @@ impl BistBackend for RtlBackend {
         scratch: &mut Scratch,
     ) -> BistVerdict {
         let want = Self::top_config(config);
-        let top = match &mut self.top {
-            Some(top) if *top.config() == want => {
-                top.reset();
-                top
-            }
-            slot => slot.insert(BistTop::new(want)),
-        };
+        let top = self.top_for(want);
         scratch.monitor_codes.clear();
         scratch.checks.clear();
         let bit = config.monitored_bit();
         let delta_s = config.delta_s().0;
-        let mut record = |m: bist_rtl::datapath::CodeMeasurement| {
-            let width_lsb = Lsb(m.count as f64 * delta_s);
-            scratch.monitor_codes.push(CodeResult {
-                index: m.index,
-                count: m.count,
-                overflow: m.overflow,
-                dnl_verdict: m.dnl_verdict,
-                width_lsb,
-                dnl_lsb: Lsb(width_lsb.0 - 1.0),
-                inl_counts: m.inl_counts,
-                inl_pass: m.inl_pass,
-            });
-        };
         let mut samples = 0u64;
         for code in codes {
             if let Some(m) = top.tick(u64::from(code.0) >> bit) {
-                record(m);
+                push_rtl_code_result(&mut scratch.monitor_codes, delta_s, &m);
             }
             samples += 1;
         }
         for _ in 0..BistTop::DRAIN_TICKS {
             if let Some(m) = top.drain_tick() {
-                record(m);
+                push_rtl_code_result(&mut scratch.monitor_codes, delta_s, &m);
             }
         }
         let report = top.report();
@@ -228,6 +430,100 @@ impl BistBackend for RtlBackend {
             samples,
         }
     }
+
+    fn process_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &BistConfig,
+        seq: &mut StaticSequencer,
+        codes: I,
+        scratch: &mut Scratch,
+    ) -> SeqOutcome<BistVerdict> {
+        let want = Self::top_config(config);
+        let top = self.top_for(want);
+        scratch.monitor_codes.clear();
+        scratch.checks.clear();
+        seq.begin(config);
+        let bit = config.monitored_bit();
+        let delta_s = config.delta_s().0;
+        let mut consumed = 0u64;
+        let mut next_checkpoint = seq.next_checkpoint_after(0) + STATIC_DECISION_LATENCY;
+        for code in codes {
+            consumed += 1;
+            let checks_before = top.functional_checks();
+            let mismatches_before = top.functional_mismatches();
+            // Emission is exactly STATIC_DECISION_LATENCY ticks behind
+            // the behavioural accumulators, so events observed here
+            // carry their behavioural closing sample and arrive at the
+            // sequencer in the identical order.
+            if let Some(m) = top.tick(u64::from(code.0) >> bit) {
+                push_rtl_code_result(&mut scratch.monitor_codes, delta_s, &m);
+                seq.observe_code(
+                    consumed - STATIC_DECISION_LATENCY,
+                    m.count,
+                    m.dnl_verdict.is_pass(),
+                    m.inl_pass,
+                    m.inl_counts,
+                );
+            }
+            if top.functional_checks() > checks_before {
+                seq.observe_functional(top.functional_mismatches() == mismatches_before);
+            }
+            if consumed == next_checkpoint {
+                let visible = consumed - STATIC_DECISION_LATENCY;
+                next_checkpoint = seq.next_checkpoint_after(visible) + STATIC_DECISION_LATENCY;
+                let decision = seq.checkpoint(visible);
+                if decision.stops() {
+                    // Stop dead: measurements still inside the
+                    // synchroniser belong to samples beyond the
+                    // decision horizon, so no drain — the verdict is
+                    // the sequencer's visible tally, bit-exact with
+                    // the behavioural backend's.
+                    return SeqOutcome {
+                        decision,
+                        verdict: seq.verdict(consumed),
+                    };
+                }
+            }
+        }
+        for _ in 0..BistTop::DRAIN_TICKS {
+            if let Some(m) = top.drain_tick() {
+                push_rtl_code_result(&mut scratch.monitor_codes, delta_s, &m);
+            }
+        }
+        let report = top.report();
+        SeqOutcome {
+            decision: SeqDecision::Continue,
+            verdict: BistVerdict {
+                codes_judged: report.codes_measured,
+                dnl_failures: report.dnl_failures,
+                inl_failures: report.inl_failures,
+                functional_checks: report.functional_checks,
+                functional_mismatches: report.functional_mismatches,
+                expected_codes: want.expected_codes,
+                samples: consumed,
+            },
+        }
+    }
+}
+
+/// Maps one RTL code measurement onto the scratch's per-code view (the
+/// hardware's view: a saturated code reports the clamped width).
+fn push_rtl_code_result(
+    monitor_codes: &mut Vec<CodeResult>,
+    delta_s: f64,
+    m: &bist_rtl::datapath::CodeMeasurement,
+) {
+    let width_lsb = Lsb(m.count as f64 * delta_s);
+    monitor_codes.push(CodeResult {
+        index: m.index,
+        count: m.count,
+        overflow: m.overflow,
+        dnl_verdict: m.dnl_verdict,
+        width_lsb,
+        dnl_lsb: Lsb(width_lsb.0 - 1.0),
+        inl_counts: m.inl_counts,
+        inl_pass: m.inl_pass,
+    });
 }
 
 /// The gate-accurate dynamic backend: feeds `bist_rtl::DynBistTop` one
@@ -253,36 +549,70 @@ impl DynBistBackend for RtlBackend {
         codes: I,
         _scratch: &mut DynScratch,
     ) -> DynamicVerdict {
-        let want = config.to_rtl();
-        let top = match &mut self.dyn_top {
-            Some(top) if *top.config() == want => {
-                top.reset();
-                top
-            }
-            slot => slot.insert(DynBistTop::new(want)),
-        };
+        let top = self.dyn_top_for(config.to_rtl());
         for code in codes {
             top.tick(u64::from(code.0));
         }
         for _ in 0..DynBistTop::DRAIN_TICKS {
             top.drain_tick();
         }
-        let report = top.report();
-        // Half-LSB² → LSB² (÷4); the integer side channels convert
-        // exactly (Σv and Σv² are lossless in f64 for every supported
-        // record length).
-        let n = config.record_len() as f64;
-        let mean_half = report.sum_half_lsb as f64 / n;
-        let powers = TonePowers {
-            n: config.record_len(),
-            carrier: report.carrier_power / 4.0,
-            harmonics_by_order: report.harmonic_power_by_order / 4.0,
-            harmonics_distinct: report.harmonic_power_distinct / 4.0,
-            dc: mean_half * mean_half / 4.0,
-            total: report.sum_sq_half_lsb2 as f64 / n / 4.0,
-        };
-        config.judge_powers(&powers, report.samples)
+        rtl_dyn_verdict(config, &top.report())
     }
+
+    fn process_dyn_sequenced<I: IntoIterator<Item = Code>>(
+        &mut self,
+        config: &DynamicConfig,
+        seq: &mut DynSequencer,
+        codes: I,
+        _scratch: &mut DynScratch,
+    ) -> SeqOutcome<DynamicVerdict> {
+        let top = self.dyn_top_for(config.to_rtl());
+        seq.begin(config);
+        let record_len = config.record_len() as u64;
+        let mut next_checkpoint = seq.next_checkpoint_after(0);
+        let mut consumed = 0u64;
+        let mut stopped = None;
+        for code in codes {
+            consumed += 1;
+            top.tick(u64::from(code.0));
+            seq.push(centred_half_lsb(config, code));
+            if consumed == next_checkpoint && consumed < record_len {
+                next_checkpoint = seq.next_checkpoint_after(consumed);
+                let decision = seq.checkpoint(consumed);
+                if decision.stops() {
+                    stopped = Some(decision);
+                    break;
+                }
+            }
+        }
+        // Flush the input pipeline in either case: on an early stop the
+        // single drain tick completes the last consumed sample's MAC,
+        // so both backends report the identical consumed-sample count.
+        for _ in 0..DynBistTop::DRAIN_TICKS {
+            top.drain_tick();
+        }
+        SeqOutcome {
+            decision: stopped.unwrap_or(SeqDecision::Continue),
+            verdict: rtl_dyn_verdict(config, &top.report()),
+        }
+    }
+}
+
+/// Maps the RTL result registers onto the shared verdict arithmetic.
+/// Half-LSB² → LSB² (÷4); the integer side channels convert exactly
+/// (Σv and Σv² are lossless in f64 for every supported record length).
+fn rtl_dyn_verdict(config: &DynamicConfig, report: &DynBistReport) -> DynamicVerdict {
+    let n = config.record_len() as f64;
+    let mean_half = report.sum_half_lsb as f64 / n;
+    let powers = TonePowers {
+        n: config.record_len(),
+        carrier: report.carrier_power / 4.0,
+        harmonics_by_order: report.harmonic_power_by_order / 4.0,
+        harmonics_distinct: report.harmonic_power_distinct / 4.0,
+        dc: mean_half * mean_half / 4.0,
+        total: report.sum_sq_half_lsb2 as f64 / n / 4.0,
+    };
+    config.judge_powers(&powers, report.samples)
 }
 
 #[cfg(test)]

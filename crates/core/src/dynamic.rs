@@ -392,7 +392,7 @@ impl DynScratch {
 
     /// The bank for `config`: reset in place when the cached plan
     /// matches, rebuilt otherwise.
-    fn bank_for(&mut self, config: &DynamicConfig) -> &mut GoertzelBank {
+    pub(crate) fn bank_for(&mut self, config: &DynamicConfig) -> &mut GoertzelBank {
         let fits = self.bank.as_ref().is_some_and(|b| {
             b.n() == config.record_len
                 && b.fundamental_bin() == config.cycles as usize

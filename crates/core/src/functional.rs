@@ -197,6 +197,18 @@ impl<'s> FunctionalAcc<'s> {
         self.pos += 1;
     }
 
+    /// Number of checks fired so far this sweep — lets a caller driving
+    /// the accumulator sample by sample (the sequenced engine) detect a
+    /// new check without releasing the borrow.
+    pub fn fired(&self) -> usize {
+        self.checks.len()
+    }
+
+    /// The most recent check, if any.
+    pub fn latest(&self) -> Option<FunctionalCheck> {
+        self.checks.last().copied()
+    }
+
     /// Ends the sweep. The median filter's in-flight window is
     /// discarded — like the monitor path (and the hardware), the sweep
     /// stops dead at the last sample and judges nothing beyond it. (An

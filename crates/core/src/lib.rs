@@ -37,6 +37,11 @@
 //!   → SINAD/THD/ENOB/noise-power [`dynamic::DynamicVerdict`], judged
 //!   through the same backend seam (behavioural bank or fixed-point
 //!   `bist_rtl::DynBistTop`).
+//! * [`sequencer`] — uncertainty-guided early-stop sequencing over
+//!   both workloads: Welford-based confidence estimates on the
+//!   streaming accumulators let a sweep accept or reject long before
+//!   the full ramp/record, with configurable type I/II drift budgets,
+//!   and both backends stop at the identical sample index.
 //! * [`decision`] — confusion-matrix accounting of type I/II errors.
 //! * [`report`] — text tables for the experiment binaries.
 //!
@@ -84,6 +89,7 @@ pub mod limits;
 pub mod lsb_monitor;
 pub mod qmin;
 pub mod report;
+pub mod sequencer;
 pub mod static_params;
 pub mod yield_model;
 
@@ -103,4 +109,8 @@ pub use harness::{
 };
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
+pub use sequencer::{
+    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
+    SeqOutcome, SequencerConfig, StaticSequencer,
+};
 pub use yield_model::YieldModel;

@@ -253,6 +253,18 @@ impl<'s> LsbMonitorAcc<'s> {
         self.index += 1;
     }
 
+    /// Number of code measurements recorded so far this sweep — lets a
+    /// caller driving the accumulator sample by sample (the sequenced
+    /// engine) detect a completed code without releasing the borrow.
+    pub fn recorded(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The most recent code measurement, if any.
+    pub fn latest(&self) -> Option<CodeResult> {
+        self.codes.last().copied()
+    }
+
     /// Ends the sweep. The run in flight (after the last transition) is
     /// a partial code and is not judged, mirroring the hardware.
     pub fn finish(self) -> MonitorTally {

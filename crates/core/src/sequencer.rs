@@ -1,0 +1,1257 @@
+//! Uncertainty-guided early-stop sequencing over both verdict paths.
+//!
+//! Today's engines consume the full ramp (static) or the full coherent
+//! record (dynamic) before latching a verdict, yet the streaming
+//! accumulators expose everything needed to decide sooner: the Schey et
+//! al. line in PAPERS.md (arXiv:2511.11895 / 2511.11917) shows that an
+//! incrementally-updated metric plus a running confidence estimate lets
+//! a tester accept or reject long before the sweep completes. This
+//! module is that decision layer:
+//!
+//! * [`SequencerConfig`] — the early-stop policy: type I/II *drift*
+//!   budgets `alpha`/`beta` (how much the sequenced decision may
+//!   disagree with the full-sweep decision), the earliest decision
+//!   point `min_samples`, and the checkpoint spacing `check_interval`.
+//! * [`StaticSequencer`] — watches the LSB-monitor measurement stream
+//!   and the functional checks: Welford moments over the measured code
+//!   widths drive Gaussian-tail predictions of the remaining codes'
+//!   DNL/INL outcomes, with per-checkpoint (Bonferroni) budget
+//!   spending. Observed failures reject immediately (zero drift —
+//!   the full sweep would certainly reject); a judged-complete sweep
+//!   accepts after a quiet dwell (the overshoot tail is skipped).
+//! * [`DynSequencer`] — watches the centred code stream itself: an
+//!   incremental fundamental quadrature plus per-block residual powers
+//!   give a running noise-and-distortion estimate with a Welford
+//!   confidence interval; the SINAD/ENOB/THD/noise limits are accepted
+//!   or rejected as soon as the interval (plus a deterministic
+//!   partial-record leakage guard) clears them.
+//!
+//! Each checkpoint emits a [`SeqDecision`]: `Continue`,
+//! `AcceptEarly(at_sample)` or `RejectEarly(at_sample)`.
+//!
+//! ## Backend decision-exactness
+//!
+//! The sequencer is threaded through the backend seam
+//! ([`crate::backend::BistBackend::process_sequenced`] /
+//! [`crate::backend::DynBistBackend::process_dyn_sequenced`]) under a
+//! **visibility protocol** that makes the behavioural engine and the
+//! gate-accurate RTL tops stop at the *same sample index*:
+//!
+//! * Static: every RTL measurement and functional check emerges exactly
+//!   [`STATIC_DECISION_LATENCY`] ticks after the behavioural
+//!   accumulators record it (the two-flop synchroniser; both deglitch
+//!   filters vote over windows ending at the current sample, adding no
+//!   lag). A checkpoint "at sample `s`" is therefore evaluated by both
+//!   backends after consuming sample `s + 2`: the RTL has emitted
+//!   exactly the events with closing sample `≤ s`, and the behavioural
+//!   wrapper delays its events through a bounded FIFO to match. Early
+//!   verdict counters come from the sequencer's own visible tallies, so
+//!   early-stopped verdicts are bit-exact across backends by
+//!   construction; completed sweeps fall through to the PR-3 bit-exact
+//!   full-sweep path.
+//! * Dynamic: the sequencer consumes the centred code values directly —
+//!   the identical integer sequence both backends acquire — so its
+//!   decisions cannot depend on the backend at all. On an early stop
+//!   the RTL input pipeline is flushed (one drain tick) so both
+//!   backends report the same consumed-sample count; the truncated
+//!   record's raw dB metrics may still differ by the RTL's bounded
+//!   fixed-point quantisation, exactly like the full-record contract.
+//!
+//! The `bist_mc::differential::run_seq_differential` fleet sweep (and
+//! the `seq_fleet` binary gating CI) validates decision-exactness at
+//! scale and measures the empirical type I/II drift and the
+//! samples-to-decision saving against full-sweep ground truth.
+
+use crate::config::BistConfig;
+use crate::dynamic::{DynamicConfig, DynamicVerdict};
+use crate::harness::BistVerdict;
+use bist_dsp::special::{normal_pdf, normal_quantile};
+use bist_dsp::stats::Running;
+use std::error::Error;
+use std::f64::consts::TAU;
+use std::fmt;
+
+/// Exact emission latency of the static RTL datapath relative to the
+/// behavioural accumulators, in samples: the two-flop input
+/// synchroniser. Both deglitch filters (3-tap majority, median-of-3)
+/// vote over windows ending at the current sample and add no further
+/// lag, so the latency is constant across configurations — the property
+/// tests in `crates/core/tests/sequencer_equivalence.rs` pin it.
+pub const STATIC_DECISION_LATENCY: u64 = 2;
+
+/// Minimum judged codes before the static sequencer trusts its Welford
+/// statistics.
+const MIN_CODES_FOR_STATS: u64 = 8;
+
+/// Minimum residual blocks before the dynamic sequencer trusts its
+/// confidence interval.
+const MIN_BLOCKS_FOR_STATS: u64 = 4;
+
+/// The checkpoint-level early-stop decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqDecision {
+    /// Not confident either way yet — keep sweeping.
+    Continue,
+    /// Accept the device now; the payload is the decision sample index
+    /// (the visible horizon the decision was taken at).
+    AcceptEarly(u64),
+    /// Reject the device now; the payload is the decision sample index.
+    RejectEarly(u64),
+}
+
+impl SeqDecision {
+    /// Whether this decision stops the sweep.
+    pub fn stops(&self) -> bool {
+        !matches!(self, SeqDecision::Continue)
+    }
+
+    /// The decision sample index, if the sweep was stopped early.
+    pub fn at_sample(&self) -> Option<u64> {
+        match self {
+            SeqDecision::Continue => None,
+            SeqDecision::AcceptEarly(s) | SeqDecision::RejectEarly(s) => Some(*s),
+        }
+    }
+}
+
+impl fmt::Display for SeqDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqDecision::Continue => write!(f, "continue"),
+            SeqDecision::AcceptEarly(s) => write!(f, "accept early @ {s}"),
+            SeqDecision::RejectEarly(s) => write!(f, "reject early @ {s}"),
+        }
+    }
+}
+
+/// Error from [`SequencerConfig::validate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SequencerConfigError {
+    /// `alpha` must lie strictly inside (0, 1).
+    BadAlpha(f64),
+    /// `beta` must lie strictly inside (0, 1).
+    BadBeta(f64),
+    /// `min_samples` must be at least 1.
+    BadMinSamples,
+    /// `check_interval` must be at least 1.
+    BadCheckInterval,
+}
+
+impl fmt::Display for SequencerConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequencerConfigError::BadAlpha(a) => {
+                write!(f, "alpha must be strictly inside (0, 1), got {a}")
+            }
+            SequencerConfigError::BadBeta(b) => {
+                write!(f, "beta must be strictly inside (0, 1), got {b}")
+            }
+            SequencerConfigError::BadMinSamples => write!(f, "min_samples must be at least 1"),
+            SequencerConfigError::BadCheckInterval => {
+                write!(f, "check_interval must be at least 1")
+            }
+        }
+    }
+}
+
+impl Error for SequencerConfigError {}
+
+/// The early-stop policy: drift budgets and checkpoint cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencerConfig {
+    /// Type I drift budget: the allowed probability (per device) that
+    /// the sequencer *rejects* a device the full sweep would accept.
+    /// Spent Bonferroni-style across the sweep's checkpoints.
+    pub alpha: f64,
+    /// Type II drift budget: the allowed probability (per device) that
+    /// the sequencer *accepts* a device the full sweep would reject.
+    pub beta: f64,
+    /// No decision before this many samples are visible — a floor on
+    /// the evidence any early stop is based on.
+    pub min_samples: u64,
+    /// Checkpoint spacing in samples; also the residual block length of
+    /// the dynamic statistic and the quiet dwell required before a
+    /// judged-complete static sweep accepts.
+    pub check_interval: u64,
+}
+
+impl Default for SequencerConfig {
+    fn default() -> Self {
+        SequencerConfig {
+            alpha: 1e-3,
+            beta: 1e-3,
+            min_samples: 256,
+            check_interval: 64,
+        }
+    }
+}
+
+impl SequencerConfig {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequencerConfigError`] when a knob is out of range.
+    pub fn validate(&self) -> Result<(), SequencerConfigError> {
+        if !(self.alpha > 0.0 && self.alpha < 1.0) {
+            return Err(SequencerConfigError::BadAlpha(self.alpha));
+        }
+        if !(self.beta > 0.0 && self.beta < 1.0) {
+            return Err(SequencerConfigError::BadBeta(self.beta));
+        }
+        if self.min_samples == 0 {
+            return Err(SequencerConfigError::BadMinSamples);
+        }
+        if self.check_interval == 0 {
+            return Err(SequencerConfigError::BadCheckInterval);
+        }
+        Ok(())
+    }
+
+    /// Whether `visible` samples is a checkpoint under this policy.
+    pub fn checkpoint_due(&self, visible: u64) -> bool {
+        visible >= self.min_samples
+            && (visible - self.min_samples).is_multiple_of(self.check_interval)
+    }
+
+    /// Per-checkpoint budget: the total budget split evenly over the
+    /// worst-case number of looks (clamped into a numerically safe
+    /// range for the normal quantile).
+    fn per_look(total: f64, looks: u64) -> f64 {
+        (total / looks.max(1) as f64).clamp(1e-12, 0.5)
+    }
+}
+
+/// A verdict type the sequencer can wrap: exposes the device decision
+/// and the consumed-sample count.
+pub trait SweptVerdict {
+    /// The full-sweep device decision.
+    fn accepted(&self) -> bool;
+    /// ADC samples the sweep consumed.
+    fn samples(&self) -> u64;
+}
+
+impl SweptVerdict for BistVerdict {
+    fn accepted(&self) -> bool {
+        BistVerdict::accepted(self)
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl SweptVerdict for DynamicVerdict {
+    fn accepted(&self) -> bool {
+        DynamicVerdict::accepted(self)
+    }
+
+    fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Outcome of one sequenced sweep: the early-stop decision (or
+/// [`SeqDecision::Continue`] for a sweep that ran to completion) plus
+/// the verdict latched at stop time.
+///
+/// For an early stop the verdict holds the sequencer-visible counters
+/// (static) or the truncated-record metrics (dynamic); either way
+/// [`SeqOutcome::accepted`] — not `verdict.accepted()` — is the device
+/// decision the silicon latches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqOutcome<V> {
+    /// The sequencer's decision for this sweep.
+    pub decision: SeqDecision,
+    /// The verdict at stop time (the full-sweep verdict when
+    /// `decision` is `Continue`).
+    pub verdict: V,
+}
+
+impl<V: SweptVerdict> SeqOutcome<V> {
+    /// The device-level decision the sequenced test latches.
+    pub fn accepted(&self) -> bool {
+        match self.decision {
+            SeqDecision::AcceptEarly(_) => true,
+            SeqDecision::RejectEarly(_) => false,
+            SeqDecision::Continue => self.verdict.accepted(),
+        }
+    }
+
+    /// Whether the sweep stopped before consuming its full stimulus.
+    pub fn stopped_early(&self) -> bool {
+        self.decision.stops()
+    }
+
+    /// ADC samples physically consumed by the sequenced sweep.
+    pub fn samples_consumed(&self) -> u64 {
+        self.verdict.samples()
+    }
+
+    /// Samples saved against a known full-sweep length.
+    pub fn samples_saved(&self, full_samples: u64) -> u64 {
+        full_samples.saturating_sub(self.samples_consumed())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static workload
+// ---------------------------------------------------------------------
+
+/// Mills-ratio upper bound on the standard normal upper tail:
+/// `P(Z > z) ≤ φ(z)/z` for every `z > 0` (capped at 1 near/below
+/// zero). Exp-only — the checkpoint hot path cannot afford the
+/// continued-fraction `erfc`.
+fn gauss_tail_upper(z: f64) -> f64 {
+    if z <= 0.4 {
+        1.0
+    } else {
+        normal_pdf(z) / z
+    }
+}
+
+/// Matching lower bound: `P(Z > z) ≥ φ(z)·z/(1+z²)` for `z > 0`, and
+/// `½` for `z ≤ 0` (the true tail is at least that there).
+fn gauss_tail_lower(z: f64) -> f64 {
+    if z <= 0.0 {
+        0.5
+    } else {
+        normal_pdf(z) * z / (1.0 + z * z)
+    }
+}
+
+/// The early-stop decision layer for the static-linearity workload.
+///
+/// Reusable across sweeps: [`StaticSequencer::begin`] rederives the
+/// per-config thresholds and clears the tallies without touching the
+/// heap (the struct is entirely inline state), so the sequenced
+/// device→verdict hot path stays allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct StaticSequencer {
+    policy: SequencerConfig,
+    // Derived per sweep by `begin`.
+    i_min: f64,
+    i_max: f64,
+    i_ideal: f64,
+    inl_limit: Option<u64>,
+    expected: u64,
+    alpha_look: f64,
+    beta_look: f64,
+    /// `ln(1/alpha_look)` — the early-reject evidence threshold, so the
+    /// hot checkpoint avoids `powf`/`ln` entirely.
+    ln_inv_alpha: f64,
+    z_alpha: f64,
+    z_beta: f64,
+    // Visible tallies.
+    codes: u64,
+    dnl_failures: u64,
+    inl_failures: u64,
+    functional_checks: u64,
+    functional_mismatches: u64,
+    inl_last: i64,
+    last_event_sample: u64,
+    widths: Running,
+}
+
+impl StaticSequencer {
+    /// Creates a sequencer with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`SequencerConfig::validate`].
+    pub fn new(policy: SequencerConfig) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("invalid sequencer policy: {e}");
+        }
+        StaticSequencer {
+            policy,
+            i_min: 0.0,
+            i_max: 0.0,
+            i_ideal: 1.0,
+            inl_limit: None,
+            expected: 0,
+            alpha_look: 0.5,
+            beta_look: 0.5,
+            ln_inv_alpha: 0.0,
+            z_alpha: 0.0,
+            z_beta: 0.0,
+            codes: 0,
+            dnl_failures: 0,
+            inl_failures: 0,
+            functional_checks: 0,
+            functional_mismatches: 0,
+            inl_last: 0,
+            last_event_sample: 0,
+            widths: Running::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &SequencerConfig {
+        &self.policy
+    }
+
+    /// Arms the sequencer for one sweep under `config`: derives the
+    /// count window, the expected measurement count and the per-look
+    /// budgets, and clears every tally.
+    pub fn begin(&mut self, config: &BistConfig) {
+        let limits = config.limits();
+        self.i_min = limits.i_min() as f64;
+        self.i_max = limits.i_max() as f64;
+        self.i_ideal = limits.i_ideal() as f64;
+        self.inl_limit = config.inl_limit_counts();
+        self.expected = config.expected_measurements();
+        // Worst-case checkpoint count: the planned sweep is roughly
+        // i_ideal samples per code over the expected codes plus the
+        // 14-LSB lead-in/overshoot of the harness ramp.
+        let horizon = limits.i_ideal() * (self.expected + 14);
+        let looks = horizon
+            .saturating_sub(self.policy.min_samples)
+            .div_euclid(self.policy.check_interval)
+            + 1;
+        self.alpha_look = SequencerConfig::per_look(self.policy.alpha, looks);
+        self.beta_look = SequencerConfig::per_look(self.policy.beta, looks);
+        self.ln_inv_alpha = -self.alpha_look.ln();
+        self.z_alpha = normal_quantile(1.0 - self.alpha_look);
+        self.z_beta = normal_quantile(1.0 - self.beta_look);
+        self.codes = 0;
+        self.dnl_failures = 0;
+        self.inl_failures = 0;
+        self.functional_checks = 0;
+        self.functional_mismatches = 0;
+        self.inl_last = 0;
+        self.last_event_sample = 0;
+        self.widths = Running::new();
+    }
+
+    /// Feeds one visible code measurement (closing sample `at_sample`).
+    pub fn observe_code(
+        &mut self,
+        at_sample: u64,
+        count: u64,
+        dnl_pass: bool,
+        inl_pass: bool,
+        inl_counts: i64,
+    ) {
+        self.codes += 1;
+        if !dnl_pass {
+            self.dnl_failures += 1;
+        }
+        if !inl_pass {
+            self.inl_failures += 1;
+        }
+        self.inl_last = inl_counts;
+        self.last_event_sample = at_sample;
+        self.widths.push(count as f64);
+    }
+
+    /// Feeds one visible functional check.
+    pub fn observe_functional(&mut self, ok: bool) {
+        self.functional_checks += 1;
+        if !ok {
+            self.functional_mismatches += 1;
+        }
+    }
+
+    /// Number of code measurements visible so far.
+    pub fn codes_seen(&self) -> u64 {
+        self.codes
+    }
+
+    /// Whether a checkpoint is due at `visible` samples.
+    pub fn checkpoint_due(&self, visible: u64) -> bool {
+        self.policy.checkpoint_due(visible)
+    }
+
+    /// The first checkpoint sample strictly after `visible` on the
+    /// `min_samples + k·check_interval` lattice — the countdown target
+    /// hot loops compare against instead of a per-sample modulo.
+    pub fn next_checkpoint_after(&self, visible: u64) -> u64 {
+        let min = self.policy.min_samples;
+        if visible < min {
+            min
+        } else {
+            min + ((visible - min) / self.policy.check_interval + 1) * self.policy.check_interval
+        }
+    }
+
+    /// The compact verdict as visible at stop time: the sequencer's own
+    /// tallies (identical across backends by construction) with the
+    /// physically consumed sample count.
+    pub fn verdict(&self, samples_consumed: u64) -> BistVerdict {
+        BistVerdict {
+            codes_judged: self.codes,
+            dnl_failures: self.dnl_failures,
+            inl_failures: self.inl_failures,
+            functional_checks: self.functional_checks,
+            functional_mismatches: self.functional_mismatches,
+            expected_codes: self.expected,
+            samples: samples_consumed,
+        }
+    }
+
+    /// Upper bound on the Gaussian mass outside the count window — the
+    /// accept-side estimate (overestimating can only delay an accept).
+    /// Uses the `φ(z)/z` tail bound: exp-only arithmetic, no `erfc` on
+    /// the hot checkpoint path.
+    fn tail_outside_upper(&self, mean: f64, sd: f64) -> f64 {
+        let sd = sd.max(1e-6);
+        let below = gauss_tail_upper((mean - self.i_min) / sd);
+        let above = gauss_tail_upper((self.i_max - mean) / sd);
+        (below + above).min(1.0)
+    }
+
+    /// Lower bound on the Gaussian mass outside the (continuity-
+    /// corrected) count window — the reject-side estimate
+    /// (underestimating can only delay a reject).
+    fn tail_outside_lower(&self, mean: f64, sd: f64) -> f64 {
+        let sd = sd.max(1e-6);
+        let below = gauss_tail_lower((mean - (self.i_min - 0.5)) / sd);
+        let above = gauss_tail_lower(((self.i_max + 0.5) - mean) / sd);
+        (below + above).min(1.0)
+    }
+
+    /// Evaluates the decision rule at a checkpoint with `visible`
+    /// samples of evidence.
+    pub fn checkpoint(&mut self, visible: u64) -> SeqDecision {
+        // Observed failure: the full sweep rejects with certainty.
+        if self.dnl_failures + self.inl_failures + self.functional_mismatches > 0 {
+            return SeqDecision::RejectEarly(visible);
+        }
+        // Surplus measurements: exact-count completeness already broken.
+        if self.codes > self.expected {
+            return SeqDecision::RejectEarly(visible);
+        }
+        // Judged complete and clean: accept once the tail has been
+        // quiet for a full checkpoint interval (a toggle still in
+        // flight right after the last transition would add a surplus
+        // measurement the full sweep would see).
+        if self.codes == self.expected {
+            return if visible - self.last_event_sample >= self.policy.check_interval {
+                SeqDecision::AcceptEarly(visible)
+            } else {
+                SeqDecision::Continue
+            };
+        }
+        // Beyond this point the rules are *statistical*: they predict
+        // the codes not yet swept from the Welford moments of the codes
+        // already measured, i.e. they are calibrated against the
+        // process model (exchangeable code widths — the §3 Gaussian
+        // law both fleet populations follow). A localized defect
+        // parked beyond the decision horizon is invisible to any early
+        // decision by construction; the drift it causes is what the
+        // `beta` budget prices, and what the sequenced differential
+        // fleet sweep measures empirically.
+        let k = self.codes;
+        if k < MIN_CODES_FOR_STATS {
+            return SeqDecision::Continue;
+        }
+        let remaining = (self.expected - k) as f64;
+        let mean = self.widths.mean();
+        let sd = self.widths.std_dev().max(1e-6);
+        let se = sd / (k as f64).sqrt();
+        let drift = mean - self.i_ideal;
+
+        // --- Early accept (spends beta): every remaining code is
+        // predicted to pass both windows with confidence.
+        // `P(any fail) ≤ r·p_hi` (Bonferroni), so gating `r·p_hi` is
+        // conservative and avoids `powf` on the hot path.
+        let sd_hi = sd * (1.0 + self.z_beta / (2.0 * (k - 1) as f64).sqrt());
+        let p_hi = self
+            .tail_outside_upper(mean - self.z_beta * se, sd_hi)
+            .max(self.tail_outside_upper(mean + self.z_beta * se, sd_hi));
+        let inl_ok = match self.inl_limit {
+            None => true,
+            Some(limit) => {
+                let end = (self.inl_last as f64 + drift * remaining).abs();
+                let spread = self.z_beta * (2.0 * sd_hi * remaining.sqrt() + se * remaining);
+                end + spread <= limit as f64
+            }
+        };
+        if remaining * p_hi <= self.beta_look && inl_ok {
+            return SeqDecision::AcceptEarly(visible);
+        }
+
+        // --- Early reject (spends alpha): the device is predicted to
+        // fail somewhere ahead with confidence, under the *optimistic*
+        // reading of the statistics. `(1−p)^r ≤ e^{−r·p}`, so demanding
+        // `r·p_lo ≥ ln(1/alpha_look)` is conservative.
+        let center = (self.i_min + self.i_max) / 2.0;
+        let mean_opt = center.clamp(mean - self.z_alpha * se, mean + self.z_alpha * se);
+        let p_lo = self.tail_outside_lower(mean_opt, sd);
+        if remaining * p_lo >= self.ln_inv_alpha {
+            return SeqDecision::RejectEarly(visible);
+        }
+        if let Some(limit) = self.inl_limit {
+            let end = (self.inl_last as f64 + drift * remaining).abs();
+            let spread = self.z_alpha * (2.0 * sd * remaining.sqrt() + se * remaining);
+            if end - spread > limit as f64 {
+                return SeqDecision::RejectEarly(visible);
+            }
+        }
+        SeqDecision::Continue
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dynamic workload
+// ---------------------------------------------------------------------
+
+/// Per-block partial sums of the dynamic residual statistic. The trig
+/// moments are data-independent but cheapest to accumulate in stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BlockSums {
+    sv: f64,
+    svv: f64,
+    svc: f64,
+    svs: f64,
+    c: f64,
+    s: f64,
+    cc: f64,
+    ss: f64,
+    cs: f64,
+}
+
+/// The early-stop decision layer for the dynamic workload.
+///
+/// Consumes the centred half-LSB code values directly — the identical
+/// integer sequence both backends acquire — so its decisions are
+/// backend-independent by construction. The statistic: an incremental
+/// quadrature estimate of the fundamental (amplitude + DC) and, per
+/// [`SequencerConfig::check_interval`]-sample block, the residual power
+/// after subtracting that model. The residual is exactly the
+/// noise-and-distortion (NAD) band of the SINAD definition; Welford
+/// moments over the blocks give a confidence interval, and a
+/// deterministic partial-record leakage guard covers the model bias.
+/// Harmonic distortion is bounded through the NAD (each distinct alias
+/// bin's power is part of the residual), so no per-harmonic state is
+/// needed.
+///
+/// Reusable across sweeps and configurations: the block buffer is
+/// cleared, never shrunk, so the sequenced dynamic hot path is
+/// allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct DynSequencer {
+    policy: SequencerConfig,
+    // Plan cache key.
+    n: usize,
+    bin: usize,
+    harmonics: usize,
+    // Derived thresholds.
+    sinad_ratio_min: f64,
+    thd_ratio_max: f64,
+    noise_max_half: f64,
+    order_multiplicity: f64,
+    guard_scale: f64,
+    alpha_look: f64,
+    beta_look: f64,
+    z_alpha: f64,
+    z_beta: f64,
+    // Quadrature recurrence at the fundamental.
+    rot_cos: f64,
+    rot_sin: f64,
+    cur_cos: f64,
+    cur_sin: f64,
+    qc: f64,
+    qs: f64,
+    // Exact integer side sums.
+    sum: i64,
+    sum_sq: u64,
+    samples: u64,
+    // Residual blocks.
+    blocks: Vec<BlockSums>,
+    cur: BlockSums,
+    /// Samples left in the current block (countdown — no hot-path
+    /// modulo).
+    block_left: u64,
+}
+
+impl DynSequencer {
+    /// Creates a sequencer with the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy fails [`SequencerConfig::validate`].
+    pub fn new(policy: SequencerConfig) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("invalid sequencer policy: {e}");
+        }
+        DynSequencer {
+            policy,
+            n: 0,
+            bin: 0,
+            harmonics: 0,
+            sinad_ratio_min: 1.0,
+            thd_ratio_max: 1.0,
+            noise_max_half: 0.0,
+            order_multiplicity: 1.0,
+            guard_scale: 0.0,
+            alpha_look: 0.5,
+            beta_look: 0.5,
+            z_alpha: 0.0,
+            z_beta: 0.0,
+            rot_cos: 1.0,
+            rot_sin: 0.0,
+            cur_cos: 1.0,
+            cur_sin: 0.0,
+            qc: 0.0,
+            qs: 0.0,
+            sum: 0,
+            sum_sq: 0,
+            samples: 0,
+            blocks: Vec::new(),
+            cur: BlockSums::default(),
+            block_left: policy.check_interval,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> &SequencerConfig {
+        &self.policy
+    }
+
+    /// Arms the sequencer for one record under `config`: derives the
+    /// limit thresholds (in half-LSB² units), the leakage guard and the
+    /// per-look budgets, and clears all accumulation. The block buffer
+    /// keeps its capacity.
+    pub fn begin(&mut self, config: &DynamicConfig) {
+        let n = config.record_len();
+        let bin = config.cycles() as usize;
+        if self.n != n || self.bin != bin || self.harmonics != config.harmonics() {
+            self.n = n;
+            self.bin = bin;
+            self.harmonics = config.harmonics();
+            let omega = TAU * bin as f64 / n as f64;
+            self.rot_cos = omega.cos();
+            self.rot_sin = omega.sin();
+            // Worst orders-per-alias-bin multiplicity of the plan: the
+            // THD band is bounded by `multiplicity × NAD`.
+            let plan = bist_dsp::goertzel::harmonic_plan(bin, n, config.harmonics());
+            let mut mult = 1u32;
+            for slot in 0..plan.bins.len() {
+                let shares = plan.slots.iter().flatten().filter(|&&x| x == slot).count() as u32;
+                mult = mult.max(shares);
+            }
+            self.order_multiplicity = mult as f64;
+            // Partial-record model bias: the quadrature estimates of
+            // the fundamental and the DC over m samples carry Dirichlet
+            // leakage O(1/(m sin ω)) and O(1/(m sin ω/2)); the induced
+            // residual-power bias is covered by guard_scale·carrier/m².
+            let s1 = omega.sin().abs().max(1e-6);
+            let s2 = (omega / 2.0).sin().abs().max(1e-6);
+            self.guard_scale = 8.0 / (s1 * s1) + 4.0 / (s2 * s2);
+        }
+        let limits = config.limits();
+        let sinad_eff = limits.min_sinad_db.max(limits.min_enob * 6.02 + 1.76);
+        self.sinad_ratio_min = 10f64.powf(sinad_eff / 10.0);
+        self.thd_ratio_max = 10f64.powf(limits.max_thd_db / 10.0);
+        // Limits are in LSB²; the sequencer works in half-LSB² (×4).
+        self.noise_max_half = limits.max_noise_power_lsb2 * 4.0;
+        let looks = (n as u64)
+            .saturating_sub(self.policy.min_samples)
+            .div_euclid(self.policy.check_interval)
+            + 1;
+        self.alpha_look = SequencerConfig::per_look(self.policy.alpha, looks);
+        self.beta_look = SequencerConfig::per_look(self.policy.beta, looks);
+        self.z_alpha = normal_quantile(1.0 - self.alpha_look);
+        self.z_beta = normal_quantile(1.0 - self.beta_look);
+        self.cur_cos = 1.0;
+        self.cur_sin = 0.0;
+        self.qc = 0.0;
+        self.qs = 0.0;
+        self.sum = 0;
+        self.sum_sq = 0;
+        self.samples = 0;
+        self.blocks.clear();
+        self.blocks
+            .reserve(n / self.policy.check_interval as usize + 1);
+        self.cur = BlockSums::default();
+        self.block_left = self.policy.check_interval;
+    }
+
+    /// Feeds one centred half-LSB code value `v = 2·code + 1 − 2ⁿ`.
+    pub fn push(&mut self, v: i64) {
+        let x = v as f64;
+        let (c, s) = (self.cur_cos, self.cur_sin);
+        self.qc += x * c;
+        self.qs += x * s;
+        // Rotate the quadrature phasor by ω.
+        self.cur_cos = c * self.rot_cos - s * self.rot_sin;
+        self.cur_sin = s * self.rot_cos + c * self.rot_sin;
+        self.sum += v;
+        self.sum_sq += (v * v) as u64;
+        self.cur.sv += x;
+        self.cur.svv += x * x;
+        self.cur.svc += x * c;
+        self.cur.svs += x * s;
+        self.cur.c += c;
+        self.cur.s += s;
+        self.cur.cc += c * c;
+        self.cur.ss += s * s;
+        self.cur.cs += c * s;
+        self.samples += 1;
+        self.block_left -= 1;
+        if self.block_left == 0 {
+            self.blocks.push(self.cur);
+            self.cur = BlockSums::default();
+            self.block_left = self.policy.check_interval;
+        }
+    }
+
+    /// Samples consumed so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether a checkpoint is due at `visible` consumed samples: the
+    /// dynamic path has no pipeline latency, so decisions ride directly
+    /// on the acquired stream — on block boundaries at or after
+    /// `min_samples`, strictly before the record completes. (Hot loops
+    /// use [`DynSequencer::next_checkpoint_after`] countdowns instead
+    /// of calling this per sample.)
+    pub fn checkpoint_due(&self, visible: u64) -> bool {
+        visible < self.n as u64
+            && visible >= self.policy.min_samples
+            && visible.is_multiple_of(self.policy.check_interval)
+    }
+
+    /// The first checkpoint sample strictly after `consumed` — the
+    /// countdown target hot loops compare against instead of a
+    /// per-sample modulo.
+    pub fn next_checkpoint_after(&self, consumed: u64) -> u64 {
+        let interval = self.policy.check_interval;
+        let next = (consumed / interval + 1) * interval;
+        next.max(self.policy.min_samples.div_ceil(interval) * interval)
+    }
+
+    /// Evaluates the decision rule at a checkpoint with `visible`
+    /// consumed samples.
+    pub fn checkpoint(&mut self, visible: u64) -> SeqDecision {
+        let blocks = self.blocks.len() as u64;
+        if blocks < MIN_BLOCKS_FOR_STATS {
+            return SeqDecision::Continue;
+        }
+        let m = visible as f64;
+        let dc = self.sum as f64 / m;
+        let ac = 2.0 * self.qc / m;
+        let asn = 2.0 * self.qs / m;
+        let carrier = (ac * ac + asn * asn) / 2.0;
+        let block_len = self.policy.check_interval as f64;
+        let mut resid = Running::new();
+        for b in &self.blocks {
+            let model_energy = ac * ac * b.cc
+                + asn * asn * b.ss
+                + 2.0 * ac * asn * b.cs
+                + 2.0 * dc * (ac * b.c + asn * b.s)
+                + block_len * dc * dc;
+            let r = b.svv - 2.0 * (ac * b.svc + asn * b.svs + dc * b.sv) + model_energy;
+            resid.push(r / block_len);
+        }
+        let nad = resid.mean().max(0.0);
+        let se = resid.std_dev() / (blocks as f64).sqrt();
+        let guard = self.guard_scale * carrier / (m * m);
+        let nad_hi = nad + self.z_beta * se + guard;
+        let nad_lo = (nad - self.z_alpha * se - guard).max(0.0);
+        // Carrier estimation uncertainty: noise-driven variance plus
+        // the same relative leakage bound.
+        let car_se = 2.0 * (carrier * nad / m).max(0.0).sqrt() + 4.0 * carrier / m;
+        let car_lo = carrier - self.z_beta * car_se;
+        let car_hi = carrier + self.z_alpha * car_se;
+
+        // Accept: every limit confidently met. SINAD/ENOB share the
+        // carrier/NAD ratio; THD is bounded by multiplicity × NAD;
+        // noise is bounded by NAD.
+        let sinad_ok = car_lo > 0.0 && nad_hi * self.sinad_ratio_min <= car_lo;
+        let thd_ok = self.order_multiplicity * nad_hi <= self.thd_ratio_max * car_lo;
+        let noise_ok = nad_hi <= self.noise_max_half;
+        if sinad_ok && thd_ok && noise_ok {
+            return SeqDecision::AcceptEarly(visible);
+        }
+        // Reject: the SINAD/ENOB band confidently fails even under the
+        // optimistic reading (a failed noise or THD limit implies a
+        // large NAD, so this rule dominates in practice; devices
+        // failing only a looser custom limit fall through to the full
+        // record — zero drift).
+        if nad_lo > 0.0 && nad_lo * self.sinad_ratio_min > car_hi {
+            return SeqDecision::RejectEarly(visible);
+        }
+        SeqDecision::Continue
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness-level runners
+// ---------------------------------------------------------------------
+
+use crate::backend::{BistBackend, DynBistBackend};
+use crate::dynamic::{plan_sine, DynScratch};
+use crate::harness::{plan_ramp, Scratch};
+use bist_adc::noise::NoiseConfig;
+use bist_adc::stream::CodeStream;
+use bist_adc::transfer::Adc;
+use rand::RngCore;
+
+/// Runs the sequenced static BIST on a converter with an explicit
+/// verdict backend: the same fused acquisition as
+/// [`crate::harness::run_static_bist_with_backend`], stopped early the
+/// moment the sequencer is confident. Both backends stop at the same
+/// decision sample (see the module docs).
+#[allow(clippy::too_many_arguments)]
+pub fn run_seq_static_bist_with_backend<B, A, R>(
+    backend: &mut B,
+    adc: &A,
+    config: &BistConfig,
+    seq: &mut StaticSequencer,
+    noise: &NoiseConfig,
+    slope_error: f64,
+    rng: &mut R,
+    scratch: &mut Scratch,
+) -> SeqOutcome<BistVerdict>
+where
+    B: BistBackend,
+    A: Adc + ?Sized,
+    R: RngCore + ?Sized,
+{
+    let (ramp, sampling) = plan_ramp(adc, config);
+    let ramp = ramp.with_slope_error(slope_error);
+    backend.process_sequenced(
+        config,
+        seq,
+        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
+        scratch,
+    )
+}
+
+/// Runs the sequenced dynamic BIST on a converter with an explicit
+/// verdict backend — the early-stop counterpart of
+/// [`crate::dynamic::run_dynamic_bist_with_backend`].
+pub fn run_seq_dynamic_bist_with_backend<B, A, R>(
+    backend: &mut B,
+    adc: &A,
+    config: &DynamicConfig,
+    seq: &mut DynSequencer,
+    noise: &NoiseConfig,
+    rng: &mut R,
+    scratch: &mut DynScratch,
+) -> SeqOutcome<DynamicVerdict>
+where
+    B: DynBistBackend,
+    A: Adc + ?Sized,
+    R: RngCore + ?Sized,
+{
+    let (sine, sampling) = plan_sine(adc, config);
+    backend.process_dyn_sequenced(
+        config,
+        seq,
+        CodeStream::noisy(adc, &sine, sampling, noise, rng),
+        scratch,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BehavioralBackend, RtlBackend};
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::transfer::TransferFunction;
+    use bist_adc::types::{Resolution, Volts};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(bits: u32) -> BistConfig {
+        BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(bits)
+            .build()
+            .unwrap()
+    }
+
+    fn ideal() -> TransferFunction {
+        TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(SequencerConfig::default().validate().is_ok());
+        for bad in [
+            SequencerConfig {
+                alpha: 0.0,
+                ..Default::default()
+            },
+            SequencerConfig {
+                beta: 1.0,
+                ..Default::default()
+            },
+            SequencerConfig {
+                min_samples: 0,
+                ..Default::default()
+            },
+            SequencerConfig {
+                check_interval: 0,
+                ..Default::default()
+            },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sequencer policy")]
+    fn static_sequencer_rejects_bad_policy() {
+        StaticSequencer::new(SequencerConfig {
+            alpha: -1.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn checkpoint_schedule() {
+        let p = SequencerConfig {
+            min_samples: 100,
+            check_interval: 50,
+            ..Default::default()
+        };
+        assert!(!p.checkpoint_due(99));
+        assert!(p.checkpoint_due(100));
+        assert!(!p.checkpoint_due(120));
+        assert!(p.checkpoint_due(150));
+    }
+
+    #[test]
+    fn ideal_static_device_accepts_early_and_no_earlier_than_min_samples() {
+        let config = cfg(5);
+        let mut seq = StaticSequencer::new(SequencerConfig::default());
+        let mut scratch = Scratch::new();
+        let out = run_seq_static_bist_with_backend(
+            &mut BehavioralBackend,
+            &ideal(),
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+        assert!(out.accepted());
+        assert!(out.stopped_early(), "{:?}", out.decision);
+        let at = out.decision.at_sample().unwrap();
+        assert!(at >= seq.policy().min_samples);
+        assert_eq!(
+            (at - seq.policy().min_samples) % seq.policy().check_interval,
+            0
+        );
+        // The ideal staircase is zero-variance: the statistical accept
+        // fires long before the ramp completes.
+        let (_, sampling) = plan_ramp(&ideal(), &config);
+        assert!(out.samples_consumed() < sampling.samples as u64 / 2);
+        assert!(out.samples_saved(sampling.samples as u64) > 0);
+    }
+
+    #[test]
+    fn grossly_nonlinear_device_rejects_early() {
+        let mut t: Vec<f64> = (1..=63).map(|k| k as f64 * 0.1).collect();
+        t[5] += 0.1; // code 5 twice as wide — fails within the first checkpoint horizon
+        let adc =
+            TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t);
+        let config = cfg(4);
+        let mut seq = StaticSequencer::new(SequencerConfig::default());
+        let mut scratch = Scratch::new();
+        let out = run_seq_static_bist_with_backend(
+            &mut BehavioralBackend,
+            &adc,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+        assert!(!out.accepted());
+        assert!(matches!(out.decision, SeqDecision::RejectEarly(_)));
+        let (_, sampling) = plan_ramp(&adc, &config);
+        assert!(out.samples_consumed() < sampling.samples as u64);
+    }
+
+    #[test]
+    fn sequenced_static_decision_matches_full_sweep_on_ideal_and_faulty() {
+        // Early stops must agree with what the full sweep would say
+        // when the defect lies inside the observable prefix (a defect
+        // parked beyond the horizon is the priced beta drift — see the
+        // checkpoint rule comments).
+        use crate::harness::run_static_bist_with;
+        for (label, adc) in [
+            ("ideal", ideal()),
+            ("bad", {
+                let mut t: Vec<f64> = (1..=63).map(|k| k as f64 * 0.1).collect();
+                t[8] += 0.09;
+                TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t)
+            }),
+        ] {
+            let config = cfg(5);
+            let mut scratch = Scratch::new();
+            let full = run_static_bist_with(
+                &adc,
+                &config,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut StdRng::seed_from_u64(2),
+                &mut scratch,
+            );
+            let mut seq = StaticSequencer::new(SequencerConfig::default());
+            let out = run_seq_static_bist_with_backend(
+                &mut BehavioralBackend,
+                &adc,
+                &config,
+                &mut seq,
+                &NoiseConfig::noiseless(),
+                0.0,
+                &mut StdRng::seed_from_u64(2),
+                &mut scratch,
+            );
+            assert_eq!(out.accepted(), full.accepted(), "{label}");
+        }
+    }
+
+    #[test]
+    fn rtl_and_behavioral_stop_at_the_same_sample_static() {
+        use bist_adc::flash::FlashConfig;
+        for seed in 0..8u64 {
+            let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
+            for (bits, deglitch) in [(4u32, false), (6, true)] {
+                let config =
+                    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+                        .counter_bits(bits)
+                        .deglitch(deglitch)
+                        .build()
+                        .unwrap();
+                let noise = NoiseConfig::noiseless().with_transition_noise(0.004);
+                let mut scratch = Scratch::new();
+                let mut seq = StaticSequencer::new(SequencerConfig::default());
+                let b = run_seq_static_bist_with_backend(
+                    &mut BehavioralBackend,
+                    &adc,
+                    &config,
+                    &mut seq,
+                    &noise,
+                    0.0,
+                    &mut StdRng::seed_from_u64(100 + seed),
+                    &mut scratch,
+                );
+                let r = run_seq_static_bist_with_backend(
+                    &mut RtlBackend::new(),
+                    &adc,
+                    &config,
+                    &mut seq,
+                    &noise,
+                    0.0,
+                    &mut StdRng::seed_from_u64(100 + seed),
+                    &mut scratch,
+                );
+                assert_eq!(b.decision, r.decision, "seed {seed} bits {bits}");
+                assert_eq!(b.verdict, r.verdict, "seed {seed} bits {bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_ideal_accepts_early_and_matches_across_backends() {
+        let config = DynamicConfig::paper_default();
+        let mut seq = DynSequencer::new(SequencerConfig {
+            min_samples: 512,
+            ..Default::default()
+        });
+        let mut scratch = DynScratch::new();
+        let adc = ideal();
+        let b = run_seq_dynamic_bist_with_backend(
+            &mut BehavioralBackend,
+            &adc,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(3),
+            &mut scratch,
+        );
+        assert!(b.accepted());
+        assert!(b.stopped_early());
+        assert!(b.samples_consumed() < config.record_len() as u64 / 2);
+        let r = run_seq_dynamic_bist_with_backend(
+            &mut RtlBackend::new(),
+            &adc,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(3),
+            &mut scratch,
+        );
+        assert_eq!(b.decision, r.decision);
+        assert_eq!(b.samples_consumed(), r.samples_consumed());
+    }
+
+    #[test]
+    fn dynamic_heavy_mismatch_rejects_early() {
+        use bist_adc::flash::FlashConfig;
+        let config = DynamicConfig::paper_default();
+        let adc = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_width_sigma_lsb(0.6)
+            .sample(&mut StdRng::seed_from_u64(4));
+        let mut seq = DynSequencer::new(SequencerConfig {
+            min_samples: 512,
+            ..Default::default()
+        });
+        let mut scratch = DynScratch::new();
+        let out = run_seq_dynamic_bist_with_backend(
+            &mut BehavioralBackend,
+            &adc,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(5),
+            &mut scratch,
+        );
+        assert!(!out.accepted());
+        assert!(matches!(out.decision, SeqDecision::RejectEarly(_)));
+    }
+
+    #[test]
+    fn completed_sweep_reports_continue_and_full_verdict() {
+        // An absurdly late min_samples forces the full sweep.
+        let config = cfg(5);
+        let mut seq = StaticSequencer::new(SequencerConfig {
+            min_samples: 1_000_000,
+            ..Default::default()
+        });
+        let mut scratch = Scratch::new();
+        let out = run_seq_static_bist_with_backend(
+            &mut BehavioralBackend,
+            &ideal(),
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+        assert_eq!(out.decision, SeqDecision::Continue);
+        assert!(!out.stopped_early());
+        assert!(out.accepted());
+        let full = crate::harness::run_static_bist_with(
+            &ideal(),
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(1),
+            &mut scratch,
+        );
+        assert_eq!(out.verdict, full);
+    }
+
+    #[test]
+    fn decision_display_and_helpers() {
+        assert_eq!(SeqDecision::Continue.to_string(), "continue");
+        assert!(SeqDecision::AcceptEarly(7).to_string().contains("7"));
+        assert!(SeqDecision::RejectEarly(9).stops());
+        assert_eq!(SeqDecision::AcceptEarly(7).at_sample(), Some(7));
+        assert_eq!(SeqDecision::Continue.at_sample(), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Property tests of the early-stop sequencer: backend
+//! decision-exactness under the visibility protocol, the min-samples /
+//! checkpoint-lattice invariants, and the empirical type I/II drift
+//! budgets on seeded fleets drawn from the process model the
+//! statistical rules are calibrated against.
+
+use bist_adc::flash::FlashConfig;
+use bist_adc::noise::NoiseConfig;
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::{Resolution, Volts};
+use bist_core::backend::{BehavioralBackend, RtlBackend};
+use bist_core::config::BistConfig;
+use bist_core::dynamic::{run_dynamic_bist_with, DynScratch, DynamicConfig};
+use bist_core::harness::{run_static_bist_with, Scratch};
+use bist_core::sequencer::{
+    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
+    SequencerConfig, StaticSequencer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn static_config(counter_bits: u32, deglitch: bool) -> BistConfig {
+    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(counter_bits)
+        .deglitch(deglitch)
+        .build()
+        .expect("paper operating points are valid")
+}
+
+/// Asserts an early decision respects the policy's lattice: no stop
+/// before `min_samples`, and every stop on a checkpoint.
+fn assert_on_lattice(decision: SeqDecision, policy: &SequencerConfig, dynamic: bool) {
+    if let Some(at) = decision.at_sample() {
+        assert!(
+            at >= policy.min_samples,
+            "decision at {at} violates min_samples {}",
+            policy.min_samples
+        );
+        let anchor = if dynamic {
+            // Dynamic checkpoints land on block boundaries.
+            0
+        } else {
+            policy.min_samples
+        };
+        assert_eq!(
+            (at - anchor) % policy.check_interval,
+            0,
+            "decision at {at} off the checkpoint lattice"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random flash devices, counter widths, deglitch and noise: both
+    /// sequenced backends latch the identical decision at the identical
+    /// sample index with identical verdict counters, and the policy's
+    /// min-samples floor and checkpoint lattice are never violated.
+    #[test]
+    fn sequenced_backends_latch_identically_static(
+        seed in 0u64..1_000_000,
+        counter_bits in 4u32..=7,
+        deglitch in any::<bool>(),
+        noisy in any::<bool>(),
+        min_samples in 64u64..512,
+        check_interval in 16u64..128,
+    ) {
+        let config = static_config(counter_bits, deglitch);
+        let policy = SequencerConfig {
+            min_samples,
+            check_interval,
+            ..Default::default()
+        };
+        let noise = if noisy {
+            NoiseConfig::noiseless().with_transition_noise(0.004)
+        } else {
+            NoiseConfig::noiseless()
+        };
+        let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
+        let mut seq = StaticSequencer::new(policy);
+        let mut scratch_b = Scratch::new();
+        let mut scratch_r = Scratch::new();
+        let b = run_seq_static_bist_with_backend(
+            &mut BehavioralBackend, &adc, &config, &mut seq, &noise, 0.0,
+            &mut StdRng::seed_from_u64(seed ^ 0xabc), &mut scratch_b,
+        );
+        let r = run_seq_static_bist_with_backend(
+            &mut RtlBackend::new(), &adc, &config, &mut seq, &noise, 0.0,
+            &mut StdRng::seed_from_u64(seed ^ 0xabc), &mut scratch_r,
+        );
+        prop_assert_eq!(b.decision, r.decision);
+        prop_assert_eq!(b.verdict, r.verdict);
+        prop_assert_eq!(b.accepted(), r.accepted());
+        assert_on_lattice(b.decision, &policy, false);
+    }
+
+    /// Same contract on the dynamic workload: the sequencer owns its
+    /// statistic, so the decision is backend-independent, and on an
+    /// early stop both backends report the same consumed-sample count.
+    #[test]
+    fn sequenced_backends_latch_identically_dynamic(
+        seed in 0u64..1_000_000,
+        sigma_milli in 0u32..300,
+        min_samples in 128u64..768,
+    ) {
+        let config = DynamicConfig::paper_default();
+        let policy = SequencerConfig {
+            min_samples,
+            check_interval: 64,
+            ..Default::default()
+        };
+        let adc = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_width_sigma_lsb(sigma_milli as f64 / 1000.0)
+            .sample(&mut StdRng::seed_from_u64(seed));
+        let noise = NoiseConfig::noiseless().with_input_noise(0.002);
+        let mut seq = DynSequencer::new(policy);
+        let mut scratch = DynScratch::new();
+        let b = run_seq_dynamic_bist_with_backend(
+            &mut BehavioralBackend, &adc, &config, &mut seq, &noise,
+            &mut StdRng::seed_from_u64(seed ^ 0xdef), &mut scratch,
+        );
+        let r = run_seq_dynamic_bist_with_backend(
+            &mut RtlBackend::new(), &adc, &config, &mut seq, &noise,
+            &mut StdRng::seed_from_u64(seed ^ 0xdef), &mut scratch,
+        );
+        prop_assert_eq!(b.decision, r.decision);
+        prop_assert_eq!(b.accepted(), r.accepted());
+        prop_assert_eq!(b.samples_consumed(), r.samples_consumed());
+        assert_on_lattice(b.decision, &policy, true);
+    }
+
+    /// A sweep that never reaches `min_samples` worth of checkpoints
+    /// must run to completion and reproduce the plain full-sweep
+    /// verdict bit-for-bit on both backends.
+    #[test]
+    fn late_min_samples_reduces_to_full_sweep(
+        seed in 0u64..100_000,
+        counter_bits in 4u32..=7,
+    ) {
+        let config = static_config(counter_bits, false);
+        let policy = SequencerConfig {
+            min_samples: 10_000_000,
+            ..Default::default()
+        };
+        let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
+        let mut scratch = Scratch::new();
+        let full = run_static_bist_with(
+            &adc, &config, &NoiseConfig::noiseless(), 0.0,
+            &mut StdRng::seed_from_u64(seed), &mut scratch,
+        );
+        let mut seq = StaticSequencer::new(policy);
+        for run_rtl in [false, true] {
+            let out = if run_rtl {
+                run_seq_static_bist_with_backend(
+                    &mut RtlBackend::new(), &adc, &config, &mut seq,
+                    &NoiseConfig::noiseless(), 0.0,
+                    &mut StdRng::seed_from_u64(seed), &mut scratch,
+                )
+            } else {
+                run_seq_static_bist_with_backend(
+                    &mut BehavioralBackend, &adc, &config, &mut seq,
+                    &NoiseConfig::noiseless(), 0.0,
+                    &mut StdRng::seed_from_u64(seed), &mut scratch,
+                )
+            };
+            prop_assert_eq!(out.decision, SeqDecision::Continue);
+            prop_assert_eq!(out.verdict, full);
+        }
+    }
+}
+
+/// Empirical drift harness: screens a seeded fleet with the sequencer
+/// and counts disagreements with the full-sweep verdict.
+fn static_drift(
+    policy: &SequencerConfig,
+    sigma: f64,
+    devices: usize,
+    seed: u64,
+) -> (u64, u64, u64) {
+    use bist_core::analytic::WidthDistribution;
+    use bist_mc_free::iid_transfer;
+    let config = static_config(6, false);
+    let dist = WidthDistribution::new(1.0, sigma);
+    let mut scratch = Scratch::new();
+    let mut seq = StaticSequencer::new(*policy);
+    let (mut good, mut drift_i, mut drift_ii) = (0u64, 0u64, 0u64);
+    for i in 0..devices {
+        let tf = iid_transfer(&dist, &mut StdRng::seed_from_u64(seed ^ (i as u64) << 3));
+        let full = run_static_bist_with(
+            &tf,
+            &config,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(seed ^ 0x77),
+            &mut scratch,
+        );
+        let out = run_seq_static_bist_with_backend(
+            &mut BehavioralBackend,
+            &tf,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut StdRng::seed_from_u64(seed ^ 0x77),
+            &mut scratch,
+        );
+        assert!(
+            out.decision.at_sample().unwrap_or(policy.min_samples) >= policy.min_samples,
+            "min_samples violated"
+        );
+        if full.accepted() {
+            good += 1;
+            drift_i += u64::from(!out.accepted());
+        } else {
+            drift_ii += u64::from(out.accepted());
+        }
+    }
+    (good, drift_i, drift_ii)
+}
+
+/// Minimal iid-width device builder (duplicated from `bist-mc`, which
+/// this crate cannot depend on without a cycle).
+mod bist_mc_free {
+    use bist_adc::transfer::TransferFunction;
+    use bist_adc::types::{Resolution, Volts};
+    use bist_core::analytic::WidthDistribution;
+    use rand::Rng;
+
+    pub fn iid_transfer<R: Rng>(dist: &WidthDistribution, rng: &mut R) -> TransferFunction {
+        let q = 0.1;
+        let n = Resolution::SIX_BIT.transition_count() as usize;
+        let mut t = Vec::with_capacity(n);
+        t.push(q);
+        for _ in 1..n {
+            let g: f64 = {
+                // Box-Muller-ish via two uniforms (accuracy is
+                // irrelevant — any fixed law works for the drift test).
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let v: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                (-2.0 * u.ln()).sqrt() * v.cos()
+            };
+            let w = (dist.mean() + dist.sigma() * g).max(0.0);
+            t.push(t.last().unwrap() + w * q);
+        }
+        TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t)
+    }
+}
+
+#[test]
+fn empirical_static_drift_within_budgets() {
+    // A fleet from the calibrated process model: the sequenced decision
+    // may disagree with the full sweep at most alpha (on good devices)
+    // / beta (on bad devices), with binomial slack for the finite
+    // sample. At the default 1e-3 budgets and 400 devices the expected
+    // drift count is < 1, so "within budget" means essentially zero.
+    let policy = SequencerConfig::default();
+    for sigma in [0.1, 0.21] {
+        let (good, drift_i, drift_ii) = static_drift(&policy, sigma, 400, 97);
+        let bad = 400 - good;
+        let allow = |budget: f64, n: u64| {
+            (budget * n as f64 + 3.0 * (budget * n as f64).sqrt()).ceil() as u64
+        };
+        assert!(
+            drift_i <= allow(policy.alpha, good),
+            "σ {sigma}: type I drift {drift_i}/{good} exceeds alpha {}",
+            policy.alpha
+        );
+        assert!(
+            drift_ii <= allow(policy.beta, bad),
+            "σ {sigma}: type II drift {drift_ii}/{bad} exceeds beta {}",
+            policy.beta
+        );
+    }
+}
+
+#[test]
+fn empirical_dynamic_drift_within_budgets() {
+    let policy = SequencerConfig {
+        min_samples: 256,
+        ..Default::default()
+    };
+    let config = DynamicConfig::paper_default();
+    let mut scratch = DynScratch::new();
+    let mut seq = DynSequencer::new(policy);
+    let (mut good, mut bad, mut drift_i, mut drift_ii) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..300u64 {
+        // σ spread straddling the acceptance boundary.
+        let sigma = 0.05 + 0.40 * (i as f64 / 300.0);
+        let adc = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_width_sigma_lsb(sigma)
+            .sample(&mut StdRng::seed_from_u64(1000 + i));
+        let full = run_dynamic_bist_with(
+            &adc,
+            &config,
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(2000 + i),
+            &mut scratch,
+        );
+        let out = run_seq_dynamic_bist_with_backend(
+            &mut BehavioralBackend,
+            &adc,
+            &config,
+            &mut seq,
+            &NoiseConfig::noiseless(),
+            &mut StdRng::seed_from_u64(2000 + i),
+            &mut scratch,
+        );
+        if full.accepted() {
+            good += 1;
+            drift_i += u64::from(!out.accepted());
+        } else {
+            bad += 1;
+            drift_ii += u64::from(out.accepted());
+        }
+    }
+    assert!(
+        good > 50 && bad > 50,
+        "sweep must straddle the boundary ({good}/{bad})"
+    );
+    let allow =
+        |budget: f64, n: u64| (budget * n as f64 + 3.0 * (budget * n as f64).sqrt()).ceil() as u64;
+    assert!(
+        drift_i <= allow(policy.alpha, good),
+        "type I drift {drift_i}/{good}"
+    );
+    assert!(
+        drift_ii <= allow(policy.beta, bad),
+        "type II drift {drift_ii}/{bad}"
+    );
+}

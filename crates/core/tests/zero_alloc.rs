@@ -220,4 +220,119 @@ fn hot_path_is_allocation_free_after_warmup() {
         after - before
     );
     assert!(dyn_accepted <= 10);
+
+    // The sequencer-wrapped device→verdict paths get the same
+    // guarantee on both backends: the StaticSequencer is inline state
+    // only, the DynSequencer's block buffer is cleared (never shrunk)
+    // by `begin`, and the early-stop wrappers reuse the same cached
+    // tops and scratches as the plain engines.
+    use bist_core::sequencer::{
+        run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer,
+        SequencerConfig, StaticSequencer,
+    };
+    let mut static_seq = StaticSequencer::new(SequencerConfig::default());
+    let mut dyn_seq = DynSequencer::new(SequencerConfig::default());
+    let mut seq_rtl = RtlBackend::new();
+    for round in 0..2u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        run_seq_static_bist_with_backend(
+            &mut bist_core::backend::BehavioralBackend,
+            &adc,
+            &plain,
+            &mut static_seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        run_seq_static_bist_with_backend(
+            &mut seq_rtl,
+            &adc,
+            &plain,
+            &mut static_seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        run_seq_dynamic_bist_with_backend(
+            &mut bist_core::backend::BehavioralBackend,
+            &adc,
+            &dyn_config,
+            &mut dyn_seq,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+        run_seq_dynamic_bist_with_backend(
+            &mut seq_rtl,
+            &adc,
+            &dyn_config,
+            &mut dyn_seq,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+    }
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut seq_decided = 0u32;
+    for round in 0..5u64 {
+        let mut rng = StdRng::seed_from_u64(round);
+        let a = run_seq_static_bist_with_backend(
+            &mut bist_core::backend::BehavioralBackend,
+            &adc,
+            &plain,
+            &mut static_seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        let b = run_seq_static_bist_with_backend(
+            &mut seq_rtl,
+            &adc,
+            &plain,
+            &mut static_seq,
+            &NoiseConfig::noiseless(),
+            0.0,
+            &mut rng,
+            &mut scratch,
+        );
+        let c = run_seq_dynamic_bist_with_backend(
+            &mut bist_core::backend::BehavioralBackend,
+            &adc,
+            &dyn_config,
+            &mut dyn_seq,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+        let d = run_seq_dynamic_bist_with_backend(
+            &mut seq_rtl,
+            &adc,
+            &dyn_config,
+            &mut dyn_seq,
+            &dyn_noise,
+            &mut rng,
+            &mut dyn_scratch,
+        );
+        assert_eq!(a.decision, b.decision, "sequenced backends diverged");
+        assert_eq!(
+            c.decision, d.decision,
+            "sequenced dynamic backends diverged"
+        );
+        seq_decided += u32::from(a.stopped_early())
+            + u32::from(b.stopped_early())
+            + u32::from(c.stopped_early())
+            + u32::from(d.stopped_early());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "sequenced path allocated {} times after warm-up",
+        after - before
+    );
+    // The sequencer must have done real early-stop work, not dead code.
+    assert!(seq_decided > 0, "no sequenced run stopped early");
 }

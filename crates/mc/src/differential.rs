@@ -28,18 +28,25 @@
 //! expectation ([`bist_core::dynamic::DynChecks`] plus the counters).
 //! Any disagreement is a [`DynDivergence`] and fails the run.
 
-use crate::batch::Batch;
+use crate::batch::{iid_width_transfer, Batch};
 use crate::parallel::partitioned;
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Resolution, Volts};
+use bist_core::analytic::WidthDistribution;
 use bist_core::backend::{BehavioralBackend, RtlBackend};
 use bist_core::config::BistConfig;
 use bist_core::dynamic::{
-    run_dynamic_bist_with_backend, DynScratch, DynamicConfig, DynamicVerdict,
+    run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig, DynamicVerdict,
 };
-use bist_core::harness::{run_static_bist_with_backend, BistVerdict, Scratch};
+use bist_core::harness::{
+    run_static_bist_with, run_static_bist_with_backend, BistVerdict, Scratch,
+};
+use bist_core::sequencer::{
+    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
+    SeqOutcome, SequencerConfig, StaticSequencer, SweptVerdict,
+};
 use rand::rngs::StdRng;
 use std::fmt;
 
@@ -619,6 +626,620 @@ pub fn run_dyn_differential(seed: u64, devices: usize, workers: usize) -> DynDif
     total
 }
 
+// ---------------------------------------------------------------------
+// The sequenced early-stop seam: both backends under the sequencer,
+// validated against full-sweep ground truth.
+// ---------------------------------------------------------------------
+
+/// Counter widths of the sequenced static cells.
+pub const SEQ_STATIC_COUNTER_BITS: [u32; 2] = [4, 7];
+
+/// Static mismatch points of the sequenced sweep, milli-LSB.
+pub const SEQ_STATIC_SIGMA_MILLI: [u32; 2] = [50, 210];
+
+/// Dynamic mismatch points of the sequenced sweep, milli-LSB.
+pub const SEQ_DYN_SIGMA_MILLI: [u32; 3] = [0, 160, 210];
+
+/// Converter resolutions of the sequenced dynamic cells.
+pub const SEQ_DYN_RESOLUTION_BITS: [u32; 2] = [6, 8];
+
+/// One cell of the sequenced sweep grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqScenarioId {
+    /// A static-linearity cell.
+    Static {
+        /// Counter width in bits.
+        counter_bits: u32,
+        /// Code-width mismatch σ_w in milli-LSB (iid-width devices).
+        sigma_milli_lsb: u32,
+        /// Whether the deglitch filters are in the datapath.
+        deglitch: bool,
+        /// Acquisition noise point.
+        noise: NoisePoint,
+    },
+    /// A dynamic (coherent-record) cell.
+    Dynamic {
+        /// Converter resolution in bits.
+        resolution_bits: u32,
+        /// Code-width mismatch σ_w in milli-LSB (flash devices).
+        sigma_milli_lsb: u32,
+        /// Sine cycles per record.
+        cycles: u32,
+    },
+}
+
+impl fmt::Display for SeqScenarioId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqScenarioId::Static {
+                counter_bits,
+                sigma_milli_lsb,
+                deglitch,
+                noise,
+            } => write!(
+                f,
+                "static/{counter_bits}-bit/σ0.{sigma_milli_lsb:03}/{}/{}",
+                if *deglitch { "deglitch" } else { "raw" },
+                noise.label()
+            ),
+            SeqScenarioId::Dynamic {
+                resolution_bits,
+                sigma_milli_lsb,
+                cycles,
+            } => write!(
+                f,
+                "dynamic/{resolution_bits}-bit/σ0.{sigma_milli_lsb:03}/{cycles}c"
+            ),
+        }
+    }
+}
+
+/// What the silicon latches from one sequenced run — the part that must
+/// be identical across backends for every workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqLatch {
+    /// The sequencer decision (kind and decision sample).
+    pub decision: SeqDecision,
+    /// The device-level decision.
+    pub accepted: bool,
+    /// ADC samples physically consumed.
+    pub samples: u64,
+}
+
+impl SeqLatch {
+    fn of<V: SweptVerdict>(outcome: &SeqOutcome<V>) -> Self {
+        SeqLatch {
+            decision: outcome.decision,
+            accepted: outcome.accepted(),
+            samples: outcome.samples_consumed(),
+        }
+    }
+}
+
+impl fmt::Display for SeqLatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} after {} samples)",
+            self.decision,
+            if self.accepted { "ACCEPT" } else { "REJECT" },
+            self.samples
+        )
+    }
+}
+
+/// A device/scenario where the two sequenced backends disagreed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqDivergence {
+    /// Device index within the sweep.
+    pub device: usize,
+    /// The sweep cell.
+    pub scenario: SeqScenarioId,
+    /// What the behavioural path latched.
+    pub behavioral: SeqLatch,
+    /// What the gate-accurate path latched.
+    pub rtl: SeqLatch,
+}
+
+impl fmt::Display for SeqDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "device {} [{}]: behavioral {} vs rtl {}",
+            self.device, self.scenario, self.behavioral, self.rtl
+        )
+    }
+}
+
+/// A candidate cell the grid builder dropped because its configuration
+/// failed validation (e.g. a fixed-point-unrealisable dynamic plan).
+/// Skipped cells carry no screened devices and are excluded from every
+/// throughput and drift figure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqSkippedCell {
+    /// The rejected cell.
+    pub scenario: SeqScenarioId,
+    /// The validation error.
+    pub reason: String,
+}
+
+/// Per-cell accounting of the sequenced sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqScenarioTally {
+    /// The sweep cell.
+    pub scenario: SeqScenarioId,
+    /// Devices compared in this cell.
+    pub comparisons: u64,
+    /// Devices with latch-identical backend agreement.
+    pub agreements: u64,
+    /// Sequenced runs that stopped before the full stimulus.
+    pub early_stops: u64,
+    /// Devices the full sweep accepts (ground truth).
+    pub full_accepted: u64,
+    /// Sequencer rejected a device the full sweep accepts.
+    pub drift_i: u64,
+    /// Sequencer accepted a device the full sweep rejects.
+    pub drift_ii: u64,
+    /// Total full-sweep samples (ground truth cost).
+    pub full_samples: u64,
+    /// Total sequenced samples (behavioural path).
+    pub seq_samples: u64,
+    /// Full-sweep samples over ground-truth-accepted devices.
+    pub full_samples_accepted: u64,
+    /// Sequenced samples over ground-truth-accepted devices.
+    pub seq_samples_accepted: u64,
+}
+
+impl SeqScenarioTally {
+    fn new(scenario: SeqScenarioId) -> Self {
+        SeqScenarioTally {
+            scenario,
+            comparisons: 0,
+            agreements: 0,
+            early_stops: 0,
+            full_accepted: 0,
+            drift_i: 0,
+            drift_ii: 0,
+            full_samples: 0,
+            seq_samples: 0,
+            full_samples_accepted: 0,
+            seq_samples_accepted: 0,
+        }
+    }
+
+    /// Mean samples-to-decision reduction in this cell (full / seq).
+    pub fn reduction(&self) -> f64 {
+        if self.seq_samples == 0 {
+            0.0
+        } else {
+            self.full_samples as f64 / self.seq_samples as f64
+        }
+    }
+}
+
+/// Outcome of a sequenced differential sweep.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeqDifferentialResult {
+    /// Devices swept.
+    pub devices: u64,
+    /// Total (device × valid scenario) comparisons.
+    pub comparisons: u64,
+    /// Comparisons with latch-identical backend agreement.
+    pub agreements: u64,
+    /// Every backend disagreement observed.
+    pub divergences: Vec<SeqDivergence>,
+    /// Accounting per valid sweep cell (stable grid order).
+    pub per_scenario: Vec<SeqScenarioTally>,
+    /// Candidate cells rejected by config validation — excluded from
+    /// all throughput figures so devices/s stays comparable.
+    pub skipped_cells: Vec<SeqSkippedCell>,
+}
+
+impl SeqDifferentialResult {
+    /// Whether the sweep found no backend divergence at all.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.agreements == self.comparisons
+    }
+
+    fn sum<F: Fn(&SeqScenarioTally) -> u64>(&self, f: F) -> u64 {
+        self.per_scenario.iter().map(f).sum()
+    }
+
+    /// Empirical type I drift rate: P(sequencer rejects | full sweep
+    /// accepts).
+    pub fn type_i_drift(&self) -> f64 {
+        let good = self.sum(|t| t.full_accepted);
+        if good == 0 {
+            0.0
+        } else {
+            self.sum(|t| t.drift_i) as f64 / good as f64
+        }
+    }
+
+    /// Empirical type II drift rate: P(sequencer accepts | full sweep
+    /// rejects).
+    pub fn type_ii_drift(&self) -> f64 {
+        let bad = self.comparisons - self.sum(|t| t.full_accepted);
+        if bad == 0 {
+            0.0
+        } else {
+            self.sum(|t| t.drift_ii) as f64 / bad as f64
+        }
+    }
+
+    /// Mean samples-to-decision reduction over all devices.
+    pub fn reduction_overall(&self) -> f64 {
+        let seq = self.sum(|t| t.seq_samples);
+        if seq == 0 {
+            0.0
+        } else {
+            self.sum(|t| t.full_samples) as f64 / seq as f64
+        }
+    }
+
+    /// Mean samples-to-decision reduction over ground-truth-accepted
+    /// (passing) devices — the headline figure: even devices that must
+    /// be accepted stop early.
+    pub fn reduction_accepted(&self) -> f64 {
+        let seq = self.sum(|t| t.seq_samples_accepted);
+        if seq == 0 {
+            0.0
+        } else {
+            self.sum(|t| t.full_samples_accepted) as f64 / seq as f64
+        }
+    }
+
+    /// Mean samples-to-decision reduction over ground-truth-rejected
+    /// devices.
+    pub fn reduction_rejected(&self) -> f64 {
+        let seq = self.sum(|t| t.seq_samples) - self.sum(|t| t.seq_samples_accepted);
+        if seq == 0 {
+            0.0
+        } else {
+            (self.sum(|t| t.full_samples) - self.sum(|t| t.full_samples_accepted)) as f64
+                / seq as f64
+        }
+    }
+
+    /// Fraction of sequenced runs that stopped early.
+    pub fn early_stop_rate(&self) -> f64 {
+        if self.comparisons == 0 {
+            0.0
+        } else {
+            self.sum(|t| t.early_stops) as f64 / self.comparisons as f64
+        }
+    }
+
+    /// Merges a partial result from another worker (cell-wise; skipped
+    /// cells are grid-derived and identical on every worker).
+    pub fn merge(&mut self, other: &SeqDifferentialResult) {
+        self.devices += other.devices;
+        self.comparisons += other.comparisons;
+        self.agreements += other.agreements;
+        self.divergences.extend_from_slice(&other.divergences);
+        if self.per_scenario.is_empty() {
+            self.per_scenario = other.per_scenario.clone();
+            self.skipped_cells = other.skipped_cells.clone();
+        } else {
+            debug_assert_eq!(self.per_scenario.len(), other.per_scenario.len());
+            for (mine, theirs) in self.per_scenario.iter_mut().zip(&other.per_scenario) {
+                debug_assert_eq!(mine.scenario, theirs.scenario);
+                mine.comparisons += theirs.comparisons;
+                mine.agreements += theirs.agreements;
+                mine.early_stops += theirs.early_stops;
+                mine.full_accepted += theirs.full_accepted;
+                mine.drift_i += theirs.drift_i;
+                mine.drift_ii += theirs.drift_ii;
+                mine.full_samples += theirs.full_samples;
+                mine.seq_samples += theirs.seq_samples;
+                mine.full_samples_accepted += theirs.full_samples_accepted;
+                mine.seq_samples_accepted += theirs.seq_samples_accepted;
+            }
+        }
+    }
+}
+
+impl fmt::Display for SeqDifferentialResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} devices × {} scenarios: {}/{} sequenced latches identical \
+             ({} divergences, {:.0}% early stops, {:.2}x samples overall, \
+             drift I {:.2e} / II {:.2e})",
+            self.devices,
+            self.per_scenario.len(),
+            self.agreements,
+            self.comparisons,
+            self.divergences.len(),
+            100.0 * self.early_stop_rate(),
+            self.reduction_overall(),
+            self.type_i_drift(),
+            self.type_ii_drift(),
+        )
+    }
+}
+
+/// A validated cell of the sequenced grid.
+enum SeqCell {
+    Static {
+        config: BistConfig,
+        sigma: f64,
+        noise: NoiseConfig,
+    },
+    Dynamic {
+        config: DynamicConfig,
+        flash: FlashConfig,
+    },
+}
+
+/// The sequenced sweep grid: static cells (counter width × mismatch σ,
+/// plus one deglitched transition-noise cell) and dynamic cells
+/// (resolution × mismatch σ at the paper bin, plus the Nyquist-folding
+/// 1024-cycle candidates — of which the 8-bit one is rejected by the
+/// fixed-point register audit and recorded as a skipped cell).
+fn seq_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
+    let spec = LinearitySpec::paper_stringent();
+    let mut grid = Vec::new();
+    let mut skipped = Vec::new();
+    for &counter_bits in &SEQ_STATIC_COUNTER_BITS {
+        for &sigma_milli in &SEQ_STATIC_SIGMA_MILLI {
+            let id = SeqScenarioId::Static {
+                counter_bits,
+                sigma_milli_lsb: sigma_milli,
+                deglitch: false,
+                noise: NoisePoint::Noiseless,
+            };
+            let config = BistConfig::builder(Resolution::SIX_BIT, spec)
+                .counter_bits(counter_bits)
+                .build()
+                .expect("paper operating points are valid");
+            grid.push((
+                id,
+                SeqCell::Static {
+                    config,
+                    sigma: sigma_milli as f64 / 1000.0,
+                    noise: NoiseConfig::noiseless(),
+                },
+            ));
+        }
+    }
+    // One deglitched, transition-noise cell: the filters and the quiet
+    // dwell of the completion-accept rule under sequencing.
+    grid.push((
+        SeqScenarioId::Static {
+            counter_bits: 5,
+            sigma_milli_lsb: 210,
+            deglitch: true,
+            noise: NoisePoint::Transition,
+        },
+        SeqCell::Static {
+            config: BistConfig::builder(Resolution::SIX_BIT, spec)
+                .counter_bits(5)
+                .deglitch(true)
+                .build()
+                .expect("paper operating points are valid"),
+            sigma: 0.21,
+            noise: NoisePoint::Transition.config(),
+        },
+    ));
+    let mut dyn_candidates: Vec<(u32, u32, u32)> = Vec::new();
+    for &bits in &SEQ_DYN_RESOLUTION_BITS {
+        for &sigma_milli in &SEQ_DYN_SIGMA_MILLI {
+            dyn_candidates.push((bits, sigma_milli, 1021));
+        }
+        // Nyquist-folding candidate: valid at 6 bits, rejected by the
+        // fixed-point register audit at 8 bits.
+        dyn_candidates.push((bits, 160, 1024));
+    }
+    for (bits, sigma_milli, cycles) in dyn_candidates {
+        let id = SeqScenarioId::Dynamic {
+            resolution_bits: bits,
+            sigma_milli_lsb: sigma_milli,
+            cycles,
+        };
+        let resolution = Resolution::new(bits).expect("sweep resolutions are valid");
+        let high = Volts(0.1 * resolution.code_count() as f64);
+        let flash = FlashConfig::new(resolution, Volts(0.0), high)
+            .with_width_sigma_lsb(sigma_milli as f64 / 1000.0);
+        match DynamicConfig::new(resolution, DYN_RECORD_LEN, cycles) {
+            Ok(config) => grid.push((
+                id,
+                SeqCell::Dynamic {
+                    config: config.with_overdrive(0.0),
+                    flash,
+                },
+            )),
+            Err(e) => skipped.push(SeqSkippedCell {
+                scenario: id,
+                reason: e.to_string(),
+            }),
+        }
+    }
+    (grid, skipped)
+}
+
+/// RNG-stream salts of the sequenced sweep.
+const SEQ_DEVICE_SALT: u64 = 0x5e9_f000;
+const SEQ_NOISE_SALT: u64 = 0x5e9_f001;
+
+fn seq_stream_rng(seed: u64, device: usize, cell: usize, salt: u64) -> StdRng {
+    crate::batch::stream_rng(seed, &[salt, device as u64, cell as u64])
+}
+
+/// Runs the sequenced differential sweep over a device range — the unit
+/// of work for the parallel fan-out. For every device × valid cell,
+/// three runs consume bit-identical code streams: the full sweep
+/// (behavioural ground truth), the sequenced behavioural path and the
+/// sequenced RTL path. Backends must latch identical decisions; the
+/// sequenced decision is scored against the full sweep for empirical
+/// type I/II drift and samples-to-decision.
+pub fn run_seq_differential_range(
+    seed: u64,
+    policy: &SequencerConfig,
+    from: usize,
+    to: usize,
+) -> SeqDifferentialResult {
+    let (grid, skipped) = seq_scenario_grid();
+    let mut behavioral = BehavioralBackend;
+    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
+    let mut dyn_scratches: Vec<DynScratch> = grid.iter().map(|_| DynScratch::new()).collect();
+    let mut scratch = Scratch::new();
+    let mut rtl_scratch = Scratch::new();
+    let mut rtl_dyn_scratch = DynScratch::new();
+    let mut static_seq = StaticSequencer::new(*policy);
+    let mut dyn_seq = DynSequencer::new(*policy);
+    let mut result = SeqDifferentialResult {
+        per_scenario: grid
+            .iter()
+            .map(|(id, _)| SeqScenarioTally::new(*id))
+            .collect(),
+        skipped_cells: skipped,
+        ..SeqDifferentialResult::default()
+    };
+    for i in from..to {
+        result.devices += 1;
+        for (cell, (id, spec)) in grid.iter().enumerate() {
+            let noise_rng = || seq_stream_rng(seed, i, cell, SEQ_NOISE_SALT);
+            let (full_accepted, full_samples, b_latch, r_latch, verdicts_agree) = match spec {
+                SeqCell::Static {
+                    config,
+                    sigma,
+                    noise,
+                } => {
+                    let dist = WidthDistribution::new(1.0, *sigma);
+                    let tf = iid_width_transfer(
+                        Resolution::SIX_BIT,
+                        &dist,
+                        &mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT),
+                    );
+                    let full = run_static_bist_with(
+                        &tf,
+                        config,
+                        noise,
+                        0.0,
+                        &mut noise_rng(),
+                        &mut scratch,
+                    );
+                    let b = run_seq_static_bist_with_backend(
+                        &mut behavioral,
+                        &tf,
+                        config,
+                        &mut static_seq,
+                        noise,
+                        0.0,
+                        &mut noise_rng(),
+                        &mut scratch,
+                    );
+                    let r = run_seq_static_bist_with_backend(
+                        &mut rtl_backends[cell],
+                        &tf,
+                        config,
+                        &mut static_seq,
+                        noise,
+                        0.0,
+                        &mut noise_rng(),
+                        &mut rtl_scratch,
+                    );
+                    (
+                        full.accepted(),
+                        full.samples,
+                        SeqLatch::of(&b),
+                        SeqLatch::of(&r),
+                        b.verdict == r.verdict,
+                    )
+                }
+                SeqCell::Dynamic { config, flash } => {
+                    let adc = flash.sample(&mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT));
+                    let noise = NoiseConfig::noiseless().with_input_noise(0.002);
+                    let full = run_dynamic_bist_with(
+                        &adc,
+                        config,
+                        &noise,
+                        &mut noise_rng(),
+                        &mut dyn_scratches[cell],
+                    );
+                    let b = run_seq_dynamic_bist_with_backend(
+                        &mut behavioral,
+                        &adc,
+                        config,
+                        &mut dyn_seq,
+                        &noise,
+                        &mut noise_rng(),
+                        &mut dyn_scratches[cell],
+                    );
+                    let r = run_seq_dynamic_bist_with_backend(
+                        &mut rtl_backends[cell],
+                        &adc,
+                        config,
+                        &mut dyn_seq,
+                        &noise,
+                        &mut noise_rng(),
+                        &mut rtl_dyn_scratch,
+                    );
+                    // Completed records additionally demand the
+                    // decision-exact dynamic verdict contract.
+                    let verdicts_agree =
+                        b.stopped_early() || dyn_decisions_agree(&b.verdict, &r.verdict);
+                    (
+                        full.accepted(),
+                        full.samples,
+                        SeqLatch::of(&b),
+                        SeqLatch::of(&r),
+                        verdicts_agree,
+                    )
+                }
+            };
+            result.comparisons += 1;
+            let agree = b_latch == r_latch && verdicts_agree;
+            if agree {
+                result.agreements += 1;
+            } else {
+                result.divergences.push(SeqDivergence {
+                    device: i,
+                    scenario: *id,
+                    behavioral: b_latch,
+                    rtl: r_latch,
+                });
+            }
+            let tally = &mut result.per_scenario[cell];
+            tally.comparisons += 1;
+            tally.agreements += u64::from(agree);
+            tally.early_stops += u64::from(b_latch.decision.stops());
+            tally.full_accepted += u64::from(full_accepted);
+            tally.full_samples += full_samples;
+            tally.seq_samples += b_latch.samples;
+            if full_accepted {
+                tally.full_samples_accepted += full_samples;
+                tally.seq_samples_accepted += b_latch.samples;
+                tally.drift_i += u64::from(!b_latch.accepted);
+            } else {
+                tally.drift_ii += u64::from(b_latch.accepted);
+            }
+        }
+    }
+    result
+}
+
+/// Runs the full sequenced differential sweep over `devices` devices,
+/// fanned out across `workers` threads (0 = available parallelism).
+/// Deterministic in the worker count: devices and RNG streams derive
+/// from `(seed, index, cell)` alone.
+pub fn run_seq_differential(
+    seed: u64,
+    policy: &SequencerConfig,
+    devices: usize,
+    workers: usize,
+) -> SeqDifferentialResult {
+    let partials = partitioned(devices, workers, |from, to| {
+        run_seq_differential_range(seed, policy, from, to)
+    });
+    let mut total = SeqDifferentialResult::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -731,5 +1352,73 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("2 devices"), "{s}");
         assert!(s.contains("decisions exact"), "{s}");
+    }
+
+    #[test]
+    fn seq_small_fleet_is_latch_exact_and_saves_samples() {
+        let policy = SequencerConfig::default();
+        let result = run_seq_differential(31, &policy, 6, 0);
+        assert_eq!(result.devices, 6);
+        assert_eq!(result.comparisons as usize, 6 * result.per_scenario.len());
+        assert!(
+            result.is_clean(),
+            "divergences: {:#?}",
+            &result.divergences[..result.divergences.len().min(3)]
+        );
+        // The invalid 8-bit Nyquist-folding candidate was skipped, not run.
+        assert_eq!(result.skipped_cells.len(), 1);
+        assert!(result.skipped_cells[0].reason.contains("unrealisable"));
+        // Real early stopping happened and saved samples overall.
+        assert!(result.early_stop_rate() > 0.3, "{result}");
+        assert!(result.reduction_overall() > 1.2, "{result}");
+    }
+
+    #[test]
+    fn seq_independent_of_worker_count() {
+        let policy = SequencerConfig::default();
+        let seq1 = run_seq_differential(41, &policy, 5, 1);
+        let seq4 = run_seq_differential(41, &policy, 5, 4);
+        assert_eq!(seq1, seq4);
+    }
+
+    #[test]
+    fn seq_merge_accumulates_cellwise() {
+        let policy = SequencerConfig::default();
+        let whole = run_seq_differential_range(43, &policy, 0, 4);
+        let mut parts = run_seq_differential_range(43, &policy, 0, 1);
+        parts.merge(&run_seq_differential_range(43, &policy, 1, 4));
+        assert_eq!(whole.comparisons, parts.comparisons);
+        assert_eq!(whole.agreements, parts.agreements);
+        assert_eq!(whole.per_scenario, parts.per_scenario);
+        assert_eq!(whole.skipped_cells, parts.skipped_cells);
+    }
+
+    #[test]
+    fn seq_min_samples_never_violated() {
+        let policy = SequencerConfig {
+            min_samples: 300,
+            check_interval: 50,
+            ..Default::default()
+        };
+        let result = run_seq_differential(59, &policy, 4, 0);
+        assert!(result.is_clean());
+        // Per-decision at_sample checks live in
+        // crates/core/tests/sequencer_equivalence.rs; here: no cell's
+        // sequenced runs averaged fewer samples than the floor.
+        for t in &result.per_scenario {
+            if t.comparisons > 0 && t.early_stops == t.comparisons {
+                assert!(t.seq_samples >= t.comparisons * 300);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_display_summarises() {
+        let policy = SequencerConfig::default();
+        let r = run_seq_differential(61, &policy, 2, 1);
+        let s = r.to_string();
+        assert!(s.contains("2 devices"), "{s}");
+        assert!(s.contains("early stops"), "{s}");
+        assert!(r.per_scenario[0].scenario.to_string().contains("static/"));
     }
 }

@@ -140,6 +140,7 @@ impl Experiment {
         ExperimentResult {
             matrix,
             samples,
+            invalid: 0,
             elapsed: start.elapsed(),
         }
     }
@@ -151,7 +152,48 @@ impl Experiment {
     pub fn run(&self) -> ExperimentResult {
         run_parallel(self, 0)
     }
+
+    /// Validates that every backend can judge this experiment's
+    /// configuration — currently the gate-accurate datapath's
+    /// requirement that at least one bit remains above the monitored
+    /// bit (the Figure-2 checker needs an upper word). Sweep drivers
+    /// whose grid can produce unjudgeable cells call this up front and
+    /// record the cell via [`ExperimentResult::skipped_invalid`]
+    /// instead of running it, so throughput figures only count devices
+    /// that were actually screened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCellError`] when the cell cannot be judged.
+    pub fn validate(&self) -> Result<(), InvalidCellError> {
+        let bits = self.config.resolution().bits();
+        if self.config.monitored_bit() + 2 > bits {
+            return Err(InvalidCellError {
+                reason: format!(
+                    "no upper bit above monitored bit {} of a {bits}-bit converter",
+                    self.config.monitored_bit()
+                ),
+            });
+        }
+        Ok(())
+    }
 }
+
+/// A sweep cell whose configuration failed validation — see
+/// [`Experiment::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCellError {
+    /// Why the cell cannot be run.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidCellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sweep cell: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidCellError {}
 
 /// Accumulated outcome of an experiment, with throughput accounting.
 ///
@@ -164,18 +206,36 @@ pub struct ExperimentResult {
     pub matrix: ConfusionMatrix,
     /// Total ADC samples consumed by the BIST captures.
     pub samples: u64,
+    /// Devices belonging to sweep cells rejected by config validation:
+    /// planned but never screened (see
+    /// [`ExperimentResult::skipped_invalid`]). Excluded from the
+    /// confusion matrix and from every throughput figure, so devices/s
+    /// stays comparable across sweeps with and without invalid cells.
+    pub invalid: u64,
     /// Time spent screening: wall-clock for a `run_parallel` fan-out,
     /// summed per-range CPU time when partials are merged by hand.
     pub elapsed: Duration,
 }
 
 impl ExperimentResult {
+    /// The result of a sweep cell rejected by config validation: its
+    /// `devices` are recorded as planned-but-invalid and nothing else —
+    /// merging it into a sweep total cannot move any rate or
+    /// throughput figure.
+    pub fn skipped_invalid(devices: u64) -> Self {
+        ExperimentResult {
+            invalid: devices,
+            ..ExperimentResult::default()
+        }
+    }
+
     /// Merges a partial result (e.g. from another worker). Elapsed
     /// times add; [`crate::parallel::run_parallel`] overwrites the sum
     /// with the observed wall-clock.
     pub fn merge(&mut self, other: &ExperimentResult) {
         self.matrix.merge(&other.matrix);
         self.samples += other.samples;
+        self.invalid += other.invalid;
         self.elapsed += other.elapsed;
     }
 
@@ -195,6 +255,8 @@ impl ExperimentResult {
     }
 
     /// Screening throughput in devices per second of [`Self::elapsed`].
+    /// Counts only devices actually screened — cells rejected by config
+    /// validation ([`Self::invalid`]) contribute nothing.
     pub fn devices_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
@@ -218,7 +280,9 @@ impl ExperimentResult {
 
 impl PartialEq for ExperimentResult {
     fn eq(&self, other: &Self) -> bool {
-        self.matrix == other.matrix && self.samples == other.samples
+        self.matrix == other.matrix
+            && self.samples == other.samples
+            && self.invalid == other.invalid
     }
 }
 
@@ -476,12 +540,29 @@ pub struct DynExperimentResult {
     pub failed_noise: u64,
     /// Total ADC samples consumed.
     pub samples: u64,
+    /// Devices belonging to sweep cells rejected by config validation:
+    /// planned but never screened (see
+    /// [`DynExperimentResult::skipped_invalid`]). Excluded from
+    /// `screened` and from every rate and throughput figure.
+    pub invalid: u64,
     /// Time spent screening (wall-clock for `run`/`run_with`, summed
     /// per-range CPU time when partials are merged by hand).
     pub elapsed: Duration,
 }
 
 impl DynExperimentResult {
+    /// The result of a sweep cell rejected by config validation (e.g. a
+    /// fixed-point-unrealisable [`DynamicConfig`] plan): its `devices`
+    /// are recorded as planned-but-invalid and nothing else, so merging
+    /// it into a sweep total cannot move the acceptance rate or
+    /// devices/s.
+    pub fn skipped_invalid(devices: u64) -> Self {
+        DynExperimentResult {
+            invalid: devices,
+            ..DynExperimentResult::default()
+        }
+    }
+
     /// Merges a partial result from another worker.
     pub fn merge(&mut self, other: &DynExperimentResult) {
         self.screened += other.screened;
@@ -492,6 +573,7 @@ impl DynExperimentResult {
         self.failed_enob += other.failed_enob;
         self.failed_noise += other.failed_noise;
         self.samples += other.samples;
+        self.invalid += other.invalid;
         self.elapsed += other.elapsed;
     }
 
@@ -504,7 +586,9 @@ impl DynExperimentResult {
         }
     }
 
-    /// Screening throughput in devices per second of `elapsed`.
+    /// Screening throughput in devices per second of `elapsed`. Counts
+    /// only devices actually screened — cells rejected by config
+    /// validation ([`Self::invalid`]) contribute nothing.
     pub fn devices_per_second(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
@@ -535,6 +619,7 @@ impl PartialEq for DynExperimentResult {
             && self.failed_enob == other.failed_enob
             && self.failed_noise == other.failed_noise
             && self.samples == other.samples
+            && self.invalid == other.invalid
     }
 }
 
@@ -737,5 +822,48 @@ mod tests {
     fn dyn_display_result() {
         let r = dyn_experiment(5, 0.0).run(1);
         assert!(r.to_string().contains("5/5 accepted"), "{r}");
+    }
+
+    #[test]
+    fn invalid_cells_do_not_move_throughput_or_rates() {
+        // The satellite fix: a sweep cell rejected by config validation
+        // records its planned devices as `invalid` and nothing else, so
+        // devices/s and the rates stay comparable across sweeps.
+        let batch = Batch::paper_simulation(3, 20);
+        let mut total = Experiment::new(batch, config(6)).run();
+        let screened = total.matrix.total();
+        let dps_before = (total.matrix.total(), total.samples);
+        total.merge(&ExperimentResult::skipped_invalid(500));
+        assert_eq!(total.invalid, 500);
+        assert_eq!(
+            total.matrix.total(),
+            screened,
+            "invalid devices not screened"
+        );
+        assert_eq!((total.matrix.total(), total.samples), dps_before);
+
+        let mut dyn_total = dyn_experiment(10, 0.0).run(1);
+        let rate = dyn_total.acceptance_rate();
+        dyn_total.merge(&DynExperimentResult::skipped_invalid(99));
+        assert_eq!(dyn_total.invalid, 99);
+        assert_eq!(dyn_total.screened, 10);
+        assert_eq!(dyn_total.acceptance_rate(), rate);
+        // Equality accounts for the invalid tally.
+        assert_ne!(dyn_total, dyn_experiment(10, 0.0).run(1));
+    }
+
+    #[test]
+    fn validate_flags_unjudgeable_monitored_bit() {
+        use bist_adc::spec::LinearitySpec;
+        let ok = Experiment::new(Batch::paper_simulation(1, 4), config(5));
+        assert!(ok.validate().is_ok());
+        let bad_cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(5)
+            .monitored_bit(5)
+            .build()
+            .unwrap();
+        let bad = Experiment::new(Batch::paper_simulation(1, 4), bad_cfg);
+        let err = bad.validate().unwrap_err();
+        assert!(err.to_string().contains("monitored bit"), "{err}");
     }
 }

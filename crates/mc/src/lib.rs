@@ -22,7 +22,14 @@
 //!   resolution × mismatch σ × coherent-bin choice, decision-exact
 //!   agreement between the Goertzel bank and the fixed-point RTL.
 //!   [`experiment::DynExperiment`] is the matching fleet-screening
-//!   entry point with throughput accounting.
+//!   entry point with throughput accounting. The **sequenced** seam
+//!   ([`differential::run_seq_differential`], driven by the `seq_fleet`
+//!   binary) validates the early-stop layer: both backends under the
+//!   sequencer must latch identical decisions at identical sample
+//!   indices, and the sequenced decision is scored against full-sweep
+//!   ground truth for empirical type I/II drift and samples-to-decision
+//!   reduction. Sweep cells rejected by config validation are recorded
+//!   as skipped, never screened, and excluded from throughput.
 //! * [`parallel`] — deterministic thread fan-out
 //!   ([`parallel::run_parallel`], the default under
 //!   [`experiment::Experiment::run`]; [`parallel::run_parallel_with`]
@@ -63,11 +70,13 @@ pub mod tables;
 
 pub use batch::{Batch, DeviceModel};
 pub use differential::{
-    run_differential, run_dyn_differential, DifferentialResult, Divergence, DynDifferentialResult,
-    DynDivergence,
+    run_differential, run_dyn_differential, run_seq_differential, DifferentialResult, Divergence,
+    DynDifferentialResult, DynDivergence, SeqDifferentialResult, SeqDivergence, SeqLatch,
+    SeqScenarioId, SeqSkippedCell,
 };
 pub use estimate::Proportion;
 pub use experiment::{
     DynExperiment, DynExperimentResult, Experiment, ExperimentResult, GroundTruthMode,
+    InvalidCellError,
 };
 pub use parallel::{run_parallel, run_parallel_with};
