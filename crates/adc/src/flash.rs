@@ -309,6 +309,10 @@ impl Adc for FlashAdc {
             self.sorted.clone(),
         ))
     }
+
+    fn transition_levels(&self) -> Option<&[f64]> {
+        Some(&self.sorted)
+    }
 }
 
 impl fmt::Display for FlashAdc {

@@ -224,6 +224,21 @@ pub trait Adc {
     fn transfer(&self) -> Option<TransferFunction> {
         None
     }
+
+    /// The sorted transition levels backing [`convert`](Self::convert),
+    /// when the converter can expose them without materialising a new
+    /// transfer function (i.e. without allocating).
+    ///
+    /// Whenever this returns `Some(levels)`, `convert(v)` must equal
+    /// `Code(levels.partition_point(|&t| t <= v.0) as u32)` — batched
+    /// engines rely on this to run an incremental cursor over the level
+    /// array instead of a full binary search per sample. Converters whose
+    /// conversion is not a pure threshold comparison (fault decorators,
+    /// non-monotone models) keep the `None` default and are converted
+    /// sample by sample.
+    fn transition_levels(&self) -> Option<&[f64]> {
+        None
+    }
 }
 
 impl Adc for TransferFunction {
@@ -242,6 +257,10 @@ impl Adc for TransferFunction {
     fn transfer(&self) -> Option<TransferFunction> {
         Some(self.clone())
     }
+
+    fn transition_levels(&self) -> Option<&[f64]> {
+        Some(&self.transitions)
+    }
 }
 
 impl<T: Adc + ?Sized> Adc for &T {
@@ -259,6 +278,10 @@ impl<T: Adc + ?Sized> Adc for &T {
 
     fn transfer(&self) -> Option<TransferFunction> {
         (**self).transfer()
+    }
+
+    fn transition_levels(&self) -> Option<&[f64]> {
+        (**self).transition_levels()
     }
 }
 

@@ -7,7 +7,6 @@
 
 use bist_adc::flash::FlashConfig;
 use bist_adc::histogram::{ramp_linearity, CodeHistogram};
-use bist_adc::noise::NoiseConfig;
 use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::Ramp;
 use bist_adc::spec::LinearitySpec;
@@ -16,12 +15,10 @@ use bist_adc::types::{Resolution, Volts};
 use bist_core::analytic::{code_probabilities, WidthDistribution};
 use bist_core::backend::RtlBackend;
 use bist_core::config::BistConfig;
-use bist_core::harness::{
-    bist_from_capture, plan_ramp, run_static_bist, run_static_bist_with,
-    run_static_bist_with_backend, Scratch,
-};
+use bist_core::harness::{bist_from_capture, plan_ramp};
 use bist_core::limits::CountLimits;
 use bist_core::lsb_monitor::monitor_bit_stream;
+use bist_core::screener::{Screener, Workload};
 use bist_dsp::fft::fft_in_place;
 use bist_dsp::sinefit::fit_sine_4param;
 use bist_dsp::Complex64;
@@ -117,16 +114,18 @@ fn bench_full_bist(c: &mut Criterion) {
     group.sample_size(30);
     let config = paper_config(4);
     let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(4));
-    group.bench_function("run_static_bist_4bit", |b| {
+    // Full-outcome screening (codes + tallies, not just the verdict) —
+    // the cost of `screen_one` plus materialising the `BistOutcome`.
+    group.bench_function("screen_one_outcome_4bit", |b| {
         let mut rng = StdRng::seed_from_u64(5);
+        let mut screener = Screener::new(Workload::static_ramp(config));
         b.iter(|| {
-            black_box(run_static_bist(
-                &adc,
-                &config,
-                &NoiseConfig::noiseless(),
-                0.0,
-                &mut rng,
-            ))
+            let verdict = screener.screen_one(&adc, &mut rng);
+            black_box(
+                screener
+                    .take_static_outcome(&verdict)
+                    .expect("static workload"),
+            )
         })
     });
     group.finish();
@@ -142,34 +141,17 @@ fn bench_device_to_verdict(c: &mut Criterion) {
     group.sample_size(40);
     let config = paper_config(4);
     let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(4));
-    let (samples, _) = {
+    let samples = {
         // One warm-up sweep sizes the throughput annotation.
-        let mut scratch = Scratch::new();
+        let mut screener = Screener::new(Workload::static_ramp(config));
         let mut rng = StdRng::seed_from_u64(5);
-        let v = run_static_bist_with(
-            &adc,
-            &config,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        (v.samples, v.accepted())
+        screener.screen_one(&adc, &mut rng).samples()
     };
     group.throughput(Throughput::Elements(samples));
     group.bench_function("device_to_verdict", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut scratch = Scratch::new();
-        b.iter(|| {
-            black_box(run_static_bist_with(
-                &adc,
-                &config,
-                &NoiseConfig::noiseless(),
-                0.0,
-                &mut rng,
-                &mut scratch,
-            ))
-        })
+        let mut screener = Screener::new(Workload::static_ramp(config));
+        b.iter(|| black_box(screener.screen_one(&adc, &mut rng)))
     });
     group.bench_function("device_to_verdict_materialized", |b| {
         // The exact sweep the streaming variant drives, so the two
@@ -187,19 +169,8 @@ fn bench_device_to_verdict(c: &mut Criterion) {
     // differential fleet experiment enforces bit-exactness).
     group.bench_function("rtl_vs_behavioral", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut scratch = Scratch::new();
-        let mut backend = RtlBackend::new();
-        b.iter(|| {
-            black_box(run_static_bist_with_backend(
-                &mut backend,
-                &adc,
-                &config,
-                &NoiseConfig::noiseless(),
-                0.0,
-                &mut rng,
-                &mut scratch,
-            ))
-        })
+        let mut screener = Screener::new(Workload::static_ramp(config)).backend(RtlBackend::new());
+        b.iter(|| black_box(screener.screen_one(&adc, &mut rng)))
     });
     group.finish();
 }
@@ -210,9 +181,7 @@ fn bench_device_to_verdict(c: &mut Criterion) {
 /// `zero_alloc.rs`), plus the fixed-point RTL variant for the
 /// gate-accuracy cost of the dynamic seam.
 fn bench_dynamic_verdict(c: &mut Criterion) {
-    use bist_core::dynamic::{
-        run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig,
-    };
+    use bist_core::dynamic::DynamicConfig;
     let mut group = c.benchmark_group("engine");
     group.sample_size(40);
     let config = DynamicConfig::paper_default();
@@ -220,30 +189,74 @@ fn bench_dynamic_verdict(c: &mut Criterion) {
     group.throughput(Throughput::Elements(config.record_len() as u64));
     group.bench_function("dynamic_verdict", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut scratch = DynScratch::new();
-        b.iter(|| {
-            black_box(run_dynamic_bist_with(
-                &adc,
-                &config,
-                &NoiseConfig::noiseless(),
-                &mut rng,
-                &mut scratch,
-            ))
-        })
+        let mut screener = Screener::new(Workload::dynamic_sine(config));
+        b.iter(|| black_box(screener.screen_one(&adc, &mut rng)))
     });
     group.bench_function("dynamic_verdict_rtl", |b| {
         let mut rng = StdRng::seed_from_u64(5);
-        let mut scratch = DynScratch::new();
-        let mut backend = RtlBackend::new();
+        let mut screener = Screener::new(Workload::dynamic_sine(config)).backend(RtlBackend::new());
+        b.iter(|| black_box(screener.screen_one(&adc, &mut rng)))
+    });
+    group.finish();
+}
+
+/// The batched-vs-scalar seam on a small fleet: `Screener::run`
+/// (lane-parallel structure-of-arrays engines) against a `screen_one`
+/// loop over the same devices — the per-device cost of each entry
+/// point, both workloads. The `batched_fleet` bin gates the speedup at
+/// fleet scale; this keeps the shape visible in criterion history.
+fn bench_batched_vs_scalar(c: &mut Criterion) {
+    use bist_core::dynamic::DynamicConfig;
+    const FLEET: usize = 32;
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+    let config = paper_config(6);
+    let dyn_config = DynamicConfig::paper_default();
+    let flash = FlashConfig::paper_device();
+    let fleet: Vec<_> = (0..FLEET)
+        .map(|i| flash.sample(&mut StdRng::seed_from_u64(100 + i as u64)))
+        .collect();
+    group.throughput(Throughput::Elements(FLEET as u64));
+    group.bench_function("batched_vs_scalar/static/scalar", |b| {
+        let mut screener = Screener::new(Workload::static_ramp(config));
         b.iter(|| {
-            black_box(run_dynamic_bist_with_backend(
-                &mut backend,
-                &adc,
-                &config,
-                &NoiseConfig::noiseless(),
-                &mut rng,
-                &mut scratch,
-            ))
+            for (i, adc) in fleet.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                black_box(screener.screen_one(adc, &mut rng).accepted());
+            }
+        })
+    });
+    group.bench_function("batched_vs_scalar/static/batched", |b| {
+        let mut screener = Screener::new(Workload::static_ramp(config)).lane_width(16);
+        b.iter(|| {
+            let reports = screener.run(
+                fleet
+                    .iter()
+                    .enumerate()
+                    .map(|(i, adc)| (adc, StdRng::seed_from_u64(i as u64))),
+            );
+            black_box(reports.len())
+        })
+    });
+    group.bench_function("batched_vs_scalar/dynamic/scalar", |b| {
+        let mut screener = Screener::new(Workload::dynamic_sine(dyn_config));
+        b.iter(|| {
+            for (i, adc) in fleet.iter().enumerate() {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                black_box(screener.screen_one(adc, &mut rng).accepted());
+            }
+        })
+    });
+    group.bench_function("batched_vs_scalar/dynamic/batched", |b| {
+        let mut screener = Screener::new(Workload::dynamic_sine(dyn_config)).lane_width(16);
+        b.iter(|| {
+            let reports = screener.run(
+                fleet
+                    .iter()
+                    .enumerate()
+                    .map(|(i, adc)| (adc, StdRng::seed_from_u64(i as u64))),
+            );
+            black_box(reports.len())
         })
     });
     group.finish();
@@ -317,6 +330,7 @@ criterion_group!(
         bench_full_bist,
         bench_device_to_verdict,
         bench_dynamic_verdict,
+        bench_batched_vs_scalar,
         bench_analytic,
         bench_histogram,
         bench_sinefit,

@@ -11,7 +11,6 @@
 //! shared RNG stream.)
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::pipeline::PipelineConfig;
 use bist_adc::sar::SarConfig;
 use bist_adc::spec::LinearitySpec;
@@ -20,8 +19,8 @@ use bist_adc::types::{Resolution, Volts};
 use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
-use bist_core::harness::run_static_bist;
 use bist_core::report::{fmt_prob, Table};
+use bist_core::screener::{Screener, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,12 +36,12 @@ where
 {
     let spec = *config.spec();
     let mut matrix = ConfusionMatrix::new();
+    let mut screener = Screener::new(Workload::static_ramp(*config));
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..n {
         let tf = draw(&mut rng);
         let truth = spec.classify(&tf).good;
-        let outcome = run_static_bist(&tf, config, &NoiseConfig::noiseless(), 0.0, &mut rng);
-        matrix.record(truth, outcome.accepted());
+        matrix.record(truth, screener.screen_one(&tf, &mut rng).accepted());
     }
     let row = vec![
         name.to_owned(),

@@ -1,0 +1,256 @@
+//! Experiment E16: **batched fleet screening** — the lane-parallel
+//! structure-of-arrays engine (`bist_core::batch` behind
+//! `Screener::run`) against the scalar one-device-at-a-time engine
+//! (`Screener::screen_one`), on exactness first and throughput second.
+//!
+//! Part 1 screens identical populations (same devices, same per-device
+//! RNG streams) through both engines in all four modes — static and
+//! dynamic, plain and early-stop sequenced — and demands bit-exact
+//! report equality. **Any mismatch counts as a divergence and fails the
+//! run** (exit 1), which the CI perf-baseline smoke relies on.
+//!
+//! Part 2 times both engines and reports devices/s each way. The run
+//! fails when the batched engine's speedup falls below the floors the
+//! lane refactor promises: ≥ 4x on the static (run-skipping) workload
+//! and ≥ 2x on the dynamic (shared-stimulus) workload
+//! (`BIST_BATCHED_MIN_STATIC_X` / `BIST_BATCHED_MIN_DYN_X` override,
+//! in hundredths via the integer knob layer). The committed
+//! `crates/bench/baseline/batched_fleet.json` additionally gates the
+//! absolute devices/s numbers through `perf_gate`.
+//!
+//! Knobs: `BIST_DEVICES` (default 600), `BIST_DYN_DEVICES` (default
+//! 96), `BIST_LANES` (default 16), `BIST_SEED`.
+
+use bist_adc::flash::{FlashAdc, FlashConfig};
+use bist_adc::spec::LinearitySpec;
+use bist_adc::transfer::TransferFunction;
+use bist_adc::types::{Resolution, Volts};
+use bist_bench::Scenario;
+use bist_core::config::BistConfig;
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{ScreenVerdict, Screener, Workload};
+use bist_core::sequencer::SequencerConfig;
+use bist_mc::batch::{stream_rng, Batch};
+use std::time::Instant;
+
+/// Device RNG salt shared with the static fleet experiments.
+const STATIC_SALT: usize = 0x5eed_0000_0000_0000;
+const DYN_SEED_XOR: u64 = 0xba7c;
+
+fn main() {
+    let mut clean = true;
+    Scenario::run("batched_fleet", |sc| clean = run(sc));
+    if !clean {
+        eprintln!("batched_fleet: divergence or speedup floor failure — failing the run");
+        std::process::exit(1);
+    }
+}
+
+fn run(sc: &mut Scenario) -> bool {
+    let devices = sc.usize_knob("BIST_DEVICES", 600);
+    let dyn_devices = sc.usize_knob("BIST_DYN_DEVICES", 96);
+    let lanes = sc.usize_knob("BIST_LANES", 16);
+    let min_static_x = sc.usize_knob("BIST_BATCHED_MIN_STATIC_X", 400) as f64 / 100.0;
+    let min_dyn_x = sc.usize_knob("BIST_BATCHED_MIN_DYN_X", 200) as f64 / 100.0;
+    let seed = sc.seed();
+
+    let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(6)
+        .build()
+        .expect("paper operating point");
+    let dyn_config = DynamicConfig::paper_default();
+    let policy = SequencerConfig::default();
+
+    // The populations, generated once; both engines screen references
+    // to the same devices with identical per-device RNG streams.
+    let batch = Batch::paper_simulation(seed, devices);
+    let fleet: Vec<TransferFunction> = (0..devices).map(|i| batch.device(i)).collect();
+    let static_rng = |i: usize| batch.device_rng(i ^ STATIC_SALT);
+    let flash =
+        FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)).with_width_sigma_lsb(0.21);
+    let dyn_fleet: Vec<FlashAdc> = (0..dyn_devices)
+        .map(|i| flash.sample(&mut stream_rng(seed ^ DYN_SEED_XOR, &[0, i as u64])))
+        .collect();
+    let dyn_rng = |i: usize| stream_rng(seed ^ DYN_SEED_XOR, &[1, i as u64]);
+
+    // --- Part 1: exactness, all four modes --------------------------
+    let mut divergences = 0u64;
+    for sequenced in [false, true] {
+        let w = Workload::static_ramp(config);
+        let mut scalar = Screener::new(w);
+        let mut batched = Screener::new(w).lane_width(lanes);
+        if sequenced {
+            scalar = scalar.sequencer(policy);
+            batched = batched.sequencer(policy);
+        }
+        let reports = batched.run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))));
+        divergences += compare(
+            &reports
+                .iter()
+                .map(|r| (r.device, r.verdict))
+                .collect::<Vec<_>>(),
+            |i| scalar.screen_one(&fleet[i], &mut static_rng(i)),
+            if sequenced { "static seq" } else { "static" },
+        );
+    }
+    for sequenced in [false, true] {
+        let w = Workload::dynamic_sine(dyn_config);
+        let mut scalar = Screener::new(w);
+        let mut batched = Screener::new(w).lane_width(lanes);
+        if sequenced {
+            scalar = scalar.sequencer(policy);
+            batched = batched.sequencer(policy);
+        }
+        let reports = batched.run(
+            dyn_fleet
+                .iter()
+                .enumerate()
+                .map(|(i, adc)| (adc, dyn_rng(i))),
+        );
+        divergences += compare(
+            &reports
+                .iter()
+                .map(|r| (r.device, r.verdict))
+                .collect::<Vec<_>>(),
+            |i| scalar.screen_one(&dyn_fleet[i], &mut dyn_rng(i)),
+            if sequenced { "dynamic seq" } else { "dynamic" },
+        );
+    }
+    println!(
+        "exactness: {} static + {} dynamic devices × (plain, sequenced) × \
+         (scalar, batched {lanes}-lane) → {divergences} divergences",
+        devices, dyn_devices
+    );
+
+    // --- Part 2: throughput, scalar vs batched ----------------------
+    let scalar_static = throughput(devices, || {
+        let mut s = Screener::new(Workload::static_ramp(config));
+        for (i, tf) in fleet.iter().enumerate() {
+            std::hint::black_box(s.screen_one(tf, &mut static_rng(i)).accepted());
+        }
+    });
+    let batched_static = throughput(devices, || {
+        let mut s = Screener::new(Workload::static_ramp(config)).lane_width(lanes);
+        let reports = s.run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))));
+        std::hint::black_box(reports.len());
+    });
+    let scalar_dyn = throughput(dyn_devices, || {
+        let mut s = Screener::new(Workload::dynamic_sine(dyn_config));
+        for (i, adc) in dyn_fleet.iter().enumerate() {
+            std::hint::black_box(s.screen_one(adc, &mut dyn_rng(i)).accepted());
+        }
+    });
+    let batched_dyn = throughput(dyn_devices, || {
+        let mut s = Screener::new(Workload::dynamic_sine(dyn_config)).lane_width(lanes);
+        let reports = s.run(
+            dyn_fleet
+                .iter()
+                .enumerate()
+                .map(|(i, adc)| (adc, dyn_rng(i))),
+        );
+        std::hint::black_box(reports.len());
+    });
+    let static_x = batched_static / scalar_static.max(1e-9);
+    let dyn_x = batched_dyn / scalar_dyn.max(1e-9);
+    println!(
+        "throughput static ({devices} devices): scalar {scalar_static:.0} dev/s, \
+         batched {batched_static:.0} dev/s ({static_x:.2}x, floor {min_static_x:.2}x)"
+    );
+    println!(
+        "throughput dynamic ({dyn_devices} devices): scalar {scalar_dyn:.0} dev/s, \
+         batched {batched_dyn:.0} dev/s ({dyn_x:.2}x, floor {min_dyn_x:.2}x)"
+    );
+
+    sc.metric_count("divergences", divergences);
+    sc.metric("scalar_static_devices_per_s", scalar_static);
+    sc.metric("batched_static_devices_per_s", batched_static);
+    sc.metric("scalar_dyn_devices_per_s", scalar_dyn);
+    sc.metric("batched_dyn_devices_per_s", batched_dyn);
+    sc.metric("static_speedup_x", static_x);
+    sc.metric("dyn_speedup_x", dyn_x);
+    let path = sc.csv(
+        "batched_fleet.csv",
+        &[
+            "workload",
+            "scalar_devices_per_s",
+            "batched_devices_per_s",
+            "speedup_x",
+        ],
+        &[
+            vec![
+                "static".into(),
+                format!("{scalar_static:.1}"),
+                format!("{batched_static:.1}"),
+                format!("{static_x:.3}"),
+            ],
+            vec![
+                "dynamic".into(),
+                format!("{scalar_dyn:.1}"),
+                format!("{batched_dyn:.1}"),
+                format!("{dyn_x:.3}"),
+            ],
+        ],
+    );
+    eprintln!("wrote {}", path.display());
+
+    let clean = devices > 0
+        && dyn_devices > 0
+        && divergences == 0
+        && static_x >= min_static_x
+        && dyn_x >= min_dyn_x;
+    if clean {
+        println!("reading: the lane-parallel engine reports bit-identical verdicts and screens");
+        println!(
+            "{static_x:.1}x more static / {dyn_x:.1}x more dynamic devices per second — \
+             lockstep lanes, run-skip"
+        );
+        println!("and the shared stimulus table pay for the refactor.");
+    } else {
+        println!(
+            "reading: GATE FAILED — divergences {divergences}, static {static_x:.2}x \
+             (≥{min_static_x:.2}x?), dynamic {dyn_x:.2}x (≥{min_dyn_x:.2}x?)"
+        );
+    }
+    clean
+}
+
+/// Compares batched reports against the scalar engine re-screening the
+/// same device, returning the mismatch count.
+fn compare<F>(batched: &[(usize, ScreenVerdict)], mut scalar: F, label: &str) -> u64
+where
+    F: FnMut(usize) -> ScreenVerdict,
+{
+    let mut mismatches = 0u64;
+    for &(device, verdict) in batched {
+        let reference = scalar(device);
+        if verdict != reference {
+            if mismatches < 5 {
+                println!(
+                    "DIVERGENCE ({label}) device {device}: batched {verdict:?} \
+                     vs scalar {reference:?}"
+                );
+            }
+            mismatches += 1;
+        }
+    }
+    mismatches
+}
+
+/// Devices/s of `pass` (which screens `devices` devices): one warm-up
+/// pass, then repeated passes until enough wall-clock accumulates for a
+/// stable rate.
+fn throughput(devices: usize, mut pass: impl FnMut()) -> f64 {
+    pass();
+    let start = Instant::now();
+    let mut screened = 0usize;
+    let mut passes = 0u32;
+    loop {
+        pass();
+        screened += devices;
+        passes += 1;
+        if (start.elapsed().as_secs_f64() > 0.3 && passes >= 2) || passes >= 64 {
+            break;
+        }
+    }
+    screened as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}

@@ -20,7 +20,7 @@
 //! per check.
 //!
 //! Usage: `perf_gate [record-name ...]` (default: `seq_fleet rtl_fleet
-//! dyn_fleet`).
+//! dyn_fleet batched_fleet`).
 
 use bist_bench::{baseline_dir, env_f64, out_dir, record_metric, record_metrics};
 use std::fs;
@@ -32,6 +32,7 @@ fn main() {
             "seq_fleet".to_owned(),
             "rtl_fleet".to_owned(),
             "dyn_fleet".to_owned(),
+            "batched_fleet".to_owned(),
         ];
     }
     let tolerance = env_f64("BIST_PERF_TOLERANCE", 0.25);

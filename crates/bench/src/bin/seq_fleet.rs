@@ -28,19 +28,14 @@
 //! 256), `BIST_SEQ_CHECK_INTERVAL` (default 64).
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Resolution, Volts};
 use bist_bench::Scenario;
-use bist_core::backend::BehavioralBackend;
 use bist_core::config::BistConfig;
-use bist_core::dynamic::{DynScratch, DynamicConfig};
-use bist_core::harness::Scratch;
+use bist_core::dynamic::DynamicConfig;
 use bist_core::report::Table;
-use bist_core::sequencer::{
-    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer,
-    SequencerConfig, StaticSequencer,
-};
+use bist_core::screener::{Screener, Workload};
+use bist_core::sequencer::SequencerConfig;
 use bist_mc::batch::Batch;
 use bist_mc::differential::{run_seq_differential, SeqDifferentialResult};
 use bist_mc::experiment::{DynExperiment, DynExperimentResult, Experiment};
@@ -247,21 +242,11 @@ fn static_throughput(
 
     let start = Instant::now();
     let counts: Vec<u64> = partitioned(batch.size, workers, |from, to| {
-        let mut scratch = Scratch::new();
-        let mut seq = StaticSequencer::new(*policy);
+        let mut screener = Screener::new(Workload::static_ramp(config)).sequencer(*policy);
         let mut screened = 0u64;
         for i in from..to {
             let tf = batch.device(i);
-            let out = run_seq_static_bist_with_backend(
-                &mut BehavioralBackend,
-                &tf,
-                &config,
-                &mut seq,
-                &NoiseConfig::noiseless(),
-                0.0,
-                &mut batch.device_rng(i ^ 0x5eed_0000_0000_0000),
-                &mut scratch,
-            );
+            let out = screener.screen_one(&tf, &mut batch.device_rng(i ^ 0x5eed_0000_0000_0000));
             screened += 1;
             std::hint::black_box(out.accepted());
         }
@@ -312,22 +297,16 @@ fn dynamic_throughput(
 
     let start = Instant::now();
     let counts: Vec<u64> = partitioned(devices, workers, |from, to| {
-        let mut scratch = DynScratch::new();
-        let mut seq = DynSequencer::new(*policy);
+        let mut screener = Screener::new(Workload::dynamic_sine(config)).sequencer(*policy);
         let mut screened = 0u64;
         for i in from..to {
             let adc = flash.sample(&mut bist_mc::batch::stream_rng(
                 seed ^ 0xd5ef,
                 &[0, i as u64],
             ));
-            let out = run_seq_dynamic_bist_with_backend(
-                &mut BehavioralBackend,
+            let out = screener.screen_one(
                 &adc,
-                &config,
-                &mut seq,
-                &NoiseConfig::noiseless(),
                 &mut bist_mc::batch::stream_rng(seed ^ 0xd5ef, &[0xd1e_57a7, i as u64]),
-                &mut scratch,
             );
             screened += 1;
             std::hint::black_box(out.accepted());

@@ -1,32 +1,34 @@
 //! Pluggable verdict backends: one acquisition, two judges.
 //!
 //! The streaming engine fixes *what* is measured (the fused
-//! stimulus→code pass of [`crate::harness`]); a [`BistBackend`] decides
+//! stimulus→code pass of [`crate::harness`]); a [`Backend`] decides
 //! *who* judges it:
 //!
 //! * [`BehavioralBackend`] — the reference accumulators
 //!   ([`crate::lsb_monitor::LsbMonitorAcc`] +
-//!   [`crate::functional::FunctionalAcc`]). Zero-size, zero-cost: this
-//!   is exactly the allocation-free hot path the Monte-Carlo fleet runs.
-//! * [`RtlBackend`] — the gate-accurate `bist_rtl::top::BistTop`,
-//!   clocked one code per tick and drained through its synchroniser
-//!   latency at end of sweep, with its [`bist_rtl::top::BistReport`]
-//!   mapped onto the same [`BistVerdict`].
+//!   [`crate::functional::FunctionalAcc`]) and the streaming Goertzel
+//!   bank of [`crate::dynamic`]. Zero-size, zero-cost: this is exactly
+//!   the allocation-free hot path the Monte-Carlo fleet runs. It also
+//!   overrides the batch hooks with the lane-parallel SoA engines of
+//!   [`crate::batch`].
+//! * [`RtlBackend`] — the gate-accurate `bist_rtl::top::BistTop` (and
+//!   fixed-point [`bist_rtl::dyn_top::DynBistTop`]), clocked one code
+//!   per tick and drained through its synchroniser latency at end of
+//!   sweep, with its [`bist_rtl::top::BistReport`] mapped onto the same
+//!   [`BistVerdict`]. Its batch hooks keep the scalar per-device loop,
+//!   so gate-accuracy stays provable one device at a time.
 //!
-//! The two backends are **bit-exact** on every verdict field for any
-//! sweep that dwells ≥ [`bist_rtl::top::BistTop::DRAIN_TICKS`] samples
-//! after its last transition — which every harness ramp does by
-//! construction (10-LSB overshoot past full scale). Property tests in
-//! `crates/core/tests` pin the equivalence on adversarial synthetic
-//! streams; the `bist-mc` differential experiment pins it fleet-wide on
-//! random devices, noise configurations and counter widths.
-//!
-//! The same two backend types also judge the **dynamic** workload
-//! through [`DynBistBackend`]: the behavioural streaming Goertzel bank
-//! of [`crate::dynamic`], or the fixed-point
-//! [`bist_rtl::dyn_top::DynBistTop`] clocked one code per tick. There
-//! the contract is decision-exactness — see the trait docs.
+//! On the static workload the two backends are **bit-exact** on every
+//! verdict field for any sweep that dwells ≥
+//! [`bist_rtl::top::BistTop::DRAIN_TICKS`] samples after its last
+//! transition — which every harness ramp does by construction (10-LSB
+//! overshoot past full scale). Property tests in `crates/core/tests`
+//! pin the equivalence on adversarial synthetic streams; the `bist-mc`
+//! differential experiment pins it fleet-wide on random devices, noise
+//! configurations and counter widths. On the dynamic workload the
+//! contract is decision-exactness — see the trait docs.
 
+use crate::batch::{DynBatch, StaticBatch};
 use crate::config::BistConfig;
 use crate::dynamic::{process_dyn_code_stream, DynScratch, DynamicConfig, DynamicVerdict};
 use crate::functional::FunctionalAcc;
@@ -36,9 +38,11 @@ use crate::sequencer::{
     DynSequencer, SeqDecision, SeqOutcome, StaticSequencer, STATIC_DECISION_LATENCY,
 };
 use bist_adc::types::{Code, Lsb};
+use bist_adc::Adc;
 use bist_dsp::goertzel::TonePowers;
 use bist_rtl::dyn_top::{DynBistReport, DynBistTop};
 use bist_rtl::top::{BistTop, BistTopConfig};
+use rand::RngCore;
 
 /// Fixed-capacity delay line realising the sequencer's visibility
 /// protocol on the behavioural path: an event recorded at sample `t`
@@ -82,8 +86,30 @@ impl<T: Copy, const N: usize> DelayLine<T, N> {
     }
 }
 
-/// A verdict engine consuming one sweep's code stream.
-pub trait BistBackend {
+/// The one verdict seam: a backend judges every workload the screener
+/// can dispatch — static sweeps, dynamic records, their sequenced
+/// variants, and whole batches of devices.
+///
+/// **Static contract** (`process` / `process_sequenced`): both
+/// implementors are bit-exact on every verdict field; under a
+/// sequencer, the visibility protocol in [`crate::sequencer`] makes the
+/// decision independent of the backend's pipeline latency, so for the
+/// same code stream and the same (re-`begin`-able) sequencer every
+/// backend reaches the identical [`SeqDecision`] and identical verdict.
+///
+/// **Dynamic contract** (`process_dyn` / `process_dyn_sequenced`): the
+/// raw dB metrics may differ by the RTL's bounded fixed-point
+/// quantisation, but [`DynamicVerdict::checks`], `samples` and
+/// `expected_samples` must agree — which the dynamic differential fleet
+/// sweep (`bist_mc::differential`) enforces at scale.
+///
+/// **Batch contract** (`process_batch` / `process_dyn_batch`): the
+/// reports a batch yields are device-for-device identical to running
+/// each queued device through the corresponding scalar method — the
+/// default bodies literally do that. [`BehavioralBackend`] overrides
+/// them with the lane-parallel engines of [`crate::batch`], which the
+/// batch-equivalence property tests pin bit-exact to the scalar path.
+pub trait Backend {
     /// Stable backend name for perf records and reports.
     fn name(&self) -> &'static str;
 
@@ -99,17 +125,10 @@ pub trait BistBackend {
     ) -> BistVerdict;
 
     /// Judges one sweep under an early-stop sequencer: like
-    /// [`BistBackend::process`], but every
+    /// [`Backend::process`], but every
     /// [`crate::sequencer::SequencerConfig::check_interval`] samples
     /// the sequencer may stop the sweep, in which case the stream is
     /// abandoned and the verdict holds the sequencer-visible tallies.
-    ///
-    /// Contract across implementors: for the same code stream and the
-    /// same (re-`begin`-able) sequencer, every backend reaches the
-    /// identical [`SeqDecision`] and identical verdict — the visibility
-    /// protocol in [`crate::sequencer`] makes the decision independent
-    /// of the backend's pipeline latency. The `bist-mc` sequenced
-    /// differential sweep enforces this fleet-wide.
     fn process_sequenced<I: IntoIterator<Item = Code>>(
         &mut self,
         config: &BistConfig,
@@ -117,22 +136,6 @@ pub trait BistBackend {
         codes: I,
         scratch: &mut Scratch,
     ) -> SeqOutcome<BistVerdict>;
-}
-
-/// A verdict engine for the **dynamic** workload (see
-/// [`crate::dynamic`]): consumes one coherent sine record's code stream
-/// and returns the SINAD/THD/ENOB/noise-power verdict.
-///
-/// Implemented by the same two backends as the static seam, so a fleet
-/// can run both workloads through one backend value. The contract
-/// across implementors is weaker than the static seam's bit-exactness:
-/// the raw dB metrics may differ by the RTL's bounded fixed-point
-/// quantisation, but [`DynamicVerdict::checks`], `samples` and
-/// `expected_samples` must agree — which the dynamic differential fleet
-/// sweep (`bist_mc::differential`) enforces at scale.
-pub trait DynBistBackend {
-    /// Stable backend name for perf records and reports.
-    fn name(&self) -> &'static str;
 
     /// Judges one coherent record: consumes the code stream sample by
     /// sample and returns the compact dynamic verdict. `scratch` holds
@@ -145,9 +148,9 @@ pub trait DynBistBackend {
     ) -> DynamicVerdict;
 
     /// Judges one coherent record under an early-stop sequencer: like
-    /// [`DynBistBackend::process_dyn`], but the sequencer watches the
-    /// centred code stream and may stop the record early. The decision
-    /// is backend-independent by construction (the sequencer owns its
+    /// [`Backend::process_dyn`], but the sequencer watches the centred
+    /// code stream and may stop the record early. The decision is
+    /// backend-independent by construction (the sequencer owns its
     /// statistic); on an early stop both backends must report the same
     /// consumed-sample count (the RTL flushes its input pipeline), and
     /// the truncated verdict's raw metrics keep the full-record
@@ -159,11 +162,41 @@ pub trait DynBistBackend {
         codes: I,
         scratch: &mut DynScratch,
     ) -> SeqOutcome<DynamicVerdict>;
+
+    /// Screens every device queued in a static batch, leaving one
+    /// report per device (see [`StaticBatch::take_reports`]). The
+    /// default pops devices one at a time through [`Backend::process`]
+    /// / [`Backend::process_sequenced`].
+    fn process_batch<A: Adc, R: RngCore>(&mut self, batch: &mut StaticBatch<A, R>)
+    where
+        Self: Sized,
+    {
+        batch.run_scalar(self);
+    }
+
+    /// Screens every device queued in a dynamic batch, leaving one
+    /// report per device (see [`DynBatch::take_reports`]). The default
+    /// pops devices one at a time through [`Backend::process_dyn`] /
+    /// [`Backend::process_dyn_sequenced`].
+    fn process_dyn_batch<A: Adc, R: RngCore>(&mut self, batch: &mut DynBatch<A, R>)
+    where
+        Self: Sized,
+    {
+        batch.run_scalar(self);
+    }
 }
+
+/// Former name of the static half of [`Backend`].
+#[deprecated(since = "0.6.0", note = "the seams were unified; use `Backend`")]
+pub use self::Backend as BistBackend;
+
+/// Former name of the dynamic half of [`Backend`].
+#[deprecated(since = "0.6.0", note = "the seams were unified; use `Backend`")]
+pub use self::Backend as DynBistBackend;
 
 /// The centred signed half-LSB value `2·code + 1 − 2ⁿ` the dynamic
 /// sequencer consumes — identical for both backends by construction.
-fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
+pub(crate) fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
     2 * i64::from(code.0) + 1 - config.resolution().code_count() as i64
 }
 
@@ -174,7 +207,7 @@ fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BehavioralBackend;
 
-impl BistBackend for BehavioralBackend {
+impl Backend for BehavioralBackend {
     fn name(&self) -> &'static str {
         "behavioral"
     }
@@ -266,12 +299,6 @@ impl BistBackend for BehavioralBackend {
             },
         }
     }
-}
-
-impl DynBistBackend for BehavioralBackend {
-    fn name(&self) -> &'static str {
-        "behavioral"
-    }
 
     fn process_dyn<I: IntoIterator<Item = Code>>(
         &mut self,
@@ -315,6 +342,19 @@ impl DynBistBackend for BehavioralBackend {
             verdict: config.judge_powers(&bank.powers(), consumed),
         }
     }
+
+    /// The lane-parallel SoA engine: run-skipping on noiseless
+    /// monotone ramps, per-lane scalar replay otherwise — bit-exact to
+    /// the scalar path either way (see [`crate::batch`]).
+    fn process_batch<A: Adc, R: RngCore>(&mut self, batch: &mut StaticBatch<A, R>) {
+        batch.run_batched();
+    }
+
+    /// The lane-parallel Goertzel engine with a shared stimulus table —
+    /// bit-exact to the scalar path (see [`crate::batch`]).
+    fn process_dyn_batch<A: Adc, R: RngCore>(&mut self, batch: &mut DynBatch<A, R>) {
+        batch.run_batched();
+    }
 }
 
 /// The gate-accurate backend: feeds `bist_rtl::BistTop` one code per
@@ -338,7 +378,7 @@ impl DynBistBackend for BehavioralBackend {
 #[derive(Debug, Default)]
 pub struct RtlBackend {
     top: Option<BistTop>,
-    /// Cached dynamic-test datapath (see the [`DynBistBackend`] impl).
+    /// Cached dynamic-test datapath (see [`Backend::process_dyn`]).
     dyn_top: Option<DynBistTop>,
 }
 
@@ -390,7 +430,7 @@ impl RtlBackend {
     }
 }
 
-impl BistBackend for RtlBackend {
+impl Backend for RtlBackend {
     fn name(&self) -> &'static str {
         "rtl"
     }
@@ -504,45 +544,20 @@ impl BistBackend for RtlBackend {
             },
         }
     }
-}
 
-/// Maps one RTL code measurement onto the scratch's per-code view (the
-/// hardware's view: a saturated code reports the clamped width).
-fn push_rtl_code_result(
-    monitor_codes: &mut Vec<CodeResult>,
-    delta_s: f64,
-    m: &bist_rtl::datapath::CodeMeasurement,
-) {
-    let width_lsb = Lsb(m.count as f64 * delta_s);
-    monitor_codes.push(CodeResult {
-        index: m.index,
-        count: m.count,
-        overflow: m.overflow,
-        dnl_verdict: m.dnl_verdict,
-        width_lsb,
-        dnl_lsb: Lsb(width_lsb.0 - 1.0),
-        inl_counts: m.inl_counts,
-        inl_pass: m.inl_pass,
-    });
-}
-
-/// The gate-accurate dynamic backend: feeds `bist_rtl::DynBistTop` one
-/// code per tick and drains its input pipeline at end of record.
-///
-/// Like the static path, the constructed top level is cached and *reset
-/// in place* between devices while the configuration is unchanged, so
-/// after its first sweep this path is allocation-free too (covered by
-/// the counting-allocator test). The report's register contents —
-/// fixed-point bin powers in half-LSB², exact Σv and Σv² — are mapped
-/// onto a [`TonePowers`] in LSB² and judged by the *same*
-/// [`DynamicConfig::judge_powers`] the behavioural bank uses, so the
-/// only possible behavioural↔RTL difference is the bounded fixed-point
-/// quantisation of the Goertzel accumulation.
-impl DynBistBackend for RtlBackend {
-    fn name(&self) -> &'static str {
-        "rtl"
-    }
-
+    /// Feeds `bist_rtl::DynBistTop` one code per tick and drains its
+    /// input pipeline at end of record.
+    ///
+    /// Like the static path, the constructed top level is cached and
+    /// *reset in place* between devices while the configuration is
+    /// unchanged, so after its first sweep this path is allocation-free
+    /// too (covered by the counting-allocator test). The report's
+    /// register contents — fixed-point bin powers in half-LSB², exact
+    /// Σv and Σv² — are mapped onto a [`TonePowers`] in LSB² and judged
+    /// by the *same* [`DynamicConfig::judge_powers`] the behavioural
+    /// bank uses, so the only possible behavioural↔RTL difference is
+    /// the bounded fixed-point quantisation of the Goertzel
+    /// accumulation.
     fn process_dyn<I: IntoIterator<Item = Code>>(
         &mut self,
         config: &DynamicConfig,
@@ -598,6 +613,26 @@ impl DynBistBackend for RtlBackend {
     }
 }
 
+/// Maps one RTL code measurement onto the scratch's per-code view (the
+/// hardware's view: a saturated code reports the clamped width).
+fn push_rtl_code_result(
+    monitor_codes: &mut Vec<CodeResult>,
+    delta_s: f64,
+    m: &bist_rtl::datapath::CodeMeasurement,
+) {
+    let width_lsb = Lsb(m.count as f64 * delta_s);
+    monitor_codes.push(CodeResult {
+        index: m.index,
+        count: m.count,
+        overflow: m.overflow,
+        dnl_verdict: m.dnl_verdict,
+        width_lsb,
+        dnl_lsb: Lsb(width_lsb.0 - 1.0),
+        inl_counts: m.inl_counts,
+        inl_pass: m.inl_pass,
+    });
+}
+
 /// Maps the RTL result registers onto the shared verdict arithmetic.
 /// Half-LSB² → LSB² (÷4); the integer side channels convert exactly
 /// (Σv and Σv² are lossless in f64 for every supported record length).
@@ -616,6 +651,7 @@ fn rtl_dyn_verdict(config: &DynamicConfig, report: &DynBistReport) -> DynamicVer
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::harness::{plan_ramp, run_static_bist_with, run_static_bist_with_backend};

@@ -1,0 +1,1171 @@
+//! Lane-parallel batch screening: N devices advance in lockstep
+//! through structure-of-arrays state blocks.
+//!
+//! The scalar engines of [`crate::harness`] and [`crate::dynamic`]
+//! screen one device at a time: stimulus → code → accumulator, one long
+//! dependent chain per device. A production screener tests a *fleet*,
+//! and the fleet hot loop is embarrassingly lane-parallel: every device
+//! runs the same plan over the same sample grid, only the transfer
+//! function (and its noise draws) differ. This module restructures the
+//! state so a batch of devices shares one pass:
+//!
+//! * [`StaticBatch`] — code tallies as lane-indexed
+//!   [`MonitorState`]/[`FunctionalState`] arrays. On the dominant
+//!   noiseless-ramp workload each lane additionally *run-skips*: the
+//!   ramp is monotone and the transition levels are known
+//!   ([`Adc::transition_levels`]), so the next code flip is found by a
+//!   galloping search over the closed-form ramp instead of sample-by-
+//!   sample conversion, and the accumulators advance over the constant
+//!   run in O(1) ([`MonitorState::skip_run`]). The replayed head of
+//!   each run keeps the deglitcher and median-filter state machines
+//!   bit-exact with the scalar path.
+//! * [`DynBatch`] — the Goertzel resonator bank flattened lane-major
+//!   with Welford moments as parallel arrays, and the coherent sine
+//!   stimulus evaluated **once** into a shared table (at zero jitter
+//!   the stimulus is device-independent), so the per-lane work is one
+//!   table load, one transition search and a branch-free resonator
+//!   update — autovectorizer food.
+//!
+//! Sequencer checkpoints evaluate per lane on the same countdown
+//! protocol as the scalar backends (events latched through a per-lane
+//! FIFO to the [`STATIC_DECISION_LATENCY`] horizon), and a finished
+//! lane is refilled from the device queue so the batch never idles.
+//!
+//! **Bit-exactness.** Every verdict a batch reports is identical to
+//! running the same device, with the same RNG, through the scalar
+//! engine: run-skipping evaluates the *same* ramp expression on the
+//! *same* sample indices; the fallback path replays
+//! [`bist_adc::stream::CodeStream`]'s draw order per lane; the dynamic
+//! lanes apply the same per-(lane, bin) operation sequence as
+//! [`bist_dsp::goertzel::GoertzelBank::push`] and assemble powers
+//! through the same [`assemble_powers`] arithmetic. The
+//! `batch_equivalence` property tests pin this for arbitrary lane
+//! widths and refill orders.
+
+use std::collections::VecDeque;
+
+use crate::backend::{centred_half_lsb, Backend};
+use crate::config::BistConfig;
+use crate::dynamic::{plan_sine, DynScratch, DynamicConfig, DynamicVerdict};
+use crate::functional::FunctionalState;
+use crate::harness::{plan_ramp, BistVerdict, Scratch};
+use crate::lsb_monitor::MonitorState;
+use crate::sequencer::{
+    DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer,
+    STATIC_DECISION_LATENCY,
+};
+use bist_adc::noise::NoiseConfig;
+use bist_adc::signal::{Ramp, SineWave, Stimulus};
+use bist_adc::stream::CodeStream;
+use bist_adc::types::{Code, Volts};
+use bist_adc::{Adc, SamplingConfig};
+use bist_dsp::goertzel::{assemble_powers, harmonic_plan, Goertzel, HarmonicPlan};
+use rand::RngCore;
+
+/// Default number of devices advancing in lockstep.
+pub const DEFAULT_LANE_WIDTH: usize = 16;
+
+/// Samples each active lane advances before the scheduler visits the
+/// next lane — large enough to amortise the visit, small enough that a
+/// freshly refilled lane joins the lockstep quickly.
+const CHUNK: u64 = 4096;
+
+/// One queued device: a stable report index, its transfer function and
+/// its private noise RNG (per-lane draw order is preserved exactly, so
+/// verdicts are independent of lane scheduling).
+#[derive(Debug, Clone)]
+pub struct BatchDevice<A, R> {
+    /// Caller-chosen identifier carried into the report (unique per
+    /// batch; reports are ordered by it).
+    pub index: usize,
+    /// The device under test.
+    pub adc: A,
+    /// The device's noise RNG.
+    pub rng: R,
+}
+
+impl<A, R> BatchDevice<A, R> {
+    /// Bundles one device for the queue.
+    pub fn new(index: usize, adc: A, rng: R) -> Self {
+        BatchDevice { index, adc, rng }
+    }
+}
+
+/// One screened device's result from a static batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticReport {
+    /// The [`BatchDevice::index`] this verdict belongs to.
+    pub device: usize,
+    /// Decision and verdict, exactly as the scalar sequenced path
+    /// would report (decision is `Continue` for unsequenced batches).
+    pub outcome: SeqOutcome<BistVerdict>,
+}
+
+/// One screened device's result from a dynamic batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynReport {
+    /// The [`BatchDevice::index`] this verdict belongs to.
+    pub device: usize,
+    /// Decision and verdict, exactly as the scalar sequenced path
+    /// would report (decision is `Continue` for unsequenced batches).
+    pub outcome: SeqOutcome<DynamicVerdict>,
+}
+
+/// Per-lane sequencer event, latched until its visibility horizon.
+#[derive(Debug, Clone, Copy)]
+enum LaneEvent {
+    /// A completed code measurement (fields of the scalar
+    /// [`crate::lsb_monitor::CodeResult`] the sequencer consumes).
+    Code {
+        count: u64,
+        dnl_pass: bool,
+        inl_pass: bool,
+        inl_counts: i64,
+    },
+    /// A fired upper-bit functional check.
+    Functional { ok: bool },
+}
+
+/// Structure-of-arrays state for the static lanes.
+#[derive(Debug, Clone, Default)]
+struct StaticLanes {
+    monitor: Vec<MonitorState>,
+    functional: Vec<FunctionalState>,
+    seq: Vec<StaticSequencer>,
+    next_checkpoint: Vec<u64>,
+    consumed: Vec<u64>,
+    total: Vec<u64>,
+    ramp: Vec<Ramp>,
+    sampling: Vec<SamplingConfig>,
+    run_skip: Vec<bool>,
+    cur_code: Vec<u32>,
+    run_end: Vec<u64>,
+    head_left: Vec<u64>,
+    events: Vec<VecDeque<(u64, LaneEvent)>>,
+}
+
+/// A batch of devices screened through the static (ramp/linearity)
+/// workload in lane-parallel lockstep.
+///
+/// Build one with the plan shared by every device (config, noise,
+/// slope error, optional sequencer), [`push`](StaticBatch::push) the
+/// devices, hand it to [`Backend::process_batch`], then collect
+/// [`take_reports`](StaticBatch::take_reports). The batch owns all
+/// working state, so a warm batch re-run allocates nothing.
+#[derive(Debug)]
+pub struct StaticBatch<A, R> {
+    config: BistConfig,
+    noise: NoiseConfig,
+    slope_error: f64,
+    seq_config: Option<SequencerConfig>,
+    lane_width: usize,
+    queue: VecDeque<BatchDevice<A, R>>,
+    reports: Vec<StaticReport>,
+    scratch: Scratch,
+    scalar_seq: Option<StaticSequencer>,
+    devices: Vec<Option<BatchDevice<A, R>>>,
+    lanes: StaticLanes,
+}
+
+impl<A: Adc, R: RngCore> StaticBatch<A, R> {
+    /// A batch screening `config` noiselessly with an ideal-slope ramp
+    /// and no sequencer, [`DEFAULT_LANE_WIDTH`] lanes wide.
+    pub fn new(config: BistConfig) -> Self {
+        StaticBatch {
+            config,
+            noise: NoiseConfig::noiseless(),
+            slope_error: 0.0,
+            seq_config: None,
+            lane_width: DEFAULT_LANE_WIDTH,
+            queue: VecDeque::new(),
+            reports: Vec::new(),
+            scratch: Scratch::new(),
+            scalar_seq: None,
+            devices: Vec::new(),
+            lanes: StaticLanes::default(),
+        }
+    }
+
+    /// Sets the noise model every device is screened under.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the relative ramp slope error shared by the batch.
+    pub fn with_slope_error(mut self, err: f64) -> Self {
+        self.slope_error = err;
+        self
+    }
+
+    /// Screens every device under the early-stop sequencer policy.
+    pub fn with_sequencer(mut self, policy: SequencerConfig) -> Self {
+        self.seq_config = Some(policy);
+        self
+    }
+
+    /// Sets the number of lockstep lanes (≥ 1).
+    pub fn with_lane_width(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        self.lane_width = lanes;
+        self
+    }
+
+    /// Queues one device for screening.
+    pub fn push(&mut self, device: BatchDevice<A, R>) {
+        self.queue.push_back(device);
+    }
+
+    /// Number of devices still waiting for a lane.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reports accumulated so far, sorted by device index.
+    ///
+    /// The sort is in place and allocation-free, so this (with
+    /// [`clear_reports`](StaticBatch::clear_reports)) is the warm-path
+    /// way to drain a reused batch.
+    pub fn finish_reports(&mut self) -> &[StaticReport] {
+        self.reports.sort_unstable_by_key(|r| r.device);
+        &self.reports
+    }
+
+    /// Clears the report buffer, keeping its capacity.
+    pub fn clear_reports(&mut self) {
+        self.reports.clear();
+    }
+
+    /// Takes the accumulated reports, sorted by device index.
+    pub fn take_reports(&mut self) -> Vec<StaticReport> {
+        self.reports.sort_unstable_by_key(|r| r.device);
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Screens the queue one device at a time through the scalar
+    /// engine of `backend` — the reference the lane engine is measured
+    /// against, and the path hardware-model backends take.
+    pub fn run_scalar<B: Backend>(&mut self, backend: &mut B) {
+        while let Some(mut dev) = self.queue.pop_front() {
+            let (ramp, sampling) = plan_ramp(&dev.adc, &self.config);
+            let ramp = ramp.with_slope_error(self.slope_error);
+            let outcome = if let Some(policy) = self.seq_config {
+                let seq = self
+                    .scalar_seq
+                    .get_or_insert_with(|| StaticSequencer::new(policy));
+                backend.process_sequenced(
+                    &self.config,
+                    seq,
+                    CodeStream::noisy(&dev.adc, &ramp, sampling, &self.noise, &mut dev.rng),
+                    &mut self.scratch,
+                )
+            } else {
+                let verdict = backend.process(
+                    &self.config,
+                    CodeStream::noisy(&dev.adc, &ramp, sampling, &self.noise, &mut dev.rng),
+                    &mut self.scratch,
+                );
+                SeqOutcome {
+                    decision: SeqDecision::Continue,
+                    verdict,
+                }
+            };
+            self.reports.push(StaticReport {
+                device: dev.index,
+                outcome,
+            });
+        }
+    }
+
+    /// Screens the queue through the lane-parallel behavioural engine:
+    /// all lanes advance in lockstep chunks, finished lanes refill
+    /// from the queue, and every verdict is bit-exact to
+    /// [`run_scalar`](StaticBatch::run_scalar) with
+    /// [`crate::backend::BehavioralBackend`].
+    pub fn run_batched(&mut self) {
+        loop {
+            let mut active = false;
+            for lane in 0..self.lane_width {
+                if self.devices.get(lane).is_none_or(|d| d.is_none()) {
+                    match self.queue.pop_front() {
+                        Some(dev) => self.install(lane, dev),
+                        None => continue,
+                    }
+                }
+                active = true;
+                let until = self.lanes.consumed[lane] + CHUNK;
+                if let Some(outcome) = self.advance_lane(lane, until) {
+                    let dev = self.devices[lane].take().expect("lane was active");
+                    self.reports.push(StaticReport {
+                        device: dev.index,
+                        outcome,
+                    });
+                }
+            }
+            if !active {
+                break;
+            }
+        }
+    }
+
+    /// Installs a device into `lane`, planning its sweep and resetting
+    /// the lane's accumulators (allocation-free once the lane exists).
+    fn install(&mut self, lane: usize, dev: BatchDevice<A, R>) {
+        let (ramp, sampling) = plan_ramp(&dev.adc, &self.config);
+        let ramp = ramp.with_slope_error(self.slope_error);
+        // Run-skipping needs a device-independent, strictly advancing
+        // stimulus (noiseless, positive effective slope; harness ramps
+        // have no bow) and known transition levels to search against.
+        let run_skip = self.noise.is_noiseless()
+            && ramp.effective_slope() > 0.0
+            && dev.adc.transition_levels().is_some();
+        let monitor = MonitorState::new(&self.config);
+        let functional = FunctionalState::new(self.config.monitored_bit(), self.config.deglitch());
+        let l = &mut self.lanes;
+        if lane == l.monitor.len() {
+            l.monitor.push(monitor);
+            l.functional.push(functional);
+            l.consumed.push(0);
+            l.total.push(sampling.samples as u64);
+            l.ramp.push(ramp);
+            l.sampling.push(sampling);
+            l.run_skip.push(run_skip);
+            l.cur_code.push(0);
+            l.run_end.push(0);
+            l.head_left.push(0);
+            l.next_checkpoint.push(u64::MAX);
+            l.events.push(VecDeque::new());
+            if let Some(policy) = self.seq_config {
+                l.seq.push(StaticSequencer::new(policy));
+            }
+            self.devices.push(None);
+        } else {
+            l.monitor[lane] = monitor;
+            l.functional[lane] = functional;
+            l.consumed[lane] = 0;
+            l.total[lane] = sampling.samples as u64;
+            l.ramp[lane] = ramp;
+            l.sampling[lane] = sampling;
+            l.run_skip[lane] = run_skip;
+            l.cur_code[lane] = 0;
+            l.run_end[lane] = 0;
+            l.head_left[lane] = 0;
+            l.events[lane].clear();
+        }
+        if self.seq_config.is_some() {
+            let seq = &mut self.lanes.seq[lane];
+            seq.begin(&self.config);
+            self.lanes.next_checkpoint[lane] =
+                seq.next_checkpoint_after(0) + STATIC_DECISION_LATENCY;
+        }
+        self.devices[lane] = Some(dev);
+    }
+
+    /// Advances one lane to `until` (or its next checkpoint / end of
+    /// sweep, whichever first fires a decision). Returns the device's
+    /// outcome when its sweep concluded.
+    fn advance_lane(&mut self, lane: usize, until: u64) -> Option<SeqOutcome<BistVerdict>> {
+        let sequenced = self.seq_config.is_some();
+        // Replayed head of each constant-code run: the deglitcher taps
+        // / median window saturate after two identical samples, after
+        // which `skip_run` covers the remainder in O(1).
+        let head_n: u64 = if self.config.deglitch() { 2 } else { 1 };
+        let bit = self.config.monitored_bit();
+        let total = self.lanes.total[lane];
+        let ramp = self.lanes.ramp[lane];
+        let sampling = self.lanes.sampling[lane];
+        let run_skip = self.lanes.run_skip[lane];
+        let until = until.min(total);
+        let mut consumed = self.lanes.consumed[lane];
+        let mut mon = self.lanes.monitor[lane];
+        let mut func = self.lanes.functional[lane];
+        let mut cur_code = self.lanes.cur_code[lane];
+        let mut run_end = self.lanes.run_end[lane];
+        let mut head_left = self.lanes.head_left[lane];
+
+        let outcome = 'sweep: loop {
+            let target = if sequenced {
+                until.min(self.lanes.next_checkpoint[lane])
+            } else {
+                until
+            };
+            if run_skip {
+                let dev = self.devices[lane].as_ref().expect("lane active");
+                let levels = dev
+                    .adc
+                    .transition_levels()
+                    .expect("run-skip lane has levels");
+                let events = &mut self.lanes.events[lane];
+                while consumed < target {
+                    if run_end <= consumed {
+                        // Open a run: settle the level cursor to the
+                        // exact partition point at this sample, then
+                        // gallop to the first sample at or above the
+                        // next transition level.
+                        let v = ramp.value(sampling.sample_time(consumed as usize)).0;
+                        let m = levels.len();
+                        let mut c = cur_code as usize;
+                        while c < m && levels[c] <= v {
+                            c += 1;
+                        }
+                        while c > 0 && levels[c - 1] > v {
+                            c -= 1;
+                        }
+                        cur_code = c as u32;
+                        run_end = if c < m {
+                            first_at_or_above(&ramp, &sampling, levels[c], consumed + 1, total)
+                        } else {
+                            total
+                        };
+                        head_left = head_n;
+                    }
+                    let leg = (run_end - consumed).min(target - consumed);
+                    let code = Code(cur_code);
+                    let raw = (code.0 >> bit) & 1 == 1;
+                    let head = head_left.min(leg);
+                    for _ in 0..head {
+                        consumed += 1;
+                        let rec = mon.push(raw);
+                        let chk = func.push(code);
+                        if sequenced {
+                            if let Some(r) = rec {
+                                events.push_back((
+                                    consumed,
+                                    LaneEvent::Code {
+                                        count: r.count,
+                                        dnl_pass: r.dnl_verdict.is_pass(),
+                                        inl_pass: r.inl_pass,
+                                        inl_counts: r.inl_counts,
+                                    },
+                                ));
+                            }
+                            if let Some(c) = chk {
+                                events.push_back((consumed, LaneEvent::Functional { ok: c.ok }));
+                            }
+                        }
+                    }
+                    head_left -= head;
+                    let bulk = leg - head;
+                    if bulk > 0 {
+                        mon.skip_run(bulk);
+                        func.skip_run(bulk);
+                        consumed += bulk;
+                    }
+                }
+            } else {
+                // Per-sample fallback: byte-for-byte the scalar
+                // acquisition (`CodeStream::next`), with the lane's own
+                // RNG so the draw order matches the scalar run exactly.
+                let dev = self.devices[lane].as_mut().expect("lane active");
+                let events = &mut self.lanes.events[lane];
+                while consumed < target {
+                    let t = self
+                        .noise
+                        .perturb_time(sampling.sample_time(consumed as usize), &mut dev.rng);
+                    let v = self.noise.perturb_voltage(ramp.value(t).0, &mut dev.rng);
+                    let code = dev.adc.convert(Volts(v));
+                    consumed += 1;
+                    let rec = mon.push((code.0 >> bit) & 1 == 1);
+                    let chk = func.push(code);
+                    if sequenced {
+                        if let Some(r) = rec {
+                            events.push_back((
+                                consumed,
+                                LaneEvent::Code {
+                                    count: r.count,
+                                    dnl_pass: r.dnl_verdict.is_pass(),
+                                    inl_pass: r.inl_pass,
+                                    inl_counts: r.inl_counts,
+                                },
+                            ));
+                        }
+                        if let Some(c) = chk {
+                            events.push_back((consumed, LaneEvent::Functional { ok: c.ok }));
+                        }
+                    }
+                }
+            }
+            if sequenced && consumed == self.lanes.next_checkpoint[lane] {
+                // Deliver every event inside the visibility horizon in
+                // fire order — the same stream the scalar delay lines
+                // drain — then take the decision.
+                let seq = &mut self.lanes.seq[lane];
+                let events = &mut self.lanes.events[lane];
+                let visible = consumed - STATIC_DECISION_LATENCY;
+                while let Some(&(at, ev)) = events.front() {
+                    if at > visible {
+                        break;
+                    }
+                    events.pop_front();
+                    match ev {
+                        LaneEvent::Code {
+                            count,
+                            dnl_pass,
+                            inl_pass,
+                            inl_counts,
+                        } => seq.observe_code(at, count, dnl_pass, inl_pass, inl_counts),
+                        LaneEvent::Functional { ok } => seq.observe_functional(ok),
+                    }
+                }
+                self.lanes.next_checkpoint[lane] =
+                    seq.next_checkpoint_after(visible) + STATIC_DECISION_LATENCY;
+                let decision = seq.checkpoint(visible);
+                if decision.stops() {
+                    break 'sweep Some(SeqOutcome {
+                        decision,
+                        verdict: seq.verdict(consumed),
+                    });
+                }
+                continue;
+            }
+            if consumed == total {
+                let m = mon.tally();
+                let f = func.tally();
+                break 'sweep Some(SeqOutcome {
+                    decision: SeqDecision::Continue,
+                    verdict: BistVerdict {
+                        codes_judged: m.codes_judged,
+                        dnl_failures: m.dnl_failures,
+                        inl_failures: m.inl_failures,
+                        functional_checks: f.checks,
+                        functional_mismatches: f.mismatches,
+                        expected_codes: self.config.expected_measurements(),
+                        samples: consumed,
+                    },
+                });
+            }
+            if consumed == until {
+                break 'sweep None;
+            }
+        };
+        self.lanes.consumed[lane] = consumed;
+        self.lanes.monitor[lane] = mon;
+        self.lanes.functional[lane] = func;
+        self.lanes.cur_code[lane] = cur_code;
+        self.lanes.run_end[lane] = run_end;
+        self.lanes.head_left[lane] = head_left;
+        outcome
+    }
+}
+
+/// First sample index in `[from, total)` whose ramp voltage reaches
+/// `level`, or `total`. Gallop-then-bisect over the monotone predicate
+/// `ramp(t_j) ≥ level`, evaluating the *same* closed-form expression
+/// the per-sample path would, so the crossing sample is exact.
+fn first_at_or_above(
+    ramp: &Ramp,
+    sampling: &SamplingConfig,
+    level: f64,
+    from: u64,
+    total: u64,
+) -> u64 {
+    let above = |j: u64| ramp.value(sampling.sample_time(j as usize)).0 >= level;
+    let mut lo = from;
+    let mut probe = from;
+    let mut step = 1u64;
+    let mut hi = loop {
+        if probe >= total {
+            break total;
+        }
+        if above(probe) {
+            break probe;
+        }
+        lo = probe + 1;
+        probe += step;
+        step *= 2;
+    };
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if above(mid) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Buckets in a [`LevelLut`].
+const LUT_BUCKETS: usize = 256;
+/// Widest per-bucket level cluster the fixed-width scan tolerates;
+/// denser level sets fall back to [`Adc::convert`].
+const LUT_MAX_SPAN: usize = 8;
+
+/// Branchless rank accelerator over one device's sorted transition
+/// levels. The [`Adc`] trait contract pins `convert(v)` to
+/// `levels.partition_point(|&t| t <= v)` whenever `transition_levels()`
+/// is `Some`, so the rank can be computed any way that counts the same
+/// levels — and the binary search's data-dependent branches mispredict
+/// on sine-like inputs, dominating the batched dynamic hot loop. This
+/// instead buckets the voltage range: `base[j]` counts the levels below
+/// bucket `j`, and a fixed-width compare-and-sum over the (padded)
+/// level array finishes the rank without a single data-dependent
+/// branch.
+#[derive(Debug, Clone, Default)]
+struct LevelLut {
+    /// `base[j]` = index of the first level whose bucket is ≥ `j`
+    /// (length `LUT_BUCKETS + 1`).
+    base: Vec<u32>,
+    /// The levels, padded with `LUT_MAX_SPAN` infinities so the
+    /// fixed-width scan never reads past the end or branches on the
+    /// tail.
+    padded: Vec<f64>,
+    lo: f64,
+    inv_w: f64,
+    span: usize,
+}
+
+impl LevelLut {
+    /// Bucket of `v`. Monotone nondecreasing in `v` (IEEE subtraction
+    /// and multiplication are monotone; the `usize` cast saturates
+    /// below at 0), which is the only property correctness relies on:
+    /// levels in buckets before `bucket(v)` are ≤ `v`, levels in
+    /// buckets after it are > `v`, and the bucket itself gets scanned.
+    #[inline]
+    fn bucket(&self, v: f64) -> usize {
+        (((v - self.lo) * self.inv_w) as usize).min(LUT_BUCKETS - 1)
+    }
+
+    /// (Re)builds the accelerator over `levels`, reusing buffers;
+    /// `false` when the level set is unsuitable (empty, non-finite or
+    /// degenerate span, or a cluster too dense for the fixed scan).
+    fn build(&mut self, levels: &[f64]) -> bool {
+        let (Some(&lo), Some(&hi)) = (levels.first(), levels.last()) else {
+            return false;
+        };
+        if hi <= lo || !(hi - lo).is_finite() {
+            return false;
+        }
+        self.lo = lo;
+        self.inv_w = LUT_BUCKETS as f64 / (hi - lo);
+        if !self.inv_w.is_finite() {
+            return false;
+        }
+        self.base.clear();
+        let mut i = 0usize;
+        for j in 0..=LUT_BUCKETS {
+            while i < levels.len() && self.bucket(levels[i]) < j {
+                i += 1;
+            }
+            self.base.push(i as u32);
+        }
+        let span = self
+            .base
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0);
+        if span > LUT_MAX_SPAN {
+            return false;
+        }
+        self.span = span;
+        self.padded.clear();
+        self.padded.extend_from_slice(levels);
+        self.padded
+            .extend(std::iter::repeat_n(f64::INFINITY, LUT_MAX_SPAN));
+        true
+    }
+
+    /// Number of levels ≤ `v` — by the [`Adc`] contract, exactly
+    /// `convert(v).0`.
+    #[inline]
+    fn rank(&self, v: f64) -> u32 {
+        let base = self.base[self.bucket(v)];
+        let at = base as usize;
+        let mut r = base;
+        for m in 0..self.span {
+            r += u32::from(self.padded[at + m] <= v);
+        }
+        r
+    }
+}
+
+/// One lane's borrowed state inside the interleaved pair kernel.
+struct PairLane<'a> {
+    table: &'a [f64],
+    lut: &'a LevelLut,
+    res: &'a mut [Goertzel],
+    count: usize,
+    mean: f64,
+    m2: f64,
+}
+
+/// The interleaved two-lane inner loop: per-lane arithmetic and
+/// operation order are exactly `advance_lane`'s, so results stay
+/// bit-identical — interleaving only lets the two lanes' serial
+/// dependency chains (the Welford mean division, each bin's Goertzel
+/// recurrence) overlap in the pipeline instead of running back to back.
+#[inline(always)]
+fn pair_kernel_body(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
+    let n = lanes[0].table.len().min(lanes[1].table.len());
+    let [la, lb] = lanes;
+    for k in 0..n {
+        let xa = f64::from(la.lut.rank(la.table[k])) + 0.5 - half_fs;
+        let xb = f64::from(lb.lut.rank(lb.table[k])) + 0.5 - half_fs;
+        for g in la.res.iter_mut() {
+            g.push(xa);
+        }
+        for g in lb.res.iter_mut() {
+            g.push(xb);
+        }
+        la.count += 1;
+        let da = xa - la.mean;
+        la.mean += da / la.count as f64;
+        la.m2 += da * (xa - la.mean);
+        lb.count += 1;
+        let db = xb - lb.mean;
+        lb.mean += db / lb.count as f64;
+        lb.m2 += db * (xb - lb.mean);
+    }
+}
+
+/// Portable entry for [`pair_kernel_body`].
+fn pair_kernel(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
+    pair_kernel_body(lanes, half_fs);
+}
+
+/// x86-64 entry compiled with AVX2+FMA enabled: `mul_add` lowers to a
+/// hardware `vfmadd` — correctly rounded, bit-identical to the `fma()`
+/// libm call the portable build makes, but without a function call per
+/// resonator per sample, which is the single largest cost in the
+/// dynamic hot loop on the default target.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pair_kernel_fma(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
+    pair_kernel_body(lanes, half_fs);
+}
+
+/// Structure-of-arrays state for the dynamic lanes. Resonators are
+/// flattened lane-major: lane `l` owns
+/// `resonators[l * bins .. (l + 1) * bins]`.
+#[derive(Debug, Clone, Default)]
+struct DynLanes {
+    resonators: Vec<Goertzel>,
+    count: Vec<usize>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    seq: Vec<DynSequencer>,
+    next_checkpoint: Vec<u64>,
+    consumed: Vec<u64>,
+    use_table: Vec<bool>,
+    sine: Vec<SineWave>,
+    sampling: Vec<SamplingConfig>,
+    lut: Vec<LevelLut>,
+    lut_ok: Vec<bool>,
+}
+
+/// A batch of devices screened through the dynamic (coherent-sine)
+/// workload in lane-parallel lockstep.
+///
+/// Same shape as [`StaticBatch`]: build with the shared plan, `push`
+/// devices, dispatch through [`Backend::process_dyn_batch`], collect
+/// with [`take_reports`](DynBatch::take_reports).
+#[derive(Debug)]
+pub struct DynBatch<A, R> {
+    config: DynamicConfig,
+    noise: NoiseConfig,
+    seq_config: Option<SequencerConfig>,
+    lane_width: usize,
+    queue: VecDeque<BatchDevice<A, R>>,
+    reports: Vec<DynReport>,
+    dyn_scratch: DynScratch,
+    scalar_seq: Option<DynSequencer>,
+    devices: Vec<Option<BatchDevice<A, R>>>,
+    plan: HarmonicPlan,
+    template: Vec<Goertzel>,
+    /// Stimulus voltages shared by every zero-jitter lane whose plan
+    /// matches `table_plan` — the sine is evaluated once per batch,
+    /// not once per (device, sample).
+    table: Vec<f64>,
+    table_plan: Option<(SineWave, SamplingConfig)>,
+    lanes: DynLanes,
+}
+
+impl<A: Adc, R: RngCore> DynBatch<A, R> {
+    /// A batch screening `config` noiselessly with no sequencer,
+    /// [`DEFAULT_LANE_WIDTH`] lanes wide.
+    pub fn new(config: DynamicConfig) -> Self {
+        let plan = harmonic_plan(
+            config.cycles() as usize,
+            config.record_len(),
+            config.harmonics(),
+        );
+        let template = plan
+            .bins
+            .iter()
+            .map(|&b| Goertzel::for_bin(b, config.record_len()))
+            .collect();
+        DynBatch {
+            config,
+            noise: NoiseConfig::noiseless(),
+            seq_config: None,
+            lane_width: DEFAULT_LANE_WIDTH,
+            queue: VecDeque::new(),
+            reports: Vec::new(),
+            dyn_scratch: DynScratch::new(),
+            scalar_seq: None,
+            devices: Vec::new(),
+            plan,
+            template,
+            table: Vec::new(),
+            table_plan: None,
+            lanes: DynLanes::default(),
+        }
+    }
+
+    /// Sets the noise model every device is screened under.
+    pub fn with_noise(mut self, noise: NoiseConfig) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Screens every device under the early-stop sequencer policy.
+    pub fn with_sequencer(mut self, policy: SequencerConfig) -> Self {
+        self.seq_config = Some(policy);
+        self
+    }
+
+    /// Sets the number of lockstep lanes (≥ 1).
+    pub fn with_lane_width(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a batch needs at least one lane");
+        self.lane_width = lanes;
+        self
+    }
+
+    /// Queues one device for screening.
+    pub fn push(&mut self, device: BatchDevice<A, R>) {
+        self.queue.push_back(device);
+    }
+
+    /// Number of devices still waiting for a lane.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Reports accumulated so far, sorted by device index (in place,
+    /// allocation-free — the warm-path drain, with
+    /// [`clear_reports`](DynBatch::clear_reports)).
+    pub fn finish_reports(&mut self) -> &[DynReport] {
+        self.reports.sort_unstable_by_key(|r| r.device);
+        &self.reports
+    }
+
+    /// Clears the report buffer, keeping its capacity.
+    pub fn clear_reports(&mut self) {
+        self.reports.clear();
+    }
+
+    /// Takes the accumulated reports, sorted by device index.
+    pub fn take_reports(&mut self) -> Vec<DynReport> {
+        self.reports.sort_unstable_by_key(|r| r.device);
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Screens the queue one device at a time through the scalar
+    /// engine of `backend`.
+    pub fn run_scalar<B: Backend>(&mut self, backend: &mut B) {
+        while let Some(mut dev) = self.queue.pop_front() {
+            let (sine, sampling) = plan_sine(&dev.adc, &self.config);
+            let outcome = if let Some(policy) = self.seq_config {
+                let seq = self
+                    .scalar_seq
+                    .get_or_insert_with(|| DynSequencer::new(policy));
+                backend.process_dyn_sequenced(
+                    &self.config,
+                    seq,
+                    CodeStream::noisy(&dev.adc, &sine, sampling, &self.noise, &mut dev.rng),
+                    &mut self.dyn_scratch,
+                )
+            } else {
+                let verdict = backend.process_dyn(
+                    &self.config,
+                    CodeStream::noisy(&dev.adc, &sine, sampling, &self.noise, &mut dev.rng),
+                    &mut self.dyn_scratch,
+                );
+                SeqOutcome {
+                    decision: SeqDecision::Continue,
+                    verdict,
+                }
+            };
+            self.reports.push(DynReport {
+                device: dev.index,
+                outcome,
+            });
+        }
+    }
+
+    /// Screens the queue through the lane-parallel behavioural engine,
+    /// bit-exact to [`run_scalar`](DynBatch::run_scalar) with
+    /// [`crate::backend::BehavioralBackend`].
+    pub fn run_batched(&mut self) {
+        // Jitter-free, noiseless, unsequenced table lanes advance two
+        // at a time through the interleaved kernel; everything else
+        // takes the per-lane path.
+        let pairable = self.seq_config.is_none() && self.noise.is_noiseless();
+        let record = self.config.record_len() as u64;
+        loop {
+            let mut active = false;
+            let mut lane = 0;
+            while lane < self.lane_width {
+                if !self.ensure_installed(lane) {
+                    lane += 1;
+                    continue;
+                }
+                active = true;
+                let until = self.lanes.consumed[lane] + CHUNK;
+                if pairable
+                    && self.lanes.use_table[lane]
+                    && self.lanes.lut_ok[lane]
+                    && lane + 1 < self.lane_width
+                    && self.ensure_installed(lane + 1)
+                    && self.lanes.use_table[lane + 1]
+                    && self.lanes.lut_ok[lane + 1]
+                {
+                    let until_b = self.lanes.consumed[lane + 1] + CHUNK;
+                    let n = (until.min(record) - self.lanes.consumed[lane])
+                        .min(until_b.min(record) - self.lanes.consumed[lane + 1]);
+                    self.advance_pair(lane, lane + 1, n);
+                    self.finish_lane(lane, until);
+                    self.finish_lane(lane + 1, until_b);
+                    lane += 2;
+                    continue;
+                }
+                self.finish_lane(lane, until);
+                lane += 1;
+            }
+            if !active {
+                break;
+            }
+        }
+    }
+
+    /// Installs the next queued device when `lane` is empty; whether
+    /// the lane now holds a device.
+    fn ensure_installed(&mut self, lane: usize) -> bool {
+        if self.devices.get(lane).is_none_or(|d| d.is_none()) {
+            match self.queue.pop_front() {
+                Some(dev) => self.install(lane, dev),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Runs [`advance_lane`](Self::advance_lane) and banks the report
+    /// when the lane's device concluded.
+    fn finish_lane(&mut self, lane: usize, until: u64) {
+        if let Some(outcome) = self.advance_lane(lane, until) {
+            let dev = self.devices[lane].take().expect("lane was active");
+            self.reports.push(DynReport {
+                device: dev.index,
+                outcome,
+            });
+        }
+    }
+
+    /// Advances two jitter-free, noiseless, unsequenced lanes by `n`
+    /// samples in one interleaved loop. Each lane performs exactly the
+    /// arithmetic [`advance_lane`](Self::advance_lane) would, in the
+    /// same order, so results stay bit-identical — but the two lanes'
+    /// serial dependency chains (the Welford mean division, each bin's
+    /// Goertzel recurrence) overlap in the pipeline instead of running
+    /// back to back, which is where the batched engine's
+    /// dynamic-workload speedup comes from.
+    fn advance_pair(&mut self, a: usize, b: usize, n: u64) {
+        debug_assert!(a < b);
+        let nbins = self.plan.bins.len();
+        let half_fs = (self.config.resolution().code_count() / 2) as f64;
+        let ia = self.lanes.consumed[a] as usize;
+        let ib = self.lanes.consumed[b] as usize;
+        let n_us = n as usize;
+        let (head, tail) = self.lanes.resonators.split_at_mut(b * nbins);
+        let mut lanes = [
+            PairLane {
+                table: &self.table[ia..ia + n_us],
+                lut: &self.lanes.lut[a],
+                res: &mut head[a * nbins..(a + 1) * nbins],
+                count: self.lanes.count[a],
+                mean: self.lanes.mean[a],
+                m2: self.lanes.m2[a],
+            },
+            PairLane {
+                table: &self.table[ib..ib + n_us],
+                lut: &self.lanes.lut[b],
+                res: &mut tail[..nbins],
+                count: self.lanes.count[b],
+                mean: self.lanes.mean[b],
+                m2: self.lanes.m2[b],
+            },
+        ];
+        #[cfg(target_arch = "x86_64")]
+        let accelerated = std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma");
+        #[cfg(not(target_arch = "x86_64"))]
+        let accelerated = false;
+        if accelerated {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: avx2 and fma were detected at runtime just above.
+            unsafe {
+                pair_kernel_fma(&mut lanes, half_fs)
+            };
+        } else {
+            pair_kernel(&mut lanes, half_fs);
+        }
+        let [la, lb] = lanes;
+        self.lanes.consumed[a] += n;
+        self.lanes.consumed[b] += n;
+        self.lanes.count[a] = la.count;
+        self.lanes.mean[a] = la.mean;
+        self.lanes.m2[a] = la.m2;
+        self.lanes.count[b] = lb.count;
+        self.lanes.mean[b] = lb.mean;
+        self.lanes.m2[b] = lb.m2;
+    }
+
+    /// Installs a device into `lane`, planning its record and resetting
+    /// the lane's resonators (allocation-free once the lane and the
+    /// shared table exist).
+    fn install(&mut self, lane: usize, dev: BatchDevice<A, R>) {
+        let (sine, sampling) = plan_sine(&dev.adc, &self.config);
+        let jitter_free = self.noise.jitter_seconds() == 0.0;
+        if jitter_free && self.table_plan.is_none() {
+            // First zero-jitter lane establishes the shared stimulus
+            // table: the identical expression the scalar stream
+            // evaluates, so table lanes stay bit-exact.
+            self.table.clear();
+            self.table
+                .extend((0..sampling.samples).map(|i| sine.value(sampling.sample_time(i)).0));
+            self.table_plan = Some((sine, sampling));
+        }
+        let use_table = jitter_free && self.table_plan == Some((sine, sampling));
+        let nbins = self.plan.bins.len();
+        let l = &mut self.lanes;
+        if lane == l.count.len() {
+            l.resonators.extend_from_slice(&self.template);
+            l.count.push(0);
+            l.mean.push(0.0);
+            l.m2.push(0.0);
+            l.consumed.push(0);
+            l.next_checkpoint.push(u64::MAX);
+            l.use_table.push(use_table);
+            l.sine.push(sine);
+            l.sampling.push(sampling);
+            l.lut.push(LevelLut::default());
+            l.lut_ok.push(false);
+            if let Some(policy) = self.seq_config {
+                l.seq.push(DynSequencer::new(policy));
+            }
+            self.devices.push(None);
+        } else {
+            l.resonators[lane * nbins..(lane + 1) * nbins].copy_from_slice(&self.template);
+            l.count[lane] = 0;
+            l.mean[lane] = 0.0;
+            l.m2[lane] = 0.0;
+            l.consumed[lane] = 0;
+            l.use_table[lane] = use_table;
+            l.sine[lane] = sine;
+            l.sampling[lane] = sampling;
+        }
+        self.lanes.lut_ok[lane] = dev
+            .adc
+            .transition_levels()
+            .is_some_and(|levels| self.lanes.lut[lane].build(levels));
+        if self.seq_config.is_some() {
+            let seq = &mut self.lanes.seq[lane];
+            seq.begin(&self.config);
+            self.lanes.next_checkpoint[lane] = seq.next_checkpoint_after(0);
+        }
+        self.devices[lane] = Some(dev);
+    }
+
+    /// Advances one lane to `until` (or end of record / an early-stop
+    /// decision). Returns the device's outcome when its record
+    /// concluded.
+    fn advance_lane(&mut self, lane: usize, until: u64) -> Option<SeqOutcome<DynamicVerdict>> {
+        let sequenced = self.seq_config.is_some();
+        let record_len = self.config.record_len() as u64;
+        let until = until.min(record_len);
+        let half_fs = (self.config.resolution().code_count() / 2) as f64;
+        let nbins = self.plan.bins.len();
+        let sine = self.lanes.sine[lane];
+        let sampling = self.lanes.sampling[lane];
+        let use_table = self.lanes.use_table[lane];
+        let mut consumed = self.lanes.consumed[lane];
+        let mut count = self.lanes.count[lane];
+        let mut mean = self.lanes.mean[lane];
+        let mut m2 = self.lanes.m2[lane];
+        let mut nc = self.lanes.next_checkpoint[lane];
+        let res = &mut self.lanes.resonators[lane * nbins..(lane + 1) * nbins];
+        let dev = self.devices[lane].as_mut().expect("lane active");
+        let mut outcome = None;
+        while consumed < until {
+            let i = consumed as usize;
+            let v0 = if use_table {
+                self.table[i]
+            } else {
+                let t = self
+                    .noise
+                    .perturb_time(sampling.sample_time(i), &mut dev.rng);
+                sine.value(t).0
+            };
+            let v = self.noise.perturb_voltage(v0, &mut dev.rng);
+            let code = dev.adc.convert(Volts(v));
+            let x = f64::from(code.0) + 0.5 - half_fs;
+            for g in res.iter_mut() {
+                g.push(x);
+            }
+            // Welford, in the exact operation order of
+            // `GoertzelBank::push` so the moments stay bit-identical.
+            count += 1;
+            let delta = x - mean;
+            mean += delta / count as f64;
+            m2 += delta * (x - mean);
+            consumed += 1;
+            if sequenced {
+                let seq = &mut self.lanes.seq[lane];
+                seq.push(centred_half_lsb(&self.config, code));
+                if consumed == nc && consumed < record_len {
+                    nc = seq.next_checkpoint_after(consumed);
+                    let decision = seq.checkpoint(consumed);
+                    if decision.stops() {
+                        let powers = assemble_powers(
+                            self.config.record_len(),
+                            &self.plan.bins,
+                            &self.plan.slots,
+                            res,
+                            count,
+                            mean,
+                            m2,
+                        );
+                        outcome = Some(SeqOutcome {
+                            decision,
+                            verdict: self.config.judge_powers(&powers, consumed),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+        if outcome.is_none() && consumed == record_len {
+            let powers = assemble_powers(
+                self.config.record_len(),
+                &self.plan.bins,
+                &self.plan.slots,
+                res,
+                count,
+                mean,
+                m2,
+            );
+            outcome = Some(SeqOutcome {
+                decision: SeqDecision::Continue,
+                verdict: self.config.judge_powers(&powers, consumed),
+            });
+        }
+        self.lanes.consumed[lane] = consumed;
+        self.lanes.count[lane] = count;
+        self.lanes.mean[lane] = mean;
+        self.lanes.m2[lane] = m2;
+        self.lanes.next_checkpoint[lane] = nc;
+        outcome
+    }
+}

@@ -4,7 +4,99 @@
 use crate::limits::{plan_delta_s, CountLimits, PlanLimitsError};
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Lsb, Resolution};
+use std::error::Error;
 use std::fmt;
+
+/// The one configuration-validation error shared by every builder in the
+/// subsystem: [`crate::sequencer::SequencerConfig`] policies,
+/// [`crate::dynamic::DynamicConfig`] plans and the experiment-level
+/// checks all fail through this enum, so callers match one type instead
+/// of three per-module conventions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A static count-limit planning error (counter too small, empty
+    /// window) from [`BistConfigBuilder::build`].
+    StaticPlan(PlanLimitsError),
+    /// Sequencer `alpha` must lie strictly inside (0, 1).
+    BadAlpha(f64),
+    /// Sequencer `beta` must lie strictly inside (0, 1).
+    BadBeta(f64),
+    /// Sequencer `min_samples` must be at least 1.
+    BadMinSamples,
+    /// Sequencer `check_interval` must be at least 1.
+    BadCheckInterval,
+    /// The dynamic fundamental must land strictly between DC and
+    /// Nyquist.
+    FundamentalOutOfRange {
+        /// Requested cycles per record.
+        cycles: u32,
+        /// Record length in samples.
+        record_len: usize,
+    },
+    /// The fixed-point RTL datapath cannot guarantee this dynamic plan
+    /// (a resonator's worst-case excursion overflows its register). The
+    /// behavioural bank could evaluate it, but the subsystem's contract
+    /// is that every valid plan is judged by *either* backend, so the
+    /// plan is rejected up front.
+    FixedPointUnrealisable(bist_rtl::dyn_top::RegisterOverflowError),
+    /// The functional check needs at least one bit above the monitored
+    /// bit; this configuration monitors too high a bit for the
+    /// resolution.
+    UnmonitorableBit {
+        /// The configured monitored bit index.
+        monitored_bit: u32,
+        /// The converter resolution in bits.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::StaticPlan(e) => write!(f, "{e}"),
+            ConfigError::BadAlpha(a) => {
+                write!(f, "alpha must be strictly inside (0, 1), got {a}")
+            }
+            ConfigError::BadBeta(b) => {
+                write!(f, "beta must be strictly inside (0, 1), got {b}")
+            }
+            ConfigError::BadMinSamples => write!(f, "min_samples must be at least 1"),
+            ConfigError::BadCheckInterval => write!(f, "check_interval must be at least 1"),
+            ConfigError::FundamentalOutOfRange { cycles, record_len } => write!(
+                f,
+                "fundamental at {cycles} cycles must lie strictly between DC and Nyquist \
+                 of a {record_len}-sample record"
+            ),
+            ConfigError::FixedPointUnrealisable(e) => {
+                write!(f, "plan is unrealisable in the fixed-point datapath: {e}")
+            }
+            ConfigError::UnmonitorableBit {
+                monitored_bit,
+                bits,
+            } => write!(
+                f,
+                "no upper bit above monitored bit {monitored_bit} of a {bits}-bit converter"
+            ),
+        }
+    }
+}
+
+impl Error for ConfigError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ConfigError::StaticPlan(e) => Some(e),
+            ConfigError::FixedPointUnrealisable(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanLimitsError> for ConfigError {
+    fn from(e: PlanLimitsError) -> Self {
+        ConfigError::StaticPlan(e)
+    }
+}
 
 /// Complete configuration of a static-linearity BIST run.
 ///
@@ -114,6 +206,24 @@ impl BistConfig {
     /// inner code.
     pub fn expected_measurements(&self) -> u64 {
         (u64::from(self.resolution.code_count()) >> self.monitored_bit).saturating_sub(2)
+    }
+
+    /// Checks that the functional path can judge this configuration:
+    /// there must be at least one bit above the monitored bit for the
+    /// upper-word increment check (the RTL top asserts the same bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::UnmonitorableBit`] otherwise.
+    pub fn validate_monitorable(&self) -> Result<(), ConfigError> {
+        let bits = self.resolution.bits();
+        if self.monitored_bit + 2 > bits {
+            return Err(ConfigError::UnmonitorableBit {
+                monitored_bit: self.monitored_bit,
+                bits,
+            });
+        }
+        Ok(())
     }
 
     /// The RTL datapath configuration equivalent to this config.

@@ -22,7 +22,7 @@
 //!   sample-count completeness check (a truncated record must never
 //!   read as a valid measurement).
 //! * **Backends** — the verdict stage is pluggable through
-//!   [`crate::backend::DynBistBackend`]: the behavioural bank, or the
+//!   [`crate::backend::Backend`]: the behavioural bank, or the
 //!   gate-accurate fixed-point `bist_rtl::DynBistTop` clocked one code
 //!   per tick. Both derive their metrics through the *same*
 //!   [`TonePowers::metrics`] arithmetic, so the only behavioural↔RTL
@@ -30,6 +30,7 @@
 //!   `bist_mc::differential` dynamic fleet sweep demands their
 //!   *decisions* agree on every device.
 
+use crate::config::ConfigError;
 use crate::harness::SAMPLE_RATE;
 use bist_adc::noise::NoiseConfig;
 use bist_adc::sampler::SamplingConfig;
@@ -40,7 +41,6 @@ use bist_adc::types::{Code, Resolution};
 use bist_dsp::goertzel::{GoertzelBank, ToneMetrics, TonePowers};
 use bist_dsp::spectrum::ideal_sinad_db;
 use rand::RngCore;
-use std::error::Error;
 use std::fmt;
 
 /// Relative full-scale overdrive of the default dynamic stimulus: the
@@ -93,42 +93,6 @@ impl fmt::Display for DynamicLimits {
     }
 }
 
-/// Error from [`DynamicConfig::new`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum DynamicPlanError {
-    /// The fundamental must land strictly between DC and Nyquist.
-    FundamentalOutOfRange {
-        /// Requested cycles per record.
-        cycles: u32,
-        /// Record length in samples.
-        record_len: usize,
-    },
-    /// The fixed-point RTL datapath cannot guarantee this plan (a
-    /// resonator's worst-case excursion overflows its register). The
-    /// behavioural bank could evaluate it, but the subsystem's contract
-    /// is that every valid plan is judged by *either* backend, so the
-    /// plan is rejected up front.
-    FixedPointUnrealisable(bist_rtl::dyn_top::RegisterOverflowError),
-}
-
-impl fmt::Display for DynamicPlanError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            DynamicPlanError::FundamentalOutOfRange { cycles, record_len } => write!(
-                f,
-                "fundamental at {cycles} cycles must lie strictly between DC and Nyquist \
-                 of a {record_len}-sample record"
-            ),
-            DynamicPlanError::FixedPointUnrealisable(e) => {
-                write!(f, "plan is unrealisable in the fixed-point datapath: {e}")
-            }
-        }
-    }
-}
-
-impl Error for DynamicPlanError {}
-
 /// Complete configuration of a dynamic BIST run: the coherent capture
 /// plan plus the acceptance limits.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +114,7 @@ impl DynamicConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`DynamicPlanError`] if the fundamental is not strictly
+    /// Returns [`ConfigError`] if the fundamental is not strictly
     /// between DC and Nyquist, or if the fixed-point RTL datapath
     /// cannot guarantee the plan (so both backends accept exactly the
     /// same configuration space).
@@ -158,23 +122,25 @@ impl DynamicConfig {
         resolution: Resolution,
         record_len: usize,
         cycles: u32,
-    ) -> Result<Self, DynamicPlanError> {
-        if cycles == 0 || 2 * cycles as usize >= record_len {
-            return Err(DynamicPlanError::FundamentalOutOfRange { cycles, record_len });
+    ) -> Result<Self, ConfigError> {
+        DynamicConfig::builder(resolution, record_len, cycles).build()
+    }
+
+    /// Starts a builder for a dynamic test plan — the validating front
+    /// door for non-default harmonics, overdrive or limits (unlike the
+    /// post-hoc `with_*` modifiers, an unrealisable plan surfaces as a
+    /// [`ConfigError`] instead of a panic).
+    pub fn builder(resolution: Resolution, record_len: usize, cycles: u32) -> DynamicConfigBuilder {
+        DynamicConfigBuilder {
+            config: DynamicConfig {
+                resolution,
+                record_len,
+                cycles,
+                harmonics: DEFAULT_HARMONICS,
+                overdrive: DEFAULT_OVERDRIVE,
+                limits: DynamicLimits::for_resolution(resolution),
+            },
         }
-        let config = DynamicConfig {
-            resolution,
-            record_len,
-            cycles,
-            harmonics: DEFAULT_HARMONICS,
-            overdrive: DEFAULT_OVERDRIVE,
-            limits: DynamicLimits::for_resolution(resolution),
-        };
-        config
-            .to_rtl()
-            .validate()
-            .map_err(DynamicPlanError::FixedPointUnrealisable)?;
-        Ok(config)
     }
 
     /// The paper-scale operating point: the 6-bit vehicle with the
@@ -291,6 +257,75 @@ impl fmt::Display for DynamicConfig {
             self.harmonics + 1,
             self.limits
         )
+    }
+}
+
+/// Builder for [`DynamicConfig`]: overrides applied before the single
+/// validation in [`build`](DynamicConfigBuilder::build).
+///
+/// # Examples
+///
+/// ```
+/// use bist_adc::types::Resolution;
+/// use bist_core::dynamic::DynamicConfig;
+///
+/// # fn main() -> Result<(), bist_core::config::ConfigError> {
+/// let plan = DynamicConfig::builder(Resolution::SIX_BIT, 4096, 1021)
+///     .harmonics(4)
+///     .overdrive(0.0)
+///     .build()?;
+/// assert_eq!(plan.harmonics(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicConfigBuilder {
+    config: DynamicConfig,
+}
+
+impl DynamicConfigBuilder {
+    /// Sets the number of harmonic orders counted as distortion.
+    pub fn harmonics(mut self, harmonics: usize) -> Self {
+        self.config.harmonics = harmonics;
+        self
+    }
+
+    /// Sets the relative full-scale overdrive of the stimulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overdrive` is negative.
+    pub fn overdrive(mut self, overdrive: f64) -> Self {
+        assert!(overdrive >= 0.0, "overdrive must be non-negative");
+        self.config.overdrive = overdrive;
+        self
+    }
+
+    /// Sets the acceptance limits.
+    pub fn limits(mut self, limits: DynamicLimits) -> Self {
+        self.config.limits = limits;
+        self
+    }
+
+    /// Builds and validates the plan: the fundamental must lie strictly
+    /// between DC and Nyquist, and the full tone-bin plan (including
+    /// any harmonics override) must fit the fixed-point registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when either audit fails.
+    pub fn build(self) -> Result<DynamicConfig, ConfigError> {
+        let c = &self.config;
+        if c.cycles == 0 || 2 * c.cycles as usize >= c.record_len {
+            return Err(ConfigError::FundamentalOutOfRange {
+                cycles: c.cycles,
+                record_len: c.record_len,
+            });
+        }
+        c.to_rtl()
+            .validate()
+            .map_err(ConfigError::FixedPointUnrealisable)?;
+        Ok(self.config)
     }
 }
 
@@ -449,11 +484,16 @@ pub fn process_dyn_code_stream<I: IntoIterator<Item = Code>>(
 }
 
 /// Runs the dynamic BIST on a converter with an explicit verdict
-/// backend (see [`crate::backend::DynBistBackend`]): the same fused
+/// backend (see [`crate::backend::Backend`]): the same fused
 /// acquisition — sine evaluation, noise injection, conversion and tone
 /// accumulation in one pass with no sample memory — judged by either
 /// the behavioural Goertzel bank or the gate-accurate fixed-point RTL
 /// datapath.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::dynamic_sine(config)).backend(backend).screen_one(adc, rng)`"
+)]
+#[allow(deprecated)]
 pub fn run_dynamic_bist_with_backend<B, A, R>(
     backend: &mut B,
     adc: &A,
@@ -463,7 +503,7 @@ pub fn run_dynamic_bist_with_backend<B, A, R>(
     scratch: &mut DynScratch,
 ) -> DynamicVerdict
 where
-    B: crate::backend::DynBistBackend,
+    B: crate::backend::Backend,
     A: Adc + ?Sized,
     R: RngCore + ?Sized,
 {
@@ -479,6 +519,11 @@ where
 /// caller's [`DynScratch`] — the allocation-free hot path used by the
 /// Monte-Carlo fleet. Equivalent to [`run_dynamic_bist_with_backend`]
 /// with the (zero-size) [`crate::backend::BehavioralBackend`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::dynamic_sine(config)).screen_one(adc, rng)`"
+)]
+#[allow(deprecated)]
 pub fn run_dynamic_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     config: &DynamicConfig,
@@ -515,6 +560,11 @@ pub fn run_dynamic_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
 /// assert!(verdict.accepted(), "{verdict}");
 /// assert!((verdict.enob - 6.0).abs() < 0.5); // clipped overdrive costs ~0.4 b
 /// ```
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::dynamic_sine(config)).screen_one(adc, rng)`"
+)]
+#[allow(deprecated)]
 pub fn run_dynamic_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     config: &DynamicConfig,
@@ -526,6 +576,7 @@ pub fn run_dynamic_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use bist_adc::flash::FlashConfig;
@@ -665,7 +716,7 @@ mod tests {
         // path can never accept a config the RTL would panic on.
         let err = DynamicConfig::new(Resolution::new(8).unwrap(), 4096, 1024).unwrap_err();
         assert!(
-            matches!(err, DynamicPlanError::FixedPointUnrealisable(_)),
+            matches!(err, ConfigError::FixedPointUnrealisable(_)),
             "{err}"
         );
         assert!(err.to_string().contains("unrealisable"));

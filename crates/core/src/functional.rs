@@ -111,8 +111,21 @@ pub struct FunctionalTally {
 /// cleared, not reallocated.
 #[derive(Debug)]
 pub struct FunctionalAcc<'s> {
-    monitored_bit: u32,
+    state: FunctionalState,
     checks: &'s mut Vec<FunctionalCheck>,
+}
+
+/// The heap-free per-sweep state of the functional checker: edge
+/// detector, expectation counter, median window and mismatch tally —
+/// everything [`FunctionalAcc`] holds except the borrowed check buffer.
+///
+/// `Copy`, so lane-parallel engines (the batched verdict path in
+/// `bist_core::batch`) can keep one per lane in a plain array and step
+/// them with the *same* `push` the scalar accumulator uses.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionalState {
+    monitored_bit: u32,
+    fired: u64,
     mismatches: u64,
     expected: Option<u64>,
     prev_bit: Option<bool>,
@@ -122,13 +135,12 @@ pub struct FunctionalAcc<'s> {
     median: Option<(Code, Code, u64)>,
 }
 
-impl<'s> FunctionalAcc<'s> {
-    /// Starts a sweep, clearing (but not shrinking) the check buffer.
-    pub fn new(monitored_bit: u32, deglitch: bool, checks: &'s mut Vec<FunctionalCheck>) -> Self {
-        checks.clear();
-        FunctionalAcc {
+impl FunctionalState {
+    /// Fresh state for one sweep.
+    pub fn new(monitored_bit: u32, deglitch: bool) -> Self {
+        FunctionalState {
             monitored_bit,
-            checks,
+            fired: 0,
             mismatches: 0,
             expected: None,
             prev_bit: None,
@@ -137,8 +149,9 @@ impl<'s> FunctionalAcc<'s> {
         }
     }
 
-    /// Pushes one raw code sample.
-    pub fn push(&mut self, code: Code) {
+    /// Pushes one raw code sample, returning the check it fires, if
+    /// any.
+    pub fn push(&mut self, code: Code) -> Option<FunctionalCheck> {
         match &mut self.median {
             None => self.step(code),
             Some((c1, c2, n)) => {
@@ -160,17 +173,33 @@ impl<'s> FunctionalAcc<'s> {
                     }
                 };
                 *n += 1;
-                if let Some(c) = emit {
-                    self.step(c);
-                }
+                emit.and_then(|c| self.step(c))
             }
         }
     }
 
+    /// Advances the sweep by `k` repeats of the last pushed code
+    /// without stepping the per-sample machinery — the run-skipping
+    /// fast path of the batched engine.
+    ///
+    /// Contract: the caller must have pushed the same code at least
+    /// twice in a row (once suffices with the median filter off), so
+    /// every skipped push would provably emit that same code again with
+    /// no edge: only the sample position and the median's push count
+    /// advance.
+    pub fn skip_run(&mut self, k: u64) {
+        if let Some((c1, c2, n)) = &mut self.median {
+            debug_assert!(c1 == c2 && *n >= 2, "skip_run before the median settled");
+            *n += k;
+        }
+        self.pos += k as usize;
+    }
+
     /// Processes one element of the (possibly filtered) code stream.
-    fn step(&mut self, code: Code) {
+    fn step(&mut self, code: Code) -> Option<FunctionalCheck> {
         let bit = (code.0 >> self.monitored_bit) & 1 == 1;
         let upper = u64::from(code.0 >> (self.monitored_bit + 1));
+        let mut check = None;
         if let Some(p) = self.prev_bit {
             if p && !bit {
                 // Falling edge of the monitored bit.
@@ -182,7 +211,8 @@ impl<'s> FunctionalAcc<'s> {
                         if !ok {
                             self.mismatches += 1;
                         }
-                        self.checks.push(FunctionalCheck {
+                        self.fired += 1;
+                        check = Some(FunctionalCheck {
                             sample: self.pos,
                             expected: want,
                             observed: upper,
@@ -195,6 +225,36 @@ impl<'s> FunctionalAcc<'s> {
         }
         self.prev_bit = Some(bit);
         self.pos += 1;
+        check
+    }
+
+    /// The compact tally so far. The median filter's in-flight window
+    /// is discarded — like the monitor path (and the hardware), the
+    /// sweep stops dead at the last sample and judges nothing beyond
+    /// it.
+    pub fn tally(&self) -> FunctionalTally {
+        FunctionalTally {
+            checks: self.fired,
+            mismatches: self.mismatches,
+        }
+    }
+}
+
+impl<'s> FunctionalAcc<'s> {
+    /// Starts a sweep, clearing (but not shrinking) the check buffer.
+    pub fn new(monitored_bit: u32, deglitch: bool, checks: &'s mut Vec<FunctionalCheck>) -> Self {
+        checks.clear();
+        FunctionalAcc {
+            state: FunctionalState::new(monitored_bit, deglitch),
+            checks,
+        }
+    }
+
+    /// Pushes one raw code sample.
+    pub fn push(&mut self, code: Code) {
+        if let Some(check) = self.state.push(code) {
+            self.checks.push(check);
+        }
     }
 
     /// Number of checks fired so far this sweep — lets a caller driving
@@ -217,10 +277,7 @@ impl<'s> FunctionalAcc<'s> {
     /// datapath would ever see; the harness's overshoot past full scale
     /// makes the two semantics identical on real sweeps.)
     pub fn finish(self) -> FunctionalTally {
-        FunctionalTally {
-            checks: self.checks.len() as u64,
-            mismatches: self.mismatches,
-        }
+        self.state.tally()
     }
 }
 

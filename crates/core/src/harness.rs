@@ -14,22 +14,24 @@
 //!
 //! All three harnesses are built on a fused single-pass pipeline that
 //! matches the hardware semantics: a lazy
-//! [`CodeStream`](bist_adc::stream::CodeStream) evaluates the stimulus,
+//! [`CodeStream`] evaluates the stimulus,
 //! injects noise and converts one sample at a time, and the
-//! accumulators — [`LsbMonitorAcc`](crate::lsb_monitor::LsbMonitorAcc),
-//! [`FunctionalAcc`](crate::functional::FunctionalAcc), the transition
+//! accumulators — [`LsbMonitorAcc`],
+//! [`FunctionalAcc`], the transition
 //! counter and (for the histogram harnesses) the
-//! [`CodeHistogram`](bist_adc::histogram::CodeHistogram) — consume it
+//! [`CodeHistogram`] — consume it
 //! incrementally from one traversal. No capture is materialised on the
 //! production path; [`bist_from_capture`] remains as the materialised
 //! reference for tests, plots and external code records.
 //!
-//! The verdict stage is pluggable: [`run_static_bist_with_backend`]
-//! accepts any [`crate::backend::BistBackend`], so the identical fused
-//! acquisition can be judged by the behavioural accumulators (the
-//! default) or by the gate-accurate `bist_rtl::BistTop` datapath
-//! ([`crate::backend::RtlBackend`]) — the seam the differential fleet
-//! experiment in `bist-mc` validates at scale.
+//! The verdict stage is pluggable through [`crate::backend::Backend`]:
+//! the identical fused acquisition can be judged by the behavioural
+//! accumulators (the default) or by the gate-accurate
+//! `bist_rtl::BistTop` datapath ([`crate::backend::RtlBackend`]) — the
+//! seam the differential fleet experiment in `bist-mc` validates at
+//! scale. The preferred entry point is
+//! [`crate::screener::Screener`]; the `run_static_bist*` free
+//! functions remain as thin deprecated shims over the same seam.
 //!
 //! ## Scratch reuse
 //!
@@ -263,6 +265,11 @@ pub fn process_code_stream<I: IntoIterator<Item = Code>>(
 /// acquisition — stimulus evaluation, noise injection, conversion and
 /// test processing in one pass with no sample memory — judged by either
 /// the behavioural accumulators or the gate-accurate RTL datapath.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::static_ramp(config)).backend(backend).screen_one(adc, rng)`"
+)]
+#[allow(deprecated)]
 pub fn run_static_bist_with_backend<B, A, R>(
     backend: &mut B,
     adc: &A,
@@ -273,7 +280,7 @@ pub fn run_static_bist_with_backend<B, A, R>(
     scratch: &mut Scratch,
 ) -> BistVerdict
 where
-    B: crate::backend::BistBackend,
+    B: crate::backend::Backend,
     A: Adc + ?Sized,
     R: RngCore + ?Sized,
 {
@@ -295,6 +302,11 @@ where
 /// The acquisition is fused: stimulus evaluation, noise injection,
 /// conversion and all test processing happen in one pass with no sample
 /// memory, exactly like the on-chip design.
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::static_ramp(config)).screen_one(adc, rng)`"
+)]
+#[allow(deprecated)]
 pub fn run_static_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     config: &BistConfig,
@@ -348,6 +360,11 @@ pub fn run_static_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::static_ramp(config))` with `screen_one` + `take_static_outcome`"
+)]
+#[allow(deprecated)]
 pub fn run_static_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
     adc: &A,
     config: &BistConfig,
@@ -493,6 +510,7 @@ pub fn judge_linearity(linearity: &HistogramLinearity, spec: &LinearitySpec) -> 
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use bist_adc::faults::{FaultyAdc, OutputFault};

@@ -29,9 +29,17 @@
 //!   a fused single-pass pipeline (stimulus → code stream →
 //!   accumulators), with a reusable [`harness::Scratch`] making the
 //!   per-device hot path allocation-free.
-//! * [`backend`] — pluggable verdict engines for that pipeline: the
-//!   behavioural accumulators or the gate-accurate `bist-rtl` datapath
-//!   ([`backend::RtlBackend`]), bit-exact with each other.
+//! * [`backend`] — the one pluggable verdict seam ([`backend::Backend`])
+//!   for that pipeline: the behavioural accumulators or the
+//!   gate-accurate `bist-rtl` datapath ([`backend::RtlBackend`]),
+//!   bit-exact with each other, over scalar devices and whole batches.
+//! * [`batch`] — lane-parallel fleet screening: N devices advance in
+//!   lockstep through structure-of-arrays accumulator/Goertzel state,
+//!   with run-skipping on noiseless ramps and a shared sine table —
+//!   bit-exact to the scalar engines, several times faster.
+//! * [`screener`] — the [`screener::Screener`] front door tying it all
+//!   together: one builder for workload × backend × sequencing, over a
+//!   fleet or a single device.
 //! * [`dynamic`] — the §2 dynamic workload as a streaming subsystem:
 //!   coherent sine stimulus → code stream → Goertzel-bank accumulation
 //!   → SINAD/THD/ENOB/noise-power [`dynamic::DynamicVerdict`], judged
@@ -49,12 +57,11 @@
 //!
 //! ```
 //! use bist_adc::flash::FlashConfig;
-//! use bist_adc::noise::NoiseConfig;
 //! use bist_adc::spec::LinearitySpec;
 //! use bist_adc::transfer::Adc;
 //! use bist_adc::types::Resolution;
 //! use bist_core::config::BistConfig;
-//! use bist_core::harness::run_static_bist;
+//! use bist_core::screener::{Screener, Workload};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
@@ -64,12 +71,12 @@
 //! let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
 //!     .counter_bits(4) // the paper's smallest counter
 //!     .build()?;
-//! let outcome = run_static_bist(&device, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
+//! let verdict = Screener::new(Workload::static_ramp(cfg)).screen_one(&device, &mut rng);
 //!
 //! // Compare the BIST verdict with the true classification.
 //! let truth = LinearitySpec::paper_stringent()
 //!     .classify(&device.transfer().expect("flash states its transfer"));
-//! println!("BIST {} vs truth {}", outcome.accepted(), truth.good);
+//! println!("BIST {} vs truth {}", verdict.accepted(), truth.good);
 //! # Ok(())
 //! # }
 //! ```
@@ -79,6 +86,7 @@
 
 pub mod analytic;
 pub mod backend;
+pub mod batch;
 pub mod config;
 pub mod decision;
 pub mod dynamic;
@@ -89,6 +97,7 @@ pub mod limits;
 pub mod lsb_monitor;
 pub mod qmin;
 pub mod report;
+pub mod screener;
 pub mod sequencer;
 pub mod static_params;
 pub mod yield_model;
@@ -96,21 +105,20 @@ pub mod yield_model;
 pub use analytic::{
     acceptance_probability, code_probabilities, device_probabilities, WidthDistribution,
 };
-pub use backend::{BehavioralBackend, BistBackend, DynBistBackend, RtlBackend};
+pub use backend::{Backend, BehavioralBackend, RtlBackend};
+pub use batch::{BatchDevice, DynBatch, DynReport, StaticBatch, StaticReport};
 pub use config::BistConfig;
 pub use decision::ConfusionMatrix;
-pub use dynamic::{
-    run_dynamic_bist, run_dynamic_bist_with, run_dynamic_bist_with_backend, DynChecks, DynScratch,
-    DynamicConfig, DynamicLimits, DynamicVerdict,
-};
-pub use harness::{
-    run_static_bist, run_static_bist_with, run_static_bist_with_backend, BistOutcome, BistVerdict,
-    Scratch,
-};
+#[allow(deprecated)]
+pub use dynamic::{run_dynamic_bist, run_dynamic_bist_with, run_dynamic_bist_with_backend};
+pub use dynamic::{DynChecks, DynScratch, DynamicConfig, DynamicLimits, DynamicVerdict};
+#[allow(deprecated)]
+pub use harness::{run_static_bist, run_static_bist_with, run_static_bist_with_backend};
+pub use harness::{BistOutcome, BistVerdict, Scratch};
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
-pub use sequencer::{
-    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
-    SeqOutcome, SequencerConfig, StaticSequencer,
-};
+pub use screener::{ScreenReport, ScreenVerdict, Screener, Workload};
+#[allow(deprecated)]
+pub use sequencer::{run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend};
+pub use sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
 pub use yield_model::YieldModel;

@@ -144,15 +144,17 @@ pub struct MonitorTally {
     pub inl_failures: u64,
 }
 
-/// Streaming LSB monitor: push the monitored bit one sample at a time.
+/// The heap-free per-sweep state of the LSB monitor: the window
+/// comparator, the deglitcher taps, the run tracker and the failure
+/// tallies — everything [`LsbMonitorAcc`] holds except the borrowed
+/// result buffer.
 ///
-/// Replicates [`monitor_bit_stream`] exactly (including the optional
-/// 3-tap majority-vote deglitcher, realised here as two zero-initialised
-/// tap registers, matching the RTL) without materialising the bit
-/// stream. Per-code results land in the borrowed buffer; counters are
-/// returned by [`LsbMonitorAcc::finish`].
-#[derive(Debug)]
-pub struct LsbMonitorAcc<'s> {
+/// `Copy`, so lane-parallel engines (the batched verdict path in
+/// `bist_core::batch`) can keep one per lane in a plain array and step
+/// them with the *same* `push` the scalar accumulator uses — batched
+/// and scalar sweeps run the identical code path, not a re-derivation.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorState {
     comparator: WindowComparator,
     capacity: u64,
     i_ideal: i64,
@@ -161,7 +163,6 @@ pub struct LsbMonitorAcc<'s> {
     // Deglitcher taps (None = filter off): the last two raw bits, zero-
     // initialised like the RTL's flops.
     taps: Option<(bool, bool)>,
-    codes: &'s mut Vec<CodeResult>,
     pos: u64,
     level: bool,
     run_start: Option<u64>,
@@ -171,18 +172,16 @@ pub struct LsbMonitorAcc<'s> {
     inl_acc: i64,
 }
 
-impl<'s> LsbMonitorAcc<'s> {
-    /// Starts a sweep, clearing (but not shrinking) the result buffer.
-    pub fn new(config: &BistConfig, codes: &'s mut Vec<CodeResult>) -> Self {
-        codes.clear();
-        LsbMonitorAcc {
+impl MonitorState {
+    /// Fresh state for one sweep under `config`.
+    pub fn new(config: &BistConfig) -> Self {
+        MonitorState {
             comparator: WindowComparator::new(config.limits().i_min(), config.limits().i_max()),
             capacity: 1u64 << config.counter_bits(),
             i_ideal: config.limits().i_ideal() as i64,
             delta_s: config.delta_s().0,
             inl_limit: config.inl_limit_counts(),
             taps: config.deglitch().then_some((false, false)),
-            codes,
             pos: 0,
             level: false,
             run_start: None,
@@ -193,8 +192,9 @@ impl<'s> LsbMonitorAcc<'s> {
         }
     }
 
-    /// Pushes one raw sample of the monitored bit.
-    pub fn push(&mut self, raw: bool) {
+    /// Pushes one raw sample of the monitored bit, returning the code
+    /// measurement it completes, if any.
+    pub fn push(&mut self, raw: bool) -> Option<CodeResult> {
         let bit = match &mut self.taps {
             // Majority over the window [b_{i-2}, b_{i-1}, b_i].
             Some((t2, t1)) => {
@@ -207,18 +207,39 @@ impl<'s> LsbMonitorAcc<'s> {
         if self.pos == 0 {
             self.level = bit;
         }
+        let mut completed = None;
         if bit != self.level {
             // Transition: the previous run is complete.
             if let Some(start) = self.run_start {
-                self.record(self.pos - start);
+                completed = Some(self.record(self.pos - start));
             }
             self.run_start = Some(self.pos);
             self.level = bit;
         }
         self.pos += 1;
+        completed
     }
 
-    fn record(&mut self, raw_count: u64) {
+    /// Advances the sweep by `k` repeats of the last pushed sample
+    /// without stepping the per-sample machinery — the run-skipping
+    /// fast path of the batched engine.
+    ///
+    /// Contract: the caller must have pushed the same raw value at
+    /// least twice in a row (once suffices with the deglitcher off), so
+    /// every skipped push would provably change nothing but `pos`: the
+    /// deglitcher window is saturated at that value, the vote equals
+    /// the held level, and no transition can fire.
+    pub fn skip_run(&mut self, k: u64) {
+        if let Some((t2, t1)) = self.taps {
+            debug_assert!(
+                t2 == t1 && t1 == self.level,
+                "skip_run before the deglitcher settled"
+            );
+        }
+        self.pos += k;
+    }
+
+    fn record(&mut self, raw_count: u64) -> CodeResult {
         // A k-bit counter stores count − 1 and saturates at 2^k − 1,
         // so counts above 2^k are unmeasurable.
         let overflow = raw_count > self.capacity;
@@ -240,7 +261,7 @@ impl<'s> LsbMonitorAcc<'s> {
             self.inl_failures += 1;
         }
         let width_lsb = Lsb(raw_count as f64 * self.delta_s);
-        self.codes.push(CodeResult {
+        let result = CodeResult {
             index: self.index,
             count,
             overflow,
@@ -249,8 +270,52 @@ impl<'s> LsbMonitorAcc<'s> {
             dnl_lsb: Lsb(width_lsb.0 - 1.0),
             inl_counts: self.inl_acc,
             inl_pass,
-        });
+        };
         self.index += 1;
+        result
+    }
+
+    /// The compact tally so far. The run in flight (after the last
+    /// transition) is a partial code and is not counted, mirroring the
+    /// hardware.
+    pub fn tally(&self) -> MonitorTally {
+        MonitorTally {
+            codes_judged: self.index,
+            dnl_failures: self.dnl_failures,
+            inl_failures: self.inl_failures,
+        }
+    }
+}
+
+/// Streaming LSB monitor: push the monitored bit one sample at a time.
+///
+/// Replicates [`monitor_bit_stream`] exactly (including the optional
+/// 3-tap majority-vote deglitcher, realised here as two zero-initialised
+/// tap registers, matching the RTL) without materialising the bit
+/// stream. Per-code results land in the borrowed buffer; counters are
+/// returned by [`LsbMonitorAcc::finish`]. The sweep state itself lives
+/// in a [`MonitorState`] — this wrapper only adds the result buffer.
+#[derive(Debug)]
+pub struct LsbMonitorAcc<'s> {
+    state: MonitorState,
+    codes: &'s mut Vec<CodeResult>,
+}
+
+impl<'s> LsbMonitorAcc<'s> {
+    /// Starts a sweep, clearing (but not shrinking) the result buffer.
+    pub fn new(config: &BistConfig, codes: &'s mut Vec<CodeResult>) -> Self {
+        codes.clear();
+        LsbMonitorAcc {
+            state: MonitorState::new(config),
+            codes,
+        }
+    }
+
+    /// Pushes one raw sample of the monitored bit.
+    pub fn push(&mut self, raw: bool) {
+        if let Some(result) = self.state.push(raw) {
+            self.codes.push(result);
+        }
     }
 
     /// Number of code measurements recorded so far this sweep — lets a
@@ -268,11 +333,7 @@ impl<'s> LsbMonitorAcc<'s> {
     /// Ends the sweep. The run in flight (after the last transition) is
     /// a partial code and is not judged, mirroring the hardware.
     pub fn finish(self) -> MonitorTally {
-        MonitorTally {
-            codes_judged: self.index,
-            dnl_failures: self.dnl_failures,
-            inl_failures: self.inl_failures,
-        }
+        self.state.tally()
     }
 }
 

@@ -1,0 +1,394 @@
+//! The one front door for device screening: [`Screener`].
+//!
+//! Before this module the crate exposed eight free functions
+//! (`run_static_bist*`, `run_dynamic_bist*`, `run_seq_*`) whose names
+//! encoded three orthogonal choices — workload, backend, sequencing —
+//! as separate entry points. The [`Screener`] folds them into one
+//! builder:
+//!
+//! ```text
+//!            Screener::new(workload)      which test?   Workload::{Static, Dynamic}
+//!                .backend(backend)        which judge?  BehavioralBackend | RtlBackend
+//!                .sequencer(policy)       early stop?   optional SequencerConfig
+//!                .run(devices)            whole fleet → Vec<ScreenReport>
+//!             or .screen_one(&adc, rng)   one device  → ScreenVerdict
+//! ```
+//!
+//! [`Screener::run`] dispatches through the batch seam
+//! ([`Backend::process_batch`] / [`Backend::process_dyn_batch`]): the
+//! behavioural backend screens the fleet through the lane-parallel
+//! engines of [`crate::batch`], the RTL backend clocks each device
+//! through the gate-accurate datapath scalar-wise — same reports,
+//! ordered by device index, either way. [`Screener::screen_one`] is
+//! the scalar single-device path, leaving per-code detail in the
+//! screener's [`Scratch`] for inspection.
+
+use crate::backend::{Backend, BehavioralBackend};
+use crate::batch::{BatchDevice, DynBatch, StaticBatch, DEFAULT_LANE_WIDTH};
+use crate::config::BistConfig;
+use crate::dynamic::{plan_sine, DynScratch, DynamicConfig, DynamicVerdict};
+use crate::harness::{plan_ramp, BistOutcome, BistVerdict, Scratch};
+use crate::sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
+use bist_adc::noise::NoiseConfig;
+use bist_adc::stream::CodeStream;
+use bist_adc::Adc;
+use rand::RngCore;
+
+/// Which test a [`Screener`] runs: the §4/§5 static linearity sweep or
+/// the §2 dynamic spectral record, with the workload-level knobs
+/// (noise model, ramp slope error) carried alongside the config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// The static LSB-monitor linearity test: ramp stimulus, DNL/INL
+    /// window counting, upper-bit functional check.
+    Static {
+        /// The static test plan.
+        config: BistConfig,
+        /// Noise model applied to every device.
+        noise: NoiseConfig,
+        /// Relative ramp slope error shared by the batch.
+        slope_error: f64,
+    },
+    /// The dynamic test: coherent sine record through the streaming
+    /// Goertzel bank to a SINAD/THD/ENOB/noise-power verdict.
+    Dynamic {
+        /// The dynamic test plan.
+        config: DynamicConfig,
+        /// Noise model applied to every device.
+        noise: NoiseConfig,
+    },
+}
+
+impl Workload {
+    /// A noiseless static linearity workload with an ideal-slope ramp.
+    pub fn static_ramp(config: BistConfig) -> Self {
+        Workload::Static {
+            config,
+            noise: NoiseConfig::noiseless(),
+            slope_error: 0.0,
+        }
+    }
+
+    /// A noiseless dynamic (coherent sine) workload.
+    pub fn dynamic_sine(config: DynamicConfig) -> Self {
+        Workload::Dynamic {
+            config,
+            noise: NoiseConfig::noiseless(),
+        }
+    }
+
+    /// Sets the noise model devices are screened under.
+    pub fn with_noise(mut self, n: NoiseConfig) -> Self {
+        match &mut self {
+            Workload::Static { noise, .. } | Workload::Dynamic { noise, .. } => *noise = n,
+        }
+        self
+    }
+
+    /// Sets the relative ramp slope error (static workloads only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dynamic workload — the sine plan has no slope.
+    pub fn with_slope_error(mut self, err: f64) -> Self {
+        match &mut self {
+            Workload::Static { slope_error, .. } => *slope_error = err,
+            Workload::Dynamic { .. } => {
+                panic!("slope error applies to the static ramp workload only")
+            }
+        }
+        self
+    }
+}
+
+/// One device's decision from a [`Screener`], tagged by workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScreenVerdict {
+    /// Static linearity outcome.
+    Static(SeqOutcome<BistVerdict>),
+    /// Dynamic spectral outcome.
+    Dynamic(SeqOutcome<DynamicVerdict>),
+}
+
+impl ScreenVerdict {
+    /// The device-level accept decision (early-stopped devices are
+    /// judged on their sequencer-visible tallies, exactly as the
+    /// silicon would latch them).
+    pub fn accepted(&self) -> bool {
+        match self {
+            ScreenVerdict::Static(o) => o.accepted(),
+            ScreenVerdict::Dynamic(o) => o.accepted(),
+        }
+    }
+
+    /// The sequencer decision (`Continue` when unsequenced or the
+    /// sweep ran to completion).
+    pub fn decision(&self) -> SeqDecision {
+        match self {
+            ScreenVerdict::Static(o) => o.decision,
+            ScreenVerdict::Dynamic(o) => o.decision,
+        }
+    }
+
+    /// Whether a sequencer ended the test before the full sweep.
+    pub fn stopped_early(&self) -> bool {
+        match self {
+            ScreenVerdict::Static(o) => o.stopped_early(),
+            ScreenVerdict::Dynamic(o) => o.stopped_early(),
+        }
+    }
+
+    /// Samples consumed before the verdict latched.
+    pub fn samples(&self) -> u64 {
+        match self {
+            ScreenVerdict::Static(o) => o.samples_consumed(),
+            ScreenVerdict::Dynamic(o) => o.samples_consumed(),
+        }
+    }
+
+    /// The static outcome, if this verdict came from a static workload.
+    pub fn as_static(&self) -> Option<&SeqOutcome<BistVerdict>> {
+        match self {
+            ScreenVerdict::Static(o) => Some(o),
+            ScreenVerdict::Dynamic(_) => None,
+        }
+    }
+
+    /// The dynamic outcome, if this verdict came from a dynamic
+    /// workload.
+    pub fn as_dynamic(&self) -> Option<&SeqOutcome<DynamicVerdict>> {
+        match self {
+            ScreenVerdict::Static(_) => None,
+            ScreenVerdict::Dynamic(o) => Some(o),
+        }
+    }
+}
+
+/// One device's report from [`Screener::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenReport {
+    /// Zero-based position of the device in the iterator passed to
+    /// [`Screener::run`].
+    pub device: usize,
+    /// The device's decision and verdict.
+    pub verdict: ScreenVerdict,
+}
+
+/// The screening front door: one workload, one backend, optional
+/// early-stop sequencing — over a fleet or a single device.
+///
+/// ```
+/// use bist_adc::spec::LinearitySpec;
+/// use bist_adc::transfer::TransferFunction;
+/// use bist_adc::types::{Resolution, Volts};
+/// use bist_core::config::BistConfig;
+/// use bist_core::screener::{Screener, Workload};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+///     .counter_bits(5)
+///     .build()
+///     .unwrap();
+/// let devices = (0..4).map(|i| {
+///     let adc = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
+///     (adc, StdRng::seed_from_u64(i))
+/// });
+/// let reports = Screener::new(Workload::static_ramp(config)).run(devices);
+/// assert_eq!(reports.len(), 4);
+/// assert!(reports.iter().all(|r| r.verdict.accepted()));
+/// ```
+#[derive(Debug)]
+pub struct Screener<B = BehavioralBackend> {
+    workload: Workload,
+    backend: B,
+    sequencer: Option<SequencerConfig>,
+    lane_width: usize,
+    scratch: Scratch,
+    dyn_scratch: DynScratch,
+    static_seq: Option<StaticSequencer>,
+    dyn_seq: Option<DynSequencer>,
+}
+
+impl Screener<BehavioralBackend> {
+    /// A screener for `workload` judged by the behavioural reference
+    /// backend (swap with [`Screener::backend`]).
+    pub fn new(workload: Workload) -> Self {
+        Screener {
+            workload,
+            backend: BehavioralBackend,
+            sequencer: None,
+            lane_width: DEFAULT_LANE_WIDTH,
+            scratch: Scratch::new(),
+            dyn_scratch: DynScratch::new(),
+            static_seq: None,
+            dyn_seq: None,
+        }
+    }
+}
+
+impl<B: Backend> Screener<B> {
+    /// Swaps the verdict backend (e.g. for
+    /// [`crate::backend::RtlBackend`] gate-accurate screening).
+    pub fn backend<B2: Backend>(self, backend: B2) -> Screener<B2> {
+        Screener {
+            workload: self.workload,
+            backend,
+            sequencer: self.sequencer,
+            lane_width: self.lane_width,
+            scratch: self.scratch,
+            dyn_scratch: self.dyn_scratch,
+            static_seq: None,
+            dyn_seq: None,
+        }
+    }
+
+    /// Screens under the uncertainty-guided early-stop sequencer.
+    pub fn sequencer(mut self, policy: SequencerConfig) -> Self {
+        self.sequencer = Some(policy);
+        self
+    }
+
+    /// Sets the batch lane width used by [`Screener::run`].
+    pub fn lane_width(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "a screener needs at least one lane");
+        self.lane_width = lanes;
+        self
+    }
+
+    /// The configured workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// Screens a fleet: one `(adc, rng)` pair per device, reports
+    /// ordered by the device's position in the iterator. Dispatches
+    /// through the backend's batch seam, so the behavioural backend
+    /// runs the lane-parallel engine and the RTL backend the scalar
+    /// gate-accurate loop — identical reports either way.
+    pub fn run<A, R, I>(&mut self, devices: I) -> Vec<ScreenReport>
+    where
+        A: Adc,
+        R: RngCore,
+        I: IntoIterator<Item = (A, R)>,
+    {
+        match self.workload {
+            Workload::Static {
+                config,
+                noise,
+                slope_error,
+            } => {
+                let mut batch = StaticBatch::new(config)
+                    .with_noise(noise)
+                    .with_slope_error(slope_error)
+                    .with_lane_width(self.lane_width);
+                if let Some(policy) = self.sequencer {
+                    batch = batch.with_sequencer(policy);
+                }
+                for (i, (adc, rng)) in devices.into_iter().enumerate() {
+                    batch.push(BatchDevice::new(i, adc, rng));
+                }
+                self.backend.process_batch(&mut batch);
+                batch
+                    .take_reports()
+                    .into_iter()
+                    .map(|r| ScreenReport {
+                        device: r.device,
+                        verdict: ScreenVerdict::Static(r.outcome),
+                    })
+                    .collect()
+            }
+            Workload::Dynamic { config, noise } => {
+                let mut batch = DynBatch::new(config)
+                    .with_noise(noise)
+                    .with_lane_width(self.lane_width);
+                if let Some(policy) = self.sequencer {
+                    batch = batch.with_sequencer(policy);
+                }
+                for (i, (adc, rng)) in devices.into_iter().enumerate() {
+                    batch.push(BatchDevice::new(i, adc, rng));
+                }
+                self.backend.process_dyn_batch(&mut batch);
+                batch
+                    .take_reports()
+                    .into_iter()
+                    .map(|r| ScreenReport {
+                        device: r.device,
+                        verdict: ScreenVerdict::Dynamic(r.outcome),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Screens one device through the scalar engine, leaving per-code
+    /// detail (as much as the backend models) in
+    /// [`Screener::scratch`].
+    pub fn screen_one<A: Adc + ?Sized, R: RngCore + ?Sized>(
+        &mut self,
+        adc: &A,
+        rng: &mut R,
+    ) -> ScreenVerdict {
+        match self.workload {
+            Workload::Static {
+                config,
+                noise,
+                slope_error,
+            } => {
+                let (ramp, sampling) = plan_ramp(adc, &config);
+                let ramp = ramp.with_slope_error(slope_error);
+                let stream = CodeStream::noisy(adc, &ramp, sampling, &noise, rng);
+                let outcome = if let Some(policy) = self.sequencer {
+                    let seq = self
+                        .static_seq
+                        .get_or_insert_with(|| StaticSequencer::new(policy));
+                    self.backend
+                        .process_sequenced(&config, seq, stream, &mut self.scratch)
+                } else {
+                    let verdict = self.backend.process(&config, stream, &mut self.scratch);
+                    SeqOutcome {
+                        decision: SeqDecision::Continue,
+                        verdict,
+                    }
+                };
+                ScreenVerdict::Static(outcome)
+            }
+            Workload::Dynamic { config, noise } => {
+                let (sine, sampling) = plan_sine(adc, &config);
+                let stream = CodeStream::noisy(adc, &sine, sampling, &noise, rng);
+                let outcome = if let Some(policy) = self.sequencer {
+                    let seq = self
+                        .dyn_seq
+                        .get_or_insert_with(|| DynSequencer::new(policy));
+                    self.backend
+                        .process_dyn_sequenced(&config, seq, stream, &mut self.dyn_scratch)
+                } else {
+                    let verdict = self
+                        .backend
+                        .process_dyn(&config, stream, &mut self.dyn_scratch);
+                    SeqOutcome {
+                        decision: SeqDecision::Continue,
+                        verdict,
+                    }
+                };
+                ScreenVerdict::Dynamic(outcome)
+            }
+        }
+    }
+
+    /// Per-sweep detail left by the last [`Screener::screen_one`] on a
+    /// static workload.
+    pub fn scratch(&self) -> &Scratch {
+        &self.scratch
+    }
+
+    /// Assembles the full per-code [`BistOutcome`] for the most recent
+    /// static [`Screener::screen_one`], or `None` for a dynamic
+    /// verdict.
+    pub fn take_static_outcome(&mut self, verdict: &ScreenVerdict) -> Option<BistOutcome> {
+        match verdict {
+            ScreenVerdict::Static(o) => Some(self.scratch.take_outcome(o.verdict)),
+            ScreenVerdict::Dynamic(_) => None,
+        }
+    }
+}

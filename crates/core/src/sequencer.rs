@@ -32,8 +32,8 @@
 //! ## Backend decision-exactness
 //!
 //! The sequencer is threaded through the backend seam
-//! ([`crate::backend::BistBackend::process_sequenced`] /
-//! [`crate::backend::DynBistBackend::process_dyn_sequenced`]) under a
+//! ([`crate::backend::Backend::process_sequenced`] /
+//! [`crate::backend::Backend::process_dyn_sequenced`]) under a
 //! **visibility protocol** that makes the behavioural engine and the
 //! gate-accurate RTL tops stop at the *same sample index*:
 //!
@@ -62,12 +62,11 @@
 //! scale and measures the empirical type I/II drift and the
 //! samples-to-decision saving against full-sweep ground truth.
 
-use crate::config::BistConfig;
+use crate::config::{BistConfig, ConfigError};
 use crate::dynamic::{DynamicConfig, DynamicVerdict};
 use crate::harness::BistVerdict;
 use bist_dsp::special::{normal_pdf, normal_quantile};
 use bist_dsp::stats::Running;
-use std::error::Error;
 use std::f64::consts::TAU;
 use std::fmt;
 
@@ -124,39 +123,6 @@ impl fmt::Display for SeqDecision {
     }
 }
 
-/// Error from [`SequencerConfig::validate`].
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[non_exhaustive]
-pub enum SequencerConfigError {
-    /// `alpha` must lie strictly inside (0, 1).
-    BadAlpha(f64),
-    /// `beta` must lie strictly inside (0, 1).
-    BadBeta(f64),
-    /// `min_samples` must be at least 1.
-    BadMinSamples,
-    /// `check_interval` must be at least 1.
-    BadCheckInterval,
-}
-
-impl fmt::Display for SequencerConfigError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SequencerConfigError::BadAlpha(a) => {
-                write!(f, "alpha must be strictly inside (0, 1), got {a}")
-            }
-            SequencerConfigError::BadBeta(b) => {
-                write!(f, "beta must be strictly inside (0, 1), got {b}")
-            }
-            SequencerConfigError::BadMinSamples => write!(f, "min_samples must be at least 1"),
-            SequencerConfigError::BadCheckInterval => {
-                write!(f, "check_interval must be at least 1")
-            }
-        }
-    }
-}
-
-impl Error for SequencerConfigError {}
-
 /// The early-stop policy: drift budgets and checkpoint cadence.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SequencerConfig {
@@ -188,23 +154,31 @@ impl Default for SequencerConfig {
 }
 
 impl SequencerConfig {
+    /// Starts a builder at the default policy — the validating
+    /// counterpart of struct-literal construction.
+    pub fn builder() -> SequencerConfigBuilder {
+        SequencerConfigBuilder {
+            config: SequencerConfig::default(),
+        }
+    }
+
     /// Validates the policy.
     ///
     /// # Errors
     ///
-    /// Returns [`SequencerConfigError`] when a knob is out of range.
-    pub fn validate(&self) -> Result<(), SequencerConfigError> {
+    /// Returns [`ConfigError`] when a knob is out of range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(SequencerConfigError::BadAlpha(self.alpha));
+            return Err(ConfigError::BadAlpha(self.alpha));
         }
         if !(self.beta > 0.0 && self.beta < 1.0) {
-            return Err(SequencerConfigError::BadBeta(self.beta));
+            return Err(ConfigError::BadBeta(self.beta));
         }
         if self.min_samples == 0 {
-            return Err(SequencerConfigError::BadMinSamples);
+            return Err(ConfigError::BadMinSamples);
         }
         if self.check_interval == 0 {
-            return Err(SequencerConfigError::BadCheckInterval);
+            return Err(ConfigError::BadCheckInterval);
         }
         Ok(())
     }
@@ -220,6 +194,66 @@ impl SequencerConfig {
     /// range for the normal quantile).
     fn per_look(total: f64, looks: u64) -> f64 {
         (total / looks.max(1) as f64).clamp(1e-12, 0.5)
+    }
+}
+
+/// Builder for [`SequencerConfig`]: the same knobs, validated at
+/// [`build`](SequencerConfigBuilder::build) through the shared
+/// [`ConfigError`].
+///
+/// # Examples
+///
+/// ```
+/// use bist_core::sequencer::SequencerConfig;
+///
+/// # fn main() -> Result<(), bist_core::config::ConfigError> {
+/// let policy = SequencerConfig::builder()
+///     .alpha(1e-4)
+///     .min_samples(512)
+///     .build()?;
+/// assert_eq!(policy.min_samples, 512);
+/// assert!(SequencerConfig::builder().alpha(2.0).build().is_err());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequencerConfigBuilder {
+    config: SequencerConfig,
+}
+
+impl SequencerConfigBuilder {
+    /// Sets the type I drift budget.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the type II drift budget.
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.config.beta = beta;
+        self
+    }
+
+    /// Sets the evidence floor before any decision.
+    pub fn min_samples(mut self, min_samples: u64) -> Self {
+        self.config.min_samples = min_samples;
+        self
+    }
+
+    /// Sets the checkpoint spacing in samples.
+    pub fn check_interval(mut self, check_interval: u64) -> Self {
+        self.config.check_interval = check_interval;
+        self
+    }
+
+    /// Builds and validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when a knob is out of range.
+    pub fn build(self) -> Result<SequencerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -884,7 +918,7 @@ impl DynSequencer {
 // Harness-level runners
 // ---------------------------------------------------------------------
 
-use crate::backend::{BistBackend, DynBistBackend};
+use crate::backend::Backend;
 use crate::dynamic::{plan_sine, DynScratch};
 use crate::harness::{plan_ramp, Scratch};
 use bist_adc::noise::NoiseConfig;
@@ -897,6 +931,10 @@ use rand::RngCore;
 /// [`crate::harness::run_static_bist_with_backend`], stopped early the
 /// moment the sequencer is confident. Both backends stop at the same
 /// decision sample (see the module docs).
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::static_ramp(config)).backend(backend).sequencer(policy)`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn run_seq_static_bist_with_backend<B, A, R>(
     backend: &mut B,
@@ -909,7 +947,7 @@ pub fn run_seq_static_bist_with_backend<B, A, R>(
     scratch: &mut Scratch,
 ) -> SeqOutcome<BistVerdict>
 where
-    B: BistBackend,
+    B: Backend,
     A: Adc + ?Sized,
     R: RngCore + ?Sized,
 {
@@ -926,6 +964,11 @@ where
 /// Runs the sequenced dynamic BIST on a converter with an explicit
 /// verdict backend — the early-stop counterpart of
 /// [`crate::dynamic::run_dynamic_bist_with_backend`].
+#[deprecated(
+    since = "0.6.0",
+    note = "use `Screener::new(Workload::dynamic_sine(config)).backend(backend).sequencer(policy)`"
+)]
+#[allow(deprecated)]
 pub fn run_seq_dynamic_bist_with_backend<B, A, R>(
     backend: &mut B,
     adc: &A,
@@ -936,7 +979,7 @@ pub fn run_seq_dynamic_bist_with_backend<B, A, R>(
     scratch: &mut DynScratch,
 ) -> SeqOutcome<DynamicVerdict>
 where
-    B: DynBistBackend,
+    B: Backend,
     A: Adc + ?Sized,
     R: RngCore + ?Sized,
 {
@@ -950,6 +993,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::backend::{BehavioralBackend, RtlBackend};

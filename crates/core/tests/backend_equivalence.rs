@@ -18,7 +18,7 @@
 
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Code, Resolution};
-use bist_core::backend::{BehavioralBackend, BistBackend, RtlBackend};
+use bist_core::backend::{Backend, BehavioralBackend, RtlBackend};
 use bist_core::config::BistConfig;
 use bist_core::harness::Scratch;
 use proptest::prelude::*;

@@ -1,0 +1,221 @@
+//! Property-based equivalence of the lane-parallel SoA batch engines
+//! against the scalar reference: for any fleet size, lane width, noise
+//! setting, and refill order, `Screener::run` (and the raw
+//! `StaticBatch`/`DynBatch` drivers) must produce reports bit-exact to
+//! `Screener::screen_one` on the same devices with the same per-device
+//! RNG streams — including the sequencer's latch points
+//! (`SeqDecision`), not just the final verdicts.
+
+use bist_adc::flash::{FlashAdc, FlashConfig};
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::Resolution;
+use bist_core::backend::BehavioralBackend;
+use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
+use bist_core::config::BistConfig;
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{ScreenVerdict, Screener, Workload};
+use bist_core::sequencer::SequencerConfig;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small mismatched-flash fleet; the devices (and their RNG streams)
+/// are a pure function of `seed`, so scalar and batched runs screen
+/// identical populations.
+fn fleet(seed: u64, n: usize) -> Vec<FlashAdc> {
+    let cfg = FlashConfig::paper_device();
+    (0..n)
+        .map(|i| {
+            cfg.sample(&mut StdRng::seed_from_u64(
+                seed ^ (i as u64).wrapping_mul(0x9e37),
+            ))
+        })
+        .collect()
+}
+
+fn device_rng(seed: u64, i: usize) -> StdRng {
+    StdRng::seed_from_u64(seed.rotate_left(17) ^ i as u64)
+}
+
+fn static_config(counter_bits: u32) -> BistConfig {
+    BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(counter_bits)
+        .build()
+        .expect("valid paper-range counter")
+}
+
+/// A short coherent record keeps each proptest case cheap while still
+/// exercising the Goertzel bank, the LUT rank path and lane pairing.
+fn dyn_config() -> DynamicConfig {
+    DynamicConfig::new(Resolution::SIX_BIT, 512, 127).expect("coherent short record")
+}
+
+/// Scalar reference verdicts, one `screen_one` per device.
+fn scalar_verdicts(
+    workload: Workload,
+    sequenced: bool,
+    devices: &[FlashAdc],
+    seed: u64,
+) -> Vec<ScreenVerdict> {
+    let mut screener = Screener::new(workload);
+    if sequenced {
+        screener = screener.sequencer(SequencerConfig::default());
+    }
+    devices
+        .iter()
+        .enumerate()
+        .map(|(i, adc)| screener.screen_one(adc, &mut device_rng(seed, i)))
+        .collect()
+}
+
+/// Batched verdicts through the `Screener::run` front door.
+fn batched_verdicts(
+    workload: Workload,
+    sequenced: bool,
+    lanes: usize,
+    devices: &[FlashAdc],
+    seed: u64,
+) -> Vec<(usize, ScreenVerdict)> {
+    let mut screener = Screener::new(workload).lane_width(lanes);
+    if sequenced {
+        screener = screener.sequencer(SequencerConfig::default());
+    }
+    screener
+        .run(
+            devices
+                .iter()
+                .enumerate()
+                .map(|(i, adc)| (adc, device_rng(seed, i))),
+        )
+        .into_iter()
+        .map(|r| (r.device, r.verdict))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Static workload: any fleet size × lane width × counter size ×
+    /// sequencing choice gives reports bit-exact to the scalar engine.
+    #[test]
+    fn static_batched_matches_scalar(
+        seed in any::<u64>(),
+        n in 1usize..10,
+        lanes in 1usize..9,
+        counter_bits in 4u32..7,
+        sequenced in any::<bool>(),
+    ) {
+        let devices = fleet(seed, n);
+        let workload = Workload::static_ramp(static_config(counter_bits));
+        let scalar = scalar_verdicts(workload, sequenced, &devices, seed);
+        let batched = batched_verdicts(workload, sequenced, lanes, &devices, seed);
+        prop_assert_eq!(batched.len(), n);
+        for (i, (device, verdict)) in batched.into_iter().enumerate() {
+            prop_assert_eq!(device, i);
+            prop_assert_eq!(verdict, scalar[i]);
+        }
+    }
+
+    /// Dynamic workload: the shared-stimulus table, LUT rank and FMA
+    /// pair kernel never change a verdict or a latch point.
+    #[test]
+    fn dynamic_batched_matches_scalar(
+        seed in any::<u64>(),
+        n in 1usize..7,
+        lanes in 1usize..6,
+        sequenced in any::<bool>(),
+    ) {
+        let devices = fleet(seed, n);
+        let workload = Workload::dynamic_sine(dyn_config());
+        let scalar = scalar_verdicts(workload, sequenced, &devices, seed);
+        let batched = batched_verdicts(workload, sequenced, lanes, &devices, seed);
+        prop_assert_eq!(batched.len(), n);
+        for (i, (device, verdict)) in batched.into_iter().enumerate() {
+            prop_assert_eq!(device, i);
+            prop_assert_eq!(verdict, scalar[i]);
+        }
+    }
+
+    /// Refill order: pushing the fleet in arbitrarily-sized waves with
+    /// `run_batched` between waves (lanes refill mid-flight, reports
+    /// accumulate across calls) matches the scalar engine.
+    #[test]
+    fn static_refill_order_is_irrelevant(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        lanes in 1usize..5,
+        split in 0usize..12,
+        sequenced in any::<bool>(),
+    ) {
+        let split = split.min(n);
+        let devices = fleet(seed, n);
+        let config = static_config(4);
+        let scalar =
+            scalar_verdicts(Workload::static_ramp(config), sequenced, &devices, seed);
+
+        let mut batch = StaticBatch::new(config).with_lane_width(lanes);
+        if sequenced {
+            batch = batch.with_sequencer(SequencerConfig::default());
+        }
+        for (i, adc) in devices.iter().enumerate().take(split) {
+            batch.push(BatchDevice::new(i, adc, device_rng(seed, i)));
+        }
+        batch.run_batched();
+        for (i, adc) in devices.iter().enumerate().skip(split) {
+            batch.push(BatchDevice::new(i, adc, device_rng(seed, i)));
+        }
+        batch.run_batched();
+        let reports = batch.take_reports();
+        prop_assert_eq!(reports.len(), n);
+        for (i, report) in reports.into_iter().enumerate() {
+            prop_assert_eq!(report.device, i);
+            prop_assert_eq!(ScreenVerdict::Static(report.outcome), scalar[i]);
+        }
+    }
+
+    /// Same refill property for the dynamic engine, and `run_scalar`
+    /// through the raw batch driver agrees with `screen_one` too.
+    #[test]
+    fn dynamic_refill_order_is_irrelevant(
+        seed in any::<u64>(),
+        n in 1usize..7,
+        lanes in 1usize..5,
+        split in 0usize..7,
+        sequenced in any::<bool>(),
+    ) {
+        let split = split.min(n);
+        let devices = fleet(seed, n);
+        let config = dyn_config();
+        let scalar =
+            scalar_verdicts(Workload::dynamic_sine(config), sequenced, &devices, seed);
+
+        let mut batch = DynBatch::new(config).with_lane_width(lanes);
+        if sequenced {
+            batch = batch.with_sequencer(SequencerConfig::default());
+        }
+        for (i, adc) in devices.iter().enumerate().take(split) {
+            batch.push(BatchDevice::new(i, adc, device_rng(seed, i)));
+        }
+        batch.run_batched();
+        for (i, adc) in devices.iter().enumerate().skip(split) {
+            batch.push(BatchDevice::new(i, adc, device_rng(seed, i)));
+        }
+        batch.run_batched();
+        let reports = batch.take_reports();
+        prop_assert_eq!(reports.len(), n);
+        for (i, report) in reports.iter().enumerate() {
+            prop_assert_eq!(report.device, i);
+            prop_assert_eq!(ScreenVerdict::Dynamic(report.outcome), scalar[i]);
+        }
+
+        let mut raw = DynBatch::new(config).with_lane_width(lanes);
+        if sequenced {
+            raw = raw.with_sequencer(SequencerConfig::default());
+        }
+        for (i, adc) in devices.iter().enumerate() {
+            raw.push(BatchDevice::new(i, adc, device_rng(seed, i)));
+        }
+        raw.run_scalar(&mut BehavioralBackend);
+        prop_assert_eq!(raw.take_reports(), reports);
+    }
+}

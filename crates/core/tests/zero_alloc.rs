@@ -1,19 +1,26 @@
 //! Proves the acceptance criterion of the streaming engine: after
-//! warm-up, the single-device hot path (`run_static_bist_with` with a
-//! reused `Scratch`) performs **zero heap allocations**.
+//! warm-up, the device→verdict hot paths — scalar `Screener::screen_one`
+//! on every workload × backend × sequencing combination, and the
+//! lane-parallel `StaticBatch`/`DynBatch` engines — perform **zero heap
+//! allocations**.
 //!
 //! A counting global allocator wraps the system allocator; the test
-//! warms the scratch on a first device, snapshots the allocation
-//! counter, screens several more devices and asserts the counter did
-//! not move. Kept alone in this integration-test binary so no sibling
-//! test thread can perturb the counter.
+//! warms each engine on a first pass (buffers reach the workload's
+//! high-water mark), snapshots the allocation counter, screens several
+//! more devices and asserts the counter did not move. Kept alone in
+//! this integration-test binary so no sibling test thread can perturb
+//! the counter.
 
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::TransferFunction;
 use bist_adc::types::{Resolution, Volts};
+use bist_core::backend::RtlBackend;
+use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
 use bist_core::config::BistConfig;
-use bist_core::harness::{run_static_bist_with, Scratch};
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{Screener, Workload};
+use bist_core::sequencer::SequencerConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -64,275 +71,146 @@ fn hot_path_is_allocation_free_after_warmup() {
         .build()
         .unwrap();
     let noise = NoiseConfig::noiseless().with_transition_noise(0.003);
-    let adc = device();
-    let mut scratch = Scratch::new();
-
-    // Warm-up: run the exact sweeps measured below once, so the scratch
-    // buffers reach the capacity every measured round needs (the
-    // contract is "allocation-free after warm-up", i.e. once buffers
-    // have seen the workload's high-water mark).
-    for round in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        run_static_bist_with(
-            &adc,
-            &plain,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        run_static_bist_with(&adc, &deglitched, &noise, -0.01, &mut rng, &mut scratch);
-    }
-
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let mut accepted = 0u32;
-    for round in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        let a = run_static_bist_with(
-            &adc,
-            &plain,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        let b = run_static_bist_with(&adc, &deglitched, &noise, -0.01, &mut rng, &mut scratch);
-        accepted += u32::from(a.accepted()) + u32::from(b.accepted());
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "hot path allocated {} times after warm-up",
-        after - before
-    );
-    // The verdicts themselves must still be real work, not dead code.
-    assert!(accepted <= 10);
-
-    // The gate-accurate backend gets the same guarantee: each backend
-    // caches one BistTop per configuration and resets it in place
-    // between devices (nothing reconstructed), and the scratch buffers
-    // are already warm — so the rtl device→verdict path is also
-    // allocation-free after its first sweep. One backend per config,
-    // as a fleet screener would hold them.
-    use bist_core::backend::RtlBackend;
-    use bist_core::harness::run_static_bist_with_backend;
-    let mut plain_rtl = RtlBackend::new();
-    let mut deglitched_rtl = RtlBackend::new();
-    for round in 0..2u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        run_static_bist_with_backend(
-            &mut plain_rtl,
-            &adc,
-            &plain,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        run_static_bist_with_backend(
-            &mut deglitched_rtl,
-            &adc,
-            &deglitched,
-            &noise,
-            -0.01,
-            &mut rng,
-            &mut scratch,
-        );
-    }
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let mut accepted = 0u32;
-    for round in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        let a = run_static_bist_with_backend(
-            &mut plain_rtl,
-            &adc,
-            &plain,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        let b = run_static_bist_with_backend(
-            &mut deglitched_rtl,
-            &adc,
-            &deglitched,
-            &noise,
-            -0.01,
-            &mut rng,
-            &mut scratch,
-        );
-        accepted += u32::from(a.accepted()) + u32::from(b.accepted());
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "rtl path allocated {} times after warm-up",
-        after - before
-    );
-    assert!(accepted <= 10);
-
-    // The dynamic verdict path gets the same guarantee on both
-    // backends: the behavioural Goertzel bank lives in a reusable
-    // DynScratch (reset in place between devices), and the RTL backend
-    // caches one DynBistTop per configuration — so after warm-up the
-    // coherent-record device→verdict path allocates nothing either.
-    use bist_core::dynamic::{
-        run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig,
-    };
     let dyn_config = DynamicConfig::paper_default();
     let dyn_noise = NoiseConfig::noiseless().with_input_noise(0.002);
-    let mut dyn_scratch = DynScratch::new();
-    let mut dyn_rtl = RtlBackend::new();
-    for round in 0..2u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        run_dynamic_bist_with(&adc, &dyn_config, &dyn_noise, &mut rng, &mut dyn_scratch);
-        run_dynamic_bist_with_backend(
-            &mut dyn_rtl,
-            &adc,
-            &dyn_config,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-    }
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let mut dyn_accepted = 0u32;
-    for round in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        let a = run_dynamic_bist_with(&adc, &dyn_config, &dyn_noise, &mut rng, &mut dyn_scratch);
-        let b = run_dynamic_bist_with_backend(
-            &mut dyn_rtl,
-            &adc,
-            &dyn_config,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-        dyn_accepted += u32::from(a.accepted()) + u32::from(b.accepted());
-    }
-    let after = ALLOCATIONS.load(Ordering::SeqCst);
-    assert_eq!(
-        after - before,
-        0,
-        "dynamic path allocated {} times after warm-up",
-        after - before
-    );
-    assert!(dyn_accepted <= 10);
+    let adc = device();
 
-    // The sequencer-wrapped device→verdict paths get the same
-    // guarantee on both backends: the StaticSequencer is inline state
-    // only, the DynSequencer's block buffer is cleared (never shrunk)
-    // by `begin`, and the early-stop wrappers reuse the same cached
-    // tops and scratches as the plain engines.
-    use bist_core::sequencer::{
-        run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer,
-        SequencerConfig, StaticSequencer,
+    // The one front door, every mode it can open: workload × backend ×
+    // sequencing. Each `Screener` owns its scratch (and, when
+    // sequenced, its sequencer), so one warm pass per screener reaches
+    // the steady state a fleet loop would run in.
+    let w_plain = Workload::static_ramp(plain);
+    let w_noisy = Workload::static_ramp(deglitched)
+        .with_noise(noise)
+        .with_slope_error(-0.01);
+    let w_dyn = Workload::dynamic_sine(dyn_config).with_noise(dyn_noise);
+    let policy = SequencerConfig::default();
+
+    let mut s_plain = Screener::new(w_plain);
+    let mut s_noisy = Screener::new(w_noisy);
+    let mut s_plain_rtl = Screener::new(w_plain).backend(RtlBackend::new());
+    let mut s_noisy_rtl = Screener::new(w_noisy).backend(RtlBackend::new());
+    let mut s_dyn = Screener::new(w_dyn);
+    let mut s_dyn_rtl = Screener::new(w_dyn).backend(RtlBackend::new());
+    let mut q_plain = Screener::new(w_plain).sequencer(policy);
+    let mut q_plain_rtl = Screener::new(w_plain)
+        .backend(RtlBackend::new())
+        .sequencer(policy);
+    let mut q_dyn = Screener::new(w_dyn).sequencer(policy);
+    let mut q_dyn_rtl = Screener::new(w_dyn)
+        .backend(RtlBackend::new())
+        .sequencer(policy);
+
+    let mut screen_all = |accepted: &mut u32, stopped: &mut u32| {
+        for round in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(round);
+            *accepted += u32::from(s_plain.screen_one(&adc, &mut rng).accepted());
+            *accepted += u32::from(s_noisy.screen_one(&adc, &mut rng).accepted());
+            *accepted += u32::from(s_plain_rtl.screen_one(&adc, &mut rng).accepted());
+            *accepted += u32::from(s_noisy_rtl.screen_one(&adc, &mut rng).accepted());
+            *accepted += u32::from(s_dyn.screen_one(&adc, &mut rng).accepted());
+            *accepted += u32::from(s_dyn_rtl.screen_one(&adc, &mut rng).accepted());
+            let a = q_plain.screen_one(&adc, &mut rng);
+            let b = q_plain_rtl.screen_one(&adc, &mut rng);
+            let c = q_dyn.screen_one(&adc, &mut rng);
+            let d = q_dyn_rtl.screen_one(&adc, &mut rng);
+            assert_eq!(a.decision(), b.decision(), "sequenced backends diverged");
+            assert_eq!(
+                c.decision(),
+                d.decision(),
+                "sequenced dynamic backends diverged"
+            );
+            *stopped += u32::from(a.stopped_early())
+                + u32::from(b.stopped_early())
+                + u32::from(c.stopped_early())
+                + u32::from(d.stopped_early());
+        }
     };
-    let mut static_seq = StaticSequencer::new(SequencerConfig::default());
-    let mut dyn_seq = DynSequencer::new(SequencerConfig::default());
-    let mut seq_rtl = RtlBackend::new();
-    for round in 0..2u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        run_seq_static_bist_with_backend(
-            &mut bist_core::backend::BehavioralBackend,
-            &adc,
-            &plain,
-            &mut static_seq,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        run_seq_static_bist_with_backend(
-            &mut seq_rtl,
-            &adc,
-            &plain,
-            &mut static_seq,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        run_seq_dynamic_bist_with_backend(
-            &mut bist_core::backend::BehavioralBackend,
-            &adc,
-            &dyn_config,
-            &mut dyn_seq,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-        run_seq_dynamic_bist_with_backend(
-            &mut seq_rtl,
-            &adc,
-            &dyn_config,
-            &mut dyn_seq,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-    }
+
+    let (mut warm_accepted, mut warm_stopped) = (0u32, 0u32);
+    screen_all(&mut warm_accepted, &mut warm_stopped);
+
     let before = ALLOCATIONS.load(Ordering::SeqCst);
-    let mut seq_decided = 0u32;
-    for round in 0..5u64 {
-        let mut rng = StdRng::seed_from_u64(round);
-        let a = run_seq_static_bist_with_backend(
-            &mut bist_core::backend::BehavioralBackend,
-            &adc,
-            &plain,
-            &mut static_seq,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        let b = run_seq_static_bist_with_backend(
-            &mut seq_rtl,
-            &adc,
-            &plain,
-            &mut static_seq,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
-        let c = run_seq_dynamic_bist_with_backend(
-            &mut bist_core::backend::BehavioralBackend,
-            &adc,
-            &dyn_config,
-            &mut dyn_seq,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-        let d = run_seq_dynamic_bist_with_backend(
-            &mut seq_rtl,
-            &adc,
-            &dyn_config,
-            &mut dyn_seq,
-            &dyn_noise,
-            &mut rng,
-            &mut dyn_scratch,
-        );
-        assert_eq!(a.decision, b.decision, "sequenced backends diverged");
-        assert_eq!(
-            c.decision, d.decision,
-            "sequenced dynamic backends diverged"
-        );
-        seq_decided += u32::from(a.stopped_early())
-            + u32::from(b.stopped_early())
-            + u32::from(c.stopped_early())
-            + u32::from(d.stopped_early());
-    }
+    let (mut accepted, mut stopped) = (0u32, 0u32);
+    screen_all(&mut accepted, &mut stopped);
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(
         after - before,
         0,
-        "sequenced path allocated {} times after warm-up",
+        "scalar hot path allocated {} times after warm-up",
         after - before
     );
-    // The sequencer must have done real early-stop work, not dead code.
-    assert!(seq_decided > 0, "no sequenced run stopped early");
+    // The verdicts must still be real work, not dead code.
+    assert!(accepted <= 18);
+    assert!(stopped > 0, "no sequenced run stopped early");
+
+    // The lane-parallel batch engines get the same guarantee: lanes,
+    // the shared stimulus table, the rank LUTs, report buffers and the
+    // refill queue all reach their high-water mark on the first pass,
+    // and a reused batch drained with `finish_reports` +
+    // `clear_reports` (not `take_reports`, which surrenders the
+    // buffer) allocates nothing afterwards. Four batches cover
+    // run-skip and fallback static lanes, and the paired-FMA and
+    // fallback dynamic lanes, plain and sequenced.
+    const FLEET: usize = 8;
+    let mut b_static = StaticBatch::new(plain).with_lane_width(4);
+    let mut b_static_seq = StaticBatch::new(deglitched)
+        .with_noise(noise)
+        .with_slope_error(-0.01)
+        .with_sequencer(policy)
+        .with_lane_width(4);
+    let mut b_dyn = DynBatch::new(dyn_config).with_lane_width(4);
+    let mut b_dyn_seq = DynBatch::new(dyn_config)
+        .with_noise(dyn_noise)
+        .with_sequencer(policy)
+        .with_lane_width(4);
+
+    let mut batch_all = |accepted: &mut u32| {
+        for i in 0..FLEET {
+            let rng = || StdRng::seed_from_u64(i as u64);
+            b_static.push(BatchDevice::new(i, &adc, rng()));
+            b_static_seq.push(BatchDevice::new(i, &adc, rng()));
+            b_dyn.push(BatchDevice::new(i, &adc, rng()));
+            b_dyn_seq.push(BatchDevice::new(i, &adc, rng()));
+        }
+        b_static.run_batched();
+        b_static_seq.run_batched();
+        b_dyn.run_batched();
+        b_dyn_seq.run_batched();
+        for r in b_static.finish_reports() {
+            *accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        for r in b_static_seq.finish_reports() {
+            *accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        for r in b_dyn.finish_reports() {
+            *accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        for r in b_dyn_seq.finish_reports() {
+            *accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        b_static.clear_reports();
+        b_static_seq.clear_reports();
+        b_dyn.clear_reports();
+        b_dyn_seq.clear_reports();
+    };
+
+    let mut warm_batch_accepted = 0u32;
+    batch_all(&mut warm_batch_accepted);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut batch_accepted = 0u32;
+    batch_all(&mut batch_accepted);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "batched hot path allocated {} times after warm-up",
+        after - before
+    );
+    assert!(batch_accepted <= 4 * FLEET as u32);
+    assert_eq!(
+        batch_accepted, warm_batch_accepted,
+        "reused batches must reproduce the warm pass verdicts"
+    );
 }

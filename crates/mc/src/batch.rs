@@ -126,7 +126,7 @@ fn splitmix_finalize(mut z: u64) -> u64 {
 /// whenever any coordinate (or the coordinate order) differs; the empty
 /// tuple just finalises the seed. Same-seed, same-coordinates calls are
 /// bit-identical across threads, platforms and releases
-/// ([`rand`](::rand)'s compat `StdRng` is pinned).
+/// ([`rand`]'s compat `StdRng` is pinned).
 pub fn stream_rng(seed: u64, coords: &[u64]) -> StdRng {
     let mut z = seed;
     for &c in coords {

@@ -35,18 +35,12 @@ use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::analytic::WidthDistribution;
-use bist_core::backend::{BehavioralBackend, RtlBackend};
+use bist_core::backend::RtlBackend;
 use bist_core::config::BistConfig;
-use bist_core::dynamic::{
-    run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig, DynamicVerdict,
-};
-use bist_core::harness::{
-    run_static_bist_with, run_static_bist_with_backend, BistVerdict, Scratch,
-};
-use bist_core::sequencer::{
-    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
-    SeqOutcome, SequencerConfig, StaticSequencer, SweptVerdict,
-};
+use bist_core::dynamic::{DynamicConfig, DynamicVerdict};
+use bist_core::harness::BistVerdict;
+use bist_core::screener::{Screener, Workload};
+use bist_core::sequencer::{SeqDecision, SeqOutcome, SequencerConfig, SweptVerdict};
 use rand::rngs::StdRng;
 use std::fmt;
 
@@ -265,14 +259,31 @@ pub fn run_differential_range(
     to: usize,
 ) -> DifferentialResult {
     let grid = scenario_grid();
-    let mut behavioral_backend = BehavioralBackend;
-    // One RTL backend per grid cell: the device-outer sweep order would
-    // otherwise thrash the backend's single cached BistTop (one rebuild
-    // per config change); per-cell backends keep every cache hit an
-    // in-place reset.
-    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
-    let mut scratch_b = Scratch::new();
-    let mut scratch_r = Scratch::new();
+    // One screener per (grid cell, backend): the device-outer sweep
+    // order would otherwise thrash the RTL backend's single cached
+    // BistTop (one rebuild per config change); per-cell screeners keep
+    // every cache hit an in-place reset.
+    let mut behavioral: Vec<Screener> = grid
+        .iter()
+        .map(|(_, config, noise)| {
+            Screener::new(
+                Workload::static_ramp(*config)
+                    .with_noise(*noise)
+                    .with_slope_error(slope_error),
+            )
+        })
+        .collect();
+    let mut rtl: Vec<Screener<RtlBackend>> = grid
+        .iter()
+        .map(|(_, config, noise)| {
+            Screener::new(
+                Workload::static_ramp(*config)
+                    .with_noise(*noise)
+                    .with_slope_error(slope_error),
+            )
+            .backend(RtlBackend::new())
+        })
+        .collect();
     let mut result = DifferentialResult {
         per_scenario: grid
             .iter()
@@ -289,28 +300,20 @@ pub fn run_differential_range(
     for i in from..to {
         let tf = batch.device(i);
         result.devices += 1;
-        for (cell, (id, config, noise)) in grid.iter().enumerate() {
+        for (cell, (id, ..)) in grid.iter().enumerate() {
             // Cell stride 2^24: overflow-free even on 32-bit targets
             // (cell < 48) and collision-free below 16M devices.
             let rng_seed = i ^ DIFF_SALT ^ (cell << 24);
-            let behavioral = run_static_bist_with_backend(
-                &mut behavioral_backend,
-                &tf,
-                config,
-                noise,
-                slope_error,
-                &mut batch.device_rng(rng_seed),
-                &mut scratch_b,
-            );
-            let rtl = run_static_bist_with_backend(
-                &mut rtl_backends[cell],
-                &tf,
-                config,
-                noise,
-                slope_error,
-                &mut batch.device_rng(rng_seed),
-                &mut scratch_r,
-            );
+            let behavioral = behavioral[cell]
+                .screen_one(&tf, &mut batch.device_rng(rng_seed))
+                .as_static()
+                .expect("static workload")
+                .verdict;
+            let rtl = rtl[cell]
+                .screen_one(&tf, &mut batch.device_rng(rng_seed))
+                .as_static()
+                .expect("static workload")
+                .verdict;
             result.comparisons += 1;
             result.per_scenario[cell].comparisons += 1;
             if behavioral == rtl {
@@ -550,14 +553,21 @@ pub fn dyn_decisions_agree(a: &DynamicVerdict, b: &DynamicVerdict) -> bool {
 /// datapath divergence.
 pub fn run_dyn_differential_range(seed: u64, from: usize, to: usize) -> DynDifferentialResult {
     let grid = dyn_scenario_grid();
-    let mut behavioral_backend = BehavioralBackend;
-    // One RTL backend and one behavioural scratch per cell: the
-    // device-outer sweep order would otherwise thrash the cached
-    // DynBistTop / Goertzel bank (one rebuild per config change).
-    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
-    let mut scratches: Vec<DynScratch> = grid.iter().map(|_| DynScratch::new()).collect();
-    let mut rtl_scratch = DynScratch::new(); // unused by the RTL backend
     let noise = NoiseConfig::noiseless().with_input_noise(0.002);
+    // One screener per (grid cell, backend): the device-outer sweep
+    // order would otherwise thrash the cached DynBistTop / Goertzel
+    // bank (one rebuild per config change).
+    let mut behavioral: Vec<Screener> = grid
+        .iter()
+        .map(|(.., config)| Screener::new(Workload::dynamic_sine(*config).with_noise(noise)))
+        .collect();
+    let mut rtl: Vec<Screener<RtlBackend>> = grid
+        .iter()
+        .map(|(.., config)| {
+            Screener::new(Workload::dynamic_sine(*config).with_noise(noise))
+                .backend(RtlBackend::new())
+        })
+        .collect();
     let mut result = DynDifferentialResult {
         per_scenario: grid
             .iter()
@@ -572,24 +582,18 @@ pub fn run_dyn_differential_range(seed: u64, from: usize, to: usize) -> DynDiffe
     };
     for i in from..to {
         result.devices += 1;
-        for (cell, (id, flash, config)) in grid.iter().enumerate() {
+        for (cell, (id, flash, _)) in grid.iter().enumerate() {
             let adc = flash.sample(&mut dyn_stream_rng(seed, i, cell, DYN_DEVICE_SALT));
-            let behavioral = run_dynamic_bist_with_backend(
-                &mut behavioral_backend,
-                &adc,
-                config,
-                &noise,
-                &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT),
-                &mut scratches[cell],
-            );
-            let rtl = run_dynamic_bist_with_backend(
-                &mut rtl_backends[cell],
-                &adc,
-                config,
-                &noise,
-                &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT),
-                &mut rtl_scratch,
-            );
+            let behavioral = behavioral[cell]
+                .screen_one(&adc, &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT))
+                .as_dynamic()
+                .expect("dynamic workload")
+                .verdict;
+            let rtl = rtl[cell]
+                .screen_one(&adc, &mut dyn_stream_rng(seed, i, cell, DYN_NOISE_SALT))
+                .as_dynamic()
+                .expect("dynamic workload")
+                .verdict;
             result.comparisons += 1;
             result.per_scenario[cell].comparisons += 1;
             if dyn_decisions_agree(&behavioral, &rtl) {
@@ -972,6 +976,58 @@ enum SeqCell {
     },
 }
 
+/// The per-cell screeners of the sequenced sweep: the full-sweep
+/// behavioural ground truth plus both sequenced backends, all sharing
+/// the cell's workload.
+enum SeqRunner {
+    Static {
+        full: Screener,
+        seq_b: Screener,
+        seq_r: Screener<RtlBackend>,
+        sigma: f64,
+    },
+    Dynamic {
+        full: Screener,
+        seq_b: Screener,
+        seq_r: Screener<RtlBackend>,
+        flash: FlashConfig,
+    },
+}
+
+impl SeqRunner {
+    fn new(cell: &SeqCell, policy: &SequencerConfig) -> Self {
+        match cell {
+            SeqCell::Static {
+                config,
+                sigma,
+                noise,
+            } => {
+                let w = Workload::static_ramp(*config).with_noise(*noise);
+                SeqRunner::Static {
+                    full: Screener::new(w),
+                    seq_b: Screener::new(w).sequencer(*policy),
+                    seq_r: Screener::new(w)
+                        .sequencer(*policy)
+                        .backend(RtlBackend::new()),
+                    sigma: *sigma,
+                }
+            }
+            SeqCell::Dynamic { config, flash } => {
+                let w = Workload::dynamic_sine(*config)
+                    .with_noise(NoiseConfig::noiseless().with_input_noise(0.002));
+                SeqRunner::Dynamic {
+                    full: Screener::new(w),
+                    seq_b: Screener::new(w).sequencer(*policy),
+                    seq_r: Screener::new(w)
+                        .sequencer(*policy)
+                        .backend(RtlBackend::new()),
+                    flash: *flash,
+                }
+            }
+        }
+    }
+}
+
 /// The sequenced sweep grid: static cells (counter width × mismatch σ,
 /// plus one deglitched transition-noise cell) and dynamic cells
 /// (resolution × mismatch σ at the paper bin, plus the Nyquist-folding
@@ -1080,14 +1136,14 @@ pub fn run_seq_differential_range(
     to: usize,
 ) -> SeqDifferentialResult {
     let (grid, skipped) = seq_scenario_grid();
-    let mut behavioral = BehavioralBackend;
-    let mut rtl_backends: Vec<RtlBackend> = grid.iter().map(|_| RtlBackend::new()).collect();
-    let mut dyn_scratches: Vec<DynScratch> = grid.iter().map(|_| DynScratch::new()).collect();
-    let mut scratch = Scratch::new();
-    let mut rtl_scratch = Scratch::new();
-    let mut rtl_dyn_scratch = DynScratch::new();
-    let mut static_seq = StaticSequencer::new(*policy);
-    let mut dyn_seq = DynSequencer::new(*policy);
+    // Three screeners per cell: the full-sweep behavioural ground
+    // truth, the sequenced behavioural path and the sequenced
+    // gate-accurate path (per-cell so the cached RTL tops and scratch
+    // buffers reset in place across the device-outer sweep order).
+    let mut runners: Vec<SeqRunner> = grid
+        .iter()
+        .map(|(_, spec)| SeqRunner::new(spec, policy))
+        .collect();
     let mut result = SeqDifferentialResult {
         per_scenario: grid
             .iter()
@@ -1098,97 +1154,76 @@ pub fn run_seq_differential_range(
     };
     for i in from..to {
         result.devices += 1;
-        for (cell, (id, spec)) in grid.iter().enumerate() {
+        for (cell, (id, _)) in grid.iter().enumerate() {
             let noise_rng = || seq_stream_rng(seed, i, cell, SEQ_NOISE_SALT);
-            let (full_accepted, full_samples, b_latch, r_latch, verdicts_agree) = match spec {
-                SeqCell::Static {
-                    config,
-                    sigma,
-                    noise,
-                } => {
-                    let dist = WidthDistribution::new(1.0, *sigma);
-                    let tf = iid_width_transfer(
-                        Resolution::SIX_BIT,
-                        &dist,
-                        &mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT),
-                    );
-                    let full = run_static_bist_with(
-                        &tf,
-                        config,
-                        noise,
-                        0.0,
-                        &mut noise_rng(),
-                        &mut scratch,
-                    );
-                    let b = run_seq_static_bist_with_backend(
-                        &mut behavioral,
-                        &tf,
-                        config,
-                        &mut static_seq,
-                        noise,
-                        0.0,
-                        &mut noise_rng(),
-                        &mut scratch,
-                    );
-                    let r = run_seq_static_bist_with_backend(
-                        &mut rtl_backends[cell],
-                        &tf,
-                        config,
-                        &mut static_seq,
-                        noise,
-                        0.0,
-                        &mut noise_rng(),
-                        &mut rtl_scratch,
-                    );
-                    (
-                        full.accepted(),
-                        full.samples,
-                        SeqLatch::of(&b),
-                        SeqLatch::of(&r),
-                        b.verdict == r.verdict,
-                    )
-                }
-                SeqCell::Dynamic { config, flash } => {
-                    let adc = flash.sample(&mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT));
-                    let noise = NoiseConfig::noiseless().with_input_noise(0.002);
-                    let full = run_dynamic_bist_with(
-                        &adc,
-                        config,
-                        &noise,
-                        &mut noise_rng(),
-                        &mut dyn_scratches[cell],
-                    );
-                    let b = run_seq_dynamic_bist_with_backend(
-                        &mut behavioral,
-                        &adc,
-                        config,
-                        &mut dyn_seq,
-                        &noise,
-                        &mut noise_rng(),
-                        &mut dyn_scratches[cell],
-                    );
-                    let r = run_seq_dynamic_bist_with_backend(
-                        &mut rtl_backends[cell],
-                        &adc,
-                        config,
-                        &mut dyn_seq,
-                        &noise,
-                        &mut noise_rng(),
-                        &mut rtl_dyn_scratch,
-                    );
-                    // Completed records additionally demand the
-                    // decision-exact dynamic verdict contract.
-                    let verdicts_agree =
-                        b.stopped_early() || dyn_decisions_agree(&b.verdict, &r.verdict);
-                    (
-                        full.accepted(),
-                        full.samples,
-                        SeqLatch::of(&b),
-                        SeqLatch::of(&r),
-                        verdicts_agree,
-                    )
-                }
-            };
+            let (full_accepted, full_samples, b_latch, r_latch, verdicts_agree) =
+                match &mut runners[cell] {
+                    SeqRunner::Static {
+                        full,
+                        seq_b,
+                        seq_r,
+                        sigma,
+                    } => {
+                        let dist = WidthDistribution::new(1.0, *sigma);
+                        let tf = iid_width_transfer(
+                            Resolution::SIX_BIT,
+                            &dist,
+                            &mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT),
+                        );
+                        let full = full
+                            .screen_one(&tf, &mut noise_rng())
+                            .as_static()
+                            .expect("static workload")
+                            .verdict;
+                        let b = *seq_b
+                            .screen_one(&tf, &mut noise_rng())
+                            .as_static()
+                            .expect("static workload");
+                        let r = *seq_r
+                            .screen_one(&tf, &mut noise_rng())
+                            .as_static()
+                            .expect("static workload");
+                        (
+                            full.accepted(),
+                            full.samples,
+                            SeqLatch::of(&b),
+                            SeqLatch::of(&r),
+                            b.verdict == r.verdict,
+                        )
+                    }
+                    SeqRunner::Dynamic {
+                        full,
+                        seq_b,
+                        seq_r,
+                        flash,
+                    } => {
+                        let adc = flash.sample(&mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT));
+                        let full = full
+                            .screen_one(&adc, &mut noise_rng())
+                            .as_dynamic()
+                            .expect("dynamic workload")
+                            .verdict;
+                        let b = *seq_b
+                            .screen_one(&adc, &mut noise_rng())
+                            .as_dynamic()
+                            .expect("dynamic workload");
+                        let r = *seq_r
+                            .screen_one(&adc, &mut noise_rng())
+                            .as_dynamic()
+                            .expect("dynamic workload");
+                        // Completed records additionally demand the
+                        // decision-exact dynamic verdict contract.
+                        let verdicts_agree =
+                            b.stopped_early() || dyn_decisions_agree(&b.verdict, &r.verdict);
+                        (
+                            full.accepted(),
+                            full.samples,
+                            SeqLatch::of(&b),
+                            SeqLatch::of(&r),
+                            verdicts_agree,
+                        )
+                    }
+                };
             result.comparisons += 1;
             let agree = b_latch == r_latch && verdicts_agree;
             if agree {

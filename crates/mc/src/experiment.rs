@@ -13,14 +13,13 @@ use crate::estimate::Proportion;
 use crate::parallel::{partitioned, run_parallel};
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
-use bist_core::backend::{BehavioralBackend, BistBackend, DynBistBackend};
+use bist_core::backend::{Backend, BehavioralBackend};
+use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
 use bist_core::config::BistConfig;
 use bist_core::decision::ConfusionMatrix;
-use bist_core::dynamic::{run_dynamic_bist_with_backend, DynScratch, DynamicConfig};
-use bist_core::harness::{
-    conventional_test, reference_measurement, run_static_bist_with, run_static_bist_with_backend,
-    Scratch,
-};
+use bist_core::dynamic::DynamicConfig;
+use bist_core::harness::{conventional_test, reference_measurement};
+use bist_core::screener::{Screener, Workload};
 use rand::rngs::StdRng;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -87,7 +86,7 @@ impl Experiment {
     }
 
     /// Runs the experiment over device indices `[from, to)` —
-    /// the unit of work for parallel execution. One [`Scratch`] is
+    /// the unit of work for parallel execution. One [`bist_core::harness::Scratch`] is
     /// reused across the whole range, so per-device screening allocates
     /// nothing after the first device.
     pub fn run_range(&self, from: usize, to: usize) -> ExperimentResult {
@@ -99,7 +98,16 @@ impl Experiment {
     /// the seam the differential experiment exercises. The RNG stream
     /// per device depends only on `(seed, index)`, so two backends run
     /// against the same experiment see bit-identical code streams.
-    pub fn run_range_with<B: BistBackend>(
+    ///
+    /// The range is screened as one batch through the backend's
+    /// [`Backend::process_batch`] seam: the behavioural backend runs
+    /// the lane-parallel engine of [`bist_core::batch`], the RTL
+    /// backend clocks each device scalar-wise — verdicts are
+    /// bit-identical either way. Ground truth is established *before*
+    /// each device is queued, so the per-device RNG stream (truth
+    /// draws, then acquisition draws) is unchanged from the scalar
+    /// engine.
+    pub fn run_range_with<B: Backend>(
         &self,
         backend: &mut B,
         from: usize,
@@ -108,9 +116,13 @@ impl Experiment {
         let start = Instant::now();
         let mut matrix = ConfusionMatrix::new();
         let mut samples = 0u64;
-        let mut scratch = Scratch::new();
         let spec = *self.config.spec();
-        for i in from..to.min(self.batch.size) {
+        let to = to.min(self.batch.size);
+        let mut work = StaticBatch::new(self.config)
+            .with_noise(self.noise)
+            .with_slope_error(self.slope_error);
+        let mut truths = Vec::with_capacity(to.saturating_sub(from));
+        for i in from..to {
             let tf = self.batch.device(i);
             let mut rng = self.batch.device_rng(i ^ 0x5eed_0000_0000_0000);
             let truth_good = match self.ground_truth {
@@ -125,17 +137,16 @@ impl Experiment {
                 .map(|v| v.accepted)
                 .unwrap_or(false),
             };
-            let verdict = run_static_bist_with_backend(
-                backend,
-                &tf,
-                &self.config,
-                &self.noise,
-                self.slope_error,
-                &mut rng,
-                &mut scratch,
+            truths.push(truth_good);
+            work.push(BatchDevice::new(i, tf, rng));
+        }
+        backend.process_batch(&mut work);
+        for report in work.finish_reports() {
+            samples += report.outcome.verdict.samples;
+            matrix.record(
+                truths[report.device - from],
+                report.outcome.verdict.accepted(),
             );
-            samples += verdict.samples;
-            matrix.record(truth_good, verdict.accepted());
         }
         ExperimentResult {
             matrix,
@@ -166,16 +177,11 @@ impl Experiment {
     ///
     /// Returns [`InvalidCellError`] when the cell cannot be judged.
     pub fn validate(&self) -> Result<(), InvalidCellError> {
-        let bits = self.config.resolution().bits();
-        if self.config.monitored_bit() + 2 > bits {
-            return Err(InvalidCellError {
-                reason: format!(
-                    "no upper bit above monitored bit {} of a {bits}-bit converter",
-                    self.config.monitored_bit()
-                ),
-            });
-        }
-        Ok(())
+        self.config
+            .validate_monitorable()
+            .map_err(|e| InvalidCellError {
+                reason: e.to_string(),
+            })
     }
 }
 
@@ -368,20 +374,13 @@ fn equivalence_range(
     let mut bist_m = ConfusionMatrix::new();
     let mut conv_m = ConfusionMatrix::new();
     let mut agreements = 0;
-    let mut scratch = Scratch::new();
+    let mut screener = Screener::new(Workload::static_ramp(*config));
     let to = to.min(batch.size);
     for i in from..to {
         let tf = batch.device(i);
         let mut rng = batch.device_rng(i ^ EQ_SALT);
         let truth = spec.classify(&tf).good;
-        let bist = run_static_bist_with(
-            &tf,
-            config,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng,
-            &mut scratch,
-        );
+        let bist = screener.screen_one(&tf, &mut rng);
         let conv = conventional_test(
             &tf,
             &spec,
@@ -410,7 +409,7 @@ fn equivalence_range(
 /// verdict path of `bist_core::dynamic`.
 ///
 /// The worker fan-out mirrors [`Experiment`]: devices derive from
-/// `(seed, index)`, every worker reuses one [`DynScratch`] (and one
+/// `(seed, index)`, every worker reuses one [`bist_core::dynamic::DynScratch`] (and one
 /// cached RTL datapath when judging with
 /// [`bist_core::backend::RtlBackend`]), so the per-device hot path is
 /// allocation-free after warm-up on either backend.
@@ -457,25 +456,27 @@ impl DynExperiment {
 
     /// Runs the experiment over device indices `[from, to)` with an
     /// explicit verdict backend — the unit of work for the fan-out.
-    pub fn run_range_with<B: DynBistBackend>(
+    ///
+    /// The range is screened as one batch through the backend's
+    /// [`Backend::process_dyn_batch`] seam (lane-parallel Goertzel
+    /// banks on the behavioural backend, the scalar gate-accurate loop
+    /// on the RTL backend — identical decisions either way).
+    pub fn run_range_with<B: Backend>(
         &self,
         backend: &mut B,
         from: usize,
         to: usize,
     ) -> DynExperimentResult {
         let start = Instant::now();
-        let mut scratch = DynScratch::new();
         let mut result = DynExperimentResult::default();
+        let mut work = DynBatch::new(self.config).with_noise(self.noise);
         for i in from..to.min(self.devices) {
             let adc = self.flash.sample(&mut self.rng(i, 0));
-            let verdict = run_dynamic_bist_with_backend(
-                backend,
-                &adc,
-                &self.config,
-                &self.noise,
-                &mut self.rng(i, DYN_EXP_SALT),
-                &mut scratch,
-            );
+            work.push(BatchDevice::new(i, adc, self.rng(i, DYN_EXP_SALT)));
+        }
+        backend.process_dyn_batch(&mut work);
+        for report in work.finish_reports() {
+            let verdict = report.outcome.verdict;
             result.screened += 1;
             result.samples += verdict.samples;
             result.accepted += u64::from(verdict.accepted());
@@ -495,7 +496,7 @@ impl DynExperiment {
     /// `elapsed`. Results are independent of the worker count.
     pub fn run_with<B, F>(&self, workers: usize, make_backend: F) -> DynExperimentResult
     where
-        B: DynBistBackend,
+        B: Backend,
         F: Fn() -> B + Sync,
     {
         let start = Instant::now();

@@ -77,7 +77,7 @@ pub fn run_parallel_with<B, F>(
     make_backend: F,
 ) -> ExperimentResult
 where
-    B: bist_core::backend::BistBackend,
+    B: bist_core::backend::Backend,
     F: Fn() -> B + Sync,
 {
     let start = Instant::now();

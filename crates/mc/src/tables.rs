@@ -11,15 +11,14 @@ use crate::batch::{conditional_faulty_widths, transfer_from_widths, Batch};
 use crate::estimate::Proportion;
 use crate::experiment::Experiment;
 use crate::parallel::{partitioned, run_parallel};
-use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::Resolution;
 use bist_core::analytic::{
     code_probabilities, device_probabilities, DeviceProbabilities, WidthDistribution,
 };
 use bist_core::config::BistConfig;
-use bist_core::harness::{run_static_bist_with, Scratch};
 use bist_core::limits::{plan_delta_s, CountLimits};
+use bist_core::screener::{Screener, Workload};
 
 /// Number of codes a full sweep judges on the paper's 6-bit device
 /// (inner codes only).
@@ -176,21 +175,13 @@ pub fn table2(faulty_devices: usize, seed: u64, workers: usize) -> Vec<Table2Row
             // from `(seed, index)`, so the fan-out is deterministic.
             let batch = Batch::paper_simulation(seed ^ u64::from(bits), 1);
             let accepted: u64 = partitioned(faulty_devices, workers, |from, to| {
-                let mut scratch = Scratch::new();
+                let mut screener = Screener::new(Workload::static_ramp(bist));
                 let mut accepted = 0u64;
                 for i in from..to {
                     let mut rng = batch.device_rng(i ^ 0x7ab1e2);
                     let widths = conditional_faulty_widths(&dist, &spec, 62, &mut rng);
                     let tf = transfer_from_widths(Resolution::SIX_BIT, &widths);
-                    let verdict = run_static_bist_with(
-                        &tf,
-                        &bist,
-                        &NoiseConfig::noiseless(),
-                        0.0,
-                        &mut rng,
-                        &mut scratch,
-                    );
-                    if verdict.accepted() {
+                    if screener.screen_one(&tf, &mut rng).accepted() {
                         accepted += 1;
                     }
                 }

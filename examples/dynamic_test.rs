@@ -13,14 +13,12 @@
 //! Run with: `cargo run --release --example dynamic_test`
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::SineWave;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::backend::RtlBackend;
-use bist_core::dynamic::{
-    run_dynamic_bist_with, run_dynamic_bist_with_backend, DynScratch, DynamicConfig,
-};
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{Screener, Workload};
 use bist_dsp::goertzel::goertzel_bin;
 use bist_dsp::sinefit::fit_sine_4param;
 use bist_dsp::spectrum::{analyze_tone, fold_bin, ideal_sinad_db, ToneAnalysisConfig};
@@ -82,30 +80,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- 4. The streaming dynamic BIST subsystem --------------------------
-    // Same physics, production path: the sine streams through the lazy
-    // CodeStream into a Goertzel bank — no 4096-sample record is ever
-    // materialised — and the verdict is judged against limits. The same
-    // sweep re-judged by the gate-accurate fixed-point DynBistTop must
-    // reach the identical decision.
+    // Same physics, production path through the one front door: a
+    // `Screener` over the dynamic-sine workload streams the sine
+    // through the lazy CodeStream into a Goertzel bank — no 4096-sample
+    // record is ever materialised — and judges the verdict against
+    // limits. Swapping `.backend(RtlBackend::new())` re-judges the
+    // identical sweep with the gate-accurate fixed-point DynBistTop,
+    // which must reach the identical decision.
     let config = DynamicConfig::paper_default();
-    let mut scratch = DynScratch::new();
-    let behavioral = run_dynamic_bist_with(
-        &device,
-        &config,
-        &NoiseConfig::noiseless(),
-        &mut StdRng::seed_from_u64(99),
-        &mut scratch,
-    );
+    let mut screener = Screener::new(Workload::dynamic_sine(config));
+    let behavioral = screener
+        .screen_one(&device, &mut StdRng::seed_from_u64(99))
+        .as_dynamic()
+        .expect("dynamic workload")
+        .verdict;
     println!("streaming dynamic BIST ({config}):");
     println!("  behavioral: {behavioral}");
-    let rtl = run_dynamic_bist_with_backend(
-        &mut RtlBackend::new(),
-        &device,
-        &config,
-        &NoiseConfig::noiseless(),
-        &mut StdRng::seed_from_u64(99),
-        &mut scratch,
-    );
+    let mut screener = screener.backend(RtlBackend::new());
+    let rtl = screener
+        .screen_one(&device, &mut StdRng::seed_from_u64(99))
+        .as_dynamic()
+        .expect("dynamic workload")
+        .verdict;
     println!("  rtl (fixed-point): {rtl}");
     assert_eq!(
         behavioral.checks, rtl.checks,

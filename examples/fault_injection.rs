@@ -8,17 +8,18 @@
 
 use bist_adc::faults::{FaultyAdc, OutputFault};
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::Adc;
 use bist_adc::types::{Code, Resolution};
 use bist_core::config::BistConfig;
-use bist_core::harness::run_static_bist;
+use bist_core::screener::{Screener, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn verdict<A: Adc>(name: &str, adc: &A, config: &BistConfig, rng: &mut StdRng) -> bool {
-    let outcome = run_static_bist(adc, config, &NoiseConfig::noiseless(), 0.0, rng);
+    let mut screener = Screener::new(Workload::static_ramp(*config));
+    let v = screener.screen_one(adc, rng);
+    let outcome = screener.take_static_outcome(&v).expect("static workload");
     println!(
         "  {name:<36} {} (DNL fails {}, INL fails {}, functional mismatches {})",
         if outcome.accepted() {
@@ -34,12 +35,14 @@ fn verdict<A: Adc>(name: &str, adc: &A, config: &BistConfig, rng: &mut StdRng) -
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(4242);
+    let mut rng = StdRng::seed_from_u64(1997);
     let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
         .counter_bits(4)
         .build()?;
 
-    // Draw a *good* device (retry until ground truth says good).
+    // Draw a *good* device (retry until ground truth says good). The
+    // seed matters: the 4-bit counter has a double-digit type I rate
+    // (§4), so some ground-truth-good devices are rejected at baseline.
     let cfg = FlashConfig::paper_device();
     let good = loop {
         let candidate = cfg.sample(&mut rng);

@@ -4,12 +4,11 @@
 //! Run with: `cargo run --example quickstart`
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::Adc;
 use bist_adc::types::Resolution;
 use bist_core::config::BistConfig;
-use bist_core::harness::run_static_bist;
+use bist_core::screener::{Screener, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,9 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     println!("configuration:     {config}");
 
-    // 3. Run the BIST: a slow ramp sweeps the input while the on-chip
-    //    blocks watch the LSB (linearity) and the upper bits (function).
-    let outcome = run_static_bist(&device, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+    // 3. Run the BIST through the one front door: a `Screener` wraps
+    //    the workload (here the static ramp — a slow sweep while the
+    //    on-chip blocks watch the LSB and the upper bits) and screens
+    //    devices one at a time or in batches.
+    let mut screener = Screener::new(Workload::static_ramp(config));
+    let verdict = screener.screen_one(&device, &mut rng);
+    let outcome = screener
+        .take_static_outcome(&verdict)
+        .expect("static workload");
     println!("\nBIST outcome:      {outcome}");
 
     // 4. Per-code detail: the measured sample count per code is the code

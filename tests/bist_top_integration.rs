@@ -11,13 +11,13 @@
 //! tolerances this test used to need are gone.
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::sampler::{acquire, SamplingConfig};
 use bist_adc::signal::Ramp;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::config::BistConfig;
-use bist_core::harness::{bist_from_capture, run_static_bist};
+use bist_core::harness::bist_from_capture;
+use bist_core::screener::{Screener, Workload};
 use bist_rtl::top::{BistTop, BistTopConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,7 +122,11 @@ fn top_level_catches_the_stuck_lsb_that_needs_completeness() {
             value: false,
         },
     );
-    let outcome = run_static_bist(&faulty, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+    let mut screener = Screener::new(Workload::static_ramp(config));
+    let verdict = screener.screen_one(&faulty, &mut rng);
+    let outcome = screener
+        .take_static_outcome(&verdict)
+        .expect("static workload");
     assert!(!outcome.complete());
     assert!(!outcome.accepted());
 }

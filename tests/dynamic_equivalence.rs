@@ -21,7 +21,8 @@ use bist_adc::stream::CodeStream;
 use bist_adc::transfer::Adc as _;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::backend::{BehavioralBackend, RtlBackend};
-use bist_core::dynamic::{plan_sine, run_dynamic_bist_with_backend, DynScratch, DynamicConfig};
+use bist_core::dynamic::{plan_sine, DynScratch, DynamicConfig};
+use bist_core::screener::{Screener, Workload};
 use bist_dsp::goertzel::GoertzelBank;
 use bist_rtl::dyn_top::{DynBistTop, DynBistTopConfig};
 use proptest::prelude::*;
@@ -125,23 +126,18 @@ proptest! {
             .unwrap()
             .with_overdrive(0.0);
         let noise = NoiseConfig::noiseless().with_input_noise(noise_milli as f64 / 1000.0);
-        let mut scratch = DynScratch::new();
-        let behavioral = run_dynamic_bist_with_backend(
-            &mut BehavioralBackend,
-            &adc,
-            &config,
-            &noise,
-            &mut StdRng::seed_from_u64(seed ^ 0xABCD),
-            &mut scratch,
-        );
-        let rtl = run_dynamic_bist_with_backend(
-            &mut RtlBackend::new(),
-            &adc,
-            &config,
-            &noise,
-            &mut StdRng::seed_from_u64(seed ^ 0xABCD),
-            &mut scratch,
-        );
+        let workload = Workload::dynamic_sine(config).with_noise(noise);
+        let behavioral = Screener::new(workload)
+            .screen_one(&adc, &mut StdRng::seed_from_u64(seed ^ 0xABCD))
+            .as_dynamic()
+            .expect("dynamic workload")
+            .verdict;
+        let rtl = Screener::new(workload)
+            .backend(RtlBackend::new())
+            .screen_one(&adc, &mut StdRng::seed_from_u64(seed ^ 0xABCD))
+            .as_dynamic()
+            .expect("dynamic workload")
+            .verdict;
         prop_assert_eq!(behavioral.checks, rtl.checks);
         prop_assert_eq!(behavioral.samples, rtl.samples);
         prop_assert_eq!(behavioral.expected_samples, rtl.expected_samples);
@@ -171,7 +167,7 @@ proptest! {
 /// backends, with matching sample counts.
 #[test]
 fn truncated_records_incomplete_on_both_backends() {
-    use bist_core::backend::DynBistBackend;
+    use bist_core::backend::Backend;
     let adc = flash_device(6, 0.16, 7);
     let config = DynamicConfig::paper_default();
     let (sine, sampling) = plan_sine(&adc, &config);

@@ -9,9 +9,30 @@ use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::Adc;
 use bist_adc::types::{Code, Resolution, Volts};
 use bist_core::config::BistConfig;
-use bist_core::harness::{conventional_test, reference_measurement, run_static_bist};
+use bist_core::harness::{conventional_test, reference_measurement, BistOutcome};
+use bist_core::screener::{Screener, Workload};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+
+/// The retired free-function entry, expressed over the `Screener`
+/// front door these scenarios now pin.
+fn run_static_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
+    adc: &A,
+    config: &BistConfig,
+    noise: &NoiseConfig,
+    slope_error: f64,
+    rng: &mut R,
+) -> BistOutcome {
+    let mut screener = Screener::new(
+        Workload::static_ramp(*config)
+            .with_noise(*noise)
+            .with_slope_error(slope_error),
+    );
+    let verdict = screener.screen_one(adc, rng);
+    screener
+        .take_static_outcome(&verdict)
+        .expect("static workload")
+}
 
 fn config(bits: u32) -> BistConfig {
     BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
