@@ -9,17 +9,32 @@
 //! report equality. **Any mismatch counts as a divergence and fails the
 //! run** (exit 1), which the CI perf-baseline smoke relies on.
 //!
-//! Part 2 times both engines and reports devices/s each way. The run
-//! fails when the batched engine's speedup falls below the floors the
-//! lane refactor promises: ≥ 4x on the static (run-skipping) workload
-//! and ≥ 2x on the dynamic (shared-stimulus) workload
-//! (`BIST_BATCHED_MIN_STATIC_X` / `BIST_BATCHED_MIN_DYN_X` override,
-//! in hundredths via the integer knob layer). The committed
-//! `crates/bench/baseline/batched_fleet.json` additionally gates the
-//! absolute devices/s numbers through `perf_gate`.
+//! Part 1b shards the same populations across the work-stealing worker
+//! pool (`Screener::workers`) at several worker counts and chunk sizes
+//! and demands the pooled reports stay bit-identical to the batched
+//! ones — the cores axis must be invisible in the output. A FNV-1a
+//! checksum over every report is emitted as `report_checksum`, so two
+//! runs at different `BIST_WORKERS` can be diffed from their JSON
+//! records alone (the CI perf-baseline job does exactly that).
+//!
+//! Part 2 times the engines and reports devices/s each way: scalar vs
+//! batched (one core), plus the pooled engine at the configured worker
+//! count. The run fails when the batched engine's speedup falls below
+//! the floors the lane refactor promises: ≥ 4x on the static
+//! (run-skipping) workload and ≥ 2x on the dynamic (shared-stimulus)
+//! workload (`BIST_BATCHED_MIN_STATIC_X` / `BIST_BATCHED_MIN_DYN_X`
+//! override, in hundredths via the integer knob layer). When the host
+//! actually has the cores to back the configured pool (≥ 4 workers, all
+//! resident), the pooled static throughput must additionally clear
+//! `BIST_POOL_MIN_STATIC_X` (default 3x) over the single-worker batched
+//! rate — informational on smaller hosts, a hard gate on multi-core CI.
+//! The committed `crates/bench/baseline/batched_fleet.json` additionally
+//! gates the absolute devices/s numbers through `perf_gate`.
 //!
 //! Knobs: `BIST_DEVICES` (default 600), `BIST_DYN_DEVICES` (default
-//! 96), `BIST_LANES` (default 16), `BIST_SEED`.
+//! 96), `BIST_LANES` (default 16), `BIST_WORKERS` (default 0 = all
+//! cores), `BIST_POOL_CHUNK` (default `pool::DEFAULT_CHUNK`),
+//! `BIST_SEED`.
 
 use bist_adc::flash::{FlashAdc, FlashConfig};
 use bist_adc::spec::LinearitySpec;
@@ -28,6 +43,7 @@ use bist_adc::types::{Resolution, Volts};
 use bist_bench::Scenario;
 use bist_core::config::BistConfig;
 use bist_core::dynamic::DynamicConfig;
+use bist_core::pool;
 use bist_core::screener::{ScreenVerdict, Screener, Workload};
 use bist_core::sequencer::SequencerConfig;
 use bist_mc::batch::{stream_rng, Batch};
@@ -52,6 +68,10 @@ fn run(sc: &mut Scenario) -> bool {
     let lanes = sc.usize_knob("BIST_LANES", 16);
     let min_static_x = sc.usize_knob("BIST_BATCHED_MIN_STATIC_X", 400) as f64 / 100.0;
     let min_dyn_x = sc.usize_knob("BIST_BATCHED_MIN_DYN_X", 200) as f64 / 100.0;
+    let min_pool_static_x = sc.usize_knob("BIST_POOL_MIN_STATIC_X", 300) as f64 / 100.0;
+    let workers = pool::resolve_workers(sc.workers());
+    let chunk = sc.usize_knob("BIST_POOL_CHUNK", pool::DEFAULT_CHUNK).max(1);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let seed = sc.seed();
 
     let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
@@ -73,8 +93,13 @@ fn run(sc: &mut Scenario) -> bool {
         .collect();
     let dyn_rng = |i: usize| stream_rng(seed ^ DYN_SEED_XOR, &[1, i as u64]);
 
-    // --- Part 1: exactness, all four modes --------------------------
+    // --- Part 1: exactness, all four modes, lanes then cores --------
+    // Pooled runs are compared at several worker counts × chunk sizes;
+    // the checksum folds every batched report so two JSON records can
+    // be diffed for divergence without rerunning.
+    const POOL_GRID: [(usize, usize); 4] = [(1, 5), (2, 8), (4, 32), (16, 3)];
     let mut divergences = 0u64;
+    let mut checksum = Fnv::new();
     for sequenced in [false, true] {
         let w = Workload::static_ramp(config);
         let mut scalar = Screener::new(w);
@@ -83,15 +108,39 @@ fn run(sc: &mut Scenario) -> bool {
             scalar = scalar.sequencer(policy);
             batched = batched.sequencer(policy);
         }
-        let reports = batched.run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))));
+        let label = if sequenced { "static seq" } else { "static" };
+        let reports: Vec<_> = batched
+            .run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))))
+            .into_iter()
+            .map(|r| (r.device, r.verdict))
+            .collect();
         divergences += compare(
-            &reports
-                .iter()
-                .map(|r| (r.device, r.verdict))
-                .collect::<Vec<_>>(),
+            &reports,
             |i| scalar.screen_one(&fleet[i], &mut static_rng(i)),
-            if sequenced { "static seq" } else { "static" },
+            label,
         );
+        checksum.fold(&reports);
+        for (pool_workers, pool_chunk) in POOL_GRID {
+            let mut pooled = Screener::new(w)
+                .lane_width(lanes)
+                .workers(pool_workers)
+                .chunk_size(pool_chunk);
+            if sequenced {
+                pooled = pooled.sequencer(policy);
+            }
+            let pooled_reports: Vec<_> = pooled
+                .run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))))
+                .into_iter()
+                .map(|r| (r.device, r.verdict))
+                .collect();
+            if pooled_reports != reports {
+                println!(
+                    "DIVERGENCE ({label}) pooled workers={pool_workers} chunk={pool_chunk} \
+                     differs from batched"
+                );
+                divergences += 1;
+            }
+        }
     }
     for sequenced in [false, true] {
         let w = Workload::dynamic_sine(dyn_config);
@@ -101,25 +150,54 @@ fn run(sc: &mut Scenario) -> bool {
             scalar = scalar.sequencer(policy);
             batched = batched.sequencer(policy);
         }
-        let reports = batched.run(
-            dyn_fleet
-                .iter()
-                .enumerate()
-                .map(|(i, adc)| (adc, dyn_rng(i))),
-        );
+        let label = if sequenced { "dynamic seq" } else { "dynamic" };
+        let reports: Vec<_> = batched
+            .run(
+                dyn_fleet
+                    .iter()
+                    .enumerate()
+                    .map(|(i, adc)| (adc, dyn_rng(i))),
+            )
+            .into_iter()
+            .map(|r| (r.device, r.verdict))
+            .collect();
         divergences += compare(
-            &reports
-                .iter()
-                .map(|r| (r.device, r.verdict))
-                .collect::<Vec<_>>(),
+            &reports,
             |i| scalar.screen_one(&dyn_fleet[i], &mut dyn_rng(i)),
-            if sequenced { "dynamic seq" } else { "dynamic" },
+            label,
         );
+        checksum.fold(&reports);
+        for (pool_workers, pool_chunk) in POOL_GRID {
+            let mut pooled = Screener::new(w)
+                .lane_width(lanes)
+                .workers(pool_workers)
+                .chunk_size(pool_chunk);
+            if sequenced {
+                pooled = pooled.sequencer(policy);
+            }
+            let pooled_reports: Vec<_> = pooled
+                .run(
+                    dyn_fleet
+                        .iter()
+                        .enumerate()
+                        .map(|(i, adc)| (adc, dyn_rng(i))),
+                )
+                .into_iter()
+                .map(|r| (r.device, r.verdict))
+                .collect();
+            if pooled_reports != reports {
+                println!(
+                    "DIVERGENCE ({label}) pooled workers={pool_workers} chunk={pool_chunk} \
+                     differs from batched"
+                );
+                divergences += 1;
+            }
+        }
     }
     println!(
         "exactness: {} static + {} dynamic devices × (plain, sequenced) × \
-         (scalar, batched {lanes}-lane) → {divergences} divergences",
-        devices, dyn_devices
+         (scalar, batched {lanes}-lane, pooled {:?} workers×chunk) → {divergences} divergences",
+        devices, dyn_devices, POOL_GRID
     );
 
     // --- Part 2: throughput, scalar vs batched ----------------------
@@ -150,8 +228,35 @@ fn run(sc: &mut Scenario) -> bool {
         );
         std::hint::black_box(reports.len());
     });
+    let pooled_static = throughput(devices, || {
+        let mut s = Screener::new(Workload::static_ramp(config))
+            .lane_width(lanes)
+            .workers(workers)
+            .chunk_size(chunk);
+        let reports = s.run(fleet.iter().enumerate().map(|(i, tf)| (tf, static_rng(i))));
+        std::hint::black_box(reports.len());
+    });
+    let pooled_dyn = throughput(dyn_devices, || {
+        let mut s = Screener::new(Workload::dynamic_sine(dyn_config))
+            .lane_width(lanes)
+            .workers(workers)
+            .chunk_size(chunk);
+        let reports = s.run(
+            dyn_fleet
+                .iter()
+                .enumerate()
+                .map(|(i, adc)| (adc, dyn_rng(i))),
+        );
+        std::hint::black_box(reports.len());
+    });
     let static_x = batched_static / scalar_static.max(1e-9);
     let dyn_x = batched_dyn / scalar_dyn.max(1e-9);
+    let pooled_static_x = pooled_static / batched_static.max(1e-9);
+    // The multiplicative pool floor only binds where it is physically
+    // meaningful: a ≥4-worker pool whose workers all have a core to
+    // run on. Elsewhere (this includes single-core CI shards) the
+    // pooled numbers are recorded but informational.
+    let pool_gate_live = workers >= 4 && host_cores >= workers;
     println!(
         "throughput static ({devices} devices): scalar {scalar_static:.0} dev/s, \
          batched {batched_static:.0} dev/s ({static_x:.2}x, floor {min_static_x:.2}x)"
@@ -160,14 +265,36 @@ fn run(sc: &mut Scenario) -> bool {
         "throughput dynamic ({dyn_devices} devices): scalar {scalar_dyn:.0} dev/s, \
          batched {batched_dyn:.0} dev/s ({dyn_x:.2}x, floor {min_dyn_x:.2}x)"
     );
+    println!(
+        "throughput pooled ({workers} workers × {lanes} lanes, chunk {chunk}, \
+         {host_cores} host cores): static {pooled_static:.0} dev/s \
+         ({pooled_static_x:.2}x batched, floor {min_pool_static_x:.2}x {}), \
+         dynamic {pooled_dyn:.0} dev/s",
+        if pool_gate_live {
+            "LIVE"
+        } else {
+            "informational"
+        }
+    );
 
     sc.metric_count("divergences", divergences);
     sc.metric("scalar_static_devices_per_s", scalar_static);
     sc.metric("batched_static_devices_per_s", batched_static);
     sc.metric("scalar_dyn_devices_per_s", scalar_dyn);
     sc.metric("batched_dyn_devices_per_s", batched_dyn);
+    sc.metric("pooled_static_devices_per_s", pooled_static);
+    sc.metric("pooled_dyn_devices_per_s", pooled_dyn);
+    sc.metric(
+        "per_worker_static_devices_per_s",
+        pooled_static / workers as f64,
+    );
     sc.metric("static_speedup_x", static_x);
     sc.metric("dyn_speedup_x", dyn_x);
+    sc.metric("pooled_static_x", pooled_static_x);
+    sc.metric_count("workers", workers as u64);
+    sc.metric_count("lane_width", lanes as u64);
+    sc.metric_count("host_cores", host_cores as u64);
+    sc.metric_count("report_checksum", checksum.finish());
     let path = sc.csv(
         "batched_fleet.csv",
         &[
@@ -189,6 +316,18 @@ fn run(sc: &mut Scenario) -> bool {
                 format!("{batched_dyn:.1}"),
                 format!("{dyn_x:.3}"),
             ],
+            vec![
+                format!("static pooled x{workers}"),
+                format!("{batched_static:.1}"),
+                format!("{pooled_static:.1}"),
+                format!("{pooled_static_x:.3}"),
+            ],
+            vec![
+                format!("dynamic pooled x{workers}"),
+                format!("{batched_dyn:.1}"),
+                format!("{pooled_dyn:.1}"),
+                format!("{:.3}", pooled_dyn / batched_dyn.max(1e-9)),
+            ],
         ],
     );
     eprintln!("wrote {}", path.display());
@@ -197,21 +336,50 @@ fn run(sc: &mut Scenario) -> bool {
         && dyn_devices > 0
         && divergences == 0
         && static_x >= min_static_x
-        && dyn_x >= min_dyn_x;
+        && dyn_x >= min_dyn_x
+        && (!pool_gate_live || pooled_static_x >= min_pool_static_x);
     if clean {
-        println!("reading: the lane-parallel engine reports bit-identical verdicts and screens");
+        println!("reading: the lane-parallel engine reports bit-identical verdicts for any");
         println!(
-            "{static_x:.1}x more static / {dyn_x:.1}x more dynamic devices per second — \
-             lockstep lanes, run-skip"
+            "workers × lanes × chunk and screens {static_x:.1}x more static / {dyn_x:.1}x \
+             more dynamic devices"
         );
-        println!("and the shared stimulus table pay for the refactor.");
+        println!(
+            "per second on one core ({pooled_static_x:.1}x again across {workers} workers) — \
+             lockstep lanes,"
+        );
+        println!("run-skip, the shared stimulus table and the worker pool pay for the refactor.");
     } else {
         println!(
             "reading: GATE FAILED — divergences {divergences}, static {static_x:.2}x \
-             (≥{min_static_x:.2}x?), dynamic {dyn_x:.2}x (≥{min_dyn_x:.2}x?)"
+             (≥{min_static_x:.2}x?), dynamic {dyn_x:.2}x (≥{min_dyn_x:.2}x?), \
+             pooled {pooled_static_x:.2}x (≥{min_pool_static_x:.2}x if live: {pool_gate_live})"
         );
     }
     clean
+}
+
+/// FNV-1a folded over the debug form of every `(device, verdict)` pair
+/// — a cheap, order-sensitive fleet fingerprint two runs can diff.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn fold(&mut self, reports: &[(usize, ScreenVerdict)]) {
+        for (device, verdict) in reports {
+            for b in format!("{device}:{verdict:?};").bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Compares batched reports against the scalar engine re-screening the

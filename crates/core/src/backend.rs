@@ -186,14 +186,6 @@ pub trait Backend {
     }
 }
 
-/// Former name of the static half of [`Backend`].
-#[deprecated(since = "0.6.0", note = "the seams were unified; use `Backend`")]
-pub use self::Backend as BistBackend;
-
-/// Former name of the dynamic half of [`Backend`].
-#[deprecated(since = "0.6.0", note = "the seams were unified; use `Backend`")]
-pub use self::Backend as DynBistBackend;
-
 /// The centred signed half-LSB value `2·code + 1 − 2ⁿ` the dynamic
 /// sequencer consumes — identical for both backends by construction.
 pub(crate) fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
@@ -201,9 +193,9 @@ pub(crate) fn centred_half_lsb(config: &DynamicConfig, code: Code) -> i64 {
 }
 
 /// The behavioural reference backend — a zero-size handle onto
-/// [`process_code_stream`], so `run_static_bist_with` compiled through
-/// it is byte-for-byte the pre-backend hot path (the counting-allocator
-/// test keeps it honest).
+/// [`process_code_stream`], so a [`crate::screener::Screener`] sweep
+/// compiled through it is byte-for-byte the pre-backend hot path (the
+/// counting-allocator test keeps it honest).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BehavioralBackend;
 
@@ -651,10 +643,10 @@ fn rtl_dyn_verdict(config: &DynamicConfig, report: &DynBistReport) -> DynamicVer
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::harness::{plan_ramp, run_static_bist_with, run_static_bist_with_backend};
+    use crate::dynamic::plan_sine;
+    use crate::harness::plan_ramp;
     use bist_adc::flash::FlashConfig;
     use bist_adc::noise::NoiseConfig;
     use bist_adc::spec::LinearitySpec;
@@ -674,6 +666,42 @@ mod tests {
 
     fn ideal() -> TransferFunction {
         TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    /// One full static sweep through an explicit backend — the
+    /// acquisition [`crate::screener::Screener::screen_one`] performs,
+    /// spelled out so these tests exercise the backend seam directly.
+    fn static_sweep<B: Backend>(
+        backend: &mut B,
+        adc: &impl Adc,
+        config: &BistConfig,
+        noise: &NoiseConfig,
+        rng: &mut StdRng,
+        scratch: &mut Scratch,
+    ) -> BistVerdict {
+        let (ramp, sampling) = plan_ramp(adc, config);
+        backend.process(
+            config,
+            CodeStream::noisy(adc, &ramp, sampling, noise, rng),
+            scratch,
+        )
+    }
+
+    /// [`static_sweep`]'s dynamic-record counterpart.
+    fn dyn_sweep<B: Backend>(
+        backend: &mut B,
+        adc: &impl Adc,
+        config: &DynamicConfig,
+        noise: &NoiseConfig,
+        rng: &mut StdRng,
+        scratch: &mut DynScratch,
+    ) -> DynamicVerdict {
+        let (sine, sampling) = plan_sine(adc, config);
+        backend.process_dyn(
+            config,
+            CodeStream::noisy(adc, &sine, sampling, noise, rng),
+            scratch,
+        )
     }
 
     #[test]
@@ -705,12 +733,11 @@ mod tests {
         let mut scratch = Scratch::new();
         for bits in 4..=7 {
             let config = cfg(bits, false);
-            let verdict = run_static_bist_with_backend(
+            let verdict = static_sweep(
                 &mut backend,
                 &adc,
                 &config,
                 &NoiseConfig::noiseless(),
-                0.0,
                 &mut StdRng::seed_from_u64(1),
                 &mut scratch,
             );
@@ -743,20 +770,19 @@ mod tests {
                 let config = cfg(bits, deglitch);
                 let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
                 let mut scratch = Scratch::new();
-                let behavioral = run_static_bist_with(
+                let behavioral = static_sweep(
+                    &mut BehavioralBackend,
                     &adc,
                     &config,
                     &noise,
-                    0.0,
                     &mut StdRng::seed_from_u64(900 + seed),
                     &mut scratch,
                 );
-                let rtl = run_static_bist_with_backend(
+                let rtl = static_sweep(
                     &mut RtlBackend::new(),
                     &adc,
                     &config,
                     &noise,
-                    0.0,
                     &mut StdRng::seed_from_u64(900 + seed),
                     &mut scratch,
                 );
@@ -776,12 +802,11 @@ mod tests {
         let c4 = cfg(4, false);
         let c6 = cfg(6, true);
         for config in [&c4, &c4, &c6, &c4] {
-            let v = run_static_bist_with_backend(
+            let v = static_sweep(
                 &mut backend,
                 &adc,
                 config,
                 &NoiseConfig::noiseless(),
-                0.0,
                 &mut StdRng::seed_from_u64(3),
                 &mut scratch,
             );
@@ -799,20 +824,19 @@ mod tests {
             .unwrap();
         let adc = ideal();
         let mut scratch = Scratch::new();
-        let behavioral = run_static_bist_with(
+        let behavioral = static_sweep(
+            &mut BehavioralBackend,
             &adc,
             &config,
             &NoiseConfig::noiseless(),
-            0.0,
             &mut StdRng::seed_from_u64(5),
             &mut scratch,
         );
-        let rtl = run_static_bist_with_backend(
+        let rtl = static_sweep(
             &mut RtlBackend::new(),
             &adc,
             &config,
             &NoiseConfig::noiseless(),
-            0.0,
             &mut StdRng::seed_from_u64(5),
             &mut scratch,
         );
@@ -825,7 +849,6 @@ mod tests {
 
     #[test]
     fn dyn_behavioral_backend_is_the_streaming_engine() {
-        use crate::dynamic::{plan_sine, DynamicConfig};
         let config = DynamicConfig::paper_default();
         let adc = ideal();
         let (sine, sampling) = plan_sine(&adc, &config);
@@ -846,14 +869,13 @@ mod tests {
 
     #[test]
     fn dyn_rtl_decisions_match_behavioral_on_flash_devices() {
-        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
         let config = DynamicConfig::paper_default();
         let mut rtl = RtlBackend::new();
         let mut scratch = DynScratch::new();
         for seed in 0..12 {
             let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
             let noise = NoiseConfig::noiseless().with_input_noise(0.002);
-            let behavioral = run_dynamic_bist_with_backend(
+            let behavioral = dyn_sweep(
                 &mut BehavioralBackend,
                 &adc,
                 &config,
@@ -861,7 +883,7 @@ mod tests {
                 &mut StdRng::seed_from_u64(700 + seed),
                 &mut scratch,
             );
-            let rtl_v = run_dynamic_bist_with_backend(
+            let rtl_v = dyn_sweep(
                 &mut rtl,
                 &adc,
                 &config,
@@ -886,7 +908,6 @@ mod tests {
 
     #[test]
     fn dyn_rtl_backend_reuses_top_and_rebuilds_on_config_change() {
-        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
         use bist_adc::types::Resolution;
         let c_a = DynamicConfig::paper_default();
         let c_b = DynamicConfig::new(Resolution::SIX_BIT, 2048, 509).unwrap();
@@ -894,7 +915,7 @@ mod tests {
         let mut scratch = DynScratch::new();
         let adc = ideal();
         for config in [&c_a, &c_a, &c_b, &c_a] {
-            let v = run_dynamic_bist_with_backend(
+            let v = dyn_sweep(
                 &mut backend,
                 &adc,
                 config,
@@ -910,21 +931,19 @@ mod tests {
     fn one_backend_value_serves_both_workloads() {
         // A fleet screener holds one RtlBackend and runs static and
         // dynamic sweeps through it; the two cached tops coexist.
-        use crate::dynamic::{run_dynamic_bist_with_backend, DynamicConfig};
         let mut backend = RtlBackend::new();
         let mut scratch = Scratch::new();
         let mut dyn_scratch = DynScratch::new();
         let adc = ideal();
-        let static_v = run_static_bist_with_backend(
+        let static_v = static_sweep(
             &mut backend,
             &adc,
             &cfg(5, false),
             &NoiseConfig::noiseless(),
-            0.0,
             &mut StdRng::seed_from_u64(1),
             &mut scratch,
         );
-        let dyn_v = run_dynamic_bist_with_backend(
+        let dyn_v = dyn_sweep(
             &mut backend,
             &adc,
             &DynamicConfig::paper_default(),
@@ -946,12 +965,11 @@ mod tests {
             .unwrap();
         let adc = ideal();
         let mut scratch = Scratch::new();
-        run_static_bist_with_backend(
+        static_sweep(
             &mut RtlBackend::new(),
             &adc,
             &config,
             &NoiseConfig::noiseless(),
-            0.0,
             &mut StdRng::seed_from_u64(1),
             &mut scratch,
         );

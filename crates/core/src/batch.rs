@@ -43,6 +43,7 @@
 //! widths and refill orders.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::backend::{centred_half_lsb, Backend};
 use crate::config::BistConfig;
@@ -109,6 +110,43 @@ pub struct DynReport {
     /// Decision and verdict, exactly as the scalar sequenced path
     /// would report (decision is `Continue` for unsequenced batches).
     pub outcome: SeqOutcome<DynamicVerdict>,
+}
+
+/// The immutable dynamic stimulus: one coherent-sine plan and its
+/// evaluated sample table.
+///
+/// A [`DynBatch`] owns a private table by default (planned lazily by
+/// the first zero-jitter lane); a worker pool plans one table up front
+/// with [`StimulusTable::plan_for`] and hands every worker's batch the
+/// same `Arc` via [`DynBatch::with_shared_table`], so the sine is
+/// evaluated once per *fleet* rather than once per engine. Lanes whose
+/// plan differs from the table's (or any jittered noise model) fall
+/// back to per-sample evaluation, so sharing never changes a verdict.
+#[derive(Debug, Default)]
+pub struct StimulusTable {
+    plan: Option<(SineWave, SamplingConfig)>,
+    values: Vec<f64>,
+}
+
+impl StimulusTable {
+    /// Plans and evaluates the shared table for `adc` under `config` —
+    /// the identical expression the scalar stream evaluates, so table
+    /// lanes stay bit-exact with [`crate::dynamic`]'s engine.
+    pub fn plan_for<A: Adc + ?Sized>(adc: &A, config: &DynamicConfig) -> Arc<Self> {
+        let (sine, sampling) = plan_sine(adc, config);
+        let values = (0..sampling.samples)
+            .map(|i| sine.value(sampling.sample_time(i)).0)
+            .collect();
+        Arc::new(StimulusTable {
+            plan: Some((sine, sampling)),
+            values,
+        })
+    }
+
+    /// Number of planned samples (0 while unplanned).
+    pub fn samples(&self) -> usize {
+        self.values.len()
+    }
 }
 
 /// Per-lane sequencer event, latched until its visibility horizon.
@@ -774,10 +812,10 @@ pub struct DynBatch<A, R> {
     plan: HarmonicPlan,
     template: Vec<Goertzel>,
     /// Stimulus voltages shared by every zero-jitter lane whose plan
-    /// matches `table_plan` — the sine is evaluated once per batch,
-    /// not once per (device, sample).
-    table: Vec<f64>,
-    table_plan: Option<(SineWave, SamplingConfig)>,
+    /// matches the table's — evaluated once per batch, or once per
+    /// *pool* when pre-planned and shared through
+    /// [`with_shared_table`](DynBatch::with_shared_table).
+    table: Arc<StimulusTable>,
     lanes: DynLanes,
 }
 
@@ -807,8 +845,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
             devices: Vec::new(),
             plan,
             template,
-            table: Vec::new(),
-            table_plan: None,
+            table: Arc::new(StimulusTable::default()),
             lanes: DynLanes::default(),
         }
     }
@@ -829,6 +866,23 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
     pub fn with_lane_width(mut self, lanes: usize) -> Self {
         assert!(lanes >= 1, "a batch needs at least one lane");
         self.lane_width = lanes;
+        self
+    }
+
+    /// Shares a pre-planned stimulus table (see
+    /// [`StimulusTable::plan_for`]) instead of letting the batch build
+    /// a private copy — the worker-pool path, where every worker's
+    /// engine reads one immutable table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` was never planned.
+    pub fn with_shared_table(mut self, table: Arc<StimulusTable>) -> Self {
+        assert!(
+            table.plan.is_some(),
+            "a shared stimulus table must be planned"
+        );
+        self.table = table;
         self
     }
 
@@ -981,7 +1035,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
         let (head, tail) = self.lanes.resonators.split_at_mut(b * nbins);
         let mut lanes = [
             PairLane {
-                table: &self.table[ia..ia + n_us],
+                table: &self.table.values[ia..ia + n_us],
                 lut: &self.lanes.lut[a],
                 res: &mut head[a * nbins..(a + 1) * nbins],
                 count: self.lanes.count[a],
@@ -989,7 +1043,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
                 m2: self.lanes.m2[a],
             },
             PairLane {
-                table: &self.table[ib..ib + n_us],
+                table: &self.table.values[ib..ib + n_us],
                 lut: &self.lanes.lut[b],
                 res: &mut tail[..nbins],
                 count: self.lanes.count[b],
@@ -1028,16 +1082,20 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
     fn install(&mut self, lane: usize, dev: BatchDevice<A, R>) {
         let (sine, sampling) = plan_sine(&dev.adc, &self.config);
         let jitter_free = self.noise.jitter_seconds() == 0.0;
-        if jitter_free && self.table_plan.is_none() {
+        if jitter_free && self.table.plan.is_none() {
             // First zero-jitter lane establishes the shared stimulus
             // table: the identical expression the scalar stream
-            // evaluates, so table lanes stay bit-exact.
-            self.table.clear();
-            self.table
+            // evaluates, so table lanes stay bit-exact. An unplanned
+            // table is always privately owned (`with_shared_table`
+            // only accepts planned ones), so it is built in place.
+            let table = Arc::get_mut(&mut self.table).expect("unplanned tables are never shared");
+            table.values.clear();
+            table
+                .values
                 .extend((0..sampling.samples).map(|i| sine.value(sampling.sample_time(i)).0));
-            self.table_plan = Some((sine, sampling));
+            table.plan = Some((sine, sampling));
         }
-        let use_table = jitter_free && self.table_plan == Some((sine, sampling));
+        let use_table = jitter_free && self.table.plan == Some((sine, sampling));
         let nbins = self.plan.bins.len();
         let l = &mut self.lanes;
         if lane == l.count.len() {
@@ -1101,7 +1159,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
         while consumed < until {
             let i = consumed as usize;
             let v0 = if use_table {
-                self.table[i]
+                self.table.values[i]
             } else {
                 let t = self
                     .noise

@@ -9,7 +9,8 @@
 //! workload as a first-class citizen of the streaming engine:
 //!
 //! * **Stimulus** — a coherent full-scale sine ([`plan_sine`]), swept
-//!   through the same lazy [`CodeStream`] acquisition as the static
+//!   through the same lazy [`bist_adc::stream::CodeStream`]
+//!   acquisition as the static
 //!   ramp (noise injection included).
 //! * **Accumulation** — a streaming Goertzel bank
 //!   ([`bist_dsp::goertzel::GoertzelBank`]): fundamental + aliased
@@ -32,15 +33,12 @@
 
 use crate::config::ConfigError;
 use crate::harness::SAMPLE_RATE;
-use bist_adc::noise::NoiseConfig;
 use bist_adc::sampler::SamplingConfig;
 use bist_adc::signal::SineWave;
-use bist_adc::stream::CodeStream;
 use bist_adc::transfer::Adc;
 use bist_adc::types::{Code, Resolution};
 use bist_dsp::goertzel::{GoertzelBank, ToneMetrics, TonePowers};
 use bist_dsp::spectrum::ideal_sinad_db;
-use rand::RngCore;
 use std::fmt;
 
 /// Relative full-scale overdrive of the default dynamic stimulus: the
@@ -466,8 +464,9 @@ pub fn plan_sine<A: Adc + ?Sized>(adc: &A, config: &DynamicConfig) -> (SineWave,
 /// `code + ½ − 2ⁿ⁻¹` (so powers come out in LSB² directly), and the
 /// verdict is judged at end of stream.
 ///
-/// This is the engine under [`run_dynamic_bist_with`]; use it directly
-/// to analyse codes from an external source without materialising them.
+/// This is the engine under [`crate::screener::Screener::screen_one`]
+/// (dynamic workloads); use it directly to analyse codes from an
+/// external source without materialising them.
 pub fn process_dyn_code_stream<I: IntoIterator<Item = Code>>(
     config: &DynamicConfig,
     codes: I,
@@ -483,103 +482,14 @@ pub fn process_dyn_code_stream<I: IntoIterator<Item = Code>>(
     config.judge_powers(&bank.powers(), samples)
 }
 
-/// Runs the dynamic BIST on a converter with an explicit verdict
-/// backend (see [`crate::backend::Backend`]): the same fused
-/// acquisition — sine evaluation, noise injection, conversion and tone
-/// accumulation in one pass with no sample memory — judged by either
-/// the behavioural Goertzel bank or the gate-accurate fixed-point RTL
-/// datapath.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::dynamic_sine(config)).backend(backend).screen_one(adc, rng)`"
-)]
-#[allow(deprecated)]
-pub fn run_dynamic_bist_with_backend<B, A, R>(
-    backend: &mut B,
-    adc: &A,
-    config: &DynamicConfig,
-    noise: &NoiseConfig,
-    rng: &mut R,
-    scratch: &mut DynScratch,
-) -> DynamicVerdict
-where
-    B: crate::backend::Backend,
-    A: Adc + ?Sized,
-    R: RngCore + ?Sized,
-{
-    let (sine, sampling) = plan_sine(adc, config);
-    backend.process_dyn(
-        config,
-        CodeStream::noisy(adc, &sine, sampling, noise, rng),
-        scratch,
-    )
-}
-
-/// Runs the dynamic BIST through the behavioural backend, reusing the
-/// caller's [`DynScratch`] — the allocation-free hot path used by the
-/// Monte-Carlo fleet. Equivalent to [`run_dynamic_bist_with_backend`]
-/// with the (zero-size) [`crate::backend::BehavioralBackend`].
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::dynamic_sine(config)).screen_one(adc, rng)`"
-)]
-#[allow(deprecated)]
-pub fn run_dynamic_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
-    adc: &A,
-    config: &DynamicConfig,
-    noise: &NoiseConfig,
-    rng: &mut R,
-    scratch: &mut DynScratch,
-) -> DynamicVerdict {
-    run_dynamic_bist_with_backend(
-        &mut crate::backend::BehavioralBackend,
-        adc,
-        config,
-        noise,
-        rng,
-        scratch,
-    )
-}
-
-/// Runs the dynamic BIST on a converter with a fresh scratch — the
-/// one-shot convenience entry point.
-///
-/// # Examples
-///
-/// ```
-/// use bist_adc::noise::NoiseConfig;
-/// use bist_adc::transfer::TransferFunction;
-/// use bist_adc::types::{Resolution, Volts};
-/// use bist_core::dynamic::{run_dynamic_bist, DynamicConfig};
-/// use rand::SeedableRng;
-///
-/// let adc = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
-/// let config = DynamicConfig::paper_default();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let verdict = run_dynamic_bist(&adc, &config, &NoiseConfig::noiseless(), &mut rng);
-/// assert!(verdict.accepted(), "{verdict}");
-/// assert!((verdict.enob - 6.0).abs() < 0.5); // clipped overdrive costs ~0.4 b
-/// ```
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::dynamic_sine(config)).screen_one(adc, rng)`"
-)]
-#[allow(deprecated)]
-pub fn run_dynamic_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
-    adc: &A,
-    config: &DynamicConfig,
-    noise: &NoiseConfig,
-    rng: &mut R,
-) -> DynamicVerdict {
-    let mut scratch = DynScratch::new();
-    run_dynamic_bist_with(adc, config, noise, rng, &mut scratch)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::backend::{Backend, BehavioralBackend, RtlBackend};
+    use crate::screener::{Screener, Workload};
     use bist_adc::flash::FlashConfig;
+    use bist_adc::noise::NoiseConfig;
+    use bist_adc::stream::CodeStream;
     use bist_adc::transfer::TransferFunction;
     use bist_adc::types::Volts;
     use rand::rngs::StdRng;
@@ -587,6 +497,21 @@ mod tests {
 
     fn ideal() -> TransferFunction {
         TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    /// One-shot dynamic sweep through the screener front door.
+    fn run_dynamic_bist<A: Adc + ?Sized>(
+        adc: &A,
+        config: &DynamicConfig,
+        noise: &NoiseConfig,
+        rng: &mut StdRng,
+    ) -> DynamicVerdict {
+        let mut screener = Screener::new(Workload::dynamic_sine(*config).with_noise(*noise));
+        screener
+            .screen_one(adc, rng)
+            .as_dynamic()
+            .expect("dynamic workload")
+            .verdict
     }
 
     #[test]
@@ -644,12 +569,19 @@ mod tests {
         let adc = FlashConfig::paper_device().sample(&mut rng(5));
         let mut scratch = DynScratch::new();
         let fresh = run_dynamic_bist(&adc, &c_a, &NoiseConfig::noiseless(), &mut rng(7));
+        // One scratch across config changes, driven straight through
+        // the backend seam the screener uses.
         for config in [&c_a, &c_b, &c_a] {
-            let v = run_dynamic_bist_with(
-                &adc,
+            let (sine, sampling) = plan_sine(&adc, config);
+            let v = BehavioralBackend.process_dyn(
                 config,
-                &NoiseConfig::noiseless(),
-                &mut rng(7),
+                CodeStream::noisy(
+                    &adc,
+                    &sine,
+                    sampling,
+                    &NoiseConfig::noiseless(),
+                    &mut rng(7),
+                ),
                 &mut scratch,
             );
             if config == &c_a {
@@ -689,22 +621,14 @@ mod tests {
             .expect("6-bit Nyquist-folding plan fits the fixed-point registers")
             .with_overdrive(0.0);
         let adc = ideal();
-        let mut scratch = DynScratch::new();
-        let behavioral = run_dynamic_bist_with(
-            &adc,
-            &config,
-            &NoiseConfig::noiseless(),
-            &mut rng(9),
-            &mut scratch,
-        );
-        let rtl = crate::dynamic::run_dynamic_bist_with_backend(
-            &mut crate::backend::RtlBackend::new(),
-            &adc,
-            &config,
-            &NoiseConfig::noiseless(),
-            &mut rng(9),
-            &mut scratch,
-        );
+        let behavioral = run_dynamic_bist(&adc, &config, &NoiseConfig::noiseless(), &mut rng(9));
+        let mut rtl_screener =
+            Screener::new(Workload::dynamic_sine(config)).backend(RtlBackend::new());
+        let rtl = rtl_screener
+            .screen_one(&adc, &mut rng(9))
+            .as_dynamic()
+            .expect("dynamic workload")
+            .verdict;
         assert_eq!(behavioral.checks, rtl.checks);
         assert!(behavioral.complete());
     }

@@ -3,8 +3,9 @@
 //!
 //! Three flavours, mirroring §4 of the paper:
 //!
-//! * [`run_static_bist`] — the proposed method: slow ramp, LSB monitor
-//!   plus upper-bit functional check.
+//! * the proposed method — slow ramp, LSB monitor plus upper-bit
+//!   functional check — run through
+//!   [`crate::screener::Screener`] with a static workload.
 //! * [`reference_measurement`] — the "very accurate measurement, taking
 //!   approximately 1000 samples per code width … as a reference".
 //! * [`conventional_test`] — the production histogram test "where 4096
@@ -29,9 +30,8 @@
 //! accumulators (the default) or by the gate-accurate
 //! `bist_rtl::BistTop` datapath ([`crate::backend::RtlBackend`]) — the
 //! seam the differential fleet experiment in `bist-mc` validates at
-//! scale. The preferred entry point is
-//! [`crate::screener::Screener`]; the `run_static_bist*` free
-//! functions remain as thin deprecated shims over the same seam.
+//! scale. The entry point is [`crate::screener::Screener`], which
+//! drives this engine for static workloads.
 //!
 //! ## Scratch reuse
 //!
@@ -39,8 +39,9 @@
 //! [`Scratch`]: the per-code and per-check result buffers. The contract
 //! is *clear, don't shrink* — each run clears the buffers but keeps
 //! their capacity, so after the first device ("warm-up") the
-//! device→verdict hot path of [`run_static_bist_with`] performs zero
-//! heap allocations (enforced by `tests/zero_alloc.rs`).
+//! device→verdict hot path under
+//! [`crate::screener::Screener::screen_one`] performs zero heap
+//! allocations (enforced by `tests/zero_alloc.rs`).
 
 use crate::config::BistConfig;
 use crate::functional::{FunctionalAcc, FunctionalCheck, FunctionalResult};
@@ -164,7 +165,8 @@ impl BistVerdict {
 /// every run *clears* the buffers but never shrinks them, so capacity
 /// warms up on the first device and subsequent devices allocate
 /// nothing. Keep one `Scratch` per worker thread and pass it to
-/// [`run_static_bist_with`] / [`process_code_stream`].
+/// [`process_code_stream`] (a [`crate::screener::Screener`] carries
+/// its own).
 #[derive(Debug, Default)]
 pub struct Scratch {
     pub(crate) monitor_codes: Vec<CodeResult>,
@@ -230,9 +232,9 @@ pub fn plan_ramp<A: Adc + ?Sized>(adc: &A, config: &BistConfig) -> (Ramp, Sampli
 /// monitor, the upper-bit functional check and the transition counter
 /// all accumulate incrementally from the single traversal.
 ///
-/// This is the engine under [`run_static_bist`],
-/// [`run_static_bist_with`] and [`bist_from_capture`]; use it directly
-/// to screen codes from an external source without materialising them.
+/// This is the engine under [`crate::screener::Screener::screen_one`]
+/// (static workloads) and [`bist_from_capture`]; use it directly to
+/// screen codes from an external source without materialising them.
 pub fn process_code_stream<I: IntoIterator<Item = Code>>(
     config: &BistConfig,
     codes: I,
@@ -258,123 +260,6 @@ pub fn process_code_stream<I: IntoIterator<Item = Code>>(
         expected_codes: config.expected_measurements(),
         samples,
     }
-}
-
-/// Runs the static-linearity BIST of Figures 2–4 on a converter with an
-/// explicit verdict backend (see [`crate::backend`]): the same fused
-/// acquisition — stimulus evaluation, noise injection, conversion and
-/// test processing in one pass with no sample memory — judged by either
-/// the behavioural accumulators or the gate-accurate RTL datapath.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::static_ramp(config)).backend(backend).screen_one(adc, rng)`"
-)]
-#[allow(deprecated)]
-pub fn run_static_bist_with_backend<B, A, R>(
-    backend: &mut B,
-    adc: &A,
-    config: &BistConfig,
-    noise: &NoiseConfig,
-    slope_error: f64,
-    rng: &mut R,
-    scratch: &mut Scratch,
-) -> BistVerdict
-where
-    B: crate::backend::Backend,
-    A: Adc + ?Sized,
-    R: RngCore + ?Sized,
-{
-    let (ramp, sampling) = plan_ramp(adc, config);
-    let ramp = ramp.with_slope_error(slope_error);
-    backend.process(
-        config,
-        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
-        scratch,
-    )
-}
-
-/// Runs the static-linearity BIST of Figures 2–4 on a converter,
-/// reusing the caller's [`Scratch`] — the allocation-free hot path used
-/// by the Monte-Carlo engine. Equivalent to
-/// [`run_static_bist_with_backend`] with the (zero-cost)
-/// [`BehavioralBackend`](crate::backend::BehavioralBackend).
-///
-/// The acquisition is fused: stimulus evaluation, noise injection,
-/// conversion and all test processing happen in one pass with no sample
-/// memory, exactly like the on-chip design.
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::static_ramp(config)).screen_one(adc, rng)`"
-)]
-#[allow(deprecated)]
-pub fn run_static_bist_with<A: Adc + ?Sized, R: RngCore + ?Sized>(
-    adc: &A,
-    config: &BistConfig,
-    noise: &NoiseConfig,
-    slope_error: f64,
-    rng: &mut R,
-    scratch: &mut Scratch,
-) -> BistVerdict {
-    run_static_bist_with_backend(
-        &mut crate::backend::BehavioralBackend,
-        adc,
-        config,
-        noise,
-        slope_error,
-        rng,
-        scratch,
-    )
-}
-
-/// Runs the static-linearity BIST of Figures 2–4 on a converter.
-///
-/// The ramp slope is derived from the config's Δs (Eq. 5); `noise`
-/// injects the §3 non-idealities (use [`NoiseConfig::noiseless`] for the
-/// theoretical setting); `slope_error` perturbs the ramp slope relative
-/// to the plan (the paper's measured ramp was "slightly too steep").
-///
-/// Returns the full per-code detail; batch screeners should prefer
-/// [`run_static_bist_with`], which reuses a [`Scratch`] and returns the
-/// compact [`BistVerdict`] without allocating.
-///
-/// # Examples
-///
-/// ```
-/// use bist_adc::noise::NoiseConfig;
-/// use bist_adc::spec::LinearitySpec;
-/// use bist_adc::transfer::TransferFunction;
-/// use bist_adc::types::{Resolution, Volts};
-/// use bist_core::config::BistConfig;
-/// use bist_core::harness::run_static_bist;
-/// use rand::SeedableRng;
-///
-/// # fn main() -> Result<(), bist_core::limits::PlanLimitsError> {
-/// let adc = TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4));
-/// let cfg = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
-///     .counter_bits(6)
-///     .build()?;
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-/// let outcome = run_static_bist(&adc, &cfg, &NoiseConfig::noiseless(), 0.0, &mut rng);
-/// assert!(outcome.accepted());
-/// assert_eq!(outcome.monitor.codes.len(), 62); // all inner codes judged
-/// # Ok(())
-/// # }
-/// ```
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::static_ramp(config))` with `screen_one` + `take_static_outcome`"
-)]
-#[allow(deprecated)]
-pub fn run_static_bist<A: Adc + ?Sized, R: RngCore + ?Sized>(
-    adc: &A,
-    config: &BistConfig,
-    noise: &NoiseConfig,
-    slope_error: f64,
-    rng: &mut R,
-) -> BistOutcome {
-    let mut scratch = Scratch::new();
-    let verdict = run_static_bist_with(adc, config, noise, slope_error, rng, &mut scratch);
-    scratch.take_outcome(verdict)
 }
 
 /// Runs the BIST processing on an already-captured code record (e.g.
@@ -510,9 +395,9 @@ pub fn judge_linearity(linearity: &HistogramLinearity, spec: &LinearitySpec) -> 
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::screener::{Screener, Workload};
     use bist_adc::faults::{FaultyAdc, OutputFault};
     use bist_adc::flash::FlashConfig;
     use bist_adc::sampler::acquire_noisy;
@@ -534,6 +419,26 @@ mod tests {
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
+    }
+
+    /// One-shot static sweep through the screener front door, returning
+    /// the full per-code outcome.
+    fn run_static_bist<A: Adc + ?Sized>(
+        adc: &A,
+        config: &BistConfig,
+        noise: &NoiseConfig,
+        slope_error: f64,
+        rng: &mut StdRng,
+    ) -> BistOutcome {
+        let mut screener = Screener::new(
+            Workload::static_ramp(*config)
+                .with_noise(*noise)
+                .with_slope_error(slope_error),
+        );
+        let verdict = screener.screen_one(adc, rng);
+        screener
+            .take_static_outcome(&verdict)
+            .expect("static workload")
     }
 
     #[test]
@@ -583,44 +488,46 @@ mod tests {
             .unwrap();
         let adc = FlashConfig::paper_device().sample(&mut rng(21));
         let noise = NoiseConfig::noiseless().with_transition_noise(0.004);
-        let mut scratch = Scratch::new();
         for (round, slope_error) in [(0u64, 0.0), (1, -0.022), (2, 0.015)] {
-            let verdict = run_static_bist_with(
-                &adc,
-                &config,
-                &noise,
-                slope_error,
-                &mut rng(100 + round),
-                &mut scratch,
+            let mut screener = Screener::new(
+                Workload::static_ramp(config)
+                    .with_noise(noise)
+                    .with_slope_error(slope_error),
             );
+            let verdict = screener.screen_one(&adc, &mut rng(100 + round));
             let (ramp, sampling) = plan_ramp(&adc, &config);
             let ramp = ramp.with_slope_error(slope_error);
             let capture = acquire_noisy(&adc, &ramp, sampling, &noise, &mut rng(100 + round));
             let materialized = bist_from_capture(&config, &capture);
-            assert_eq!(scratch.monitor_codes(), &materialized.monitor.codes[..]);
-            assert_eq!(scratch.checks(), &materialized.functional.checks[..]);
+            assert_eq!(
+                screener.scratch().monitor_codes(),
+                &materialized.monitor.codes[..]
+            );
+            assert_eq!(
+                screener.scratch().checks(),
+                &materialized.functional.checks[..]
+            );
             assert_eq!(verdict.accepted(), materialized.accepted());
-            assert_eq!(verdict.samples, capture.codes().len() as u64);
+            assert_eq!(verdict.samples(), capture.codes().len() as u64);
         }
     }
 
     #[test]
     fn scratch_take_outcome_preserves_detail() {
         let config = cfg(6);
-        let mut scratch = Scratch::new();
-        let verdict = run_static_bist_with(
-            &ideal(),
-            &config,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut rng(1),
-            &mut scratch,
-        );
-        let codes_judged = verdict.codes_judged;
-        let outcome = scratch.take_outcome(verdict);
+        let mut screener = Screener::new(Workload::static_ramp(config));
+        let verdict = screener.screen_one(&ideal(), &mut rng(1));
+        let codes_judged = verdict
+            .as_static()
+            .expect("static workload")
+            .verdict
+            .codes_judged;
+        let outcome = screener
+            .take_static_outcome(&verdict)
+            .expect("static workload");
         assert_eq!(outcome.monitor.codes.len() as u64, codes_judged);
         assert!(outcome.accepted());
-        assert!(scratch.monitor_codes().is_empty());
+        assert!(screener.scratch().monitor_codes().is_empty());
     }
 
     #[test]

@@ -37,9 +37,13 @@
 //!   lockstep through structure-of-arrays accumulator/Goertzel state,
 //!   with run-skipping on noiseless ramps and a shared sine table —
 //!   bit-exact to the scalar engines, several times faster.
+//! * [`pool`] — the cores axis over [`batch`]: a scoped worker pool
+//!   where each worker owns a reusable batch engine and claims small
+//!   device chunks from a shared atomic-cursor queue, merging reports
+//!   by device index so output is bit-identical for any worker count.
 //! * [`screener`] — the [`screener::Screener`] front door tying it all
-//!   together: one builder for workload × backend × sequencing, over a
-//!   fleet or a single device.
+//!   together: one builder for workload × backend × sequencing ×
+//!   worker count, over a fleet or a single device.
 //! * [`dynamic`] — the §2 dynamic workload as a streaming subsystem:
 //!   coherent sine stimulus → code stream → Goertzel-bank accumulation
 //!   → SINAD/THD/ENOB/noise-power [`dynamic::DynamicVerdict`], judged
@@ -95,6 +99,7 @@ pub mod functional;
 pub mod harness;
 pub mod limits;
 pub mod lsb_monitor;
+pub mod pool;
 pub mod qmin;
 pub mod report;
 pub mod screener;
@@ -109,16 +114,10 @@ pub use backend::{Backend, BehavioralBackend, RtlBackend};
 pub use batch::{BatchDevice, DynBatch, DynReport, StaticBatch, StaticReport};
 pub use config::BistConfig;
 pub use decision::ConfusionMatrix;
-#[allow(deprecated)]
-pub use dynamic::{run_dynamic_bist, run_dynamic_bist_with, run_dynamic_bist_with_backend};
 pub use dynamic::{DynChecks, DynScratch, DynamicConfig, DynamicLimits, DynamicVerdict};
-#[allow(deprecated)]
-pub use harness::{run_static_bist, run_static_bist_with, run_static_bist_with_backend};
 pub use harness::{BistOutcome, BistVerdict, Scratch};
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
 pub use screener::{ScreenReport, ScreenVerdict, Screener, Workload};
-#[allow(deprecated)]
-pub use sequencer::{run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend};
 pub use sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
 pub use yield_model::YieldModel;

@@ -1,0 +1,325 @@
+//! Sharded multi-core fleet screening: the scoped worker pool behind
+//! [`Screener::run`](crate::screener::Screener::run).
+//!
+//! The lane-parallel engines of [`crate::batch`] keep one core busy;
+//! the paper's §5 economics rest on testing "several A/D converters …
+//! in parallel", and on a workstation that parallelism is cores ×
+//! lanes. This module supplies the cores axis:
+//!
+//! * [`DeviceQueue`] packs the fleet into small chunks behind an
+//!   atomic cursor. Claiming is one `fetch_add` plus a buffer move —
+//!   allocation-free — and because chunks are small, a worker whose
+//!   early-stop sequencer drains its lanes quickly comes back for more
+//!   while slower workers are still busy, instead of idling behind a
+//!   contiguous pre-partition.
+//! * [`run_static_pool`] / [`run_dyn_pool`] spawn a scope of workers,
+//!   each owning a reusable [`StaticBatch`]/[`DynBatch`] (per-worker
+//!   lanes, scratch and report buffer — the zero-alloc steady state
+//!   proven by `tests/zero_alloc.rs`) plus its own backend, and merge
+//!   the reports by device index.
+//!
+//! **Determinism.** Every device carries its own RNG and every
+//! verdict is a pure function of `(device, rng)` — which worker
+//! screens a device, and in which order, cannot change its report.
+//! Merging by device index therefore makes pooled output bit-identical
+//! for any `workers × lane_width × chunk_size` combination; the
+//! `batch_equivalence` property tests pin that invariant against the
+//! scalar engine.
+
+use std::mem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use crate::backend::Backend;
+use crate::batch::{BatchDevice, DynBatch, DynReport, StaticBatch, StaticReport};
+use bist_adc::Adc;
+use rand::RngCore;
+
+/// Default devices per claimed chunk: small enough that a worker whose
+/// sequencer early-stops whole chunks refills promptly, large enough
+/// to amortise the claim.
+pub const DEFAULT_CHUNK: usize = 32;
+
+/// Resolves a worker-count knob: `0` selects the host's available
+/// parallelism (falling back to 1 when it cannot be queried).
+pub fn resolve_workers(workers: usize) -> usize {
+    if workers == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    }
+}
+
+/// A fleet sharded into chunks behind an atomic cursor — the
+/// work-stealing seam of the pool.
+///
+/// Chunks are boxed up once at construction; [`claim`](Self::claim)
+/// hands the next one to the calling worker with a `fetch_add` and a
+/// buffer move, so the steady-state drain performs no allocation.
+#[derive(Debug)]
+pub struct DeviceQueue<A, R> {
+    cursor: AtomicUsize,
+    chunks: Vec<Mutex<Vec<BatchDevice<A, R>>>>,
+    devices: usize,
+}
+
+impl<A, R> DeviceQueue<A, R> {
+    /// Packs `devices` into chunks of at most `chunk` devices each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk` is zero.
+    pub fn new(devices: impl IntoIterator<Item = BatchDevice<A, R>>, chunk: usize) -> Self {
+        assert!(chunk >= 1, "a device queue needs a positive chunk size");
+        let mut chunks = Vec::new();
+        let mut count = 0usize;
+        let mut current: Vec<BatchDevice<A, R>> = Vec::with_capacity(chunk);
+        for dev in devices {
+            count += 1;
+            current.push(dev);
+            if current.len() == chunk {
+                let full = mem::replace(&mut current, Vec::with_capacity(chunk));
+                chunks.push(Mutex::new(full));
+            }
+        }
+        if !current.is_empty() {
+            chunks.push(Mutex::new(current));
+        }
+        DeviceQueue {
+            cursor: AtomicUsize::new(0),
+            chunks,
+            devices: count,
+        }
+    }
+
+    /// Total devices queued at construction.
+    pub fn devices(&self) -> usize {
+        self.devices
+    }
+
+    /// Number of chunks the fleet was sharded into.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Claims the next unclaimed chunk, or `None` once the queue is
+    /// dry. Each chunk is handed out exactly once.
+    pub fn claim(&self) -> Option<Vec<BatchDevice<A, R>>> {
+        let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = self.chunks.get(i)?;
+        Some(mem::take(&mut *slot.lock().expect("chunk mutex poisoned")))
+    }
+}
+
+/// A worker's static inner loop: claim a chunk, queue it into the
+/// worker's own `batch`, screen it through `backend`, repeat until the
+/// queue is dry. Reports accumulate in the batch across chunks;
+/// allocation-free once the batch's lanes are warm.
+pub fn drain_static<A, R, B>(
+    batch: &mut StaticBatch<A, R>,
+    queue: &DeviceQueue<A, R>,
+    backend: &mut B,
+) where
+    A: Adc,
+    R: RngCore,
+    B: Backend,
+{
+    while let Some(devices) = queue.claim() {
+        for dev in devices {
+            batch.push(dev);
+        }
+        backend.process_batch(batch);
+    }
+}
+
+/// [`drain_static`]'s dynamic-workload counterpart.
+pub fn drain_dyn<A, R, B>(batch: &mut DynBatch<A, R>, queue: &DeviceQueue<A, R>, backend: &mut B)
+where
+    A: Adc,
+    R: RngCore,
+    B: Backend,
+{
+    while let Some(devices) = queue.claim() {
+        for dev in devices {
+            batch.push(dev);
+        }
+        backend.process_dyn_batch(batch);
+    }
+}
+
+/// Screens a static fleet across a scoped pool of `workers` threads
+/// (`0` = available parallelism), each worker owning one engine from
+/// `make_batch` and one backend from `make_backend`, claiming
+/// `chunk`-sized device chunks from a shared [`DeviceQueue`].
+///
+/// Returns reports sorted by device index — bit-identical to a
+/// single-worker run for any worker count and chunk size.
+pub fn run_static_pool<A, R, B, FB, FK>(
+    devices: impl IntoIterator<Item = BatchDevice<A, R>>,
+    workers: usize,
+    chunk: usize,
+    make_batch: FB,
+    make_backend: FK,
+) -> Vec<StaticReport>
+where
+    A: Adc + Send,
+    R: RngCore + Send,
+    B: Backend,
+    FB: Fn() -> StaticBatch<A, R> + Sync,
+    FK: Fn() -> B + Sync,
+{
+    let queue = DeviceQueue::new(devices, chunk);
+    let workers = resolve_workers(workers).min(queue.chunk_count()).max(1);
+    if workers <= 1 {
+        let mut batch = make_batch();
+        let mut backend = make_backend();
+        drain_static(&mut batch, &queue, &mut backend);
+        return batch.take_reports();
+    }
+    let merged: Mutex<Vec<StaticReport>> = Mutex::new(Vec::with_capacity(queue.devices()));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut batch = make_batch();
+                let mut backend = make_backend();
+                drain_static(&mut batch, &queue, &mut backend);
+                let mut reports = batch.take_reports();
+                merged
+                    .lock()
+                    .expect("report mutex poisoned")
+                    .append(&mut reports);
+            });
+        }
+    });
+    let mut reports = merged.into_inner().expect("report mutex poisoned");
+    reports.sort_unstable_by_key(|r| r.device);
+    reports
+}
+
+/// [`run_static_pool`]'s dynamic-workload counterpart. Plan the shared
+/// stimulus with [`crate::batch::StimulusTable::plan_for`] and hand
+/// every `make_batch` the same `Arc` so workers read one table.
+pub fn run_dyn_pool<A, R, B, FB, FK>(
+    devices: impl IntoIterator<Item = BatchDevice<A, R>>,
+    workers: usize,
+    chunk: usize,
+    make_batch: FB,
+    make_backend: FK,
+) -> Vec<DynReport>
+where
+    A: Adc + Send,
+    R: RngCore + Send,
+    B: Backend,
+    FB: Fn() -> DynBatch<A, R> + Sync,
+    FK: Fn() -> B + Sync,
+{
+    let queue = DeviceQueue::new(devices, chunk);
+    let workers = resolve_workers(workers).min(queue.chunk_count()).max(1);
+    if workers <= 1 {
+        let mut batch = make_batch();
+        let mut backend = make_backend();
+        drain_dyn(&mut batch, &queue, &mut backend);
+        return batch.take_reports();
+    }
+    let merged: Mutex<Vec<DynReport>> = Mutex::new(Vec::with_capacity(queue.devices()));
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut batch = make_batch();
+                let mut backend = make_backend();
+                drain_dyn(&mut batch, &queue, &mut backend);
+                let mut reports = batch.take_reports();
+                merged
+                    .lock()
+                    .expect("report mutex poisoned")
+                    .append(&mut reports);
+            });
+        }
+    });
+    let mut reports = merged.into_inner().expect("report mutex poisoned");
+    reports.sort_unstable_by_key(|r| r.device);
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BehavioralBackend;
+    use crate::config::BistConfig;
+    use bist_adc::spec::LinearitySpec;
+    use bist_adc::transfer::TransferFunction;
+    use bist_adc::types::{Resolution, Volts};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn queue_of(n: usize, chunk: usize) -> DeviceQueue<TransferFunction, StdRng> {
+        DeviceQueue::new(
+            (0..n).map(|i| {
+                BatchDevice::new(
+                    i,
+                    TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)),
+                    StdRng::seed_from_u64(i as u64),
+                )
+            }),
+            chunk,
+        )
+    }
+
+    #[test]
+    fn queue_packs_exact_and_ragged_chunks() {
+        let q = queue_of(10, 4);
+        assert_eq!(q.devices(), 10);
+        assert_eq!(q.chunk_count(), 3);
+        let sizes: Vec<usize> = std::iter::from_fn(|| q.claim()).map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert!(q.claim().is_none(), "a drained queue stays dry");
+
+        let q = queue_of(8, 4);
+        assert_eq!(q.chunk_count(), 2);
+        let q = queue_of(0, 4);
+        assert_eq!(q.chunk_count(), 0);
+        assert!(q.claim().is_none());
+    }
+
+    #[test]
+    fn claim_hands_each_device_out_exactly_once() {
+        let q = queue_of(23, 3);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| q.claim())
+            .flatten()
+            .map(|d| d.index)
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_reports_are_sorted_and_worker_count_invariant() {
+        let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+            .counter_bits(6)
+            .build()
+            .expect("paper-range counter");
+        let fleet = |n: usize| {
+            (0..n).map(move |i| {
+                BatchDevice::new(
+                    i,
+                    TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4)),
+                    StdRng::seed_from_u64(i as u64),
+                )
+            })
+        };
+        let make_batch = || StaticBatch::new(config).with_lane_width(4);
+        let reference = run_static_pool(fleet(17), 1, 5, make_batch, || BehavioralBackend);
+        assert_eq!(reference.len(), 17);
+        for (i, r) in reference.iter().enumerate() {
+            assert_eq!(r.device, i, "reports merge by device index");
+        }
+        for workers in [2, 3, 16] {
+            for chunk in [1, 4, 32] {
+                let pooled =
+                    run_static_pool(fleet(17), workers, chunk, make_batch, || BehavioralBackend);
+                assert_eq!(pooled, reference, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+}

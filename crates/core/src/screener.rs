@@ -10,6 +10,7 @@
 //!            Screener::new(workload)      which test?   Workload::{Static, Dynamic}
 //!                .backend(backend)        which judge?  BehavioralBackend | RtlBackend
 //!                .sequencer(policy)       early stop?   optional SequencerConfig
+//!                .workers(n)              how many cores?  scoped pool (0 = all)
 //!                .run(devices)            whole fleet → Vec<ScreenReport>
 //!             or .screen_one(&adc, rng)   one device  → ScreenVerdict
 //! ```
@@ -19,15 +20,22 @@
 //! behavioural backend screens the fleet through the lane-parallel
 //! engines of [`crate::batch`], the RTL backend clocks each device
 //! through the gate-accurate datapath scalar-wise — same reports,
-//! ordered by device index, either way. [`Screener::screen_one`] is
-//! the scalar single-device path, leaving per-code detail in the
-//! screener's [`Scratch`] for inspection.
+//! ordered by device index, either way. With [`Screener::workers`] the
+//! fleet is additionally sharded across the scoped worker pool of
+//! [`crate::pool`], each worker owning a reusable engine and claiming
+//! small device chunks from a shared queue — reports stay bit-identical
+//! for any worker count. [`Screener::screen_one`] is the scalar
+//! single-device path, leaving per-code detail in the screener's
+//! [`Scratch`] for inspection.
+
+use std::sync::Arc;
 
 use crate::backend::{Backend, BehavioralBackend};
-use crate::batch::{BatchDevice, DynBatch, StaticBatch, DEFAULT_LANE_WIDTH};
+use crate::batch::{BatchDevice, DynBatch, StaticBatch, StimulusTable, DEFAULT_LANE_WIDTH};
 use crate::config::BistConfig;
 use crate::dynamic::{plan_sine, DynScratch, DynamicConfig, DynamicVerdict};
 use crate::harness::{plan_ramp, BistOutcome, BistVerdict, Scratch};
+use crate::pool;
 use crate::sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
 use bist_adc::noise::NoiseConfig;
 use bist_adc::stream::CodeStream;
@@ -204,6 +212,8 @@ pub struct Screener<B = BehavioralBackend> {
     backend: B,
     sequencer: Option<SequencerConfig>,
     lane_width: usize,
+    workers: usize,
+    chunk: usize,
     scratch: Scratch,
     dyn_scratch: DynScratch,
     static_seq: Option<StaticSequencer>,
@@ -219,6 +229,8 @@ impl Screener<BehavioralBackend> {
             backend: BehavioralBackend,
             sequencer: None,
             lane_width: DEFAULT_LANE_WIDTH,
+            workers: 1,
+            chunk: pool::DEFAULT_CHUNK,
             scratch: Scratch::new(),
             dyn_scratch: DynScratch::new(),
             static_seq: None,
@@ -236,6 +248,8 @@ impl<B: Backend> Screener<B> {
             backend,
             sequencer: self.sequencer,
             lane_width: self.lane_width,
+            workers: self.workers,
+            chunk: self.chunk,
             scratch: self.scratch,
             dyn_scratch: self.dyn_scratch,
             static_seq: None,
@@ -256,6 +270,27 @@ impl<B: Backend> Screener<B> {
         self
     }
 
+    /// Shards [`Screener::run`] across a scoped worker pool of
+    /// `workers` threads (`0` = the host's available parallelism; the
+    /// default `1` keeps the in-thread engine). Each pooled worker
+    /// owns its own batch engine and a `B::default()` backend, and
+    /// reports stay bit-identical for any worker count — see
+    /// [`crate::pool`].
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the size of the device chunks pooled workers claim from
+    /// the shared queue (≥ 1; default [`pool::DEFAULT_CHUNK`]). Small
+    /// chunks keep early-stopping workers fed; large ones amortise the
+    /// claim.
+    pub fn chunk_size(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "a screener needs a positive chunk size");
+        self.chunk = chunk;
+        self
+    }
+
     /// The configured workload.
     pub fn workload(&self) -> &Workload {
         &self.workload
@@ -265,58 +300,125 @@ impl<B: Backend> Screener<B> {
     /// ordered by the device's position in the iterator. Dispatches
     /// through the backend's batch seam, so the behavioural backend
     /// runs the lane-parallel engine and the RTL backend the scalar
-    /// gate-accurate loop — identical reports either way.
+    /// gate-accurate loop — identical reports either way. With
+    /// [`Screener::workers`] > 1 (or `0` on a multi-core host) the
+    /// fleet is sharded across the scoped pool of [`crate::pool`];
+    /// reports stay bit-identical for any worker count.
     pub fn run<A, R, I>(&mut self, devices: I) -> Vec<ScreenReport>
     where
-        A: Adc,
-        R: RngCore,
+        A: Adc + Send,
+        R: RngCore + Send,
         I: IntoIterator<Item = (A, R)>,
+        B: Default,
     {
+        let mut reports = Vec::new();
+        self.run_into(devices, &mut reports);
+        reports
+    }
+
+    /// [`Screener::run`] appending into a caller-owned buffer — the
+    /// reusable-engine path: the report `Vec`'s capacity (and, for
+    /// pooled runs, each worker's batch engine across its chunks) is
+    /// reused instead of reallocated per fleet.
+    ///
+    /// Pooled workers judge with `B::default()` backends — both
+    /// [`BehavioralBackend`] and [`crate::backend::RtlBackend`]
+    /// default to exactly their `new` state, so verdicts don't depend
+    /// on which worker (or the single-threaded path) screened a
+    /// device. On the dynamic workload the sine table is planned once
+    /// and shared immutably by every worker.
+    pub fn run_into<A, R, I>(&mut self, devices: I, out: &mut Vec<ScreenReport>)
+    where
+        A: Adc + Send,
+        R: RngCore + Send,
+        I: IntoIterator<Item = (A, R)>,
+        B: Default,
+    {
+        let workers = pool::resolve_workers(self.workers);
+        let (lane_width, sequencer, chunk) = (self.lane_width, self.sequencer, self.chunk);
         match self.workload {
             Workload::Static {
                 config,
                 noise,
                 slope_error,
             } => {
-                let mut batch = StaticBatch::new(config)
-                    .with_noise(noise)
-                    .with_slope_error(slope_error)
-                    .with_lane_width(self.lane_width);
-                if let Some(policy) = self.sequencer {
-                    batch = batch.with_sequencer(policy);
-                }
-                for (i, (adc, rng)) in devices.into_iter().enumerate() {
-                    batch.push(BatchDevice::new(i, adc, rng));
-                }
-                self.backend.process_batch(&mut batch);
-                batch
-                    .take_reports()
+                let make_batch = move || {
+                    let mut batch = StaticBatch::new(config)
+                        .with_noise(noise)
+                        .with_slope_error(slope_error)
+                        .with_lane_width(lane_width);
+                    if let Some(policy) = sequencer {
+                        batch = batch.with_sequencer(policy);
+                    }
+                    batch
+                };
+                let fleet = devices
                     .into_iter()
-                    .map(|r| ScreenReport {
-                        device: r.device,
-                        verdict: ScreenVerdict::Static(r.outcome),
-                    })
-                    .collect()
+                    .enumerate()
+                    .map(|(i, (adc, rng))| BatchDevice::new(i, adc, rng));
+                let reports = if workers <= 1 {
+                    let mut batch = make_batch();
+                    for dev in fleet {
+                        batch.push(dev);
+                    }
+                    self.backend.process_batch(&mut batch);
+                    batch.take_reports()
+                } else {
+                    pool::run_static_pool(fleet, workers, chunk, make_batch, B::default)
+                };
+                out.extend(reports.into_iter().map(|r| ScreenReport {
+                    device: r.device,
+                    verdict: ScreenVerdict::Static(r.outcome),
+                }));
             }
             Workload::Dynamic { config, noise } => {
-                let mut batch = DynBatch::new(config)
-                    .with_noise(noise)
-                    .with_lane_width(self.lane_width);
-                if let Some(policy) = self.sequencer {
-                    batch = batch.with_sequencer(policy);
-                }
-                for (i, (adc, rng)) in devices.into_iter().enumerate() {
-                    batch.push(BatchDevice::new(i, adc, rng));
-                }
-                self.backend.process_dyn_batch(&mut batch);
-                batch
-                    .take_reports()
+                let fleet = devices
                     .into_iter()
-                    .map(|r| ScreenReport {
-                        device: r.device,
-                        verdict: ScreenVerdict::Dynamic(r.outcome),
-                    })
-                    .collect()
+                    .enumerate()
+                    .map(|(i, (adc, rng))| BatchDevice::new(i, adc, rng));
+                let reports = if workers <= 1 {
+                    let mut batch = DynBatch::new(config)
+                        .with_noise(noise)
+                        .with_lane_width(lane_width);
+                    if let Some(policy) = sequencer {
+                        batch = batch.with_sequencer(policy);
+                    }
+                    for dev in fleet {
+                        batch.push(dev);
+                    }
+                    self.backend.process_dyn_batch(&mut batch);
+                    batch.take_reports()
+                } else {
+                    // Plan the sine once for the whole pool, keyed on
+                    // the first device (lanes whose plan differs fall
+                    // back bit-exactly to per-sample evaluation), so
+                    // every worker reads one immutable table.
+                    let fleet: Vec<BatchDevice<A, R>> = fleet.collect();
+                    let shared = (noise.jitter_seconds() == 0.0)
+                        .then(|| {
+                            fleet
+                                .first()
+                                .map(|d| StimulusTable::plan_for(&d.adc, &config))
+                        })
+                        .flatten();
+                    let make_batch = move || {
+                        let mut batch = DynBatch::new(config)
+                            .with_noise(noise)
+                            .with_lane_width(lane_width);
+                        if let Some(policy) = sequencer {
+                            batch = batch.with_sequencer(policy);
+                        }
+                        if let Some(table) = &shared {
+                            batch = batch.with_shared_table(Arc::clone(table));
+                        }
+                        batch
+                    };
+                    pool::run_dyn_pool(fleet, workers, chunk, make_batch, B::default)
+                };
+                out.extend(reports.into_iter().map(|r| ScreenReport {
+                    device: r.device,
+                    verdict: ScreenVerdict::Dynamic(r.outcome),
+                }));
             }
         }
     }

@@ -914,91 +914,15 @@ impl DynSequencer {
     }
 }
 
-// ---------------------------------------------------------------------
-// Harness-level runners
-// ---------------------------------------------------------------------
-
-use crate::backend::Backend;
-use crate::dynamic::{plan_sine, DynScratch};
-use crate::harness::{plan_ramp, Scratch};
-use bist_adc::noise::NoiseConfig;
-use bist_adc::stream::CodeStream;
-use bist_adc::transfer::Adc;
-use rand::RngCore;
-
-/// Runs the sequenced static BIST on a converter with an explicit
-/// verdict backend: the same fused acquisition as
-/// [`crate::harness::run_static_bist_with_backend`], stopped early the
-/// moment the sequencer is confident. Both backends stop at the same
-/// decision sample (see the module docs).
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::static_ramp(config)).backend(backend).sequencer(policy)`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn run_seq_static_bist_with_backend<B, A, R>(
-    backend: &mut B,
-    adc: &A,
-    config: &BistConfig,
-    seq: &mut StaticSequencer,
-    noise: &NoiseConfig,
-    slope_error: f64,
-    rng: &mut R,
-    scratch: &mut Scratch,
-) -> SeqOutcome<BistVerdict>
-where
-    B: Backend,
-    A: Adc + ?Sized,
-    R: RngCore + ?Sized,
-{
-    let (ramp, sampling) = plan_ramp(adc, config);
-    let ramp = ramp.with_slope_error(slope_error);
-    backend.process_sequenced(
-        config,
-        seq,
-        CodeStream::noisy(adc, &ramp, sampling, noise, rng),
-        scratch,
-    )
-}
-
-/// Runs the sequenced dynamic BIST on a converter with an explicit
-/// verdict backend — the early-stop counterpart of
-/// [`crate::dynamic::run_dynamic_bist_with_backend`].
-#[deprecated(
-    since = "0.6.0",
-    note = "use `Screener::new(Workload::dynamic_sine(config)).backend(backend).sequencer(policy)`"
-)]
-#[allow(deprecated)]
-pub fn run_seq_dynamic_bist_with_backend<B, A, R>(
-    backend: &mut B,
-    adc: &A,
-    config: &DynamicConfig,
-    seq: &mut DynSequencer,
-    noise: &NoiseConfig,
-    rng: &mut R,
-    scratch: &mut DynScratch,
-) -> SeqOutcome<DynamicVerdict>
-where
-    B: Backend,
-    A: Adc + ?Sized,
-    R: RngCore + ?Sized,
-{
-    let (sine, sampling) = plan_sine(adc, config);
-    backend.process_dyn_sequenced(
-        config,
-        seq,
-        CodeStream::noisy(adc, &sine, sampling, noise, rng),
-        scratch,
-    )
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::backend::{BehavioralBackend, RtlBackend};
+    use crate::backend::{Backend, BehavioralBackend, RtlBackend};
+    use crate::harness::plan_ramp;
+    use crate::screener::{Screener, Workload};
+    use bist_adc::noise::NoiseConfig;
     use bist_adc::spec::LinearitySpec;
-    use bist_adc::transfer::TransferFunction;
+    use bist_adc::transfer::{Adc, TransferFunction};
     use bist_adc::types::{Resolution, Volts};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -1012,6 +936,56 @@ mod tests {
 
     fn ideal() -> TransferFunction {
         TransferFunction::ideal(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+    }
+
+    /// Sequenced static sweep through the screener front door.
+    fn seq_static<B: Backend, A: Adc + ?Sized>(
+        backend: B,
+        adc: &A,
+        config: &BistConfig,
+        policy: SequencerConfig,
+        noise: &NoiseConfig,
+        seed: u64,
+    ) -> SeqOutcome<BistVerdict> {
+        let mut screener = Screener::new(Workload::static_ramp(*config).with_noise(*noise))
+            .backend(backend)
+            .sequencer(policy);
+        *screener
+            .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+            .as_static()
+            .expect("static workload")
+    }
+
+    /// Unsequenced full static sweep — the drift reference.
+    fn full_static<A: Adc + ?Sized>(
+        adc: &A,
+        config: &BistConfig,
+        noise: &NoiseConfig,
+        seed: u64,
+    ) -> BistVerdict {
+        let mut screener = Screener::new(Workload::static_ramp(*config).with_noise(*noise));
+        screener
+            .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+            .as_static()
+            .expect("static workload")
+            .verdict
+    }
+
+    /// Sequenced dynamic sweep through the screener front door.
+    fn seq_dyn<B: Backend, A: Adc + ?Sized>(
+        backend: B,
+        adc: &A,
+        config: &DynamicConfig,
+        policy: SequencerConfig,
+        seed: u64,
+    ) -> SeqOutcome<DynamicVerdict> {
+        let mut screener = Screener::new(Workload::dynamic_sine(*config))
+            .backend(backend)
+            .sequencer(policy);
+        *screener
+            .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+            .as_dynamic()
+            .expect("dynamic workload")
     }
 
     #[test]
@@ -1065,26 +1039,20 @@ mod tests {
     #[test]
     fn ideal_static_device_accepts_early_and_no_earlier_than_min_samples() {
         let config = cfg(5);
-        let mut seq = StaticSequencer::new(SequencerConfig::default());
-        let mut scratch = Scratch::new();
-        let out = run_seq_static_bist_with_backend(
-            &mut BehavioralBackend,
+        let policy = SequencerConfig::default();
+        let out = seq_static(
+            BehavioralBackend,
             &ideal(),
             &config,
-            &mut seq,
+            policy,
             &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(1),
-            &mut scratch,
+            1,
         );
         assert!(out.accepted());
         assert!(out.stopped_early(), "{:?}", out.decision);
         let at = out.decision.at_sample().unwrap();
-        assert!(at >= seq.policy().min_samples);
-        assert_eq!(
-            (at - seq.policy().min_samples) % seq.policy().check_interval,
-            0
-        );
+        assert!(at >= policy.min_samples);
+        assert_eq!((at - policy.min_samples) % policy.check_interval, 0);
         // The ideal staircase is zero-variance: the statistical accept
         // fires long before the ramp completes.
         let (_, sampling) = plan_ramp(&ideal(), &config);
@@ -1099,17 +1067,13 @@ mod tests {
         let adc =
             TransferFunction::from_transitions(Resolution::SIX_BIT, Volts(0.0), Volts(6.4), t);
         let config = cfg(4);
-        let mut seq = StaticSequencer::new(SequencerConfig::default());
-        let mut scratch = Scratch::new();
-        let out = run_seq_static_bist_with_backend(
-            &mut BehavioralBackend,
+        let out = seq_static(
+            BehavioralBackend,
             &adc,
             &config,
-            &mut seq,
+            SequencerConfig::default(),
             &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(1),
-            &mut scratch,
+            1,
         );
         assert!(!out.accepted());
         assert!(matches!(out.decision, SeqDecision::RejectEarly(_)));
@@ -1123,7 +1087,6 @@ mod tests {
         // when the defect lies inside the observable prefix (a defect
         // parked beyond the horizon is the priced beta drift — see the
         // checkpoint rule comments).
-        use crate::harness::run_static_bist_with;
         for (label, adc) in [
             ("ideal", ideal()),
             ("bad", {
@@ -1133,25 +1096,14 @@ mod tests {
             }),
         ] {
             let config = cfg(5);
-            let mut scratch = Scratch::new();
-            let full = run_static_bist_with(
+            let full = full_static(&adc, &config, &NoiseConfig::noiseless(), 2);
+            let out = seq_static(
+                BehavioralBackend,
                 &adc,
                 &config,
+                SequencerConfig::default(),
                 &NoiseConfig::noiseless(),
-                0.0,
-                &mut StdRng::seed_from_u64(2),
-                &mut scratch,
-            );
-            let mut seq = StaticSequencer::new(SequencerConfig::default());
-            let out = run_seq_static_bist_with_backend(
-                &mut BehavioralBackend,
-                &adc,
-                &config,
-                &mut seq,
-                &NoiseConfig::noiseless(),
-                0.0,
-                &mut StdRng::seed_from_u64(2),
-                &mut scratch,
+                2,
             );
             assert_eq!(out.accepted(), full.accepted(), "{label}");
         }
@@ -1170,28 +1122,9 @@ mod tests {
                         .build()
                         .unwrap();
                 let noise = NoiseConfig::noiseless().with_transition_noise(0.004);
-                let mut scratch = Scratch::new();
-                let mut seq = StaticSequencer::new(SequencerConfig::default());
-                let b = run_seq_static_bist_with_backend(
-                    &mut BehavioralBackend,
-                    &adc,
-                    &config,
-                    &mut seq,
-                    &noise,
-                    0.0,
-                    &mut StdRng::seed_from_u64(100 + seed),
-                    &mut scratch,
-                );
-                let r = run_seq_static_bist_with_backend(
-                    &mut RtlBackend::new(),
-                    &adc,
-                    &config,
-                    &mut seq,
-                    &noise,
-                    0.0,
-                    &mut StdRng::seed_from_u64(100 + seed),
-                    &mut scratch,
-                );
+                let policy = SequencerConfig::default();
+                let b = seq_static(BehavioralBackend, &adc, &config, policy, &noise, 100 + seed);
+                let r = seq_static(RtlBackend::new(), &adc, &config, policy, &noise, 100 + seed);
                 assert_eq!(b.decision, r.decision, "seed {seed} bits {bits}");
                 assert_eq!(b.verdict, r.verdict, "seed {seed} bits {bits}");
             }
@@ -1201,33 +1134,16 @@ mod tests {
     #[test]
     fn dynamic_ideal_accepts_early_and_matches_across_backends() {
         let config = DynamicConfig::paper_default();
-        let mut seq = DynSequencer::new(SequencerConfig {
+        let policy = SequencerConfig {
             min_samples: 512,
             ..Default::default()
-        });
-        let mut scratch = DynScratch::new();
+        };
         let adc = ideal();
-        let b = run_seq_dynamic_bist_with_backend(
-            &mut BehavioralBackend,
-            &adc,
-            &config,
-            &mut seq,
-            &NoiseConfig::noiseless(),
-            &mut StdRng::seed_from_u64(3),
-            &mut scratch,
-        );
+        let b = seq_dyn(BehavioralBackend, &adc, &config, policy, 3);
         assert!(b.accepted());
         assert!(b.stopped_early());
         assert!(b.samples_consumed() < config.record_len() as u64 / 2);
-        let r = run_seq_dynamic_bist_with_backend(
-            &mut RtlBackend::new(),
-            &adc,
-            &config,
-            &mut seq,
-            &NoiseConfig::noiseless(),
-            &mut StdRng::seed_from_u64(3),
-            &mut scratch,
-        );
+        let r = seq_dyn(RtlBackend::new(), &adc, &config, policy, 3);
         assert_eq!(b.decision, r.decision);
         assert_eq!(b.samples_consumed(), r.samples_consumed());
     }
@@ -1239,20 +1155,11 @@ mod tests {
         let adc = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
             .with_width_sigma_lsb(0.6)
             .sample(&mut StdRng::seed_from_u64(4));
-        let mut seq = DynSequencer::new(SequencerConfig {
+        let policy = SequencerConfig {
             min_samples: 512,
             ..Default::default()
-        });
-        let mut scratch = DynScratch::new();
-        let out = run_seq_dynamic_bist_with_backend(
-            &mut BehavioralBackend,
-            &adc,
-            &config,
-            &mut seq,
-            &NoiseConfig::noiseless(),
-            &mut StdRng::seed_from_u64(5),
-            &mut scratch,
-        );
+        };
+        let out = seq_dyn(BehavioralBackend, &adc, &config, policy, 5);
         assert!(!out.accepted());
         assert!(matches!(out.decision, SeqDecision::RejectEarly(_)));
     }
@@ -1261,32 +1168,22 @@ mod tests {
     fn completed_sweep_reports_continue_and_full_verdict() {
         // An absurdly late min_samples forces the full sweep.
         let config = cfg(5);
-        let mut seq = StaticSequencer::new(SequencerConfig {
+        let policy = SequencerConfig {
             min_samples: 1_000_000,
             ..Default::default()
-        });
-        let mut scratch = Scratch::new();
-        let out = run_seq_static_bist_with_backend(
-            &mut BehavioralBackend,
+        };
+        let out = seq_static(
+            BehavioralBackend,
             &ideal(),
             &config,
-            &mut seq,
+            policy,
             &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(1),
-            &mut scratch,
+            1,
         );
         assert_eq!(out.decision, SeqDecision::Continue);
         assert!(!out.stopped_early());
         assert!(out.accepted());
-        let full = crate::harness::run_static_bist_with(
-            &ideal(),
-            &config,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(1),
-            &mut scratch,
-        );
+        let full = full_static(&ideal(), &config, &NoiseConfig::noiseless(), 1);
         assert_eq!(out.verdict, full);
     }
 

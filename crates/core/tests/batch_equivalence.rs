@@ -136,6 +136,47 @@ proptest! {
         }
     }
 
+    /// Worker pool: sharding the fleet across a work-stealing pool of
+    /// any size, with any chunk size and lane width, on either workload
+    /// with or without a sequencer, is bit-exact to the scalar engine —
+    /// which worker screens a device cannot change its report.
+    #[test]
+    fn pooled_matches_scalar_for_any_worker_count(
+        seed in any::<u64>(),
+        n in 1usize..16,
+        lanes in 1usize..5,
+        workers in 1usize..17,
+        chunk in 1usize..10,
+        sequenced in any::<bool>(),
+        dynamic in any::<bool>(),
+    ) {
+        let devices = fleet(seed, n);
+        let workload = if dynamic {
+            Workload::dynamic_sine(dyn_config())
+        } else {
+            Workload::static_ramp(static_config(5))
+        };
+        let scalar = scalar_verdicts(workload, sequenced, &devices, seed);
+        let mut screener = Screener::new(workload)
+            .lane_width(lanes)
+            .workers(workers)
+            .chunk_size(chunk);
+        if sequenced {
+            screener = screener.sequencer(SequencerConfig::default());
+        }
+        let pooled = screener.run(
+            devices
+                .iter()
+                .enumerate()
+                .map(|(i, adc)| (adc, device_rng(seed, i))),
+        );
+        prop_assert_eq!(pooled.len(), n);
+        for (i, report) in pooled.into_iter().enumerate() {
+            prop_assert_eq!(report.device, i);
+            prop_assert_eq!(report.verdict, scalar[i]);
+        }
+    }
+
     /// Refill order: pushing the fleet in arbitrarily-sized waves with
     /// `run_batched` between waves (lanes refill mid-flight, reports
     /// accumulate across calls) matches the scalar engine.

@@ -4,24 +4,17 @@
 //! budgets on seeded fleets drawn from the process model the
 //! statistical rules are calibrated against.
 
-// The deprecated `run_seq_*` / `run_*_with` shims remain the narrowest
-// fixed harness for pinning latch-point equivalence: they take explicit
-// sequencer instances and scratches, which the `Screener` front door
-// deliberately hides. Keep them covered here until they are removed.
-#![allow(deprecated)]
-
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::types::{Resolution, Volts};
-use bist_core::backend::{BehavioralBackend, RtlBackend};
+use bist_adc::Adc;
+use bist_core::backend::{Backend, BehavioralBackend, RtlBackend};
 use bist_core::config::BistConfig;
-use bist_core::dynamic::{run_dynamic_bist_with, DynScratch, DynamicConfig};
-use bist_core::harness::{run_static_bist_with, Scratch};
-use bist_core::sequencer::{
-    run_seq_dynamic_bist_with_backend, run_seq_static_bist_with_backend, DynSequencer, SeqDecision,
-    SequencerConfig, StaticSequencer,
-};
+use bist_core::dynamic::{DynamicConfig, DynamicVerdict};
+use bist_core::harness::BistVerdict;
+use bist_core::screener::{Screener, Workload};
+use bist_core::sequencer::{SeqDecision, SeqOutcome, SequencerConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,6 +25,53 @@ fn static_config(counter_bits: u32, deglitch: bool) -> BistConfig {
         .deglitch(deglitch)
         .build()
         .expect("paper operating points are valid")
+}
+
+/// One sequenced static sweep through the `Screener` front door with an
+/// explicit backend — the narrowest harness for latch-point equivalence.
+fn seq_static<B: Backend>(
+    backend: B,
+    adc: &impl Adc,
+    config: &BistConfig,
+    policy: SequencerConfig,
+    noise: &NoiseConfig,
+    seed: u64,
+) -> SeqOutcome<BistVerdict> {
+    let mut screener = Screener::new(Workload::static_ramp(*config).with_noise(*noise))
+        .backend(backend)
+        .sequencer(policy);
+    *screener
+        .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+        .as_static()
+        .expect("static workload")
+}
+
+/// The unsequenced full static sweep the early stops are drifted against.
+fn full_static(adc: &impl Adc, config: &BistConfig, noise: &NoiseConfig, seed: u64) -> BistVerdict {
+    let mut screener = Screener::new(Workload::static_ramp(*config).with_noise(*noise));
+    screener
+        .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+        .as_static()
+        .expect("static workload")
+        .verdict
+}
+
+/// [`seq_static`]'s dynamic-record counterpart.
+fn seq_dyn<B: Backend>(
+    backend: B,
+    adc: &impl Adc,
+    config: &DynamicConfig,
+    policy: SequencerConfig,
+    noise: &NoiseConfig,
+    seed: u64,
+) -> SeqOutcome<DynamicVerdict> {
+    let mut screener = Screener::new(Workload::dynamic_sine(*config).with_noise(*noise))
+        .backend(backend)
+        .sequencer(policy);
+    *screener
+        .screen_one(adc, &mut StdRng::seed_from_u64(seed))
+        .as_dynamic()
+        .expect("dynamic workload")
 }
 
 /// Asserts an early decision respects the policy's lattice: no stop
@@ -85,17 +125,8 @@ proptest! {
             NoiseConfig::noiseless()
         };
         let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
-        let mut seq = StaticSequencer::new(policy);
-        let mut scratch_b = Scratch::new();
-        let mut scratch_r = Scratch::new();
-        let b = run_seq_static_bist_with_backend(
-            &mut BehavioralBackend, &adc, &config, &mut seq, &noise, 0.0,
-            &mut StdRng::seed_from_u64(seed ^ 0xabc), &mut scratch_b,
-        );
-        let r = run_seq_static_bist_with_backend(
-            &mut RtlBackend::new(), &adc, &config, &mut seq, &noise, 0.0,
-            &mut StdRng::seed_from_u64(seed ^ 0xabc), &mut scratch_r,
-        );
+        let b = seq_static(BehavioralBackend, &adc, &config, policy, &noise, seed ^ 0xabc);
+        let r = seq_static(RtlBackend::new(), &adc, &config, policy, &noise, seed ^ 0xabc);
         prop_assert_eq!(b.decision, r.decision);
         prop_assert_eq!(b.verdict, r.verdict);
         prop_assert_eq!(b.accepted(), r.accepted());
@@ -121,16 +152,8 @@ proptest! {
             .with_width_sigma_lsb(sigma_milli as f64 / 1000.0)
             .sample(&mut StdRng::seed_from_u64(seed));
         let noise = NoiseConfig::noiseless().with_input_noise(0.002);
-        let mut seq = DynSequencer::new(policy);
-        let mut scratch = DynScratch::new();
-        let b = run_seq_dynamic_bist_with_backend(
-            &mut BehavioralBackend, &adc, &config, &mut seq, &noise,
-            &mut StdRng::seed_from_u64(seed ^ 0xdef), &mut scratch,
-        );
-        let r = run_seq_dynamic_bist_with_backend(
-            &mut RtlBackend::new(), &adc, &config, &mut seq, &noise,
-            &mut StdRng::seed_from_u64(seed ^ 0xdef), &mut scratch,
-        );
+        let b = seq_dyn(BehavioralBackend, &adc, &config, policy, &noise, seed ^ 0xdef);
+        let r = seq_dyn(RtlBackend::new(), &adc, &config, policy, &noise, seed ^ 0xdef);
         prop_assert_eq!(b.decision, r.decision);
         prop_assert_eq!(b.accepted(), r.accepted());
         prop_assert_eq!(b.samples_consumed(), r.samples_consumed());
@@ -151,25 +174,13 @@ proptest! {
             ..Default::default()
         };
         let adc = FlashConfig::paper_device().sample(&mut StdRng::seed_from_u64(seed));
-        let mut scratch = Scratch::new();
-        let full = run_static_bist_with(
-            &adc, &config, &NoiseConfig::noiseless(), 0.0,
-            &mut StdRng::seed_from_u64(seed), &mut scratch,
-        );
-        let mut seq = StaticSequencer::new(policy);
+        let noise = NoiseConfig::noiseless();
+        let full = full_static(&adc, &config, &noise, seed);
         for run_rtl in [false, true] {
             let out = if run_rtl {
-                run_seq_static_bist_with_backend(
-                    &mut RtlBackend::new(), &adc, &config, &mut seq,
-                    &NoiseConfig::noiseless(), 0.0,
-                    &mut StdRng::seed_from_u64(seed), &mut scratch,
-                )
+                seq_static(RtlBackend::new(), &adc, &config, policy, &noise, seed)
             } else {
-                run_seq_static_bist_with_backend(
-                    &mut BehavioralBackend, &adc, &config, &mut seq,
-                    &NoiseConfig::noiseless(), 0.0,
-                    &mut StdRng::seed_from_u64(seed), &mut scratch,
-                )
+                seq_static(BehavioralBackend, &adc, &config, policy, &noise, seed)
             };
             prop_assert_eq!(out.decision, SeqDecision::Continue);
             prop_assert_eq!(out.verdict, full);
@@ -178,7 +189,9 @@ proptest! {
 }
 
 /// Empirical drift harness: screens a seeded fleet with the sequencer
-/// and counts disagreements with the full-sweep verdict.
+/// and counts disagreements with the full-sweep verdict. Two persistent
+/// screeners — one sequenced, one not — reuse their scratches across
+/// the fleet exactly like a production screening loop.
 fn static_drift(
     policy: &SequencerConfig,
     sigma: f64,
@@ -189,29 +202,20 @@ fn static_drift(
     use bist_mc_free::iid_transfer;
     let config = static_config(6, false);
     let dist = WidthDistribution::new(1.0, sigma);
-    let mut scratch = Scratch::new();
-    let mut seq = StaticSequencer::new(*policy);
+    let mut full_screener = Screener::new(Workload::static_ramp(config));
+    let mut seq_screener = Screener::new(Workload::static_ramp(config)).sequencer(*policy);
     let (mut good, mut drift_i, mut drift_ii) = (0u64, 0u64, 0u64);
     for i in 0..devices {
         let tf = iid_transfer(&dist, &mut StdRng::seed_from_u64(seed ^ (i as u64) << 3));
-        let full = run_static_bist_with(
-            &tf,
-            &config,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(seed ^ 0x77),
-            &mut scratch,
-        );
-        let out = run_seq_static_bist_with_backend(
-            &mut BehavioralBackend,
-            &tf,
-            &config,
-            &mut seq,
-            &NoiseConfig::noiseless(),
-            0.0,
-            &mut StdRng::seed_from_u64(seed ^ 0x77),
-            &mut scratch,
-        );
+        let full = full_screener
+            .screen_one(&tf, &mut StdRng::seed_from_u64(seed ^ 0x77))
+            .as_static()
+            .expect("static workload")
+            .verdict;
+        let out = *seq_screener
+            .screen_one(&tf, &mut StdRng::seed_from_u64(seed ^ 0x77))
+            .as_static()
+            .expect("static workload");
         assert!(
             out.decision.at_sample().unwrap_or(policy.min_samples) >= policy.min_samples,
             "min_samples violated"
@@ -288,8 +292,8 @@ fn empirical_dynamic_drift_within_budgets() {
         ..Default::default()
     };
     let config = DynamicConfig::paper_default();
-    let mut scratch = DynScratch::new();
-    let mut seq = DynSequencer::new(policy);
+    let mut full_screener = Screener::new(Workload::dynamic_sine(config));
+    let mut seq_screener = Screener::new(Workload::dynamic_sine(config)).sequencer(policy);
     let (mut good, mut bad, mut drift_i, mut drift_ii) = (0u64, 0u64, 0u64, 0u64);
     for i in 0..300u64 {
         // σ spread straddling the acceptance boundary.
@@ -297,22 +301,15 @@ fn empirical_dynamic_drift_within_budgets() {
         let adc = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
             .with_width_sigma_lsb(sigma)
             .sample(&mut StdRng::seed_from_u64(1000 + i));
-        let full = run_dynamic_bist_with(
-            &adc,
-            &config,
-            &NoiseConfig::noiseless(),
-            &mut StdRng::seed_from_u64(2000 + i),
-            &mut scratch,
-        );
-        let out = run_seq_dynamic_bist_with_backend(
-            &mut BehavioralBackend,
-            &adc,
-            &config,
-            &mut seq,
-            &NoiseConfig::noiseless(),
-            &mut StdRng::seed_from_u64(2000 + i),
-            &mut scratch,
-        );
+        let full = full_screener
+            .screen_one(&adc, &mut StdRng::seed_from_u64(2000 + i))
+            .as_dynamic()
+            .expect("dynamic workload")
+            .verdict;
+        let out = *seq_screener
+            .screen_one(&adc, &mut StdRng::seed_from_u64(2000 + i))
+            .as_dynamic()
+            .expect("dynamic workload");
         if full.accepted() {
             good += 1;
             drift_i += u64::from(!out.accepted());

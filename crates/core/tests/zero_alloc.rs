@@ -15,10 +15,11 @@ use bist_adc::noise::NoiseConfig;
 use bist_adc::spec::LinearitySpec;
 use bist_adc::transfer::TransferFunction;
 use bist_adc::types::{Resolution, Volts};
-use bist_core::backend::RtlBackend;
+use bist_core::backend::{BehavioralBackend, RtlBackend};
 use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
 use bist_core::config::BistConfig;
 use bist_core::dynamic::DynamicConfig;
+use bist_core::pool::{drain_dyn, drain_static, DeviceQueue};
 use bist_core::screener::{Screener, Workload};
 use bist_core::sequencer::SequencerConfig;
 use rand::rngs::StdRng;
@@ -212,5 +213,53 @@ fn hot_path_is_allocation_free_after_warmup() {
     assert_eq!(
         batch_accepted, warm_batch_accepted,
         "reused batches must reproduce the warm pass verdicts"
+    );
+
+    // The pooled per-worker drain gets the same guarantee: a worker's
+    // steady state is claim → push → run, and claiming is one
+    // `fetch_add` plus a buffer move. Packing a fleet into a
+    // `DeviceQueue` allocates, so the queues are prebuilt before the
+    // snapshot; the drain itself — warm lanes, reused reports — must
+    // not allocate.
+    let make_queue = |chunk: usize| {
+        DeviceQueue::new(
+            (0..FLEET).map(|i| BatchDevice::new(i, &adc, StdRng::seed_from_u64(i as u64))),
+            chunk,
+        )
+    };
+    let mut w_static = StaticBatch::new(plain).with_lane_width(4);
+    let mut w_dyn = DynBatch::new(dyn_config).with_lane_width(4);
+
+    let mut drain_accepted = |q_static: &DeviceQueue<_, _>, q_dyn: &DeviceQueue<_, _>| -> u32 {
+        let mut accepted = 0u32;
+        drain_static(&mut w_static, q_static, &mut BehavioralBackend);
+        drain_dyn(&mut w_dyn, q_dyn, &mut BehavioralBackend);
+        for r in w_static.finish_reports() {
+            accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        for r in w_dyn.finish_reports() {
+            accepted += u32::from(r.outcome.verdict.accepted());
+        }
+        w_static.clear_reports();
+        w_dyn.clear_reports();
+        accepted
+    };
+
+    let warm_pool_accepted = drain_accepted(&make_queue(3), &make_queue(3));
+
+    let q_static = make_queue(3);
+    let q_dyn = make_queue(3);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let pool_accepted = drain_accepted(&q_static, &q_dyn);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "pooled worker drain allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(
+        pool_accepted, warm_pool_accepted,
+        "reused worker engines must reproduce the warm pass verdicts"
     );
 }

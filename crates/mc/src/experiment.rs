@@ -500,9 +500,12 @@ impl DynExperiment {
         F: Fn() -> B + Sync,
     {
         let start = Instant::now();
-        let partials = partitioned(self.devices, workers, |from, to| {
-            self.run_range_with(&mut make_backend(), from, to)
-        });
+        let partials = crate::parallel::partitioned_with(
+            self.devices,
+            workers,
+            &make_backend,
+            |backend, from, to| self.run_range_with(backend, from, to),
+        );
         let mut total = DynExperimentResult::default();
         for p in &partials {
             total.merge(p);

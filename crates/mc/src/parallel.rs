@@ -6,12 +6,19 @@
 //! keeps its own `bist_core::harness::Scratch` (created inside
 //! `Experiment::run_range`), so the fan-out multiplies the
 //! allocation-free streaming hot path across cores.
+//!
+//! Dispatch is chunked, not pre-partitioned: workers pull small index
+//! ranges from an atomic cursor (the same work-stealing discipline as
+//! `bist_core::pool`), so a worker that draws a run of cheap devices —
+//! early-stopped sequencer sweeps, short records — comes back for more
+//! instead of idling behind a contiguous split.
 
 use crate::batch::Batch;
 use crate::estimate::Proportion;
 use crate::experiment::{Experiment, ExperimentResult};
 use bist_adc::spec::LinearitySpec;
 use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
 use std::time::Instant;
 
@@ -24,35 +31,60 @@ pub fn resolve_workers(workers: usize) -> usize {
     }
 }
 
-/// Splits `[0, size)` into `workers` contiguous ranges and evaluates
-/// `work(from, to)` on each, in parallel, returning the per-range
-/// results in range order. Degenerates to one inline call when a single
-/// worker suffices or the batch is tiny.
+/// Splits `[0, size)` into small chunks behind an atomic cursor and
+/// evaluates `work(from, to)` on each from `workers` threads, returning
+/// the per-chunk results in range order. Degenerates to one inline call
+/// when a single worker suffices or the batch is tiny.
 pub fn partitioned<T, F>(size: usize, workers: usize, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, usize) -> T + Sync,
 {
+    partitioned_with(size, workers, || (), |(), from, to| work(from, to))
+}
+
+/// [`partitioned`] with per-worker state: each worker builds one `state`
+/// from `init` and threads it through every chunk it claims — the seam
+/// that lets a fleet worker keep a warm backend (RTL tops, batch lanes)
+/// across chunks instead of rebuilding per range.
+pub fn partitioned_with<S, T, Init, F>(size: usize, workers: usize, init: Init, work: F) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, usize) -> T + Sync,
+{
     let workers = resolve_workers(workers);
     if workers <= 1 || size < 2 * workers {
-        return vec![work(0, size)];
+        return vec![work(&mut init(), 0, size)];
     }
-    let chunk = size.div_ceil(workers);
-    let (tx, rx) = channel::bounded(workers);
+    // Small chunks keep uneven per-device costs balanced; the clamp
+    // bounds claim traffic on huge batches and chunk count on small
+    // ones.
+    let chunk = (size / (workers * 8)).clamp(16, 512);
+    let chunks = size.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded(chunks + workers);
     thread::scope(|scope| {
-        for w in 0..workers {
+        for _ in 0..workers {
             let tx = tx.clone();
-            let work = &work;
+            let (cursor, init, work) = (&cursor, &init, &work);
             scope.spawn(move || {
-                let from = (w * chunk).min(size);
-                let to = (from + chunk).min(size);
-                tx.send((w, work(from, to)))
-                    .expect("receiver outlives workers");
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let from = i * chunk;
+                    if from >= size {
+                        break;
+                    }
+                    let to = (from + chunk).min(size);
+                    tx.send((from, work(&mut state, from, to)))
+                        .expect("receiver outlives workers");
+                }
             });
         }
         drop(tx);
         let mut parts: Vec<(usize, T)> = rx.into_iter().collect();
-        parts.sort_by_key(|(w, _)| *w);
+        parts.sort_by_key(|(from, _)| *from);
         parts.into_iter().map(|(_, t)| t).collect()
     })
 }
@@ -81,9 +113,12 @@ where
     F: Fn() -> B + Sync,
 {
     let start = Instant::now();
-    let partials = partitioned(experiment.batch.size, workers, |from, to| {
-        experiment.run_range_with(&mut make_backend(), from, to)
-    });
+    let partials = partitioned_with(
+        experiment.batch.size,
+        workers,
+        &make_backend,
+        |backend, from, to| experiment.run_range_with(backend, from, to),
+    );
     let mut total = ExperimentResult::default();
     for partial in &partials {
         total.merge(partial);
@@ -160,6 +195,39 @@ mod tests {
         for w in parts.windows(2) {
             assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
         }
+    }
+
+    #[test]
+    fn partitioned_with_reuses_worker_state_and_covers_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Count how many states were built: one per spawned worker, not
+        // one per chunk.
+        let inits = AtomicUsize::new(0);
+        let parts = partitioned_with(
+            1000,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |claims, from, to| {
+                *claims += 1;
+                (*claims, from, to)
+            },
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 4);
+        assert!(parts.len() > 4, "dispatch must be chunked, not pre-split");
+        let mut covered = 0;
+        for (claims, from, to) in &parts {
+            assert!(*claims >= 1);
+            assert_eq!(*from, covered, "chunks must tile the range in order");
+            covered = *to;
+        }
+        assert_eq!(covered, 1000);
+        assert!(
+            parts.iter().any(|(claims, _, _)| *claims > 1),
+            "some worker must claim more than one chunk"
+        );
     }
 
     #[test]

@@ -18,11 +18,10 @@
 //!
 //! ```
 //! use adc_bist::adc::flash::FlashConfig;
-//! use adc_bist::adc::noise::NoiseConfig;
 //! use adc_bist::adc::spec::LinearitySpec;
 //! use adc_bist::adc::types::Resolution;
 //! use adc_bist::core::config::BistConfig;
-//! use adc_bist::core::harness::run_static_bist;
+//! use adc_bist::core::screener::{Screener, Workload};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), adc_bist::core::limits::PlanLimitsError> {
@@ -31,7 +30,9 @@
 //! let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
 //!     .counter_bits(4)
 //!     .build()?;
-//! let outcome = run_static_bist(&device, &config, &NoiseConfig::noiseless(), 0.0, &mut rng);
+//! let mut screener = Screener::new(Workload::static_ramp(config));
+//! let verdict = screener.screen_one(&device, &mut rng);
+//! let outcome = screener.take_static_outcome(&verdict).expect("static workload");
 //! println!("{outcome}");
 //! # Ok(())
 //! # }
