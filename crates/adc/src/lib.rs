@@ -40,6 +40,7 @@
 //! println!("device is {}", if truth.good { "good" } else { "faulty" });
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,49 @@
+//! # bist-analysis
+//!
+//! `bist-lint`: a workspace-native static-analysis pass that proves the
+//! `adc-bist` engine invariants at the *source* level — the shift-left
+//! the paper's BIST philosophy applies to silicon, applied to the
+//! reproduction itself. The three invariants the workspace already
+//! enforces dynamically (zero allocation on the hot paths, bit-identical
+//! fleet reports for any `workers × lane_width × chunk_size`, identical
+//! early-stop latch points on both backends) each get a static shadow
+//! that fires when the regression is *written*, not when a fleet run
+//! diverges:
+//!
+//! * [`rules::Rule::HotPathAlloc`] — no allocating constructs inside
+//!   `// bist-lint: hot-path`-marked regions (statically complements
+//!   the counting-allocator proof in `crates/core/tests/zero_alloc.rs`).
+//! * [`rules::Rule::UndocumentedUnsafe`] — every `unsafe` carries a
+//!   `SAFETY` justification, and every `#[target_feature]` kernel is
+//!   only reached from an `is_x86_feature_detected!`-guarded scope or
+//!   another kernel.
+//! * [`rules::Rule::AtomicOrdering`] — every atomic `Ordering::` choice
+//!   carries an `// ORDERING:` justification (the worker-pool claim
+//!   cursors are load-bearing for report determinism).
+//! * [`rules::Rule::Determinism`] — no `HashMap`/`HashSet`, wall-clock
+//!   reads, or RNG construction outside the seeded
+//!   `bist_mc::batch::stream_rng` seam in the report-producing crates
+//!   (core/dsp/rtl/mc library sources).
+//!
+//! Diagnostics are machine-readable flat JSON (the same record shape
+//! `perf_gate` diffs — see [`report::render_json`]) and suppressible
+//! only via inline `// bist-lint: allow(<rule>) — <reason>` markers.
+//! The analyzer runs against the live workspace as a tier-1 test
+//! (`tests/workspace_clean.rs`) and as the dedicated `static-analysis`
+//! CI job (the `bist-lint` binary).
+//!
+//! Zero dependencies by design: the container is hermetic, and the
+//! checker that gates everything else must itself build first.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod structure;
+pub mod workspace;
+
+pub use rules::{analyze_file, collect_kernels, Diagnostic, FileContext, Rule};
+pub use workspace::{analyze_workspace, context_for, find_workspace_root, Analysis};

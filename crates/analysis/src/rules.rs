@@ -1,0 +1,564 @@
+//! The four rule families of `bist-lint`, each the static shadow of a
+//! runtime gate the workspace already enforces dynamically:
+//!
+//! | rule | statically proves | runtime gate it shadows |
+//! |---|---|---|
+//! | `hot-path-alloc` | no allocating constructs in marked hot paths | counting-allocator proof (`crates/core/tests/zero_alloc.rs`) |
+//! | `undocumented-unsafe` | every `unsafe` justified; `#[target_feature]` kernels only reached behind runtime detection | UB has no runtime gate — this is the only net |
+//! | `atomic-ordering` | every atomic `Ordering::` choice justified | worker-count `report_checksum` equality gate |
+//! | `determinism` | no wall clocks, hash iteration or stray RNGs in report-producing crates | bit-identical fleet reports for any workers × lanes × chunk |
+//!
+//! Diagnostics are suppressible only via an inline
+//! `// bist-lint: allow(<rule>) — <reason>` marker (same line or the
+//! line above); a marker without a reason suppresses nothing.
+
+use crate::lexer::{is_ident_char, lex, LexedLine};
+use crate::structure::Structure;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The rule families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Allocating constructs inside a `// bist-lint: hot-path` region.
+    HotPathAlloc,
+    /// `unsafe` without a SAFETY justification, or a `#[target_feature]`
+    /// kernel reached outside a feature-detected scope.
+    UndocumentedUnsafe,
+    /// Atomic `Ordering::` without an `// ORDERING:` justification.
+    AtomicOrdering,
+    /// Nondeterminism seams in report-producing crates.
+    Determinism,
+}
+
+impl Rule {
+    /// The rule's marker name, as written in `allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::Determinism => "determinism",
+        }
+    }
+
+    /// All rules, in report order.
+    pub const ALL: [Rule; 4] = [
+        Rule::HotPathAlloc,
+        Rule::UndocumentedUnsafe,
+        Rule::AtomicOrdering,
+        Rule::Determinism,
+    ];
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable finding.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in the workspace — drives per-rule scoping.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// Workspace-relative display path.
+    pub path: String,
+    /// Library source of a report-producing crate (core/dsp/rtl/mc):
+    /// the `determinism` rule applies.
+    pub report_crate: bool,
+    /// Test/example/bench code: `atomic-ordering` and `determinism`
+    /// do not apply (timing and ad-hoc seeding are legitimate there);
+    /// `unsafe` hygiene still does.
+    pub test_code: bool,
+    /// The designated seeded-RNG seam module
+    /// (`crates/mc/src/batch.rs::stream_rng`): RNG construction is its
+    /// job, so the RNG-construction check is waived — every other
+    /// determinism check still applies.
+    pub rng_seam: bool,
+}
+
+/// Per-file tallies folded into the workspace report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileStats {
+    /// Hot-path regions found.
+    pub hot_regions: usize,
+    /// Well-formed allow markers found.
+    pub allow_markers: usize,
+    /// `unsafe` sites inspected.
+    pub unsafe_sites: usize,
+    /// Atomic `Ordering::` sites inspected.
+    pub ordering_sites: usize,
+    /// `#[target_feature]` kernel call sites inspected.
+    pub kernel_calls: usize,
+}
+
+/// Allocating constructs forbidden in hot-path regions: each is a
+/// `(needle, bound_start)` pair — `bound_start` demands an identifier
+/// boundary before the needle (macros and method tails carry their own
+/// sigil).
+const ALLOC_TOKENS: &[(&str, bool)] = &[
+    ("Vec::new", true),
+    ("vec!", true),
+    ("with_capacity", true),
+    (".collect", false),
+    ("to_vec", true),
+    ("format!", true),
+    ("Box::new", true),
+    ("String::new", true),
+    ("String::from", true),
+    ("to_string", true),
+    ("to_owned", true),
+];
+
+/// Atomic ordering variants (distinguishes `atomic::Ordering` from
+/// `cmp::Ordering`, whose variants are `Less`/`Equal`/`Greater`).
+const ATOMIC_ORDERINGS: &[&str] = &[
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// RNG constructors that bypass the seeded `stream_rng` seam.
+const RNG_TOKENS: &[&str] = &[
+    "seed_from_u64",
+    "from_seed",
+    "from_entropy",
+    "from_os_rng",
+    "thread_rng",
+];
+
+/// Collects the names of `#[target_feature]` functions declared in a
+/// file — pass 1 of the workspace analysis, so call sites in *other*
+/// files are checked too.
+pub fn collect_kernels(src: &str) -> Vec<String> {
+    let lines = lex(src);
+    Structure::build(&lines)
+        .fns
+        .iter()
+        .filter(|f| f.target_feature)
+        .map(|f| f.name.clone())
+        .collect()
+}
+
+/// Analyzes one file under `ctx` against every rule, returning the
+/// findings and tallies. `kernels` is the workspace-wide set of
+/// `#[target_feature]` function names from [`collect_kernels`].
+pub fn analyze_file(
+    src: &str,
+    ctx: &FileContext,
+    kernels: &BTreeSet<String>,
+) -> (Vec<Diagnostic>, FileStats) {
+    let lines = lex(src);
+    let st = Structure::build(&lines);
+    let mut out = Vec::new();
+    let mut stats = FileStats {
+        hot_regions: st.hot_regions.len(),
+        allow_markers: st.allows.iter().filter(|a| a.has_reason).count(),
+        ..FileStats::default()
+    };
+
+    check_hot_path_alloc(&lines, &st, ctx, &mut out);
+    check_unsafe(&lines, &st, ctx, &mut out, &mut stats);
+    check_kernel_calls(&lines, &st, ctx, kernels, &mut out, &mut stats);
+    check_atomic_ordering(&lines, &st, ctx, &mut out, &mut stats);
+    check_determinism(&lines, &st, ctx, &mut out);
+
+    out.sort();
+    (out, stats)
+}
+
+/// Pushes `diag` unless an allow marker suppresses it.
+fn emit(
+    st: &Structure,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+    line: usize,
+    rule: Rule,
+    message: String,
+) {
+    if !st.allowed_at(line, rule.name()) {
+        out.push(Diagnostic {
+            file: ctx.path.clone(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Token search with identifier boundaries on both sides.
+fn token_positions(code: &str, needle: &str, bound_start: bool) -> Vec<usize> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        from = at + needle.len();
+        if bound_start {
+            if let Some(prev) = code[..at].chars().next_back() {
+                if is_ident_char(prev) {
+                    continue;
+                }
+            }
+        }
+        let next = code[at + needle.len()..].chars().next();
+        if next.is_some_and(is_ident_char) {
+            continue;
+        }
+        hits.push(at);
+    }
+    hits
+}
+
+fn has_token(code: &str, needle: &str, bound_start: bool) -> bool {
+    !token_positions(code, needle, bound_start).is_empty()
+}
+
+// ---------------------------------------------------------------------
+// Rule 1: hot-path-alloc
+// ---------------------------------------------------------------------
+
+fn check_hot_path_alloc(
+    lines: &[LexedLine],
+    st: &Structure,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    for region in &st.hot_regions {
+        let span = &lines[region.start..=region.end.min(lines.len().saturating_sub(1))];
+        for (off, line) in span.iter().enumerate() {
+            let li = region.start + off;
+            for &(needle, bound) in ALLOC_TOKENS {
+                for _ in token_positions(&line.code, needle, bound) {
+                    emit(
+                        st,
+                        ctx,
+                        out,
+                        li,
+                        Rule::HotPathAlloc,
+                        format!(
+                            "allocating construct `{needle}` in hot-path region `{}`",
+                            region.fn_name
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 2: undocumented-unsafe (+ target_feature reachability)
+// ---------------------------------------------------------------------
+
+/// Whether the contiguous comment/attribute block ending at `line`
+/// (inclusive) carries a SAFETY justification (`SAFETY:` in a comment,
+/// or a `# Safety` doc heading).
+fn safety_documented(lines: &[LexedLine], line: usize) -> bool {
+    let justifies =
+        |c: &str| c.contains("SAFETY:") || c.contains("Safety:") || c.contains("# Safety");
+    if justifies(&lines[line].comment) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        let above = &lines[i - 1];
+        let comment_only = above.is_code_blank() && !above.comment.is_empty();
+        if comment_only || above.is_attr() {
+            if justifies(&above.comment) {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn check_unsafe(
+    lines: &[LexedLine],
+    st: &Structure,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+    stats: &mut FileStats,
+) {
+    for (li, line) in lines.iter().enumerate() {
+        if line.is_attr() || !has_token(&line.code, "unsafe", true) {
+            continue;
+        }
+        stats.unsafe_sites += 1;
+        if !safety_documented(lines, li) {
+            emit(
+                st,
+                ctx,
+                out,
+                li,
+                Rule::UndocumentedUnsafe,
+                "`unsafe` without a `// SAFETY:` justification (or `# Safety` doc section)"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+fn check_kernel_calls(
+    lines: &[LexedLine],
+    st: &Structure,
+    ctx: &FileContext,
+    kernels: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+    stats: &mut FileStats,
+) {
+    if kernels.is_empty() {
+        return;
+    }
+    for (li, line) in lines.iter().enumerate() {
+        for kernel in kernels {
+            for at in token_positions(&line.code, kernel, true) {
+                // The definition itself is not a call site.
+                if line.code[..at].trim_end().ends_with("fn") {
+                    continue;
+                }
+                // Neither is a mention without invocation parentheses.
+                if !line.code[at + kernel.len()..].trim_start().starts_with('(') {
+                    continue;
+                }
+                stats.kernel_calls += 1;
+                let guarded = match st.enclosing_fn(li) {
+                    // A kernel may call (or tail into) another kernel:
+                    // the feature set is already enabled.
+                    Some(f) if f.target_feature => true,
+                    // Otherwise the enclosing function must have
+                    // detected the features before this call.
+                    Some(f) => (f.body_start..=li)
+                        .any(|i| lines[i].code.contains("is_x86_feature_detected!")),
+                    None => false,
+                };
+                if !guarded {
+                    emit(
+                        st,
+                        ctx,
+                        out,
+                        li,
+                        Rule::UndocumentedUnsafe,
+                        format!(
+                            "call to `#[target_feature]` fn `{kernel}` outside an \
+                             `is_x86_feature_detected!`-guarded scope"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 3: atomic-ordering
+// ---------------------------------------------------------------------
+
+/// Whether the contiguous comment block at/above `line` carries an
+/// `ORDERING:` justification.
+fn ordering_documented(lines: &[LexedLine], line: usize) -> bool {
+    if lines[line].comment.contains("ORDERING:") {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        let above = &lines[i - 1];
+        let comment_only = above.is_code_blank() && !above.comment.is_empty();
+        if comment_only || above.is_attr() {
+            if above.comment.contains("ORDERING:") {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+fn check_atomic_ordering(
+    lines: &[LexedLine],
+    st: &Structure,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+    stats: &mut FileStats,
+) {
+    if ctx.test_code {
+        return;
+    }
+    for (li, line) in lines.iter().enumerate() {
+        if st.in_cfg_test(li) {
+            continue;
+        }
+        for &variant in ATOMIC_ORDERINGS {
+            if has_token(&line.code, variant, true) {
+                stats.ordering_sites += 1;
+                if !ordering_documented(lines, li) {
+                    emit(
+                        st,
+                        ctx,
+                        out,
+                        li,
+                        Rule::AtomicOrdering,
+                        format!("`{variant}` without an adjacent `// ORDERING:` justification"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule 4: determinism
+// ---------------------------------------------------------------------
+
+fn check_determinism(
+    lines: &[LexedLine],
+    st: &Structure,
+    ctx: &FileContext,
+    out: &mut Vec<Diagnostic>,
+) {
+    if !ctx.report_crate || ctx.test_code {
+        return;
+    }
+    for (li, line) in lines.iter().enumerate() {
+        if st.in_cfg_test(li) {
+            continue;
+        }
+        // Imports alone don't perturb a report; construction and
+        // iteration sites do, and those need the type name too — so
+        // skipping `use` lines loses nothing but noise.
+        if line.code.trim_start().starts_with("use ") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            if has_token(&line.code, ty, true) {
+                emit(
+                    st,
+                    ctx,
+                    out,
+                    li,
+                    Rule::Determinism,
+                    format!(
+                        "`{ty}` in a report-producing crate: iteration order is \
+                         nondeterministic — use `BTreeMap`/`BTreeSet` or an index keyed by \
+                         device"
+                    ),
+                );
+            }
+        }
+        for clock in ["Instant::now", "SystemTime"] {
+            if has_token(&line.code, clock, true) {
+                emit(
+                    st,
+                    ctx,
+                    out,
+                    li,
+                    Rule::Determinism,
+                    format!(
+                        "`{clock}` in a report-producing crate: wall-clock reads may not \
+                         influence report contents"
+                    ),
+                );
+            }
+        }
+        if !ctx.rng_seam {
+            for rng in RNG_TOKENS {
+                if has_token(&line.code, rng, true) {
+                    emit(
+                        st,
+                        ctx,
+                        out,
+                        li,
+                        Rule::Determinism,
+                        format!(
+                            "`{rng}` constructs an RNG outside the seeded `stream_rng` seam \
+                             (`bist_mc::batch::stream_rng`)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FileContext {
+        FileContext {
+            path: "test.rs".into(),
+            report_crate: true,
+            test_code: false,
+            rng_seam: false,
+        }
+    }
+
+    fn run(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+        analyze_file(src, ctx, &BTreeSet::new()).0
+    }
+
+    #[test]
+    fn token_boundaries_hold() {
+        assert!(has_token("let x = Vec::new();", "Vec::new", true));
+        assert!(!has_token("let x = MyVec::newish();", "Vec::new", true));
+        assert!(!has_token("fn recollect() {}", ".collect", false));
+        assert!(has_token("it.collect::<Vec<_>>()", ".collect", false));
+    }
+
+    #[test]
+    fn cfg_test_rng_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn r() {\n        let _ = StdRng::seed_from_u64(1);\n    }\n}\n";
+        assert!(run(src, &ctx()).is_empty());
+    }
+
+    #[test]
+    fn live_rng_fires() {
+        let src = "fn r() {\n    let _ = StdRng::seed_from_u64(1);\n}\n";
+        let d = run(src, &ctx());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::Determinism);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn non_report_crate_is_out_of_scope() {
+        let src = "fn r() {\n    let _ = StdRng::seed_from_u64(1);\n}\n";
+        let mut c = ctx();
+        c.report_crate = false;
+        assert!(run(src, &c).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_atomic_ordering() {
+        let src = "fn f(a: u32, b: u32) -> std::cmp::Ordering {\n    a.cmp(&b)\n}\n";
+        assert!(run(src, &ctx()).is_empty());
+    }
+}

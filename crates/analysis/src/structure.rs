@@ -1,0 +1,339 @@
+//! Structural index over a lexed file: function spans, `#[cfg(test)]`
+//! regions, hot-path regions and `bist-lint:` markers.
+//!
+//! Everything here is line-granular and brace-counted over the *code*
+//! channel only, so braces in strings or comments never derail a span.
+
+use crate::lexer::{is_ident_char, LexedLine};
+
+/// A function item: its name, signature line and body extent
+/// (inclusive, 0-based line indices).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnSpan {
+    /// Function name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub sig_line: usize,
+    /// 0-based line of the body's opening brace.
+    pub body_start: usize,
+    /// 0-based line of the body's closing brace.
+    pub body_end: usize,
+    /// Whether a `#[target_feature(...)]` attribute precedes it.
+    pub target_feature: bool,
+}
+
+/// A `// bist-lint: hot-path` region: the next function item after the
+/// marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotRegion {
+    /// Name of the marked function.
+    pub fn_name: String,
+    /// 0-based first line of the region (the marker line).
+    pub start: usize,
+    /// 0-based last line of the region (the body's closing brace).
+    pub end: usize,
+}
+
+/// An inline `// bist-lint: allow(<rule>) — <reason>` marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 0-based line the marker sits on.
+    pub line: usize,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// Whether a non-empty reason follows the closing parenthesis.
+    pub has_reason: bool,
+}
+
+/// The structural index of one file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Every function item found, in source order.
+    pub fns: Vec<FnSpan>,
+    /// Inclusive line ranges covered by a `#[cfg(test)]` item.
+    pub cfg_test: Vec<(usize, usize)>,
+    /// Hot-path regions, in source order.
+    pub hot_regions: Vec<HotRegion>,
+    /// Allow markers, in source order.
+    pub allows: Vec<AllowMarker>,
+}
+
+impl Structure {
+    /// Builds the index for a lexed file.
+    pub fn build(lines: &[LexedLine]) -> Self {
+        let mut s = Structure {
+            fns: find_fns(lines),
+            cfg_test: Vec::new(),
+            hot_regions: Vec::new(),
+            allows: Vec::new(),
+        };
+        for (i, line) in lines.iter().enumerate() {
+            if line.code.contains("#[cfg(test)]") {
+                if let Some((open, close)) = brace_span_from(lines, i) {
+                    s.cfg_test.push((i.min(open), close));
+                }
+            }
+            if let Some(rest) = marker_payload(&line.comment, "hot-path") {
+                // The region is the next fn item; `rest` may carry an
+                // optional free-text label after the marker.
+                let _ = rest;
+                if let Some(f) = s.fns.iter().find(|f| f.sig_line >= i) {
+                    s.hot_regions.push(HotRegion {
+                        fn_name: f.name.clone(),
+                        start: i,
+                        end: f.body_end,
+                    });
+                }
+            }
+            if let Some(rest) = marker_payload(&line.comment, "allow(") {
+                if let Some(close) = rest.find(')') {
+                    let rule = rest[..close].trim().to_owned();
+                    let tail = rest[close + 1..].trim();
+                    // A reason must follow a dash/colon separator —
+                    // "allow(x)" alone is not a justification.
+                    let has_reason = tail
+                        .strip_prefix('—')
+                        .or_else(|| tail.strip_prefix('-'))
+                        .or_else(|| tail.strip_prefix(':'))
+                        .is_some_and(|r| !r.trim().is_empty());
+                    s.allows.push(AllowMarker {
+                        line: i,
+                        rule,
+                        has_reason,
+                    });
+                }
+            }
+        }
+        s
+    }
+
+    /// Whether the 0-based line sits inside a `#[cfg(test)]` item.
+    pub fn in_cfg_test(&self, line: usize) -> bool {
+        self.cfg_test.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+
+    /// The innermost function whose body contains the 0-based line.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_start <= line && line <= f.body_end)
+            .max_by_key(|f| f.body_start)
+    }
+
+    /// Whether rule `rule` is suppressed at the 0-based line: a
+    /// well-formed allow marker on the same line or the line above.
+    pub fn allowed_at(&self, line: usize, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.has_reason && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Extracts the payload after a `bist-lint: <key>` marker in comment
+/// text, or `None` when the marker is absent.
+///
+/// A marker must *start* its comment as a plain `// bist-lint:` line
+/// comment — doc comments (`///`, `//!`) and prose that merely quotes
+/// the syntax never register as markers.
+fn marker_payload<'a>(comment: &'a str, key: &str) -> Option<&'a str> {
+    let at = comment.find("bist-lint:")?;
+    if comment[..at].trim() != "//" {
+        return None;
+    }
+    let rest = comment[at + "bist-lint:".len()..].trim_start();
+    rest.strip_prefix(key)
+}
+
+/// Finds every function item by scanning for `fn <ident>` in the code
+/// channel and brace-matching its body.
+fn find_fns(lines: &[LexedLine]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut from = 0;
+        while let Some(rel) = code[from..].find("fn ") {
+            let at = from + rel;
+            from = at + 3;
+            // Word boundary on the left ("fn" must not be an ident tail).
+            if at > 0 && is_ident_char(code[..at].chars().next_back().unwrap_or(' ')) {
+                continue;
+            }
+            let name: String = code[at + 3..]
+                .trim_start()
+                .chars()
+                .take_while(|&c| is_ident_char(c))
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // The body opens at the first `{` at bracket-depth 0 before
+            // any `;` (a `;` first means a bodiless declaration).
+            let Some((open_line, open_col)) = find_body_open(lines, i, at + 3) else {
+                continue;
+            };
+            let Some(close_line) = match_brace(lines, open_line, open_col) else {
+                continue;
+            };
+            fns.push(FnSpan {
+                name,
+                sig_line: i,
+                body_start: open_line,
+                body_end: close_line,
+                target_feature: has_target_feature(lines, i),
+            });
+        }
+    }
+    fns
+}
+
+/// Whether the contiguous attribute/comment block above `sig_line`
+/// carries `#[target_feature`.
+fn has_target_feature(lines: &[LexedLine], sig_line: usize) -> bool {
+    // The attribute may share the signature's line range upward through
+    // attributes and doc comments.
+    let mut i = sig_line;
+    loop {
+        if lines[i].code.contains("#[target_feature") {
+            return true;
+        }
+        if i == 0 {
+            return false;
+        }
+        let above = &lines[i - 1];
+        if above.is_attr() || above.is_code_blank() && !above.comment.is_empty() {
+            i -= 1;
+        } else {
+            return false;
+        }
+    }
+}
+
+/// From `(line, col)` scan for the body's opening `{` at
+/// square-bracket/paren depth 0, stopping at a top-level `;`.
+fn find_body_open(lines: &[LexedLine], line: usize, col: usize) -> Option<(usize, usize)> {
+    let mut depth = 0i32;
+    for (li, l) in lines.iter().enumerate().skip(line) {
+        let start = if li == line { col } else { 0 };
+        for (ci, c) in l.code.char_indices() {
+            if ci < start {
+                continue;
+            }
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => return Some((li, ci)),
+                ';' if depth == 0 => return None,
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Line of the `}` matching the `{` at `(line, col)`.
+fn match_brace(lines: &[LexedLine], line: usize, col: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (li, l) in lines.iter().enumerate().skip(line) {
+        for (ci, c) in l.code.char_indices() {
+            if li == line && ci < col {
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(li);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// First `{` at or after `line`, brace-matched to its close — used for
+/// `#[cfg(test)]` item extents.
+fn brace_span_from(lines: &[LexedLine], line: usize) -> Option<(usize, usize)> {
+    for (li, l) in lines.iter().enumerate().skip(line) {
+        if let Some(ci) = l.code.find('{') {
+            return match_brace(lines, li, ci).map(|close| (li, close));
+        }
+        // A `;` before any `{` ends the item without a body.
+        if l.code.contains(';') {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fn_spans_and_enclosing() {
+        let src = "fn outer() {\n    let x = 1;\n}\n\npub fn next(a: [u8; 4]) -> u32 {\n    0\n}\n";
+        let s = Structure::build(&lex(src));
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "outer");
+        assert_eq!((s.fns[0].body_start, s.fns[0].body_end), (0, 2));
+        assert_eq!(s.fns[1].name, "next");
+        assert_eq!(s.enclosing_fn(1).unwrap().name, "outer");
+        assert_eq!(s.enclosing_fn(5).unwrap().name, "next");
+        assert!(s.enclosing_fn(3).is_none());
+    }
+
+    #[test]
+    fn bodiless_decls_are_skipped() {
+        let s = Structure::build(&lex("trait T {\n    fn decl(&self) -> u8;\n    fn with(&self) -> u8 {\n        1\n    }\n}\n"));
+        let names: Vec<&str> = s.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with"]);
+    }
+
+    #[test]
+    fn cfg_test_region_covers_mod() {
+        let src = "fn live() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let s = Structure::build(&lex(src));
+        assert!(!s.in_cfg_test(0));
+        assert!(s.in_cfg_test(2));
+        assert!(s.in_cfg_test(4));
+        assert!(s.in_cfg_test(5));
+    }
+
+    #[test]
+    fn hot_region_attaches_to_next_fn() {
+        let src =
+            "// bist-lint: hot-path\n#[inline]\nfn hot(x: f64) -> f64 {\n    x\n}\nfn cold() {}\n";
+        let s = Structure::build(&lex(src));
+        assert_eq!(s.hot_regions.len(), 1);
+        let r = &s.hot_regions[0];
+        assert_eq!(r.fn_name, "hot");
+        assert_eq!((r.start, r.end), (0, 4));
+    }
+
+    #[test]
+    fn allow_markers_need_reasons() {
+        let src = "let a = 1; // bist-lint: allow(determinism) — timing metadata\nlet b = 2; // bist-lint: allow(determinism)\n";
+        let s = Structure::build(&lex(src));
+        assert_eq!(s.allows.len(), 2);
+        assert!(s.allows[0].has_reason);
+        assert!(!s.allows[1].has_reason);
+        assert!(s.allowed_at(0, "determinism"));
+        assert!(s.allowed_at(1, "determinism"), "line-above marker applies");
+        assert!(
+            !s.allowed_at(2, "determinism"),
+            "bare marker never suppresses"
+        );
+    }
+
+    #[test]
+    fn target_feature_detected_through_attrs() {
+        let src = "#[cfg(target_arch = \"x86_64\")]\n#[target_feature(enable = \"avx2\")]\nunsafe fn kern() {\n}\n";
+        let s = Structure::build(&lex(src));
+        assert_eq!(s.fns.len(), 1);
+        assert!(s.fns[0].target_feature);
+    }
+}

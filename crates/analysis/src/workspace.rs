@@ -1,0 +1,164 @@
+//! Workspace walking and whole-workspace analysis: collect every `.rs`
+//! file, derive each file's [`FileContext`] from its path, run pass 1
+//! (kernel collection) then pass 2 (all rules) and fold the tallies.
+
+use crate::rules::{analyze_file, collect_kernels, Diagnostic, FileContext, FileStats};
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Library source roots of the report-producing crates — the crates
+/// whose outputs feed `report_checksum`-gated fleet reports, where the
+/// `determinism` rule applies.
+pub const REPORT_CRATE_ROOTS: [&str; 4] = [
+    "crates/core/src/",
+    "crates/dsp/src/",
+    "crates/rtl/src/",
+    "crates/mc/src/",
+];
+
+/// The designated seeded-RNG seam module: the one place in the
+/// report-producing crates allowed to construct RNGs.
+pub const RNG_SEAM: &str = "crates/mc/src/batch.rs";
+
+/// Aggregated result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Every finding, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Summed per-file tallies.
+    pub stats: FileStats,
+    /// `#[target_feature]` kernels found workspace-wide.
+    pub kernels: BTreeSet<String>,
+}
+
+impl Analysis {
+    /// Findings for one rule.
+    pub fn count(&self, rule: crate::rules::Rule) -> usize {
+        self.diagnostics.iter().filter(|d| d.rule == rule).count()
+    }
+}
+
+/// Derives a file's rule scope from its workspace-relative path.
+pub fn context_for(rel: &str) -> FileContext {
+    let test_code = rel
+        .split('/')
+        .any(|c| c == "tests" || c == "benches" || c == "examples");
+    FileContext {
+        path: rel.to_owned(),
+        report_crate: !test_code && REPORT_CRATE_ROOTS.iter().any(|r| rel.starts_with(r)),
+        test_code,
+        rng_seam: rel == RNG_SEAM,
+    }
+}
+
+/// Collects every analyzable `.rs` file under `root`, workspace-relative
+/// with forward slashes, sorted. Skips build output (`target/`), VCS
+/// internals, and the linter's own golden fixtures (which exist to
+/// violate the rules).
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Runs the full two-pass analysis over the workspace at `root`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Analysis> {
+    let files = collect_files(root)?;
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        sources.push((rel.to_string_lossy().replace('\\', "/"), src));
+    }
+    // Pass 1: every `#[target_feature]` kernel in the workspace, so a
+    // call site anywhere is checked against the full set.
+    let mut kernels = BTreeSet::new();
+    for (_, src) in &sources {
+        kernels.extend(collect_kernels(src));
+    }
+    // Pass 2: all rules per file.
+    let mut analysis = Analysis {
+        files_scanned: sources.len(),
+        kernels,
+        ..Analysis::default()
+    };
+    for (rel, src) in &sources {
+        let ctx = context_for(rel);
+        let (diags, stats) = analyze_file(src, &ctx, &analysis.kernels);
+        analysis.diagnostics.extend(diags);
+        analysis.stats.hot_regions += stats.hot_regions;
+        analysis.stats.allow_markers += stats.allow_markers;
+        analysis.stats.unsafe_sites += stats.unsafe_sites;
+        analysis.stats.ordering_sites += stats.ordering_sites;
+        analysis.stats.kernel_calls += stats.kernel_calls;
+    }
+    analysis.diagnostics.sort();
+    Ok(analysis)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]` — the analysis root when `--root` is absent.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_follow_paths() {
+        let c = context_for("crates/core/src/batch.rs");
+        assert!(c.report_crate && !c.test_code && !c.rng_seam);
+        let c = context_for("crates/mc/src/batch.rs");
+        assert!(c.report_crate && c.rng_seam);
+        let c = context_for("crates/core/tests/zero_alloc.rs");
+        assert!(!c.report_crate && c.test_code);
+        let c = context_for("crates/bench/src/lib.rs");
+        assert!(!c.report_crate && !c.test_code);
+        let c = context_for("examples/quickstart.rs");
+        assert!(c.test_code);
+    }
+
+    #[test]
+    fn workspace_root_is_found() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/analysis").is_dir());
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: allow markers and `#[cfg(test)]` regions scope the rule.
+
+fn elapsed_metadata() -> std::time::Duration {
+    // bist-lint: allow(determinism) — wall-clock is throughput metadata only
+    let start = Instant::now();
+    start.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeding_in_tests_is_fine() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = rng.next_u64();
+    }
+}

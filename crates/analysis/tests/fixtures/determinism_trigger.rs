@@ -1,0 +1,21 @@
+//! Fixture: nondeterminism seams in a report-producing crate must fire.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn tally(keys: &[u32]) -> usize {
+    let mut seen: HashMap<u32, usize> = HashMap::new();
+    for &k in keys {
+        *seen.entry(k).or_insert(0) += 1;
+    }
+    seen.len()
+}
+
+fn stamp() -> std::time::Duration {
+    Instant::now().elapsed()
+}
+
+fn reseed() -> u64 {
+    let mut rng = StdRng::seed_from_u64(0xB157);
+    rng.next_u64()
+}

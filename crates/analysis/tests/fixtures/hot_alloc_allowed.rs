@@ -1,0 +1,8 @@
+//! Fixture: an allow marker with a reason suppresses a hot-path finding.
+
+// bist-lint: hot-path — fixture region
+fn hot_lane(samples: &[f64]) -> usize {
+    // bist-lint: allow(hot-path-alloc) — one-time setup before the loop
+    let staged = samples.to_vec();
+    staged.len()
+}

@@ -1,0 +1,14 @@
+//! Fixture: allocating constructs inside a hot-path region must fire.
+
+// bist-lint: hot-path — fixture region
+fn hot_lane(samples: &[f64]) -> f64 {
+    let copies = samples.to_vec();
+    let mut acc = Vec::new();
+    acc.push(copies.iter().sum::<f64>());
+    let label = format!("{acc:?}");
+    label.len() as f64
+}
+
+fn cold_path() -> Vec<f64> {
+    Vec::new()
+}

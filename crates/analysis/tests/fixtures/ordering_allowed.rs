@@ -1,0 +1,14 @@
+//! Fixture: `ORDERING:` comments and allow markers satisfy the rule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn claim(cursor: &AtomicUsize) -> usize {
+    // ORDERING: Relaxed suffices — fetch_add atomicity alone hands out
+    // distinct indices; nothing synchronises through this cursor.
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(flag: &AtomicUsize) {
+    // bist-lint: allow(atomic-ordering) — fixture demonstrating suppression
+    flag.store(1, Ordering::SeqCst);
+}

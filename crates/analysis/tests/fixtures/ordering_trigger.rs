@@ -1,0 +1,11 @@
+//! Fixture: atomic orderings without justification must fire.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn claim(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,24 @@
+//! Fixture: SAFETY comments, detection guards and allow markers satisfy
+//! the rule.
+
+/// # Safety
+///
+/// Caller must have detected `avx2` at runtime.
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: f64) -> f64 {
+    x
+}
+
+fn caller(x: f64) -> f64 {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 detected at runtime just above.
+        unsafe { kernel(x) }
+    } else {
+        x
+    }
+}
+
+fn escape_hatch(x: f64) -> f64 {
+    // bist-lint: allow(undocumented-unsafe) — fixture demonstrating suppression
+    unsafe { kernel(x) }
+}

@@ -1,0 +1,10 @@
+//! Fixture: undocumented `unsafe` and unguarded kernel calls must fire.
+
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(x: f64) -> f64 {
+    x
+}
+
+fn caller(x: f64) -> f64 {
+    unsafe { kernel(x) }
+}

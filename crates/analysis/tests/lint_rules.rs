@@ -1,0 +1,231 @@
+//! Golden-fixture tests: each rule family has a trigger fixture whose
+//! exact diagnostics (rule, line, message) are pinned, and an allowed
+//! fixture proving the documented escape hatches — SAFETY/ORDERING
+//! comments, detection guards, `#[cfg(test)]` scoping and inline
+//! `// bist-lint: allow(...)` markers — suppress cleanly.
+
+use bist_analysis::{analyze_file, collect_kernels, Diagnostic, FileContext, Rule};
+use std::collections::BTreeSet;
+
+fn report_ctx(path: &str) -> FileContext {
+    FileContext {
+        path: path.to_owned(),
+        report_crate: true,
+        test_code: false,
+        rng_seam: false,
+    }
+}
+
+/// Runs a fixture with its own `#[target_feature]` fns as the kernel
+/// set, mirroring the workspace two-pass analysis.
+fn run(src: &str, ctx: &FileContext) -> Vec<Diagnostic> {
+    let kernels: BTreeSet<String> = collect_kernels(src).into_iter().collect();
+    analyze_file(src, ctx, &kernels).0
+}
+
+fn flat(diags: &[Diagnostic]) -> Vec<(Rule, usize, &str)> {
+    diags
+        .iter()
+        .map(|d| (d.rule, d.line, d.message.as_str()))
+        .collect()
+}
+
+#[test]
+fn hot_path_alloc_fires_inside_region_only() {
+    let src = include_str!("fixtures/hot_alloc_trigger.rs");
+    let diags = run(src, &report_ctx("fixtures/hot_alloc_trigger.rs"));
+    assert_eq!(
+        flat(&diags),
+        [
+            (
+                Rule::HotPathAlloc,
+                5,
+                "allocating construct `to_vec` in hot-path region `hot_lane`",
+            ),
+            (
+                Rule::HotPathAlloc,
+                6,
+                "allocating construct `Vec::new` in hot-path region `hot_lane`",
+            ),
+            (
+                Rule::HotPathAlloc,
+                8,
+                "allocating construct `format!` in hot-path region `hot_lane`",
+            ),
+        ],
+        "cold_path's Vec::new (line 13) must NOT fire — it is outside the region"
+    );
+}
+
+#[test]
+fn hot_path_alloc_suppressed_by_allow_marker() {
+    let src = include_str!("fixtures/hot_alloc_allowed.rs");
+    let diags = run(src, &report_ctx("fixtures/hot_alloc_allowed.rs"));
+    assert_eq!(flat(&diags), [], "reasoned allow marker must suppress");
+}
+
+#[test]
+fn undocumented_unsafe_and_unguarded_kernel_fire() {
+    let src = include_str!("fixtures/unsafe_trigger.rs");
+    let diags = run(src, &report_ctx("fixtures/unsafe_trigger.rs"));
+    assert_eq!(
+        flat(&diags),
+        [
+            (
+                Rule::UndocumentedUnsafe,
+                4,
+                "`unsafe` without a `// SAFETY:` justification (or `# Safety` doc section)",
+            ),
+            (
+                Rule::UndocumentedUnsafe,
+                9,
+                "`unsafe` without a `// SAFETY:` justification (or `# Safety` doc section)",
+            ),
+            (
+                Rule::UndocumentedUnsafe,
+                9,
+                "call to `#[target_feature]` fn `kernel` outside an \
+                 `is_x86_feature_detected!`-guarded scope",
+            ),
+        ],
+    );
+}
+
+#[test]
+fn documented_unsafe_and_guarded_kernel_pass() {
+    let src = include_str!("fixtures/unsafe_allowed.rs");
+    let diags = run(src, &report_ctx("fixtures/unsafe_allowed.rs"));
+    assert_eq!(
+        flat(&diags),
+        [],
+        "# Safety doc, SAFETY comment, detection guard and allow marker all suppress"
+    );
+}
+
+#[test]
+fn atomic_ordering_fires_without_justification() {
+    let src = include_str!("fixtures/ordering_trigger.rs");
+    let diags = run(src, &report_ctx("fixtures/ordering_trigger.rs"));
+    assert_eq!(
+        flat(&diags),
+        [
+            (
+                Rule::AtomicOrdering,
+                6,
+                "`Ordering::Relaxed` without an adjacent `// ORDERING:` justification",
+            ),
+            (
+                Rule::AtomicOrdering,
+                10,
+                "`Ordering::SeqCst` without an adjacent `// ORDERING:` justification",
+            ),
+        ],
+    );
+}
+
+#[test]
+fn atomic_ordering_satisfied_by_comment_or_marker() {
+    let src = include_str!("fixtures/ordering_allowed.rs");
+    let diags = run(src, &report_ctx("fixtures/ordering_allowed.rs"));
+    assert_eq!(flat(&diags), []);
+}
+
+#[test]
+fn atomic_ordering_skips_test_code() {
+    let src = include_str!("fixtures/ordering_trigger.rs");
+    let mut ctx = report_ctx("fixtures/ordering_trigger.rs");
+    ctx.test_code = true;
+    assert_eq!(run(src, &ctx), [], "test code may pick orderings ad hoc");
+}
+
+#[test]
+fn determinism_fires_on_hash_clock_and_rng() {
+    let src = include_str!("fixtures/determinism_trigger.rs");
+    let diags = run(src, &report_ctx("fixtures/determinism_trigger.rs"));
+    assert_eq!(
+        flat(&diags),
+        [
+            (
+                Rule::Determinism,
+                7,
+                "`HashMap` in a report-producing crate: iteration order is nondeterministic \
+                 — use `BTreeMap`/`BTreeSet` or an index keyed by device",
+            ),
+            (
+                Rule::Determinism,
+                15,
+                "`Instant::now` in a report-producing crate: wall-clock reads may not \
+                 influence report contents",
+            ),
+            (
+                Rule::Determinism,
+                19,
+                "`seed_from_u64` constructs an RNG outside the seeded `stream_rng` seam \
+                 (`bist_mc::batch::stream_rng`)",
+            ),
+        ],
+        "`use` lines (3-4) must not fire; the type-position `Instant` (line 14) must not fire"
+    );
+}
+
+#[test]
+fn determinism_rng_seam_waives_only_rng_construction() {
+    let src = include_str!("fixtures/determinism_trigger.rs");
+    let mut ctx = report_ctx("crates/mc/src/batch.rs");
+    ctx.rng_seam = true;
+    let diags = run(src, &ctx);
+    let rules: Vec<(Rule, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    assert_eq!(
+        rules,
+        [(Rule::Determinism, 7), (Rule::Determinism, 15)],
+        "the seam may construct RNGs, but HashMap/Instant findings survive"
+    );
+}
+
+#[test]
+fn determinism_suppressed_by_marker_and_cfg_test() {
+    let src = include_str!("fixtures/determinism_allowed.rs");
+    let diags = run(src, &report_ctx("fixtures/determinism_allowed.rs"));
+    assert_eq!(flat(&diags), []);
+}
+
+#[test]
+fn determinism_only_applies_to_report_crates() {
+    let src = include_str!("fixtures/determinism_trigger.rs");
+    let mut ctx = report_ctx("crates/bench/src/lib.rs");
+    ctx.report_crate = false;
+    assert_eq!(run(src, &ctx), [], "non-report crates are out of scope");
+}
+
+#[test]
+fn diagnostics_render_clickable_locations() {
+    let src = include_str!("fixtures/ordering_trigger.rs");
+    let diags = run(src, &report_ctx("crates/x/src/y.rs"));
+    assert_eq!(
+        diags[0].to_string(),
+        "crates/x/src/y.rs:6: [atomic-ordering] `Ordering::Relaxed` without an adjacent \
+         `// ORDERING:` justification"
+    );
+}
+
+#[test]
+fn bare_allow_markers_suppress_nothing() {
+    // Same trigger line, but the marker carries no reason.
+    let src = "// bist-lint: hot-path\nfn hot() -> Vec<u8> {\n    // bist-lint: allow(hot-path-alloc)\n    Vec::new()\n}\n";
+    let diags = run(src, &report_ctx("f.rs"));
+    assert_eq!(diags.len(), 1, "a reasonless marker is not a justification");
+    assert_eq!(diags[0].rule, Rule::HotPathAlloc);
+    assert_eq!(diags[0].line, 4);
+}
+
+#[test]
+fn doc_comments_quoting_marker_syntax_do_not_register() {
+    // Prose that *mentions* the marker must not create regions or allows.
+    let src = "/// Mark regions with `// bist-lint: hot-path` above the fn.\nfn explain() -> Vec<u8> {\n    Vec::new()\n}\n";
+    let diags = run(src, &report_ctx("f.rs"));
+    assert_eq!(
+        diags,
+        [],
+        "a quoted marker in a doc comment is not a marker"
+    );
+}

@@ -9,6 +9,7 @@
 //! `BIST_WORKERS` overrides the worker count (0 = available
 //! parallelism) alongside the existing `BIST_*` batch knobs.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -402,6 +402,7 @@ impl<A: Adc, R: RngCore> StaticBatch<A, R> {
     /// Advances one lane to `until` (or its next checkpoint / end of
     /// sweep, whichever first fires a decision). Returns the device's
     /// outcome when its sweep concluded.
+    // bist-lint: hot-path — the static lane inner loop
     fn advance_lane(&mut self, lane: usize, until: u64) -> Option<SeqOutcome<BistVerdict>> {
         let sequenced = self.seq_config.is_some();
         // Replayed head of each constant-code run: the deglitcher taps
@@ -706,6 +707,7 @@ impl LevelLut {
 
     /// Number of levels ≤ `v` — by the [`Adc`] contract, exactly
     /// `convert(v).0`.
+    // bist-lint: hot-path — per-sample branchless level rank
     #[inline]
     fn rank(&self, v: f64) -> u32 {
         let base = self.base[self.bucket(v)];
@@ -733,6 +735,7 @@ struct PairLane<'a> {
 /// bit-identical — interleaving only lets the two lanes' serial
 /// dependency chains (the Welford mean division, each bin's Goertzel
 /// recurrence) overlap in the pipeline instead of running back to back.
+// bist-lint: hot-path — shared body of both pair-kernel entries
 #[inline(always)]
 fn pair_kernel_body(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
     let n = lanes[0].table.len().min(lanes[1].table.len());
@@ -767,6 +770,17 @@ fn pair_kernel(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
 /// libm call the portable build makes, but without a function call per
 /// resonator per sample, which is the single largest cost in the
 /// dynamic hot loop on the default target.
+///
+/// # Safety
+///
+/// The caller must have verified at runtime that the host supports
+/// AVX2 and FMA (`is_x86_feature_detected!("avx2")` &&
+/// `is_x86_feature_detected!("fma")`) before calling: the body is
+/// compiled with those feature sets enabled, so reaching it on an
+/// older CPU is undefined behaviour (illegal instruction at best).
+/// `bist-lint`'s `undocumented-unsafe` rule statically checks every
+/// call site for that guard.
+// bist-lint: hot-path — the interleaved dynamic lane kernel
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
 unsafe fn pair_kernel_fma(lanes: &mut [PairLane<'_>; 2], half_fs: f64) {
@@ -1025,6 +1039,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
     /// Goertzel recurrence) overlap in the pipeline instead of running
     /// back to back, which is where the batched engine's
     /// dynamic-workload speedup comes from.
+    // bist-lint: hot-path — interleaved two-lane dispatch
     fn advance_pair(&mut self, a: usize, b: usize, n: u64) {
         debug_assert!(a < b);
         let nbins = self.plan.bins.len();
@@ -1139,6 +1154,7 @@ impl<A: Adc, R: RngCore> DynBatch<A, R> {
     /// Advances one lane to `until` (or end of record / an early-stop
     /// decision). Returns the device's outcome when its record
     /// concluded.
+    // bist-lint: hot-path — the dynamic lane inner loop
     fn advance_lane(&mut self, lane: usize, until: u64) -> Option<SeqOutcome<DynamicVerdict>> {
         let sequenced = self.seq_config.is_some();
         let record_len = self.config.record_len() as u64;

@@ -105,7 +105,16 @@ impl<A, R> DeviceQueue<A, R> {
 
     /// Claims the next unclaimed chunk, or `None` once the queue is
     /// dry. Each chunk is handed out exactly once.
+    // bist-lint: hot-path — the pool's steady-state claim
     pub fn claim(&self) -> Option<Vec<BatchDevice<A, R>>> {
+        // ORDERING: Relaxed suffices. The cursor only needs to hand out
+        // *distinct* indices, which `fetch_add`'s atomicity guarantees
+        // regardless of memory ordering; the chunk contents claimed
+        // through the index are protected by their own `Mutex`
+        // (acquire/release on lock), and the scoped-thread join in
+        // `run_*_pool` provides the happens-before edge that makes all
+        // worker writes visible before reports merge. No claim is ever
+        // ordered against another worker's data through this cursor.
         let i = self.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = self.chunks.get(i)?;
         Some(mem::take(&mut *slot.lock().expect("chunk mutex poisoned")))
@@ -116,6 +125,7 @@ impl<A, R> DeviceQueue<A, R> {
 /// worker's own `batch`, screen it through `backend`, repeat until the
 /// queue is dry. Reports accumulate in the batch across chunks;
 /// allocation-free once the batch's lanes are warm.
+// bist-lint: hot-path — per-worker drain loop
 pub fn drain_static<A, R, B>(
     batch: &mut StaticBatch<A, R>,
     queue: &DeviceQueue<A, R>,
@@ -134,6 +144,7 @@ pub fn drain_static<A, R, B>(
 }
 
 /// [`drain_static`]'s dynamic-workload counterpart.
+// bist-lint: hot-path — per-worker drain loop
 pub fn drain_dyn<A, R, B>(batch: &mut DynBatch<A, R>, queue: &DeviceQueue<A, R>, backend: &mut B)
 where
     A: Adc,

@@ -548,6 +548,7 @@ impl StaticSequencer {
 
     /// Evaluates the decision rule at a checkpoint with `visible`
     /// samples of evidence.
+    // bist-lint: hot-path — static checkpoint decision
     pub fn checkpoint(&mut self, visible: u64) -> SeqDecision {
         // Observed failure: the full sweep rejects with certainty.
         if self.dnl_failures + self.inl_failures + self.functional_mismatches > 0 {
@@ -805,6 +806,7 @@ impl DynSequencer {
     }
 
     /// Feeds one centred half-LSB code value `v = 2·code + 1 − 2ⁿ`.
+    // bist-lint: hot-path — per-sample dynamic sequencer update
     pub fn push(&mut self, v: i64) {
         let x = v as f64;
         let (c, s) = (self.cur_cos, self.cur_sin);
@@ -861,6 +863,7 @@ impl DynSequencer {
 
     /// Evaluates the decision rule at a checkpoint with `visible`
     /// consumed samples.
+    // bist-lint: hot-path — dynamic checkpoint decision
     pub fn checkpoint(&mut self, visible: u64) -> SeqDecision {
         let blocks = self.blocks.len() as u64;
         if blocks < MIN_BLOCKS_FOR_STATS {

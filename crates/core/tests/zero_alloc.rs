@@ -31,17 +31,26 @@ struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System`'s allocator — every method
+// forwards its arguments unchanged, so `System` upholds the `GlobalAlloc`
+// contract; the only addition is a relaxed counter bump.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s contract (non-zero
+    // `layout`); we forward it verbatim to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::realloc`'s contract (`ptr`
+    // came from this allocator with `layout`); forwarded to `System`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: caller upholds `GlobalAlloc::dealloc`'s contract (`ptr`
+    // came from this allocator with `layout`); forwarded to `System`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -68,6 +68,7 @@ impl Goertzel {
     }
 
     /// Processes one sample.
+    // bist-lint: hot-path — the resonator recurrence
     #[inline]
     pub fn push(&mut self, x: f64) {
         // Fused multiply-add: one rounding for `coeff·s1 − s2`, which
@@ -321,6 +322,7 @@ impl GoertzelBank {
 
     /// Processes one sample: clocks every resonator and the Welford
     /// moments. Allocation-free.
+    // bist-lint: hot-path — per-sample bank update
     pub fn push(&mut self, x: f64) {
         for g in &mut self.resonators {
             g.push(x);

@@ -113,6 +113,7 @@ impl Experiment {
         from: usize,
         to: usize,
     ) -> ExperimentResult {
+        // bist-lint: allow(determinism) — wall-clock throughput metadata (elapsed/devices-per-s); never feeds a verdict or report ordering
         let start = Instant::now();
         let mut matrix = ConfusionMatrix::new();
         let mut samples = 0u64;
@@ -467,6 +468,7 @@ impl DynExperiment {
         from: usize,
         to: usize,
     ) -> DynExperimentResult {
+        // bist-lint: allow(determinism) — wall-clock throughput metadata (elapsed/devices-per-s); never feeds a verdict or report ordering
         let start = Instant::now();
         let mut result = DynExperimentResult::default();
         let mut work = DynBatch::new(self.config).with_noise(self.noise);
@@ -499,6 +501,7 @@ impl DynExperiment {
         B: Backend,
         F: Fn() -> B + Sync,
     {
+        // bist-lint: allow(determinism) — wall-clock throughput metadata (elapsed/devices-per-s); never feeds a verdict or report ordering
         let start = Instant::now();
         let partials = crate::parallel::partitioned_with(
             self.devices,

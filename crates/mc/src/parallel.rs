@@ -71,6 +71,14 @@ where
             scope.spawn(move || {
                 let mut state = init();
                 loop {
+                    // ORDERING: Relaxed suffices — `fetch_add`'s
+                    // atomicity alone guarantees each worker draws a
+                    // distinct chunk index (the uniqueness argument);
+                    // chunk *results* synchronise through the channel
+                    // send/receive pair, and the scoped-thread join
+                    // provides the final happens-before edge before the
+                    // parts are merged. The cursor never orders one
+                    // worker's data against another's.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let from = i * chunk;
                     if from >= size {
@@ -112,6 +120,7 @@ where
     B: bist_core::backend::Backend,
     F: Fn() -> B + Sync,
 {
+    // bist-lint: allow(determinism) — wall-clock throughput metadata (elapsed/devices-per-s); never feeds a verdict or report ordering
     let start = Instant::now();
     let partials = partitioned_with(
         experiment.batch.size,

@@ -49,6 +49,7 @@
 //! assert!(results.iter().all(|m| m.dnl_verdict.is_pass()));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
