@@ -11,11 +11,12 @@ use std::path::{Path, PathBuf};
 /// Library source roots of the report-producing crates — the crates
 /// whose outputs feed `report_checksum`-gated fleet reports, where the
 /// `determinism` rule applies.
-pub const REPORT_CRATE_ROOTS: [&str; 4] = [
+pub const REPORT_CRATE_ROOTS: [&str; 5] = [
     "crates/core/src/",
     "crates/dsp/src/",
     "crates/rtl/src/",
     "crates/mc/src/",
+    "crates/serve/src/",
 ];
 
 /// The designated seeded-RNG seam module: the one place in the
@@ -146,7 +147,11 @@ mod tests {
         assert!(c.report_crate && !c.test_code && !c.rng_seam);
         let c = context_for("crates/mc/src/batch.rs");
         assert!(c.report_crate && c.rng_seam);
+        let c = context_for("crates/serve/src/service.rs");
+        assert!(c.report_crate && !c.test_code && !c.rng_seam);
         let c = context_for("crates/core/tests/zero_alloc.rs");
+        assert!(!c.report_crate && c.test_code);
+        let c = context_for("crates/serve/tests/backpressure.rs");
         assert!(!c.report_crate && c.test_code);
         let c = context_for("crates/bench/src/lib.rs");
         assert!(!c.report_crate && !c.test_code);

@@ -1,0 +1,401 @@
+//! Experiment E17: **resident-service soak** — the `bist-serve`
+//! streaming front door against the one-shot batched pool, on
+//! exactness first and throughput second.
+//!
+//! Part 1 streams a mixed static + dynamic fleet through a resident
+//! service at 1 worker and again at 4 workers and demands both runs be
+//! bit-identical to `Screener::run` on the same devices with the same
+//! per-submission RNG streams. **Any mismatch counts as a divergence
+//! and fails the run** (exit 1). A FNV-1a `report_checksum` over the
+//! id-sorted verdicts is emitted so two runs at different worker counts
+//! can be diffed from their JSON records alone — worker-count
+//! determinism as a service invariant, continuously gated.
+//!
+//! Part 2 times the streaming path (submit interleaved with verdict
+//! receipt, ids round-tripping through the rings) against the pooled
+//! `Screener::run` floor on the same fleet. Streaming adds queue hops
+//! and per-device routing, so it may not beat the batch engine — but it
+//! must stay within the ratio floor (default 0.8x,
+//! `BIST_SERVE_MIN_RATIO_X` in hundredths) or the run fails.
+//!
+//! Part 3 floods a deliberately tiny service (4-slot rings, burst 2)
+//! and checks the overload contract: `Busy` must actually occur, the
+//! sampled queue depth must never exceed the configured capacity, and
+//! a drain-and-retry loop must land every verdict exactly once.
+//!
+//! Part 4 submits a burst and shuts down immediately: the drain report
+//! must complete every accepted device, and the final telemetry
+//! snapshot must parse through `record_metrics` — the same flat JSON
+//! contract `perf_gate` relies on.
+//!
+//! Knobs: `BIST_DEVICES` (default 600), `BIST_DYN_DEVICES` (default
+//! 96), `BIST_LANES` (default 16), `BIST_WORKERS` (default 0 = all
+//! cores), `BIST_SERVE_MIN_RATIO_X` (default 80), `BIST_SEED`.
+
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::Resolution;
+use bist_bench::{record_metrics, Scenario};
+use bist_core::config::BistConfig;
+use bist_core::dynamic::DynamicConfig;
+use bist_core::pool;
+use bist_core::ring::Enqueue;
+use bist_core::screener::{Screener, Workload};
+use bist_core::shard::JobKind;
+use bist_mc::batch::Batch;
+use bist_serve::{submission_rng, ServiceConfig, ServiceHandle, Submission};
+use std::time::Instant;
+
+const SEED_MIX: u64 = 0x9e37_79b9;
+
+fn main() {
+    let mut clean = true;
+    Scenario::run("service_soak", |sc| clean = run(sc));
+    if !clean {
+        eprintln!("service_soak: divergence or service-contract failure — failing the run");
+        std::process::exit(1);
+    }
+}
+
+fn static_workload() -> Workload {
+    let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(6)
+        .build()
+        .expect("paper operating point");
+    Workload::static_ramp(config)
+}
+
+fn dyn_workload() -> Workload {
+    Workload::dynamic_sine(DynamicConfig::paper_default())
+}
+
+/// The soak fleet: mismatched six-bit devices, statics first, each
+/// submission carrying an id-derived RNG seed.
+fn fleet(seed: u64, n_static: usize, n_dyn: usize) -> Vec<Submission> {
+    let batch = Batch::paper_simulation(seed, n_static + n_dyn);
+    (0..n_static + n_dyn)
+        .map(|i| Submission {
+            id: i as u64,
+            kind: if i < n_static {
+                JobKind::Static
+            } else {
+                JobKind::Dynamic
+            },
+            adc: batch.device(i),
+            seed: seed ^ (i as u64).wrapping_mul(SEED_MIX),
+        })
+        .collect()
+}
+
+/// Reference verdicts by submission id from the one-shot engine, one
+/// `Screener::run` per workload group.
+fn reference(subs: &[Submission], lanes: usize) -> Vec<(u64, String)> {
+    let mut expect = Vec::new();
+    for (workload, kind) in [
+        (static_workload(), JobKind::Static),
+        (dyn_workload(), JobKind::Dynamic),
+    ] {
+        let group: Vec<&Submission> = subs.iter().filter(|s| s.kind == kind).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let reports = Screener::new(workload).lane_width(lanes).run(
+            group
+                .iter()
+                .map(|s| (s.adc.clone(), submission_rng(s.seed))),
+        );
+        for report in reports {
+            expect.push((group[report.device].id, format!("{:?}", report.verdict)));
+        }
+    }
+    expect.sort();
+    expect
+}
+
+/// Streams the whole fleet through `handle` — submissions interleaved
+/// with verdict receipts so a bounded pipeline never deadlocks — and
+/// returns the id-sorted verdicts.
+fn stream_fleet(handle: &ServiceHandle, subs: &[Submission]) -> Vec<(u64, String)> {
+    let mut got = Vec::with_capacity(subs.len());
+    for sub in subs {
+        let mut pending = sub.clone();
+        loop {
+            match handle.submit(pending) {
+                Enqueue::Accepted => break,
+                Enqueue::Busy(back) => {
+                    let v = handle.recv_verdict().expect("stream open");
+                    got.push((v.id, format!("{:?}", v.verdict)));
+                    pending = back;
+                }
+                Enqueue::Closed(_) => unreachable!("service closed mid-stream"),
+            }
+        }
+        // Opportunistically drain so the verdict ring stays shallow.
+        while let Some(v) = handle.try_recv_verdict() {
+            got.push((v.id, format!("{:?}", v.verdict)));
+        }
+    }
+    while got.len() < subs.len() {
+        let v = handle
+            .recv_verdict()
+            .expect("stream open while devices in flight");
+        got.push((v.id, format!("{:?}", v.verdict)));
+    }
+    got.sort();
+    got
+}
+
+fn run(sc: &mut Scenario) -> bool {
+    let devices = sc.usize_knob("BIST_DEVICES", 600);
+    let dyn_devices = sc.usize_knob("BIST_DYN_DEVICES", 96);
+    let lanes = sc.usize_knob("BIST_LANES", 16).max(1);
+    let min_ratio = sc.usize_knob("BIST_SERVE_MIN_RATIO_X", 80) as f64 / 100.0;
+    let workers = pool::resolve_workers(sc.workers());
+    let seed = sc.seed();
+    let total = devices + dyn_devices;
+
+    let subs = fleet(seed, devices, dyn_devices);
+    let expect = reference(&subs, lanes);
+
+    // --- Part 1: exactness and worker-count determinism -------------
+    let mut divergences = 0u64;
+    let mut checksums = Vec::new();
+    for service_workers in [1usize, 4] {
+        let handle = ServiceConfig::new()
+            .with_workload(static_workload())
+            .with_workload(dyn_workload())
+            .with_workers(service_workers)
+            .with_lane_width(lanes)
+            .start();
+        let got = stream_fleet(&handle, &subs);
+        let drain = handle.shutdown();
+        if drain.telemetry.completed != total as u64 {
+            println!(
+                "DIVERGENCE: service at {service_workers} workers completed {} of {total}",
+                drain.telemetry.completed
+            );
+            divergences += 1;
+        }
+        for ((gid, gv), (eid, ev)) in got.iter().zip(&expect) {
+            if gid != eid || gv != ev {
+                if divergences < 5 {
+                    println!(
+                        "DIVERGENCE ({service_workers} workers) device {gid}: \
+                         streamed {gv} vs Screener::run {ev}"
+                    );
+                }
+                divergences += 1;
+            }
+        }
+        let mut fnv = Fnv::new();
+        fnv.fold(&got);
+        checksums.push(fnv.finish());
+    }
+    let deterministic = checksums.windows(2).all(|w| w[0] == w[1]);
+    if !deterministic {
+        println!("DIVERGENCE: report checksums differ across worker counts: {checksums:x?}");
+    }
+    println!(
+        "exactness: {devices} static + {dyn_devices} dynamic devices streamed at \
+         1 and 4 workers → {divergences} divergences, checksum {:#018x}",
+        checksums[0]
+    );
+
+    // --- Part 2: streaming throughput vs the batched-pool floor -----
+    let pooled_rate = throughput(total, || {
+        let static_reports = Screener::new(static_workload())
+            .lane_width(lanes)
+            .workers(workers)
+            .run(
+                subs[..devices]
+                    .iter()
+                    .map(|s| (s.adc.clone(), submission_rng(s.seed))),
+            );
+        let dyn_reports = Screener::new(dyn_workload())
+            .lane_width(lanes)
+            .workers(workers)
+            .run(
+                subs[devices..]
+                    .iter()
+                    .map(|s| (s.adc.clone(), submission_rng(s.seed))),
+            );
+        std::hint::black_box(static_reports.len() + dyn_reports.len());
+    });
+    let handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workload(dyn_workload())
+        .with_workers(workers)
+        .with_lane_width(lanes)
+        .start();
+    let service_rate = throughput(total, || {
+        std::hint::black_box(stream_fleet(&handle, &subs).len());
+    });
+    let uptime_snapshot = handle.telemetry();
+    handle.shutdown();
+    let ratio = service_rate / pooled_rate.max(1e-9);
+    println!(
+        "throughput ({total} devices, {workers} workers × {lanes} lanes): \
+         pooled {pooled_rate:.0} dev/s, streamed {service_rate:.0} dev/s \
+         ({ratio:.2}x, floor {min_ratio:.2}x)"
+    );
+
+    // --- Part 3: overload stays bounded, drains without loss --------
+    const TINY_CAPACITY: usize = 4;
+    let overload = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workers(1)
+        .with_burst(2)
+        .with_submit_capacity(TINY_CAPACITY)
+        .with_verdict_capacity(TINY_CAPACITY)
+        .start();
+    let flood: Vec<&Submission> = subs[..devices.min(64)].iter().collect();
+    let mut busy_responses = 0u64;
+    let mut max_depth = 0u64;
+    let mut received = Vec::new();
+    for &sub in &flood {
+        let mut pending = sub.clone();
+        loop {
+            let depth = overload.telemetry().queue_depth;
+            max_depth = max_depth.max(depth);
+            match overload.submit(pending) {
+                Enqueue::Accepted => break,
+                Enqueue::Busy(back) => {
+                    busy_responses += 1;
+                    let v = overload.recv_verdict().expect("stream open");
+                    received.push(v.id);
+                    pending = back;
+                }
+                Enqueue::Closed(_) => unreachable!("service closed mid-flood"),
+            }
+        }
+    }
+    while received.len() < flood.len() {
+        received.push(overload.recv_verdict().expect("stream open").id);
+    }
+    received.sort_unstable();
+    let no_loss = received == flood.iter().map(|s| s.id).collect::<Vec<_>>();
+    let bounded = max_depth <= TINY_CAPACITY as u64;
+    overload.shutdown();
+    println!(
+        "overload: {} devices through {TINY_CAPACITY}-slot rings → {busy_responses} Busy, \
+         max sampled depth {max_depth} (bound {TINY_CAPACITY}), loss-free: {no_loss}",
+        flood.len()
+    );
+
+    // --- Part 4: shutdown drain + telemetry JSON contract -----------
+    let drain_service = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workers(2)
+        .start();
+    const IN_FLIGHT: usize = 32;
+    for sub in &subs[..IN_FLIGHT.min(devices)] {
+        assert!(drain_service.submit(sub.clone()).is_accepted());
+    }
+    let drain = drain_service.shutdown();
+    let drain_complete = drain.telemetry.completed == IN_FLIGHT.min(devices) as u64;
+    let json = drain.telemetry.to_json();
+    let parsed = record_metrics(&json);
+    let json_ok = ["submitted", "completed", "queue_depth", "devices_per_s"]
+        .iter()
+        .all(|k| parsed.iter().any(|(key, _)| key == k));
+    println!(
+        "shutdown: {} in-flight devices drained (complete: {drain_complete}), \
+         telemetry JSON exposes {} metrics (contract: {json_ok})",
+        IN_FLIGHT.min(devices),
+        parsed.len()
+    );
+
+    sc.metric_count("divergences", divergences + u64::from(!deterministic));
+    sc.metric_count("report_checksum", checksums[0]);
+    sc.metric("service_devices_per_s", service_rate);
+    sc.metric("pooled_devices_per_s", pooled_rate);
+    sc.metric("stream_ratio_x", ratio);
+    sc.metric_count("busy_responses", busy_responses);
+    sc.metric_count("max_queue_depth", max_depth);
+    sc.metric_count("workers", workers as u64);
+    sc.metric_count("lane_width", lanes as u64);
+    sc.metric("service_uptime_seconds", uptime_snapshot.uptime_seconds);
+    let path = sc.csv(
+        "service_soak.csv",
+        &["path", "devices_per_s", "ratio_x"],
+        &[
+            vec!["pooled".into(), format!("{pooled_rate:.1}"), "1.000".into()],
+            vec![
+                "streamed".into(),
+                format!("{service_rate:.1}"),
+                format!("{ratio:.3}"),
+            ],
+        ],
+    );
+    eprintln!("wrote {}", path.display());
+
+    let clean = devices > 0
+        && dyn_devices > 0
+        && divergences == 0
+        && deterministic
+        && ratio >= min_ratio
+        && busy_responses > 0
+        && bounded
+        && no_loss
+        && drain_complete
+        && json_ok;
+    if clean {
+        println!(
+            "reading: the resident service streams bit-identical verdicts at any worker \
+             count ({ratio:.2}x the"
+        );
+        println!(
+            "batched-pool floor), answers overload with Busy instead of growth, and \
+             completes every"
+        );
+        println!("accepted device through shutdown — the paper's screen, now a front door.");
+    } else {
+        println!(
+            "reading: GATE FAILED — divergences {divergences}, deterministic {deterministic}, \
+             ratio {ratio:.2}x (≥{min_ratio:.2}x?), busy {busy_responses} (>0?), \
+             bounded {bounded}, loss-free {no_loss}, drain {drain_complete}, json {json_ok}"
+        );
+    }
+    clean
+}
+
+/// FNV-1a folded over the id-sorted `(id, verdict)` pairs — the same
+/// order-sensitive fingerprint shape as `batched_fleet`, so two runs at
+/// different worker counts can be diffed from their JSON records.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn fold(&mut self, reports: &[(u64, String)]) {
+        for (id, verdict) in reports {
+            for b in format!("{id}:{verdict};").bytes() {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Devices/s of `pass`: one warm-up, then repeated passes until enough
+/// wall-clock accumulates for a stable rate.
+fn throughput(devices: usize, mut pass: impl FnMut()) -> f64 {
+    pass();
+    let start = Instant::now();
+    let mut screened = 0usize;
+    let mut passes = 0u32;
+    loop {
+        pass();
+        screened += devices;
+        passes += 1;
+        if (start.elapsed().as_secs_f64() > 0.3 && passes >= 2) || passes >= 64 {
+            break;
+        }
+    }
+    screened as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}

@@ -41,6 +41,12 @@
 //!   where each worker owns a reusable batch engine and claims small
 //!   device chunks from a shared atomic-cursor queue, merging reports
 //!   by device index so output is bit-identical for any worker count.
+//! * [`ring`] / [`shard`] — the resident-service substrate consumed by
+//!   `bist-serve`: a bounded MPMC ring with explicit backpressure
+//!   ([`ring::Enqueue`]) and a long-lived worker shard
+//!   ([`shard::ResidentShard`]) that keeps the batch engines warm
+//!   between bursts and streams id-tagged verdicts, allocation-free in
+//!   steady state.
 //! * [`screener`] — the [`screener::Screener`] front door tying it all
 //!   together: one builder for workload × backend × sequencing ×
 //!   worker count, over a fleet or a single device.
@@ -103,8 +109,10 @@ pub mod lsb_monitor;
 pub mod pool;
 pub mod qmin;
 pub mod report;
+pub mod ring;
 pub mod screener;
 pub mod sequencer;
+pub mod shard;
 pub mod static_params;
 pub mod yield_model;
 
@@ -119,6 +127,8 @@ pub use dynamic::{DynChecks, DynScratch, DynamicConfig, DynamicLimits, DynamicVe
 pub use harness::{BistOutcome, BistVerdict, Scratch};
 pub use limits::CountLimits;
 pub use qmin::QminPlan;
+pub use ring::{Enqueue, Ring};
 pub use screener::{ScreenReport, ScreenVerdict, Screener, Workload};
 pub use sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
+pub use shard::{JobKind, ResidentShard, ShardJob, ShardPlan, ShardVerdict};
 pub use yield_model::YieldModel;

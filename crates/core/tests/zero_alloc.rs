@@ -20,8 +20,10 @@ use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
 use bist_core::config::BistConfig;
 use bist_core::dynamic::DynamicConfig;
 use bist_core::pool::{drain_dyn, drain_static, DeviceQueue};
+use bist_core::ring::Ring;
 use bist_core::screener::{Screener, Workload};
 use bist_core::sequencer::SequencerConfig;
+use bist_core::shard::{JobKind, ResidentShard, ShardJob, ShardPlan, ShardVerdict};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -270,5 +272,58 @@ fn hot_path_is_allocation_free_after_warmup() {
     assert_eq!(
         pool_accepted, warm_pool_accepted,
         "reused worker engines must reproduce the warm pass verdicts"
+    );
+
+    // The resident service steady state (`bist-serve`): submissions
+    // enter a bounded ring, a resident shard screens the burst with
+    // warm engines, and verdicts leave through a second ring. The
+    // rings move items inside preallocated slots and the shard reuses
+    // its id table and batch engines, so after one warm burst the
+    // whole submit→verdict round trip must not allocate.
+    const SERVICE_BURST: u64 = 12;
+    let mut shard_plan = ShardPlan::for_workload(w_noisy);
+    shard_plan.dynamic_workload = Some(Workload::dynamic_sine(dyn_config).with_noise(dyn_noise));
+    shard_plan.lane_width = 4;
+    let mut shard = ResidentShard::new(&shard_plan, BehavioralBackend);
+    let submit: Ring<ShardJob<&TransferFunction, StdRng>> =
+        Ring::with_capacity(SERVICE_BURST as usize);
+    let verdict_ring: Ring<ShardVerdict> = Ring::with_capacity(SERVICE_BURST as usize);
+    let mut service_round = |accepted: &mut u32| {
+        for id in 0..SERVICE_BURST {
+            let job = ShardJob {
+                id,
+                kind: if id % 2 == 0 {
+                    JobKind::Static
+                } else {
+                    JobKind::Dynamic
+                },
+                adc: &adc,
+                rng: StdRng::seed_from_u64(id),
+            };
+            assert!(submit.try_push(job).is_accepted());
+        }
+        shard.process(std::iter::from_fn(|| submit.try_pop()), |verdict| {
+            assert!(verdict_ring.try_push(verdict).is_accepted());
+        });
+        while let Some(verdict) = verdict_ring.try_pop() {
+            *accepted += u32::from(verdict.verdict.accepted());
+        }
+    };
+
+    let mut warm_service_accepted = 0u32;
+    service_round(&mut warm_service_accepted);
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut service_accepted = 0u32;
+    service_round(&mut service_accepted);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "resident shard submit→verdict steady state allocated {} times after warm-up",
+        after - before
+    );
+    assert_eq!(
+        service_accepted, warm_service_accepted,
+        "the resident shard must reproduce the warm burst verdicts"
     );
 }

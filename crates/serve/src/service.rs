@@ -1,0 +1,655 @@
+//! The resident screening service: bounded ingest, resident worker
+//! shards, streamed verdicts, graceful drain.
+//!
+//! ```text
+//!  ServiceHandle::submit ──┐                         ┌─ in-process verdict ring ─ recv_verdict
+//!                          ▼                         │
+//!            bounded submit Ring<Job> ══ workers ════╡   (each worker: ResidentShard,
+//!                          ▲             (resident)  │    engines warm across bursts)
+//!  TCP sessions ───────────┘                         └─ per-session event ring ─ writer thread
+//! ```
+//!
+//! Every queue is a bounded [`Ring`], so overload surfaces as
+//! [`Enqueue::Busy`] at the front door (the submission handed back,
+//! never dropped) and a slow verdict consumer backpressures the
+//! workers (they block pushing, never buffer unboundedly). Workers are
+//! plain threads, each owning a [`ResidentShard`] whose batch engines
+//! stay warm between bursts — the steady state allocates nothing.
+//! Verdicts are tagged with submission ids, and because every engine
+//! verdict is bit-identical to the scalar screener for any lane
+//! width/refill order, any arrival order, burst grouping, or worker
+//! count streams back exactly the per-device reports
+//! [`Screener::run`](bist_core::screener::Screener::run) would emit.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bist_adc::transfer::TransferFunction;
+use bist_core::backend::BehavioralBackend;
+use bist_core::batch::DEFAULT_LANE_WIDTH;
+use bist_core::ring::{Enqueue, Ring};
+use bist_core::sequencer::SequencerConfig;
+use bist_core::shard::{JobKind, ResidentShard, ShardJob, ShardPlan, ShardVerdict};
+use bist_core::Workload;
+use rand::rngs::StdRng;
+
+use crate::protocol::{self, AckStatus, ClientFrame, ServerFrame};
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+
+/// Builds the device RNG for a submission seed — the service-side
+/// mirror of what a caller must use to reproduce a verdict with
+/// [`Screener::run`](bist_core::screener::Screener::run): the same
+/// seed through the one blessed seam, `bist_mc::batch::stream_rng`.
+pub fn submission_rng(seed: u64) -> StdRng {
+    bist_mc::batch::stream_rng(seed, &[])
+}
+
+/// One device submission: an id the verdict will echo, the workload to
+/// run, the device's transfer function, and the seed of its noise
+/// stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// Caller-chosen id, echoed on the matching verdict.
+    pub id: u64,
+    /// Which resident workload screens this device.
+    pub kind: JobKind,
+    /// The device under test.
+    pub adc: TransferFunction,
+    /// Seed of the device's noise/dither stream (expanded via
+    /// [`submission_rng`]).
+    pub seed: u64,
+}
+
+/// Configuration for a resident service — which workloads it is
+/// resident for, engine knobs, and queue bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Static workload, when the service screens [`JobKind::Static`]
+    /// submissions. Must be a [`Workload::Static`] variant.
+    pub static_workload: Option<Workload>,
+    /// Dynamic workload, when the service screens [`JobKind::Dynamic`]
+    /// submissions. Must be a [`Workload::Dynamic`] variant.
+    pub dynamic_workload: Option<Workload>,
+    /// Early-stop sequencing policy for both engines.
+    pub sequencer: Option<SequencerConfig>,
+    /// SoA lane width of each worker's batch engines.
+    pub lane_width: usize,
+    /// Worker-shard count (`0` = the host's available parallelism).
+    pub workers: usize,
+    /// Most submissions a worker claims per burst. Small bursts keep
+    /// latency low under light load; large ones amortise the claim.
+    pub burst: usize,
+    /// Capacity of the bounded submission queue — the backpressure
+    /// threshold at which `submit` answers [`Enqueue::Busy`].
+    pub submit_capacity: usize,
+    /// Capacity of each verdict ring (the in-process ring and each TCP
+    /// session's event ring).
+    pub verdict_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A config with no workloads resident yet — set at least one of
+    /// [`ServiceConfig::static_workload`] /
+    /// [`ServiceConfig::dynamic_workload`] before [`ServiceConfig::start`].
+    pub fn new() -> Self {
+        ServiceConfig {
+            static_workload: None,
+            dynamic_workload: None,
+            sequencer: None,
+            lane_width: DEFAULT_LANE_WIDTH,
+            workers: 0,
+            burst: 32,
+            submit_capacity: 1024,
+            verdict_capacity: 1024,
+        }
+    }
+
+    /// Makes the service resident for `workload` (either variant;
+    /// routed by the workload's kind).
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        match workload {
+            Workload::Static { .. } => self.static_workload = Some(workload),
+            Workload::Dynamic { .. } => self.dynamic_workload = Some(workload),
+        }
+        self
+    }
+
+    /// Screens under the early-stop sequencer.
+    pub fn with_sequencer(mut self, policy: SequencerConfig) -> Self {
+        self.sequencer = Some(policy);
+        self
+    }
+
+    /// Sets the worker-shard count (`0` = available parallelism).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the engines' SoA lane width (≥ 1).
+    pub fn with_lane_width(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "the service needs at least one lane");
+        self.lane_width = lanes;
+        self
+    }
+
+    /// Sets the per-burst claim bound (≥ 1).
+    pub fn with_burst(mut self, burst: usize) -> Self {
+        assert!(burst >= 1, "the service needs a positive burst");
+        self.burst = burst;
+        self
+    }
+
+    /// Sets the submission-queue capacity (≥ 1).
+    pub fn with_submit_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "the submit queue needs capacity");
+        self.submit_capacity = capacity;
+        self
+    }
+
+    /// Sets each verdict ring's capacity (≥ 1).
+    pub fn with_verdict_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity >= 1, "the verdict rings need capacity");
+        self.verdict_capacity = capacity;
+        self
+    }
+
+    /// Starts the resident service: spawns the worker shards and
+    /// returns the handle that submits, receives and shuts down.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no workload is resident.
+    pub fn start(self) -> ServiceHandle {
+        ServiceHandle::start(self)
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::new()
+    }
+}
+
+/// Where a submission's verdict is delivered.
+#[derive(Debug, Clone)]
+enum Reply {
+    /// The handle's in-process verdict ring.
+    Local(Arc<Ring<ShardVerdict>>),
+    /// A TCP session's event ring.
+    Session(Arc<Session>),
+}
+
+impl Reply {
+    /// Delivers one verdict, blocking on a full ring (backpressure) —
+    /// a closed ring means the consumer is gone, so the verdict is
+    /// released (the device *was* screened; nobody is listening).
+    fn deliver(&self, verdict: ShardVerdict) {
+        match self {
+            Reply::Local(ring) => {
+                let _ = ring.push(verdict);
+            }
+            Reply::Session(session) => {
+                let _ = session.events.push(SessionEvent::Verdict(verdict));
+            }
+        }
+    }
+}
+
+/// One queued unit of work: a submission, its expanded RNG, and where
+/// the verdict goes.
+#[derive(Debug)]
+struct Job {
+    id: u64,
+    kind: JobKind,
+    adc: TransferFunction,
+    seed: u64,
+    rng: StdRng,
+    reply: Reply,
+}
+
+impl Job {
+    fn into_submission(self) -> Submission {
+        Submission {
+            id: self.id,
+            kind: self.kind,
+            adc: self.adc,
+            seed: self.seed,
+        }
+    }
+}
+
+/// State shared by the handle, the workers and every TCP session.
+#[derive(Debug)]
+struct SvcShared {
+    submit: Ring<Job>,
+    telemetry: Telemetry,
+    plan: ShardPlan,
+    burst: usize,
+    verdict_capacity: usize,
+}
+
+impl SvcShared {
+    fn accepts(&self, kind: JobKind) -> bool {
+        match kind {
+            JobKind::Static => self.plan.static_workload.is_some(),
+            JobKind::Dynamic => self.plan.dynamic_workload.is_some(),
+        }
+    }
+
+    /// The ingest seam shared by the in-process and TCP doors.
+    fn submit_job(&self, sub: Submission, reply: Reply) -> Enqueue<Submission> {
+        assert!(
+            self.accepts(sub.kind),
+            "service is not resident for {:?} submissions",
+            sub.kind
+        );
+        let rng = submission_rng(sub.seed);
+        let job = Job {
+            id: sub.id,
+            kind: sub.kind,
+            adc: sub.adc,
+            seed: sub.seed,
+            rng,
+            reply,
+        };
+        match self.submit.try_push(job) {
+            Enqueue::Accepted => {
+                self.telemetry.count_submit(true);
+                Enqueue::Accepted
+            }
+            Enqueue::Busy(job) => {
+                self.telemetry.count_submit(false);
+                Enqueue::Busy(job.into_submission())
+            }
+            Enqueue::Closed(job) => Enqueue::Closed(job.into_submission()),
+        }
+    }
+
+    fn snapshot(&self, verdict_depth: u64) -> TelemetrySnapshot {
+        self.telemetry
+            .snapshot(self.submit.len() as u64, verdict_depth)
+    }
+}
+
+// bist-lint: hot-path — resident worker steady state: claim a burst, screen it, stream verdicts
+/// One worker shard's life: block on the submit ring, top the burst up
+/// without blocking, screen it through the resident engines, stream
+/// each verdict to its submitter. Exits when the ring is closed and
+/// drained, so accepted devices always complete. The burst and route
+/// buffers are caller-owned so this loop allocates nothing once warm.
+fn worker_loop(
+    shared: &SvcShared,
+    shard: &mut ResidentShard<TransferFunction, StdRng, BehavioralBackend>,
+    jobs: &mut Vec<Job>,
+    routes: &mut Vec<(u64, Reply)>,
+) {
+    while let Some(first) = shared.submit.pop() {
+        jobs.push(first);
+        while jobs.len() < shared.burst {
+            match shared.submit.try_pop() {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        routes.clear();
+        for job in jobs.iter() {
+            routes.push((job.id, job.reply.clone()));
+        }
+        let telemetry = &shared.telemetry;
+        shard.process(
+            jobs.drain(..).map(|job| ShardJob {
+                id: job.id,
+                kind: job.kind,
+                adc: job.adc,
+                rng: job.rng,
+            }),
+            |verdict| {
+                telemetry.count_verdict(&verdict);
+                let (_, reply) = routes
+                    .iter()
+                    .find(|(id, _)| *id == verdict.id)
+                    .expect("verdict id routed from this burst");
+                reply.deliver(verdict);
+            },
+        );
+    }
+}
+
+/// What [`ServiceHandle::shutdown`] drained: the verdicts of every
+/// device still in flight when shutdown began (beyond those already
+/// received), plus the final telemetry.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// Verdicts completed during the drain, in completion order.
+    pub verdicts: Vec<ShardVerdict>,
+    /// Final counter snapshot.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// A running resident service. Dropping the handle shuts the service
+/// down (without draining); prefer [`ServiceHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServiceHandle {
+    shared: Arc<SvcShared>,
+    verdicts: Arc<Ring<ShardVerdict>>,
+    workers: Vec<JoinHandle<()>>,
+    listener: Option<ListenerHandle>,
+}
+
+#[derive(Debug)]
+struct ListenerHandle {
+    thread: JoinHandle<()>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServiceHandle {
+    /// Starts the service described by `config` (see
+    /// [`ServiceConfig::start`]).
+    pub fn start(config: ServiceConfig) -> ServiceHandle {
+        assert!(
+            config.static_workload.is_some() || config.dynamic_workload.is_some(),
+            "the service needs at least one resident workload"
+        );
+        let plan = ShardPlan {
+            static_workload: config.static_workload,
+            dynamic_workload: config.dynamic_workload,
+            sequencer: config.sequencer,
+            lane_width: config.lane_width,
+        };
+        let shared = Arc::new(SvcShared {
+            submit: Ring::with_capacity(config.submit_capacity),
+            telemetry: Telemetry::new(),
+            plan,
+            burst: config.burst.max(1),
+            verdict_capacity: config.verdict_capacity,
+        });
+        let verdicts = Arc::new(Ring::with_capacity(config.verdict_capacity));
+        let workers = (0..bist_core::pool::resolve_workers(config.workers))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bist-serve-worker-{i}"))
+                    .spawn(move || {
+                        let mut shard = ResidentShard::new(&shared.plan, BehavioralBackend);
+                        let mut jobs = Vec::with_capacity(shared.burst);
+                        let mut routes = Vec::with_capacity(shared.burst);
+                        worker_loop(&shared, &mut shard, &mut jobs, &mut routes);
+                    })
+                    .expect("spawn worker shard")
+            })
+            .collect();
+        ServiceHandle {
+            shared,
+            verdicts,
+            workers,
+            listener: None,
+        }
+    }
+
+    /// Submits one device through the in-process front door. The
+    /// verdict streams to [`ServiceHandle::recv_verdict`] tagged with
+    /// `sub.id`. [`Enqueue::Busy`] hands the submission back — drain
+    /// some verdicts, then retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the service is not resident for `sub.kind` — a
+    /// routing bug, not load.
+    pub fn submit(&self, sub: Submission) -> Enqueue<Submission> {
+        self.shared
+            .submit_job(sub, Reply::Local(Arc::clone(&self.verdicts)))
+    }
+
+    /// Receives the next verdict, blocking until one arrives. `None`
+    /// only after [`ServiceHandle::shutdown`] closed the stream.
+    pub fn recv_verdict(&self) -> Option<ShardVerdict> {
+        self.verdicts.pop()
+    }
+
+    /// Receives the next verdict without blocking.
+    pub fn try_recv_verdict(&self) -> Option<ShardVerdict> {
+        self.verdicts.try_pop()
+    }
+
+    /// A live telemetry snapshot.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.snapshot(self.verdicts.len() as u64)
+    }
+
+    /// Opens the TCP front door on `127.0.0.1` (port 0 = ephemeral),
+    /// returning the bound address. One listener per service.
+    pub fn serve_tcp(&mut self, port: u16) -> std::io::Result<SocketAddr> {
+        assert!(self.listener.is_none(), "the TCP door is already open");
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let shared = Arc::clone(&self.shared);
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("bist-serve-listener".to_owned())
+            .spawn(move || listener_loop(listener, shared, stop_flag))
+            .expect("spawn listener");
+        self.listener = Some(ListenerHandle { thread, addr, stop });
+        Ok(addr)
+    }
+
+    /// The TCP door's address, when open.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.as_ref().map(|l| l.addr)
+    }
+
+    /// Gracefully stops the service: closes the front door, lets the
+    /// workers drain every queued submission, and collects the
+    /// verdicts of the drained devices (in-process submissions only;
+    /// TCP sessions stream theirs to their own clients). Devices
+    /// accepted before shutdown are never dropped.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.shared.submit.close();
+        let mut verdicts = Vec::new();
+        loop {
+            while let Some(v) = self.verdicts.try_pop() {
+                verdicts.push(v);
+            }
+            if self.workers.iter().all(JoinHandle::is_finished) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        while let Some(v) = self.verdicts.try_pop() {
+            verdicts.push(v);
+        }
+        self.verdicts.close();
+        self.stop_listener();
+        let telemetry = self.shared.snapshot(0);
+        DrainReport {
+            verdicts,
+            telemetry,
+        }
+    }
+
+    fn stop_listener(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            // ORDERING: Relaxed — the wake-up connect below forms the
+            // actual synchronization: accept() returns after this
+            // store, and the listener re-reads the flag per iteration.
+            listener.stop.store(true, Ordering::Relaxed);
+            let _ = TcpStream::connect(listener.addr);
+            let _ = listener.thread.join();
+        }
+    }
+}
+
+impl Drop for ServiceHandle {
+    fn drop(&mut self) {
+        self.shared.submit.close();
+        self.verdicts.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stop_listener();
+    }
+}
+
+/// Per-TCP-session state shared between its reader and writer threads.
+#[derive(Debug)]
+struct Session {
+    /// Events bound for the client, in delivery order. The writer
+    /// thread is the stream's only writer; acks, verdicts and
+    /// telemetry all funnel through here.
+    events: Ring<SessionEvent>,
+    /// Number of accepted submissions, published by the reader when
+    /// the client says `Done`; `u64::MAX` until then.
+    expected: AtomicU64,
+}
+
+#[derive(Debug)]
+enum SessionEvent {
+    Ack {
+        id: u64,
+        status: AckStatus,
+    },
+    Verdict(ShardVerdict),
+    Telemetry(String),
+    /// The reader finished; the writer re-checks its exit condition.
+    Flush,
+}
+
+fn listener_loop(listener: TcpListener, shared: Arc<SvcShared>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        // ORDERING: Relaxed — see stop_listener: the wake-up connect
+        // synchronizes shutdown; this flag only has to become visible
+        // eventually, and the accept wake guarantees a fresh check.
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let session = Arc::new(Session {
+            events: Ring::with_capacity(shared.verdict_capacity),
+            expected: AtomicU64::new(u64::MAX),
+        });
+        let Ok(write_half) = stream.try_clone() else {
+            continue;
+        };
+        let writer_session = Arc::clone(&session);
+        let writer = std::thread::Builder::new()
+            .name("bist-serve-session-writer".to_owned())
+            .spawn(move || session_writer(write_half, writer_session));
+        if writer.is_err() {
+            continue;
+        }
+        let reader_shared = Arc::clone(&shared);
+        let spawned = std::thread::Builder::new()
+            .name("bist-serve-session-reader".to_owned())
+            .spawn(move || session_reader(stream, reader_shared, session));
+        let _ = spawned;
+    }
+}
+
+/// Parses client frames and feeds the ingest seam. All session replies
+/// (acks, telemetry) travel through the event ring so the writer owns
+/// the stream exclusively.
+fn session_reader(stream: TcpStream, shared: Arc<SvcShared>, session: Arc<Session>) {
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let mut accepted = 0u64;
+    while let Ok(Some(bytes)) = protocol::read_frame(&mut reader, &mut buf) {
+        match ClientFrame::decode(bytes) {
+            Ok(ClientFrame::Submit(sub)) => {
+                let id = sub.id;
+                let status = if !shared.accepts(sub.kind) {
+                    AckStatus::Rejected
+                } else {
+                    match shared.submit_job(sub, Reply::Session(Arc::clone(&session))) {
+                        Enqueue::Accepted => {
+                            accepted += 1;
+                            AckStatus::Accepted
+                        }
+                        Enqueue::Busy(_) => AckStatus::Busy,
+                        Enqueue::Closed(_) => AckStatus::Rejected,
+                    }
+                };
+                if session
+                    .events
+                    .push(SessionEvent::Ack { id, status })
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            Ok(ClientFrame::Telemetry) => {
+                let json = shared.snapshot(session.events.len() as u64).to_json();
+                if session.events.push(SessionEvent::Telemetry(json)).is_err() {
+                    break;
+                }
+            }
+            Ok(ClientFrame::Done) | Err(_) => break,
+        }
+    }
+    // ORDERING: Relaxed — the event ring's mutex orders this store:
+    // the writer reads `expected` only after popping the Flush event
+    // pushed below (or any later event), which happens-after the push,
+    // which happens-after this store in program order under the lock.
+    session.expected.store(accepted, Ordering::Relaxed);
+    let _ = session.events.push(SessionEvent::Flush);
+}
+
+/// Streams session events to the client, finishing once every accepted
+/// verdict has been delivered after the reader is done.
+fn session_writer(stream: TcpStream, session: Arc<Session>) {
+    let mut writer = BufWriter::new(stream);
+    let mut frame = Vec::new();
+    let mut delivered = 0u64;
+    // Finishing is gated on having popped the Flush event itself — not
+    // just on the `expected` atomic, which becomes visible before
+    // Flush pops. The ring is FIFO, so once Flush is out every ack and
+    // telemetry event the reader queued before it has already been
+    // written; only in-flight verdicts can remain after it.
+    let mut input_done = false;
+    loop {
+        if input_done {
+            // ORDERING: Relaxed — stored before the Flush push; the
+            // ring's mutex makes it visible once Flush has popped (see
+            // session_reader), which `input_done` asserts.
+            let expected = session.expected.load(Ordering::Relaxed);
+            if delivered >= expected {
+                ServerFrame::Finished.encode(&mut frame);
+                let _ = protocol::write_frame(&mut writer, &frame);
+                let _ = writer.flush();
+                break;
+            }
+        }
+        let Some(event) = session.events.pop() else {
+            break;
+        };
+        let server_frame = match event {
+            SessionEvent::Ack { id, status } => Some(ServerFrame::Ack { id, status }),
+            SessionEvent::Verdict(v) => {
+                delivered += 1;
+                Some(ServerFrame::Verdict(v))
+            }
+            SessionEvent::Telemetry(json) => Some(ServerFrame::Telemetry(json)),
+            SessionEvent::Flush => {
+                input_done = true;
+                None
+            }
+        };
+        if let Some(sf) = server_frame {
+            sf.encode(&mut frame);
+            if protocol::write_frame(&mut writer, &frame).is_err() || writer.flush().is_err() {
+                break;
+            }
+        }
+    }
+    // Unblocks workers still delivering to a dead session: their
+    // pushes fail fast instead of blocking forever.
+    session.events.close();
+}

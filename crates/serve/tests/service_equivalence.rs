@@ -1,0 +1,131 @@
+//! The service invariant, property-tested: for any fleet size, worker
+//! count 1–16, lane width, arrival order, and static/dynamic mix, the
+//! verdicts a resident service streams back are bit-identical to what
+//! `Screener::run` reports for the same devices with the same
+//! per-submission RNG streams.
+
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::Resolution;
+use bist_core::config::BistConfig;
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{Screener, Workload};
+use bist_mc::batch::Batch;
+use bist_serve::{submission_rng, JobKind, ServiceConfig, Submission};
+use proptest::prelude::*;
+
+fn static_workload() -> Workload {
+    let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(5)
+        .build()
+        .expect("paper-range counter");
+    Workload::static_ramp(config)
+}
+
+/// A short coherent record keeps each case cheap while exercising the
+/// Goertzel bank and lane pairing.
+fn dyn_workload() -> Workload {
+    Workload::dynamic_sine(DynamicConfig::new(Resolution::SIX_BIT, 512, 127).expect("coherent"))
+}
+
+/// The submissions of one generated fleet: mismatched six-bit devices,
+/// ids 0..n, statics first, each with a seed derived from its id.
+fn fleet(fleet_seed: u64, n_static: usize, n_dyn: usize) -> Vec<Submission> {
+    let batch = Batch::paper_simulation(fleet_seed, n_static + n_dyn);
+    (0..n_static + n_dyn)
+        .map(|i| Submission {
+            id: i as u64,
+            kind: if i < n_static {
+                JobKind::Static
+            } else {
+                JobKind::Dynamic
+            },
+            adc: batch.device(i),
+            seed: fleet_seed ^ (i as u64).wrapping_mul(0x9e3779b9),
+        })
+        .collect()
+}
+
+/// Reference verdicts by submission id, via one `Screener::run` per
+/// workload (single-worker in-thread engine). Rendered to `Debug`
+/// strings so NaN-bearing dynamic verdicts still compare exactly.
+fn reference(subs: &[Submission]) -> Vec<(u64, String)> {
+    let mut expect = Vec::new();
+    for (workload, kind) in [
+        (static_workload(), JobKind::Static),
+        (dyn_workload(), JobKind::Dynamic),
+    ] {
+        let group: Vec<&Submission> = subs.iter().filter(|s| s.kind == kind).collect();
+        if group.is_empty() {
+            continue;
+        }
+        let reports = Screener::new(workload).run(
+            group
+                .iter()
+                .map(|s| (s.adc.clone(), submission_rng(s.seed))),
+        );
+        for report in reports {
+            expect.push((group[report.device].id, format!("{:?}", report.verdict)));
+        }
+    }
+    expect.sort();
+    expect
+}
+
+/// A permutation of 0..n derived from `seed` (Fisher–Yates over a
+/// splitmix stream), so arrival order is an explored dimension.
+fn arrival_order(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut state = seed;
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Streamed verdicts ≡ `Screener::run`, any workers × lanes ×
+    /// arrival order × workload mix.
+    #[test]
+    fn streamed_verdicts_match_screener_run(
+        fleet_seed in any::<u64>(),
+        n_static in 0usize..12,
+        n_dyn in 0usize..5,
+        workers in 1usize..17,
+        lanes in 1usize..9,
+        order_seed in any::<u64>(),
+    ) {
+        prop_assume!(n_static + n_dyn > 0);
+        let subs = fleet(fleet_seed, n_static, n_dyn);
+        let expect = reference(&subs);
+
+        let handle = ServiceConfig::new()
+            .with_workload(static_workload())
+            .with_workload(dyn_workload())
+            .with_workers(workers)
+            .with_lane_width(lanes)
+            .with_burst(4)
+            .start();
+        for &i in &arrival_order(subs.len(), order_seed) {
+            let enq = handle.submit(subs[i].clone());
+            prop_assert!(enq.is_accepted(), "default capacity fits the whole fleet");
+        }
+        let mut got = Vec::new();
+        for _ in 0..subs.len() {
+            let v = handle.recv_verdict().expect("stream open while devices in flight");
+            got.push((v.id, format!("{:?}", v.verdict)));
+        }
+        got.sort();
+        prop_assert_eq!(got, expect);
+
+        let report = handle.shutdown();
+        prop_assert_eq!(report.telemetry.completed, subs.len() as u64);
+        prop_assert_eq!(report.telemetry.submitted, subs.len() as u64);
+        prop_assert!(report.verdicts.is_empty(), "every verdict was already received");
+    }
+}

@@ -1,0 +1,228 @@
+//! Full TCP round trips against a live service: submissions go out as
+//! length-prefixed frames, acks and verdicts stream back, telemetry
+//! arrives as flat perf-record JSON, and `Done` elicits `Finished`
+//! only after every accepted verdict has been delivered.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use bist_adc::spec::LinearitySpec;
+use bist_adc::types::Resolution;
+use bist_core::config::BistConfig;
+use bist_core::dynamic::DynamicConfig;
+use bist_core::screener::{Screener, Workload};
+use bist_mc::batch::Batch;
+use bist_serve::protocol::{read_frame, write_frame};
+use bist_serve::{
+    submission_rng, AckStatus, ClientFrame, JobKind, ServerFrame, ServiceConfig, Submission,
+};
+
+fn static_workload() -> Workload {
+    let config = BistConfig::builder(Resolution::SIX_BIT, LinearitySpec::paper_stringent())
+        .counter_bits(5)
+        .build()
+        .expect("paper-range counter");
+    Workload::static_ramp(config)
+}
+
+fn dyn_workload() -> Workload {
+    Workload::dynamic_sine(DynamicConfig::new(Resolution::SIX_BIT, 512, 127).expect("coherent"))
+}
+
+fn send(stream: &mut TcpStream, frame: &ClientFrame) {
+    let mut payload = Vec::new();
+    frame.encode(&mut payload);
+    write_frame(stream, &payload).expect("write frame");
+    stream.flush().expect("flush");
+}
+
+fn recv(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<ServerFrame> {
+    let bytes = read_frame(stream, buf).expect("read frame")?;
+    Some(ServerFrame::decode(bytes).expect("decode server frame"))
+}
+
+/// Eight mixed devices over TCP: every submission acked `Accepted`,
+/// every verdict bit-identical to `Screener::run`, telemetry parseable,
+/// `Finished` after the last verdict.
+#[test]
+fn tcp_session_streams_reference_verdicts() {
+    const N_STATIC: usize = 5;
+    const N_DYN: usize = 3;
+    let mut handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workload(dyn_workload())
+        .with_workers(2)
+        .start();
+    let addr = handle.serve_tcp(0).expect("bind localhost");
+
+    let batch = Batch::paper_simulation(1997, N_STATIC + N_DYN);
+    let subs: Vec<Submission> = (0..N_STATIC + N_DYN)
+        .map(|i| Submission {
+            id: i as u64,
+            kind: if i < N_STATIC {
+                JobKind::Static
+            } else {
+                JobKind::Dynamic
+            },
+            adc: batch.device(i),
+            seed: 7 + i as u64,
+        })
+        .collect();
+
+    // Reference verdicts from the one-shot engine, keyed by id.
+    let mut expect = Vec::new();
+    for (workload, kind) in [
+        (static_workload(), JobKind::Static),
+        (dyn_workload(), JobKind::Dynamic),
+    ] {
+        let group: Vec<&Submission> = subs.iter().filter(|s| s.kind == kind).collect();
+        let reports = Screener::new(workload).run(
+            group
+                .iter()
+                .map(|s| (s.adc.clone(), submission_rng(s.seed))),
+        );
+        for report in reports {
+            expect.push((group[report.device].id, format!("{:?}", report.verdict)));
+        }
+    }
+    expect.sort();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    for sub in &subs {
+        send(&mut stream, &ClientFrame::Submit(sub.clone()));
+    }
+    send(&mut stream, &ClientFrame::Telemetry);
+    send(&mut stream, &ClientFrame::Done);
+
+    let mut buf = Vec::new();
+    let mut acks = Vec::new();
+    let mut got = Vec::new();
+    let mut telemetry_json = None;
+    let mut finished = false;
+    while let Some(frame) = recv(&mut stream, &mut buf) {
+        match frame {
+            ServerFrame::Ack { id, status } => {
+                assert_eq!(status, AckStatus::Accepted, "device {id} should queue");
+                acks.push(id);
+            }
+            ServerFrame::Verdict(v) => got.push((v.id, format!("{:?}", v.verdict))),
+            ServerFrame::Telemetry(json) => telemetry_json = Some(json),
+            ServerFrame::Finished => {
+                finished = true;
+                break;
+            }
+        }
+    }
+    assert!(finished, "session must end with Finished");
+    acks.sort_unstable();
+    assert_eq!(acks, (0..subs.len() as u64).collect::<Vec<_>>());
+    got.sort();
+    assert_eq!(got, expect, "TCP verdicts must match Screener::run");
+
+    let json = telemetry_json.expect("telemetry snapshot requested");
+    assert!(json.contains("\"metrics\""), "snapshot is perf-record JSON");
+    assert!(json.contains("\"scenario\": \"bist_serve_telemetry\""));
+
+    let report = handle.shutdown();
+    assert_eq!(report.telemetry.completed, subs.len() as u64);
+}
+
+/// A service resident for statics only rejects dynamic submissions
+/// with an explicit ack — and still screens the statics that follow.
+#[test]
+fn unrouted_kind_is_rejected_not_dropped() {
+    let mut handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workers(1)
+        .start();
+    let addr = handle.serve_tcp(0).expect("bind localhost");
+
+    let batch = Batch::paper_simulation(3, 2);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    send(
+        &mut stream,
+        &ClientFrame::Submit(Submission {
+            id: 0,
+            kind: JobKind::Dynamic,
+            adc: batch.device(0),
+            seed: 0,
+        }),
+    );
+    send(
+        &mut stream,
+        &ClientFrame::Submit(Submission {
+            id: 1,
+            kind: JobKind::Static,
+            adc: batch.device(1),
+            seed: 1,
+        }),
+    );
+    send(&mut stream, &ClientFrame::Done);
+
+    let mut buf = Vec::new();
+    let mut verdict_ids = Vec::new();
+    let mut statuses = Vec::new();
+    while let Some(frame) = recv(&mut stream, &mut buf) {
+        match frame {
+            ServerFrame::Ack { id, status } => statuses.push((id, status)),
+            ServerFrame::Verdict(v) => verdict_ids.push(v.id),
+            ServerFrame::Telemetry(_) => {}
+            ServerFrame::Finished => break,
+        }
+    }
+    statuses.sort_by_key(|&(id, _)| id);
+    assert_eq!(
+        statuses,
+        vec![(0, AckStatus::Rejected), (1, AckStatus::Accepted)]
+    );
+    assert_eq!(verdict_ids, vec![1], "only the accepted device verdicts");
+    handle.shutdown();
+}
+
+/// Malformed bytes close the session without taking the service down:
+/// a fresh connection afterwards still screens devices.
+#[test]
+fn malformed_frame_closes_session_service_survives() {
+    let mut handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workers(1)
+        .start();
+    let addr = handle.serve_tcp(0).expect("bind localhost");
+
+    {
+        let mut bad = TcpStream::connect(addr).expect("connect");
+        // A frame with an unknown tag: the server drops the session.
+        write_frame(&mut bad, &[0x5a, 1, 2, 3]).expect("write");
+        bad.flush().expect("flush");
+        let mut buf = Vec::new();
+        // Read until EOF; the server may or may not flush partial
+        // events first but must close.
+        while read_frame(&mut bad, &mut buf).ok().flatten().is_some() {}
+    }
+
+    let mut stream = TcpStream::connect(addr).expect("service still listening");
+    send(
+        &mut stream,
+        &ClientFrame::Submit(Submission {
+            id: 42,
+            kind: JobKind::Static,
+            adc: Batch::paper_simulation(11, 1).device(0),
+            seed: 11,
+        }),
+    );
+    send(&mut stream, &ClientFrame::Done);
+    let mut buf = Vec::new();
+    let mut verdicts = 0;
+    while let Some(frame) = recv(&mut stream, &mut buf) {
+        match frame {
+            ServerFrame::Verdict(v) => {
+                assert_eq!(v.id, 42);
+                verdicts += 1;
+            }
+            ServerFrame::Finished => break,
+            _ => {}
+        }
+    }
+    assert_eq!(verdicts, 1, "the service survives a poisoned session");
+    handle.shutdown();
+}

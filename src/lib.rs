@@ -10,6 +10,8 @@
 //! * [`rtl`] — cycle-accurate on-chip BIST circuitry and area model.
 //! * [`core`] — the BIST method, error theory and harnesses.
 //! * [`mc`] — Monte-Carlo batches and experiment drivers.
+//! * [`serve`] — the resident fleet-screening service (backpressured
+//!   ingest, streamed verdicts, live telemetry).
 //!
 //! See the repository README for the architecture overview and
 //! EXPERIMENTS.md for paper-vs-reproduced results.
@@ -45,3 +47,4 @@ pub use bist_core as core;
 pub use bist_dsp as dsp;
 pub use bist_mc as mc;
 pub use bist_rtl as rtl;
+pub use bist_serve as serve;
