@@ -147,9 +147,18 @@ pub fn read_frame<'a>(r: &mut impl Read, buf: &'a mut Vec<u8>) -> io::Result<Opt
     Ok(Some(&buf[..]))
 }
 
-/// Writes one length-prefixed frame (`payload` = tag + body).
+/// Writes one length-prefixed frame (`payload` = tag + body). An empty
+/// or over-[`MAX_FRAME`] payload fails here at the sender with
+/// [`io::ErrorKind::InvalidInput`] — framing it anyway would make the
+/// peer abort the whole session with `InvalidData` (and a payload past
+/// `u32::MAX` would silently wrap in the length prefix).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    debug_assert!(!payload.is_empty() && payload.len() <= MAX_FRAME);
+    if payload.is_empty() || payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame payload {} outside 1..={MAX_FRAME}", payload.len()),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)
 }

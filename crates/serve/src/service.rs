@@ -194,7 +194,11 @@ impl Reply {
                 let _ = ring.push(verdict);
             }
             Reply::Session(session) => {
-                let _ = session.events.push(SessionEvent::Verdict(verdict));
+                if session.events.push(SessionEvent::Verdict(verdict)).is_ok() {
+                    // ORDERING: Relaxed — telemetry gauge only; the
+                    // event ring's mutex orders the verdict itself.
+                    session.verdict_depth.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -282,6 +286,13 @@ impl SvcShared {
 /// each verdict to its submitter. Exits when the ring is closed and
 /// drained, so accepted devices always complete. The burst and route
 /// buffers are caller-owned so this loop allocates nothing once warm.
+///
+/// Verdicts are routed by burst slot index, not by the caller-chosen
+/// submission id: ids are only unique per client, and one burst mixes
+/// jobs from every TCP session plus the in-process handle, so two
+/// clients reusing the same id must still each get their own verdict.
+/// The shard echoes the slot index we tag each [`ShardJob`] with; the
+/// `routes` table restores the caller's id before delivery.
 fn worker_loop(
     shared: &SvcShared,
     shard: &mut ResidentShard<TransferFunction, StdRng, BehavioralBackend>,
@@ -302,18 +313,19 @@ fn worker_loop(
         }
         let telemetry = &shared.telemetry;
         shard.process(
-            jobs.drain(..).map(|job| ShardJob {
-                id: job.id,
+            jobs.drain(..).enumerate().map(|(slot, job)| ShardJob {
+                id: slot as u64,
                 kind: job.kind,
                 adc: job.adc,
                 rng: job.rng,
             }),
             |verdict| {
+                let (id, reply) = &routes[verdict.id as usize];
+                let verdict = ShardVerdict {
+                    id: *id,
+                    verdict: verdict.verdict,
+                };
                 telemetry.count_verdict(&verdict);
-                let (_, reply) = routes
-                    .iter()
-                    .find(|(id, _)| *id == verdict.id)
-                    .expect("verdict id routed from this burst");
                 reply.deliver(verdict);
             },
         );
@@ -509,6 +521,11 @@ struct Session {
     /// Number of accepted submissions, published by the reader when
     /// the client says `Done`; `u64::MAX` until then.
     expected: AtomicU64,
+    /// Verdicts sitting in `events` not yet written to the client —
+    /// the session's `verdict_depth` telemetry gauge. Tracked
+    /// separately because `events` also carries acks and telemetry,
+    /// which would overstate pending verdicts.
+    verdict_depth: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -535,6 +552,7 @@ fn listener_loop(listener: TcpListener, shared: Arc<SvcShared>, stop: Arc<Atomic
         let session = Arc::new(Session {
             events: Ring::with_capacity(shared.verdict_capacity),
             expected: AtomicU64::new(u64::MAX),
+            verdict_depth: AtomicU64::new(0),
         });
         let Ok(write_half) = stream.try_clone() else {
             continue;
@@ -547,10 +565,16 @@ fn listener_loop(listener: TcpListener, shared: Arc<SvcShared>, stop: Arc<Atomic
             continue;
         }
         let reader_shared = Arc::clone(&shared);
+        let reader_session = Arc::clone(&session);
         let spawned = std::thread::Builder::new()
             .name("bist-serve-session-reader".to_owned())
-            .spawn(move || session_reader(stream, reader_shared, session));
-        let _ = spawned;
+            .spawn(move || session_reader(stream, reader_shared, reader_session));
+        if spawned.is_err() {
+            // No reader will ever push Flush: close the event ring so
+            // the already-running writer's pop returns None and it
+            // exits instead of blocking on a dead session forever.
+            session.events.close();
+        }
     }
 }
 
@@ -586,7 +610,10 @@ fn session_reader(stream: TcpStream, shared: Arc<SvcShared>, session: Arc<Sessio
                 }
             }
             Ok(ClientFrame::Telemetry) => {
-                let json = shared.snapshot(session.events.len() as u64).to_json();
+                // ORDERING: Relaxed — telemetry gauge read; a
+                // momentarily stale depth is fine by design.
+                let pending = session.verdict_depth.load(Ordering::Relaxed);
+                let json = shared.snapshot(pending).to_json();
                 if session.events.push(SessionEvent::Telemetry(json)).is_err() {
                     break;
                 }
@@ -634,6 +661,9 @@ fn session_writer(stream: TcpStream, session: Arc<Session>) {
             SessionEvent::Ack { id, status } => Some(ServerFrame::Ack { id, status }),
             SessionEvent::Verdict(v) => {
                 delivered += 1;
+                // ORDERING: Relaxed — telemetry gauge only, mirroring
+                // the fetch_add in Reply::deliver.
+                session.verdict_depth.fetch_sub(1, Ordering::Relaxed);
                 Some(ServerFrame::Verdict(v))
             }
             SessionEvent::Telemetry(json) => Some(ServerFrame::Telemetry(json)),

@@ -160,7 +160,9 @@ pub struct TelemetrySnapshot {
     pub dyn_done: u64,
     /// Submission-queue occupancy at snapshot time.
     pub queue_depth: u64,
-    /// In-process verdict-ring occupancy at snapshot time.
+    /// Verdicts pending delivery to the snapshotting consumer: the
+    /// in-process verdict-ring occupancy for handle snapshots, or the
+    /// session's undelivered-verdict count for TCP snapshots.
     pub verdict_depth: u64,
     /// Seconds since the service started.
     pub uptime_seconds: f64,

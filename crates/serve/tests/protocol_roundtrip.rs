@@ -224,3 +224,16 @@ fn framing_rejects_oversize_and_truncation() {
     let mut reader = &wire[..];
     assert!(read_frame(&mut reader, &mut buf).is_err());
 }
+
+#[test]
+fn writer_rejects_out_of_bounds_payloads() {
+    // The sender fails fast (InvalidInput) instead of framing a
+    // payload the peer would abort the session over.
+    let mut wire = Vec::new();
+    let err = write_frame(&mut wire, &[]).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    let oversize = vec![0u8; MAX_FRAME + 1];
+    let err = write_frame(&mut wire, &oversize).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(wire.is_empty(), "nothing hits the wire on a rejected frame");
+}

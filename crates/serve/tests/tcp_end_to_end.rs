@@ -127,6 +127,76 @@ fn tcp_session_streams_reference_verdicts() {
     assert_eq!(report.telemetry.completed, subs.len() as u64);
 }
 
+/// Two concurrent sessions reusing the same submission ids: bursts mix
+/// jobs from every session, so routing must go by burst slot, not by
+/// the caller-chosen id. Each client must get its own devices'
+/// verdicts (bit-identical to `Screener::run` on its own fleet) and
+/// both sessions must reach `Finished` — misrouting would starve one
+/// writer of a verdict and hang it before `Finished`.
+#[test]
+fn colliding_ids_across_sessions_route_per_session() {
+    const N: usize = 8;
+    let mut handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workers(1)
+        .start();
+    let addr = handle.serve_tcp(0).expect("bind localhost");
+
+    let run_client = |batch_seed: u64| {
+        let batch = Batch::paper_simulation(batch_seed, N);
+        let subs: Vec<Submission> = (0..N)
+            .map(|i| Submission {
+                // Both sessions use ids 0..N — deliberately colliding.
+                id: i as u64,
+                kind: JobKind::Static,
+                adc: batch.device(i),
+                seed: batch_seed * 1000 + i as u64,
+            })
+            .collect();
+        let reports = Screener::new(static_workload())
+            .run(subs.iter().map(|s| (s.adc.clone(), submission_rng(s.seed))));
+        let mut expect: Vec<(u64, String)> = reports
+            .iter()
+            .map(|r| (subs[r.device].id, format!("{:?}", r.verdict)))
+            .collect();
+        expect.sort();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for sub in &subs {
+            send(&mut stream, &ClientFrame::Submit(sub.clone()));
+        }
+        send(&mut stream, &ClientFrame::Done);
+        let mut buf = Vec::new();
+        let mut got = Vec::new();
+        let mut finished = false;
+        while let Some(frame) = recv(&mut stream, &mut buf) {
+            match frame {
+                ServerFrame::Ack { id, status } => {
+                    assert_eq!(status, AckStatus::Accepted, "device {id} should queue");
+                }
+                ServerFrame::Verdict(v) => got.push((v.id, format!("{:?}", v.verdict))),
+                ServerFrame::Telemetry(_) => {}
+                ServerFrame::Finished => {
+                    finished = true;
+                    break;
+                }
+            }
+        }
+        assert!(finished, "session {batch_seed} must reach Finished");
+        got.sort();
+        assert_eq!(
+            got, expect,
+            "session {batch_seed} got another session's verdicts"
+        );
+    };
+
+    std::thread::scope(|s| {
+        s.spawn(|| run_client(1));
+        s.spawn(|| run_client(2));
+    });
+    handle.shutdown();
+}
+
 /// A service resident for statics only rejects dynamic submissions
 /// with an explicit ack — and still screens the statics that follow.
 #[test]
