@@ -83,6 +83,28 @@ impl PipelineConfig {
         self.coarse_bits
     }
 
+    /// The inter-stage gain relative mismatch σ.
+    pub fn gain_sigma(&self) -> f64 {
+        self.sigma_gain_rel
+    }
+
+    /// The coarse-comparator threshold σ in fine LSB.
+    pub fn coarse_sigma_lsb(&self) -> f64 {
+        self.sigma_coarse_lsb
+    }
+
+    /// A paper-scale pipeline device: 6 bits (3 coarse + 3 fine) over
+    /// 0–6.4 V with gain and coarse-threshold mismatch sized so the
+    /// coarse-boundary DNL lands in the same decision-relevant band as
+    /// the flash batch's σ_w = 0.21 LSB — yield under the stringent spec
+    /// is mid-range, so screening exercises both accept and reject
+    /// paths.
+    pub fn paper_device() -> Self {
+        PipelineConfig::new(Resolution::SIX_BIT, 3, Volts(0.0), Volts(6.4))
+            .with_gain_sigma(0.08)
+            .with_coarse_sigma_lsb(0.4)
+    }
+
     /// Draws one converter instance.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> PipelineAdc {
         let n_coarse = (1u32 << self.coarse_bits) - 1;

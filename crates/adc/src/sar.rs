@@ -72,6 +72,27 @@ impl SarConfig {
         self.resolution
     }
 
+    /// The unit-capacitor relative mismatch σ.
+    pub fn unit_cap_sigma(&self) -> f64 {
+        self.sigma_unit_cap
+    }
+
+    /// The comparator offset σ in LSB.
+    pub fn offset_sigma_lsb(&self) -> f64 {
+        self.sigma_offset_lsb
+    }
+
+    /// A paper-scale SAR device: 6 bits over 0–6.4 V with a
+    /// unit-capacitor mismatch sized so the MSB major-carry DNL lands in
+    /// the same decision-relevant band as the flash batch's σ_w = 0.21
+    /// LSB — yield under the stringent spec is mid-range, so screening
+    /// exercises both accept and reject paths.
+    pub fn paper_device() -> Self {
+        SarConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
+            .with_unit_cap_sigma(0.05)
+            .with_offset_sigma_lsb(0.1)
+    }
+
     /// Draws one converter instance.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SarAdc {
         let bits = self.resolution.bits();

@@ -92,10 +92,11 @@ pub struct FileContext {
     /// do not apply (timing and ad-hoc seeding are legitimate there);
     /// `unsafe` hygiene still does.
     pub test_code: bool,
-    /// The designated seeded-RNG seam module
-    /// (`crates/mc/src/batch.rs::stream_rng`): RNG construction is its
-    /// job, so the RNG-construction check is waived — every other
-    /// determinism check still applies.
+    /// A designated seeded-RNG seam module
+    /// (`crates/core/src/source.rs`, home of `stream_rng`, or its
+    /// re-exporting historical path `crates/mc/src/batch.rs`): RNG
+    /// construction is its job, so the RNG-construction check is
+    /// waived — every other determinism check still applies.
     pub rng_seam: bool,
 }
 
@@ -499,7 +500,7 @@ fn check_determinism(
                         Rule::Determinism,
                         format!(
                             "`{rng}` constructs an RNG outside the seeded `stream_rng` seam \
-                             (`bist_mc::batch::stream_rng`)"
+                             (`bist_core::source::stream_rng`)"
                         ),
                     );
                 }

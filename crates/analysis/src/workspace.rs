@@ -19,9 +19,12 @@ pub const REPORT_CRATE_ROOTS: [&str; 5] = [
     "crates/serve/src/",
 ];
 
-/// The designated seeded-RNG seam module: the one place in the
-/// report-producing crates allowed to construct RNGs.
-pub const RNG_SEAM: &str = "crates/mc/src/batch.rs";
+/// The designated seeded-RNG seam modules: the only places in the
+/// report-producing crates allowed to construct RNGs. The canonical
+/// derivations (`stream_rng`, `device_rng`, the SplitMix64 finaliser)
+/// live in `bist_core::source` next to the device-generation seam;
+/// `bist_mc::batch` re-exports them and keeps its historical path.
+pub const RNG_SEAMS: [&str; 2] = ["crates/core/src/source.rs", "crates/mc/src/batch.rs"];
 
 /// Aggregated result of a workspace run.
 #[derive(Debug, Default)]
@@ -52,7 +55,7 @@ pub fn context_for(rel: &str) -> FileContext {
         path: rel.to_owned(),
         report_crate: !test_code && REPORT_CRATE_ROOTS.iter().any(|r| rel.starts_with(r)),
         test_code,
-        rng_seam: rel == RNG_SEAM,
+        rng_seam: RNG_SEAMS.contains(&rel),
     }
 }
 
@@ -146,6 +149,8 @@ mod tests {
         let c = context_for("crates/core/src/batch.rs");
         assert!(c.report_crate && !c.test_code && !c.rng_seam);
         let c = context_for("crates/mc/src/batch.rs");
+        assert!(c.report_crate && c.rng_seam);
+        let c = context_for("crates/core/src/source.rs");
         assert!(c.report_crate && c.rng_seam);
         let c = context_for("crates/serve/src/service.rs");
         assert!(c.report_crate && !c.test_code && !c.rng_seam);

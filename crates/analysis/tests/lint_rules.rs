@@ -161,7 +161,7 @@ fn determinism_fires_on_hash_clock_and_rng() {
                 Rule::Determinism,
                 19,
                 "`seed_from_u64` constructs an RNG outside the seeded `stream_rng` seam \
-                 (`bist_mc::batch::stream_rng`)",
+                 (`bist_core::source::stream_rng`)",
             ),
         ],
         "`use` lines (3-4) must not fire; the type-position `Instant` (line 14) must not fire"

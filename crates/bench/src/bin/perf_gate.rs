@@ -20,7 +20,7 @@
 //! per check.
 //!
 //! Usage: `perf_gate [record-name ...]` (default: `seq_fleet rtl_fleet
-//! dyn_fleet batched_fleet service_soak`).
+//! dyn_fleet batched_fleet arch_fleet service_soak`).
 
 use bist_bench::{baseline_dir, env_f64, out_dir, record_metric, record_metrics};
 use std::fs;
@@ -33,6 +33,7 @@ fn main() {
             "rtl_fleet".to_owned(),
             "dyn_fleet".to_owned(),
             "batched_fleet".to_owned(),
+            "arch_fleet".to_owned(),
             "service_soak".to_owned(),
         ];
     }

@@ -47,6 +47,16 @@
 //!   ([`shard::ResidentShard`]) that keeps the batch engines warm
 //!   between bursts and streams id-tagged verdicts, allocation-free in
 //!   steady state.
+//! * [`source`] — the device-generation seam next to the front door:
+//!   the object-safe [`source::DeviceSource`] trait (flash, iid-widths,
+//!   SAR, pipeline), the `Copy` [`source::SourceSpec`] dispatch form,
+//!   mixed-architecture [`source::Zoo`] fleets with a stable per-device
+//!   `(seed, index) → (arch, rng)` assignment, and the canonical
+//!   seeded-stream derivations ([`source::stream_rng`]).
+//! * [`priors`] — per-architecture empirical priors accumulated from
+//!   sequenced screening (samples-to-decision, early-stop rate,
+//!   decision-mode tallies) handing the sequencer
+//!   architecture-conditioned `min_samples`/`check_interval` hints.
 //! * [`screener`] — the [`screener::Screener`] front door tying it all
 //!   together: one builder for workload × backend × sequencing ×
 //!   worker count, over a fleet or a single device.
@@ -107,12 +117,14 @@ pub mod harness;
 pub mod limits;
 pub mod lsb_monitor;
 pub mod pool;
+pub mod priors;
 pub mod qmin;
 pub mod report;
 pub mod ring;
 pub mod screener;
 pub mod sequencer;
 pub mod shard;
+pub mod source;
 pub mod static_params;
 pub mod yield_model;
 
@@ -126,9 +138,11 @@ pub use decision::ConfusionMatrix;
 pub use dynamic::{DynChecks, DynScratch, DynamicConfig, DynamicLimits, DynamicVerdict};
 pub use harness::{BistOutcome, BistVerdict, Scratch};
 pub use limits::CountLimits;
+pub use priors::{ArchPrior, PriorsBank, SeqTally};
 pub use qmin::QminPlan;
 pub use ring::{Enqueue, Ring};
 pub use screener::{ScreenReport, ScreenVerdict, Screener, Workload};
 pub use sequencer::{DynSequencer, SeqDecision, SeqOutcome, SequencerConfig, StaticSequencer};
 pub use shard::{JobKind, ResidentShard, ShardJob, ShardPlan, ShardVerdict};
+pub use source::{Architecture, DeviceSource, DnlSignature, IidWidthSource, SourceSpec, Zoo};
 pub use yield_model::YieldModel;

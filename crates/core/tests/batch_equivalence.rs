@@ -15,6 +15,7 @@ use bist_core::config::BistConfig;
 use bist_core::dynamic::DynamicConfig;
 use bist_core::screener::{ScreenVerdict, Screener, Workload};
 use bist_core::sequencer::SequencerConfig;
+use bist_core::source::{SourceSpec, Zoo};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -258,5 +259,63 @@ proptest! {
         }
         raw.run_scalar(&mut BehavioralBackend);
         prop_assert_eq!(raw.take_reports(), reports);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Architecture mixes through the zoo seam: any non-empty subset of
+    /// {flash, iid, SAR, pipeline} × fleet size × lane width × worker
+    /// count, on either workload with or without a sequencer, screens
+    /// bit-exact to `screen_one` over the same zoo devices and noise
+    /// streams — latch points included. Which architecture a device is,
+    /// and which lane or worker it lands on, cannot change its report.
+    #[test]
+    fn zoo_mixes_match_scalar_for_any_workers_and_lanes(
+        seed in any::<u64>(),
+        mask in 1u8..16,
+        n in 1usize..12,
+        lanes in 1usize..6,
+        workers in 1usize..9,
+        sequenced in any::<bool>(),
+        dynamic in any::<bool>(),
+    ) {
+        let sources: Vec<SourceSpec> = [
+            SourceSpec::paper_flash(),
+            SourceSpec::paper_iid(),
+            SourceSpec::paper_sar(),
+            SourceSpec::paper_pipeline(),
+        ]
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, s)| s)
+        .collect();
+        let zoo = Zoo::new(sources).with_seed(seed);
+        let workload = if dynamic {
+            Workload::dynamic_sine(dyn_config())
+        } else {
+            Workload::static_ramp(static_config(5))
+        };
+
+        let mut scalar_screener = Screener::new(workload);
+        if sequenced {
+            scalar_screener = scalar_screener.sequencer(SequencerConfig::default());
+        }
+        let scalar: Vec<ScreenVerdict> = (0..n)
+            .map(|i| scalar_screener.screen_one(&zoo.device(i), &mut zoo.noise_rng(i)))
+            .collect();
+
+        let mut screener = Screener::new(workload).lane_width(lanes).workers(workers);
+        if sequenced {
+            screener = screener.sequencer(SequencerConfig::default());
+        }
+        let reports = screener.run(zoo.fleet(n));
+        prop_assert_eq!(reports.len(), n);
+        for (i, report) in reports.into_iter().enumerate() {
+            prop_assert_eq!(report.device, i);
+            prop_assert_eq!(&report.verdict, &scalar[i]);
+        }
     }
 }

@@ -1,26 +1,42 @@
-//! Seeded device-batch generation.
+//! Seeded device-batch generation over the `bist_core::source` seam.
 //!
-//! Two device models, mirroring the paper's sim/measurement split:
+//! A [`Batch`] is a thin, `Copy` builder over one
+//! [`DeviceSource`] —
+//! `Batch::of(source).seed(s).size(n)` — so every architecture the seam
+//! knows (flash, iid widths, SAR, pipeline) screens through the same
+//! fleet machinery. [`DeviceModel`] is the batch-local naming of that
+//! choice, kept for the paper's sim/measurement split:
 //!
 //! * [`DeviceModel::IidWidths`] — code widths drawn iid from the §3
 //!   Gaussian (the *simulation* model behind Tables 1–2).
 //! * [`DeviceModel::PhysicalFlash`] — the resistor-ladder + comparator
 //!   flash of `bist-adc` (the stand-in for the paper's 364 measured
 //!   devices; its widths acquire the Eq. 10 correlation naturally).
+//! * [`DeviceModel::Sar`] / [`DeviceModel::Pipeline`] — the zoo
+//!   architectures, same seam.
 //!
 //! Devices are generated from `(seed, index)` so batches are
-//! reproducible and independent of threading.
+//! reproducible and independent of threading. The canonical stream
+//! derivations ([`stream_rng`], [`splitmix_finalize`],
+//! [`iid_width_transfer`]) live in [`bist_core::source`] and are
+//! re-exported here bit-identically.
 
 use bist_adc::flash::FlashConfig;
-use bist_adc::transfer::{Adc, TransferFunction};
+use bist_adc::pipeline::PipelineConfig;
+use bist_adc::sar::SarConfig;
+use bist_adc::transfer::TransferFunction;
 use bist_adc::types::{Resolution, Volts};
 use bist_core::analytic::WidthDistribution;
+use bist_core::source::{DeviceSource, IidWidthSource, SourceSpec};
 use bist_dsp::special::normal_quantile;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::fmt;
 
-/// How batch devices are modelled.
+pub use bist_core::source::{iid_width_transfer, splitmix_finalize, stream_rng};
+
+/// How batch devices are modelled (the batch-local naming of the
+/// [`SourceSpec`] seam).
 #[derive(Debug, Clone, Copy, PartialEq)]
 #[non_exhaustive]
 pub enum DeviceModel {
@@ -28,6 +44,36 @@ pub enum DeviceModel {
     IidWidths(WidthDistribution),
     /// Behavioural flash converters with ladder/comparator mismatch.
     PhysicalFlash(FlashConfig),
+    /// SAR converters with binary-weighted capacitor mismatch.
+    Sar(SarConfig),
+    /// Two-stage pipeline converters with inter-stage gain error.
+    Pipeline(PipelineConfig),
+}
+
+impl DeviceModel {
+    /// The model as a seam source. `resolution` applies to the
+    /// iid-width model (the physical models state their own).
+    pub fn source(&self, resolution: Resolution) -> SourceSpec {
+        match *self {
+            DeviceModel::IidWidths(dist) => {
+                SourceSpec::IidWidths(IidWidthSource::new(resolution, dist))
+            }
+            DeviceModel::PhysicalFlash(cfg) => SourceSpec::Flash(cfg),
+            DeviceModel::Sar(cfg) => SourceSpec::Sar(cfg),
+            DeviceModel::Pipeline(cfg) => SourceSpec::Pipeline(cfg),
+        }
+    }
+}
+
+impl From<SourceSpec> for DeviceModel {
+    fn from(s: SourceSpec) -> Self {
+        match s {
+            SourceSpec::Flash(c) => DeviceModel::PhysicalFlash(c),
+            SourceSpec::IidWidths(c) => DeviceModel::IidWidths(c.distribution()),
+            SourceSpec::Sar(c) => DeviceModel::Sar(c),
+            SourceSpec::Pipeline(c) => DeviceModel::Pipeline(c),
+        }
+    }
 }
 
 impl fmt::Display for DeviceModel {
@@ -42,6 +88,12 @@ impl fmt::Display for DeviceModel {
                     "physical flash (σ_w {:.3} LSB)",
                     c.code_width_sigma_lsb()
                 )
+            }
+            DeviceModel::Sar(c) => {
+                write!(f, "sar (σ_unit {:.3})", c.unit_cap_sigma())
+            }
+            DeviceModel::Pipeline(c) => {
+                write!(f, "pipeline (σ_gain {:.3})", c.gain_sigma())
             }
         }
     }
@@ -61,6 +113,40 @@ pub struct Batch {
 }
 
 impl Batch {
+    /// A batch over any seam source: `Batch::of(source).seed(s).size(n)`.
+    /// The resolution is taken from the source.
+    pub fn of(source: impl Into<SourceSpec>) -> Self {
+        let source = source.into();
+        Batch {
+            model: DeviceModel::from(source),
+            resolution: source.resolution(),
+            seed: 0,
+            size: 0,
+        }
+    }
+
+    /// Sets the master seed (builder-style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the device count (builder-style).
+    pub fn size(mut self, size: usize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// The batch's model as a seam source.
+    pub fn source(&self) -> SourceSpec {
+        self.model.source(self.resolution)
+    }
+
+    /// The batch's architecture tag.
+    pub fn architecture(&self) -> bist_core::source::Architecture {
+        self.source().architecture()
+    }
+
     /// The paper's measured batch: 364 physical flash devices at the
     /// worst-case mismatch.
     pub fn paper_measurement(seed: u64) -> Self {
@@ -82,97 +168,21 @@ impl Batch {
         }
     }
 
-    /// The RNG for device `index` (stable mixing of seed and index).
+    /// The RNG for device `index` (stable mixing of seed and index;
+    /// the canonical [`bist_core::source::device_rng`] stream).
     pub fn device_rng(&self, index: usize) -> StdRng {
-        // SplitMix64 finaliser decorrelates consecutive indices.
-        StdRng::seed_from_u64(splitmix_finalize(
-            self.seed
-                .wrapping_add(0x9e3779b97f4a7c15u64.wrapping_mul(index as u64 + 1)),
-        ))
+        bist_core::source::device_rng(self.seed, index)
     }
 
-    /// Generates device `index`'s transfer function.
+    /// Generates device `index`'s transfer function through the seam.
     pub fn device(&self, index: usize) -> TransferFunction {
         let mut rng = self.device_rng(index);
-        match self.model {
-            DeviceModel::PhysicalFlash(cfg) => cfg
-                .sample(&mut rng)
-                .transfer()
-                .expect("flash states its transfer"),
-            DeviceModel::IidWidths(dist) => iid_width_transfer(self.resolution, &dist, &mut rng),
-        }
+        self.source().sample_transfer(&mut rng)
     }
 
     /// Iterates over all devices in the batch.
     pub fn devices(&self) -> impl Iterator<Item = TransferFunction> + '_ {
         (0..self.size).map(move |i| self.device(i))
-    }
-}
-
-/// The SplitMix64 finaliser behind every derived RNG stream in the
-/// workspace.
-fn splitmix_finalize(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-    z ^ (z >> 31)
-}
-
-/// A reproducible RNG for an arbitrary tuple of stream coordinates —
-/// the one mixing function behind every experiment-derived stream
-/// (device generation, acquisition noise, per-cell sweeps), so stream
-/// independence is auditable in one place.
-///
-/// Each coordinate is absorbed and finalised in turn, so streams differ
-/// whenever any coordinate (or the coordinate order) differs; the empty
-/// tuple just finalises the seed. Same-seed, same-coordinates calls are
-/// bit-identical across threads, platforms and releases
-/// ([`rand`]'s compat `StdRng` is pinned).
-pub fn stream_rng(seed: u64, coords: &[u64]) -> StdRng {
-    let mut z = seed;
-    for &c in coords {
-        z = splitmix_finalize(
-            z.wrapping_add(0x9e3779b97f4a7c15)
-                .wrapping_add(c.wrapping_mul(0x2545f4914f6cdd1d)),
-        );
-    }
-    StdRng::seed_from_u64(splitmix_finalize(z))
-}
-
-/// Builds a transfer function whose inner-code widths are iid draws from
-/// `dist` (clamped at zero — a negative draw becomes a missing code).
-/// The first transition sits at its ideal position; the input range is
-/// the ideal 6.4·(2ⁿ/64)-style span with 0.1 V/LSB.
-pub fn iid_width_transfer<R: Rng + ?Sized>(
-    resolution: Resolution,
-    dist: &WidthDistribution,
-    rng: &mut R,
-) -> TransferFunction {
-    let q = 0.1; // volts per LSB (arbitrary but fixed)
-    let n_transitions = resolution.transition_count() as usize;
-    let mut t = Vec::with_capacity(n_transitions);
-    t.push(q); // T[1] ideal
-    for _ in 1..n_transitions {
-        let w_lsb = (dist.mean() + dist.sigma() * standard_normal(rng)).max(0.0);
-        let prev = *t.last().expect("non-empty");
-        t.push(prev + w_lsb * q);
-    }
-    // Keep the *nominal* range: accumulated width drift is a gain error,
-    // and the LSB size (hence Δs) must stay referenced to the ideal LSB.
-    // The harness ramp sweeps past the range far enough to close the
-    // last code. Transitions above `high` are legal.
-    let high = q * resolution.code_count() as f64;
-    TransferFunction::from_transitions(resolution, Volts(0.0), Volts(high), t)
-}
-
-/// One standard-normal draw (Marsaglia polar method over `rand`).
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    loop {
-        let u: f64 = rng.gen_range(-1.0f64..1.0);
-        let v: f64 = rng.gen_range(-1.0f64..1.0);
-        let s = u * u + v * v;
-        if s > 0.0 && s < 1.0 {
-            return u * ((-2.0 * s.ln()) / s).sqrt();
-        }
     }
 }
 
@@ -279,6 +289,42 @@ mod tests {
     use bist_adc::metrics::dnl;
     use bist_adc::spec::LinearitySpec;
     use bist_dsp::stats::Running;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builder_form_is_bit_identical_to_paper_presets() {
+        // `Batch::of(source)` must reproduce the historical device
+        // streams exactly — the paper-repro output depends on it.
+        let via_seam = Batch::of(SourceSpec::paper_flash()).seed(11).size(364);
+        let preset = Batch::paper_measurement(11);
+        assert_eq!(via_seam, preset);
+        for i in [0, 1, 100, 363] {
+            assert_eq!(
+                via_seam.device(i).transitions(),
+                preset.device(i).transitions()
+            );
+        }
+        let via_seam = Batch::of(SourceSpec::paper_iid()).seed(5).size(40);
+        let preset = Batch::paper_simulation(5, 40);
+        assert_eq!(via_seam, preset);
+        assert_eq!(
+            via_seam.device(17).transitions(),
+            preset.device(17).transitions()
+        );
+    }
+
+    #[test]
+    fn sar_and_pipeline_batches_run_through_the_same_seam() {
+        for src in [SourceSpec::paper_sar(), SourceSpec::paper_pipeline()] {
+            let b = Batch::of(src).seed(3).size(8);
+            assert_eq!(b.resolution, Resolution::SIX_BIT);
+            assert_eq!(b.architecture(), src.architecture());
+            assert_eq!(b.device(2).transitions(), b.device(2).transitions());
+            assert_ne!(b.device(2).transitions(), b.device(3).transitions());
+            // Round-trips through the model naming.
+            assert_eq!(b.source(), src);
+        }
+    }
 
     #[test]
     fn batches_are_reproducible() {

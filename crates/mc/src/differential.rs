@@ -28,7 +28,7 @@
 //! expectation ([`bist_core::dynamic::DynChecks`] plus the counters).
 //! Any disagreement is a [`DynDivergence`] and fails the run.
 
-use crate::batch::{iid_width_transfer, Batch};
+use crate::batch::Batch;
 use crate::parallel::partitioned;
 use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
@@ -39,8 +39,10 @@ use bist_core::backend::RtlBackend;
 use bist_core::config::BistConfig;
 use bist_core::dynamic::{DynamicConfig, DynamicVerdict};
 use bist_core::harness::BistVerdict;
+use bist_core::priors::{PriorsBank, SeqTally};
 use bist_core::screener::{Screener, Workload};
 use bist_core::sequencer::{SeqDecision, SeqOutcome, SequencerConfig, SweptVerdict};
+use bist_core::source::{Architecture, DeviceSource, IidWidthSource, SourceSpec};
 use rand::rngs::StdRng;
 use std::fmt;
 
@@ -647,6 +649,9 @@ pub const SEQ_DYN_SIGMA_MILLI: [u32; 3] = [0, 160, 210];
 /// Converter resolutions of the sequenced dynamic cells.
 pub const SEQ_DYN_RESOLUTION_BITS: [u32; 2] = [6, 8];
 
+/// Counter widths of the per-architecture sequenced cells.
+pub const ARCH_COUNTER_BITS: [u32; 2] = [4, 6];
+
 /// One cell of the sequenced sweep grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeqScenarioId {
@@ -670,6 +675,27 @@ pub enum SeqScenarioId {
         /// Sine cycles per record.
         cycles: u32,
     },
+    /// A static cell drawing paper-preset devices of one named zoo
+    /// architecture — the per-architecture seam validation that feeds
+    /// [`bist_core::priors`].
+    Arch {
+        /// The device architecture the cell draws from.
+        arch: Architecture,
+        /// Counter width in bits.
+        counter_bits: u32,
+    },
+}
+
+impl SeqScenarioId {
+    /// The device architecture this cell draws from. The legacy static
+    /// grid sweeps iid-width devices; the dynamic grid sweeps flash.
+    pub fn architecture(&self) -> Architecture {
+        match self {
+            SeqScenarioId::Static { .. } => Architecture::IidWidths,
+            SeqScenarioId::Dynamic { .. } => Architecture::Flash,
+            SeqScenarioId::Arch { arch, .. } => *arch,
+        }
+    }
 }
 
 impl fmt::Display for SeqScenarioId {
@@ -694,6 +720,9 @@ impl fmt::Display for SeqScenarioId {
                 f,
                 "dynamic/{resolution_bits}-bit/σ0.{sigma_milli_lsb:03}/{cycles}c"
             ),
+            SeqScenarioId::Arch { arch, counter_bits } => {
+                write!(f, "arch/{}/{counter_bits}-bit", arch.label())
+            }
         }
     }
 }
@@ -778,6 +807,12 @@ pub struct SeqScenarioTally {
     pub agreements: u64,
     /// Sequenced runs that stopped before the full stimulus.
     pub early_stops: u64,
+    /// Early stops that accepted the device.
+    pub early_accepts: u64,
+    /// Early stops that rejected the device.
+    pub early_rejects: u64,
+    /// Sequenced samples over early-stopping runs only.
+    pub seq_samples_early: u64,
     /// Devices the full sweep accepts (ground truth).
     pub full_accepted: u64,
     /// Sequencer rejected a device the full sweep accepts.
@@ -801,6 +836,9 @@ impl SeqScenarioTally {
             comparisons: 0,
             agreements: 0,
             early_stops: 0,
+            early_accepts: 0,
+            early_rejects: 0,
+            seq_samples_early: 0,
             full_accepted: 0,
             drift_i: 0,
             drift_ii: 0,
@@ -914,6 +952,27 @@ impl SeqDifferentialResult {
         }
     }
 
+    /// Folds every cell's sequenced accounting into a priors bank,
+    /// keyed by the cell's device architecture. This is the feedback
+    /// edge of the zoo: differential sweeps measure per-architecture
+    /// samples-to-decision, the bank turns that into
+    /// architecture-conditioned sequencer hints.
+    pub fn seed_priors(&self, bank: &mut PriorsBank) {
+        for t in &self.per_scenario {
+            bank.absorb(
+                t.scenario.architecture(),
+                SeqTally {
+                    runs: t.comparisons,
+                    early_accepts: t.early_accepts,
+                    early_rejects: t.early_rejects,
+                    seq_samples: t.seq_samples,
+                    seq_samples_early: t.seq_samples_early,
+                    full_samples: t.full_samples,
+                },
+            );
+        }
+    }
+
     /// Merges a partial result from another worker (cell-wise; skipped
     /// cells are grid-derived and identical on every worker).
     pub fn merge(&mut self, other: &SeqDifferentialResult) {
@@ -931,6 +990,9 @@ impl SeqDifferentialResult {
                 mine.comparisons += theirs.comparisons;
                 mine.agreements += theirs.agreements;
                 mine.early_stops += theirs.early_stops;
+                mine.early_accepts += theirs.early_accepts;
+                mine.early_rejects += theirs.early_rejects;
+                mine.seq_samples_early += theirs.seq_samples_early;
                 mine.full_accepted += theirs.full_accepted;
                 mine.drift_i += theirs.drift_i;
                 mine.drift_ii += theirs.drift_ii;
@@ -963,16 +1025,18 @@ impl fmt::Display for SeqDifferentialResult {
     }
 }
 
-/// A validated cell of the sequenced grid.
+/// A validated cell of the sequenced grid. Devices in either arm come
+/// from the [`DeviceSource`] seam, so one loop screens flash, iid-width,
+/// SAR and pipeline silicon alike.
 enum SeqCell {
     Static {
         config: BistConfig,
-        sigma: f64,
+        source: SourceSpec,
         noise: NoiseConfig,
     },
     Dynamic {
         config: DynamicConfig,
-        flash: FlashConfig,
+        source: SourceSpec,
     },
 }
 
@@ -984,13 +1048,13 @@ enum SeqRunner {
         full: Screener,
         seq_b: Screener,
         seq_r: Screener<RtlBackend>,
-        sigma: f64,
+        source: SourceSpec,
     },
     Dynamic {
         full: Screener,
         seq_b: Screener,
         seq_r: Screener<RtlBackend>,
-        flash: FlashConfig,
+        source: SourceSpec,
     },
 }
 
@@ -999,7 +1063,7 @@ impl SeqRunner {
         match cell {
             SeqCell::Static {
                 config,
-                sigma,
+                source,
                 noise,
             } => {
                 let w = Workload::static_ramp(*config).with_noise(*noise);
@@ -1009,10 +1073,10 @@ impl SeqRunner {
                     seq_r: Screener::new(w)
                         .sequencer(*policy)
                         .backend(RtlBackend::new()),
-                    sigma: *sigma,
+                    source: *source,
                 }
             }
-            SeqCell::Dynamic { config, flash } => {
+            SeqCell::Dynamic { config, source } => {
                 let w = Workload::dynamic_sine(*config)
                     .with_noise(NoiseConfig::noiseless().with_input_noise(0.002));
                 SeqRunner::Dynamic {
@@ -1021,7 +1085,7 @@ impl SeqRunner {
                     seq_r: Screener::new(w)
                         .sequencer(*policy)
                         .backend(RtlBackend::new()),
-                    flash: *flash,
+                    source: *source,
                 }
             }
         }
@@ -1049,11 +1113,12 @@ fn seq_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
                 .counter_bits(counter_bits)
                 .build()
                 .expect("paper operating points are valid");
+            let dist = WidthDistribution::new(1.0, sigma_milli as f64 / 1000.0);
             grid.push((
                 id,
                 SeqCell::Static {
                     config,
-                    sigma: sigma_milli as f64 / 1000.0,
+                    source: IidWidthSource::new(Resolution::SIX_BIT, dist).into(),
                     noise: NoiseConfig::noiseless(),
                 },
             ));
@@ -1074,7 +1139,8 @@ fn seq_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
                 .deglitch(true)
                 .build()
                 .expect("paper operating points are valid"),
-            sigma: 0.21,
+            source: IidWidthSource::new(Resolution::SIX_BIT, WidthDistribution::new(1.0, 0.21))
+                .into(),
             noise: NoisePoint::Transition.config(),
         },
     ));
@@ -1102,7 +1168,7 @@ fn seq_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
                 id,
                 SeqCell::Dynamic {
                     config: config.with_overdrive(0.0),
-                    flash,
+                    source: flash.into(),
                 },
             )),
             Err(e) => skipped.push(SeqSkippedCell {
@@ -1114,9 +1180,49 @@ fn seq_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
     (grid, skipped)
 }
 
+/// The per-architecture grid: every zoo paper preset (flash, iid-width,
+/// SAR, pipeline) × counter width, all static-ramp noiseless cells.
+/// Every candidate validates, so the skipped list is always empty.
+fn arch_scenario_grid() -> (Vec<(SeqScenarioId, SeqCell)>, Vec<SeqSkippedCell>) {
+    let spec = LinearitySpec::paper_stringent();
+    let sources = [
+        SourceSpec::paper_flash(),
+        SourceSpec::paper_iid(),
+        SourceSpec::paper_sar(),
+        SourceSpec::paper_pipeline(),
+    ];
+    let mut grid = Vec::new();
+    for &counter_bits in &ARCH_COUNTER_BITS {
+        for source in sources {
+            let id = SeqScenarioId::Arch {
+                arch: source.architecture(),
+                counter_bits,
+            };
+            let config = BistConfig::builder(Resolution::SIX_BIT, spec)
+                .counter_bits(counter_bits)
+                .build()
+                .expect("paper operating points are valid");
+            grid.push((
+                id,
+                SeqCell::Static {
+                    config,
+                    source,
+                    noise: NoiseConfig::noiseless(),
+                },
+            ));
+        }
+    }
+    (grid, Vec::new())
+}
+
 /// RNG-stream salts of the sequenced sweep.
 const SEQ_DEVICE_SALT: u64 = 0x5e9_f000;
 const SEQ_NOISE_SALT: u64 = 0x5e9_f001;
+/// RNG-stream salts of the per-architecture sweep — disjoint from the
+/// sequenced grid's so the two sweeps draw independent silicon even at
+/// the same seed.
+const ARCH_DEVICE_SALT: u64 = 0x5e9_f002;
+const ARCH_NOISE_SALT: u64 = 0x5e9_f003;
 
 fn seq_stream_rng(seed: u64, device: usize, cell: usize, salt: u64) -> StdRng {
     crate::batch::stream_rng(seed, &[salt, device as u64, cell as u64])
@@ -1136,6 +1242,32 @@ pub fn run_seq_differential_range(
     to: usize,
 ) -> SeqDifferentialResult {
     let (grid, skipped) = seq_scenario_grid();
+    run_seq_grid_range(
+        &grid,
+        skipped,
+        (SEQ_DEVICE_SALT, SEQ_NOISE_SALT),
+        seed,
+        policy,
+        from,
+        to,
+    )
+}
+
+/// The shared device-outer loop behind every sequenced sweep: for each
+/// device × cell, three runs on bit-identical streams (full behavioural
+/// ground truth, sequenced behavioural, sequenced RTL), latch-compared
+/// and tallied. Which silicon a cell draws is entirely the cell's
+/// [`SourceSpec`] — the grid, not the loop, knows the architecture.
+#[allow(clippy::too_many_lines)]
+fn run_seq_grid_range(
+    grid: &[(SeqScenarioId, SeqCell)],
+    skipped: Vec<SeqSkippedCell>,
+    (device_salt, noise_salt): (u64, u64),
+    seed: u64,
+    policy: &SequencerConfig,
+    from: usize,
+    to: usize,
+) -> SeqDifferentialResult {
     // Three screeners per cell: the full-sweep behavioural ground
     // truth, the sequenced behavioural path and the sequenced
     // gate-accurate path (per-cell so the cached RTL tops and scratch
@@ -1155,21 +1287,17 @@ pub fn run_seq_differential_range(
     for i in from..to {
         result.devices += 1;
         for (cell, (id, _)) in grid.iter().enumerate() {
-            let noise_rng = || seq_stream_rng(seed, i, cell, SEQ_NOISE_SALT);
+            let noise_rng = || seq_stream_rng(seed, i, cell, noise_salt);
             let (full_accepted, full_samples, b_latch, r_latch, verdicts_agree) =
                 match &mut runners[cell] {
                     SeqRunner::Static {
                         full,
                         seq_b,
                         seq_r,
-                        sigma,
+                        source,
                     } => {
-                        let dist = WidthDistribution::new(1.0, *sigma);
-                        let tf = iid_width_transfer(
-                            Resolution::SIX_BIT,
-                            &dist,
-                            &mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT),
-                        );
+                        let tf =
+                            source.sample_transfer(&mut seq_stream_rng(seed, i, cell, device_salt));
                         let full = full
                             .screen_one(&tf, &mut noise_rng())
                             .as_static()
@@ -1195,9 +1323,10 @@ pub fn run_seq_differential_range(
                         full,
                         seq_b,
                         seq_r,
-                        flash,
+                        source,
                     } => {
-                        let adc = flash.sample(&mut seq_stream_rng(seed, i, cell, SEQ_DEVICE_SALT));
+                        let adc =
+                            source.sample_transfer(&mut seq_stream_rng(seed, i, cell, device_salt));
                         let full = full
                             .screen_one(&adc, &mut noise_rng())
                             .as_dynamic()
@@ -1240,6 +1369,17 @@ pub fn run_seq_differential_range(
             tally.comparisons += 1;
             tally.agreements += u64::from(agree);
             tally.early_stops += u64::from(b_latch.decision.stops());
+            match b_latch.decision {
+                SeqDecision::AcceptEarly(_) => {
+                    tally.early_accepts += 1;
+                    tally.seq_samples_early += b_latch.samples;
+                }
+                SeqDecision::RejectEarly(_) => {
+                    tally.early_rejects += 1;
+                    tally.seq_samples_early += b_latch.samples;
+                }
+                SeqDecision::Continue => {}
+            }
             tally.full_accepted += u64::from(full_accepted);
             tally.full_samples += full_samples;
             tally.seq_samples += b_latch.samples;
@@ -1267,6 +1407,52 @@ pub fn run_seq_differential(
 ) -> SeqDifferentialResult {
     let partials = partitioned(devices, workers, |from, to| {
         run_seq_differential_range(seed, policy, from, to)
+    });
+    let mut total = SeqDifferentialResult::default();
+    for p in &partials {
+        total.merge(p);
+    }
+    total
+}
+
+/// Runs the per-architecture sequenced differential over a device
+/// range: every zoo paper preset (flash, iid-width, SAR, pipeline) ×
+/// counter width, three runs per device × cell on bit-identical
+/// streams. Backends must latch identically for every architecture —
+/// the paper's architecture-agnostic claim, checked at the gate level.
+pub fn run_arch_differential_range(
+    seed: u64,
+    policy: &SequencerConfig,
+    from: usize,
+    to: usize,
+) -> SeqDifferentialResult {
+    let (grid, skipped) = arch_scenario_grid();
+    run_seq_grid_range(
+        &grid,
+        skipped,
+        (ARCH_DEVICE_SALT, ARCH_NOISE_SALT),
+        seed,
+        policy,
+        from,
+        to,
+    )
+}
+
+/// Runs the full per-architecture sequenced differential over
+/// `devices` devices, fanned out across `workers` threads (0 =
+/// available parallelism). Deterministic in the worker count. The
+/// result's per-cell tallies carry per-architecture samples-to-decision
+/// accounting; feed them to a [`PriorsBank`] with
+/// [`SeqDifferentialResult::seed_priors`] to derive
+/// architecture-conditioned sequencer policies.
+pub fn run_arch_differential(
+    seed: u64,
+    policy: &SequencerConfig,
+    devices: usize,
+    workers: usize,
+) -> SeqDifferentialResult {
+    let partials = partitioned(devices, workers, |from, to| {
+        run_arch_differential_range(seed, policy, from, to)
     });
     let mut total = SeqDifferentialResult::default();
     for p in &partials {
@@ -1455,5 +1641,99 @@ mod tests {
         assert!(s.contains("2 devices"), "{s}");
         assert!(s.contains("early stops"), "{s}");
         assert!(r.per_scenario[0].scenario.to_string().contains("static/"));
+    }
+
+    #[test]
+    fn sar_and_pipeline_fleets_are_bit_exact_through_rtl() {
+        // The full (non-sequenced) fleet validator over the new
+        // architectures: behavioural and RTL datapaths must agree on
+        // every verdict field for SAR and pipeline silicon too.
+        for source in [SourceSpec::paper_sar(), SourceSpec::paper_pipeline()] {
+            let batch = Batch::of(source).seed(53).size(3);
+            let result = run_differential(&batch, 0.0, 0);
+            assert_eq!(result.comparisons, 3 * 24, "{source}");
+            assert!(result.is_clean(), "{source}: {result}");
+        }
+    }
+
+    #[test]
+    fn arch_sweep_is_latch_exact_across_architectures() {
+        let policy = SequencerConfig::default();
+        let result = run_arch_differential(31, &policy, 4, 0);
+        assert_eq!(result.devices, 4);
+        assert_eq!(
+            result.per_scenario.len(),
+            Architecture::COUNT * ARCH_COUNTER_BITS.len()
+        );
+        assert!(result.skipped_cells.is_empty());
+        assert!(
+            result.is_clean(),
+            "divergences: {:#?}",
+            &result.divergences[..result.divergences.len().min(3)]
+        );
+        // Every architecture appears in the grid, labelled.
+        for arch in Architecture::ALL {
+            assert!(
+                result
+                    .per_scenario
+                    .iter()
+                    .any(|t| t.scenario.architecture() == arch),
+                "{arch} missing from the grid"
+            );
+        }
+        assert!(result.per_scenario[0]
+            .scenario
+            .to_string()
+            .starts_with("arch/"));
+    }
+
+    #[test]
+    fn arch_sweep_independent_of_worker_count() {
+        let policy = SequencerConfig::default();
+        let seq1 = run_arch_differential(41, &policy, 3, 1);
+        let seq4 = run_arch_differential(41, &policy, 3, 4);
+        assert_eq!(seq1, seq4);
+    }
+
+    #[test]
+    fn early_split_fields_account_for_every_early_stop() {
+        let policy = SequencerConfig::default();
+        let result = run_arch_differential(43, &policy, 4, 0);
+        for t in &result.per_scenario {
+            assert_eq!(
+                t.early_accepts + t.early_rejects,
+                t.early_stops,
+                "{}",
+                t.scenario
+            );
+            if t.early_stops == 0 {
+                assert_eq!(t.seq_samples_early, 0);
+            } else {
+                assert!(t.seq_samples_early >= t.early_stops * policy.min_samples);
+                assert!(t.seq_samples_early <= t.seq_samples);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_priors_accumulates_by_architecture() {
+        let policy = SequencerConfig::default();
+        let result = run_arch_differential(47, &policy, 5, 0);
+        let mut bank = PriorsBank::new(policy);
+        result.seed_priors(&mut bank);
+        assert_eq!(bank.runs(), result.comparisons);
+        for arch in Architecture::ALL {
+            let expected: u64 = result
+                .per_scenario
+                .iter()
+                .filter(|t| t.scenario.architecture() == arch)
+                .map(|t| t.comparisons)
+                .sum();
+            assert_eq!(bank.tally(arch).runs, expected, "{arch}");
+            // Whatever the bank derives must be a valid policy.
+            bank.policy_for(arch)
+                .validate()
+                .expect("derived policy validates");
+        }
     }
 }

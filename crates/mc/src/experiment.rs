@@ -11,7 +11,6 @@
 use crate::batch::Batch;
 use crate::estimate::Proportion;
 use crate::parallel::{partitioned, run_parallel};
-use bist_adc::flash::FlashConfig;
 use bist_adc::noise::NoiseConfig;
 use bist_core::backend::{Backend, BehavioralBackend};
 use bist_core::batch::{BatchDevice, DynBatch, StaticBatch};
@@ -20,6 +19,7 @@ use bist_core::decision::ConfusionMatrix;
 use bist_core::dynamic::DynamicConfig;
 use bist_core::harness::{conventional_test, reference_measurement};
 use bist_core::screener::{Screener, Workload};
+use bist_core::source::{DeviceSource, SourceSpec};
 use rand::rngs::StdRng;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -405,9 +405,10 @@ fn equivalence_range(
     }
 }
 
-/// Descriptor of one **dynamic** screening experiment: a seeded flash
-/// population driven through the streaming SINAD/THD/ENOB/noise-power
-/// verdict path of `bist_core::dynamic`.
+/// Descriptor of one **dynamic** screening experiment: a seeded device
+/// population (any [`SourceSpec`] architecture — flash, iid widths,
+/// SAR, pipeline) driven through the streaming
+/// SINAD/THD/ENOB/noise-power verdict path of `bist_core::dynamic`.
 ///
 /// The worker fan-out mirrors [`Experiment`]: devices derive from
 /// `(seed, index)`, every worker reuses one [`bist_core::dynamic::DynScratch`] (and one
@@ -420,8 +421,8 @@ pub struct DynExperiment {
     pub seed: u64,
     /// Number of devices.
     pub devices: usize,
-    /// The device model.
-    pub flash: FlashConfig,
+    /// The device model (any seam architecture).
+    pub source: SourceSpec,
     /// The dynamic test plan and limits.
     pub config: DynamicConfig,
     /// Acquisition noise for the sine capture.
@@ -432,12 +433,19 @@ pub struct DynExperiment {
 const DYN_EXP_SALT: u64 = 0xd1e_57a7;
 
 impl DynExperiment {
-    /// A noiseless dynamic experiment.
-    pub fn new(seed: u64, devices: usize, flash: FlashConfig, config: DynamicConfig) -> Self {
+    /// A noiseless dynamic experiment over any seam source
+    /// (`FlashConfig`, `SarConfig`, `PipelineConfig`, … convert
+    /// directly).
+    pub fn new(
+        seed: u64,
+        devices: usize,
+        source: impl Into<SourceSpec>,
+        config: DynamicConfig,
+    ) -> Self {
         DynExperiment {
             seed,
             devices,
-            flash,
+            source: source.into(),
             config,
             noise: NoiseConfig::noiseless(),
         }
@@ -473,7 +481,10 @@ impl DynExperiment {
         let mut result = DynExperimentResult::default();
         let mut work = DynBatch::new(self.config).with_noise(self.noise);
         for i in from..to.min(self.devices) {
-            let adc = self.flash.sample(&mut self.rng(i, 0));
+            // Bit-identical to the historical flash path: the config's
+            // `sample` consumes the same draws and `transfer()` takes
+            // none, so the code stream is unchanged for flash sources.
+            let adc = self.source.sample_transfer(&mut self.rng(i, 0));
             work.push(BatchDevice::new(i, adc, self.rng(i, DYN_EXP_SALT)));
         }
         backend.process_dyn_batch(&mut work);
@@ -780,6 +791,7 @@ mod tests {
     }
 
     fn dyn_experiment(devices: usize, sigma: f64) -> DynExperiment {
+        use bist_adc::flash::FlashConfig;
         use bist_adc::types::Volts;
         let flash = FlashConfig::new(Resolution::SIX_BIT, Volts(0.0), Volts(6.4))
             .with_width_sigma_lsb(sigma);

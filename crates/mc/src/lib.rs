@@ -71,9 +71,9 @@ pub mod tables;
 
 pub use batch::{Batch, DeviceModel};
 pub use differential::{
-    run_differential, run_dyn_differential, run_seq_differential, DifferentialResult, Divergence,
-    DynDifferentialResult, DynDivergence, SeqDifferentialResult, SeqDivergence, SeqLatch,
-    SeqScenarioId, SeqSkippedCell,
+    run_arch_differential, run_differential, run_dyn_differential, run_seq_differential,
+    DifferentialResult, Divergence, DynDifferentialResult, DynDivergence, SeqDifferentialResult,
+    SeqDivergence, SeqLatch, SeqScenarioId, SeqSkippedCell,
 };
 pub use estimate::Proportion;
 pub use experiment::{

@@ -9,6 +9,7 @@ use bist_adc::types::Resolution;
 use bist_core::config::BistConfig;
 use bist_core::dynamic::DynamicConfig;
 use bist_core::screener::{Screener, Workload};
+use bist_core::source::{SourceSpec, Zoo};
 use bist_mc::batch::Batch;
 use bist_serve::{submission_rng, JobKind, ServiceConfig, Submission};
 use proptest::prelude::*;
@@ -127,5 +128,73 @@ proptest! {
         prop_assert_eq!(report.telemetry.completed, subs.len() as u64);
         prop_assert_eq!(report.telemetry.submitted, subs.len() as u64);
         prop_assert!(report.verdicts.is_empty(), "every verdict was already received");
+    }
+}
+
+/// The zoo seam through the front door: a mixed flash/iid/SAR/pipeline
+/// fleet built with `Submission::from_zoo` streams back verdicts
+/// bit-identical to `Screener::run` over the same devices and noise
+/// streams — the service needs no idea which architecture it screens.
+#[test]
+fn zoo_submissions_match_screener_run() {
+    let zoo = Zoo::paper().with_seed(71);
+    let n = 16u64;
+    // Alternate workloads so both resident engines see every
+    // architecture the zoo deals out.
+    let subs: Vec<Submission> = (0..n)
+        .map(|i| {
+            let kind = if i % 2 == 0 {
+                JobKind::Static
+            } else {
+                JobKind::Dynamic
+            };
+            Submission::from_zoo(kind, &zoo, i, 0xa11c_e5ed ^ i)
+        })
+        .collect();
+    let census = zoo.census(n as usize);
+    assert!(
+        census.iter().filter(|&&c| c > 0).count() >= 3,
+        "fleet of {n} should mix at least three architectures, got {census:?}"
+    );
+    let expect = reference(&subs);
+
+    let handle = ServiceConfig::new()
+        .with_workload(static_workload())
+        .with_workload(dyn_workload())
+        .with_workers(4)
+        .with_lane_width(3)
+        .start();
+    for sub in &subs {
+        assert!(handle.submit(sub.clone()).is_accepted());
+    }
+    let mut got = Vec::new();
+    for _ in 0..subs.len() {
+        let v = handle
+            .recv_verdict()
+            .expect("stream open while devices in flight");
+        got.push((v.id, format!("{:?}", v.verdict)));
+    }
+    got.sort();
+    assert_eq!(got, expect);
+    handle.shutdown();
+}
+
+/// `Submission::from_source` draws the very devices `Batch::of` would:
+/// the service and the batch pipeline share one sampling seam.
+#[test]
+fn from_source_matches_batch_devices() {
+    for source in [
+        SourceSpec::paper_flash(),
+        SourceSpec::paper_iid(),
+        SourceSpec::paper_sar(),
+        SourceSpec::paper_pipeline(),
+    ] {
+        let batch = Batch::of(source).seed(9).size(4);
+        for i in 0..4u64 {
+            let sub = Submission::from_source(JobKind::Static, source, 9, i, 55);
+            assert_eq!(sub.id, i);
+            assert_eq!(sub.seed, 55);
+            assert_eq!(sub.adc, batch.device(i as usize), "{source} device {i}");
+        }
     }
 }
